@@ -1,0 +1,49 @@
+//! Criterion micro-bench: server-side aggregation cost vs cohort size and
+//! zero-handling mode (the `agg_seconds` component of TTA).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedbiad_core::pattern::{keep_count, DropPattern};
+use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
+use fedbiad_fl::upload::Upload;
+use fedbiad_nn::mlp::MlpModel;
+use fedbiad_nn::Model;
+use fedbiad_tensor::rng::{stream, StreamTag};
+
+fn bench_aggregation(c: &mut Criterion) {
+    let model = MlpModel::new(784, 128, 10);
+    let global0 = model.init_params(&mut stream(1, StreamTag::Init, 0, 0));
+    let j = global0.num_row_units();
+    let keep = keep_count(j, 0.5);
+
+    let mut group = c.benchmark_group("aggregate_mlp");
+    group.sample_size(20);
+    for &clients in &[5usize, 20, 100] {
+        // Pre-build one masked upload per client.
+        let uploads: Vec<Upload> = (0..clients)
+            .map(|k| {
+                let mut rng = stream(2, StreamTag::Pattern, 0, k as u64);
+                let pattern = DropPattern::sample_global(j, keep, &mut rng);
+                Upload::masked_weights(global0.clone(), pattern.to_mask(&global0))
+            })
+            .collect();
+        for mode in [ZeroMode::ZerosPull, ZeroMode::HoldersOnly, ZeroMode::StaleFill] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), clients),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let mut g = global0.clone();
+                        let ups: Vec<(f32, &Upload)> =
+                            uploads.iter().map(|u| (1.0, u)).collect();
+                        aggregate_weights(&mut g, &ups, mode);
+                        g
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-bench: encode throughput of the Table-II compressors on
+//! a 1M-parameter delta.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedbiad_compress::dgc::Dgc;
+use fedbiad_compress::fedpaq::FedPaq;
+use fedbiad_compress::none::NoCompression;
+use fedbiad_compress::signsgd::SignSgd;
+use fedbiad_compress::stc::Stc;
+use fedbiad_compress::{ClientState, Compressor};
+use fedbiad_tensor::rng::{stream, StreamTag};
+use rand::Rng;
+
+fn bench_compressors(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut rng = stream(3, StreamTag::Compress, 0, 0);
+    let delta: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+    let compressors: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("none", Box::new(NoCompression)),
+        ("fedpaq8", Box::new(FedPaq::paper())),
+        ("signsgd", Box::new(SignSgd::default())),
+        ("stc", Box::new(Stc::paper())),
+        ("dgc", Box::new(Dgc::paper())),
+    ];
+
+    let mut group = c.benchmark_group("compress_1m");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for (name, comp) in &compressors {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let mut st = ClientState::default();
+            let mut crng = stream(4, StreamTag::Compress, 0, 0);
+            let mut round = 10; // past DGC warm-up
+            b.iter(|| {
+                let out = comp.compress(&mut st, &delta, round, &mut crng);
+                round += 1;
+                out.wire_bytes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressors);
+criterion_main!(benches);

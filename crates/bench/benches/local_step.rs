@@ -1,0 +1,44 @@
+//! Criterion micro-bench: one client-side local update per method — the
+//! microscopic version of Fig. 7's LTTR comparison. Shape target: FedBIAD
+//! costs more than FedAvg/FedDrop (adaptive bookkeeping, paper §V-C
+//! reports +5…16 %) but the same order of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedbiad_core::baselines::{Afd, FedAvg, FedDrop, Fjord};
+use fedbiad_core::{FedBiad, FedBiadConfig};
+use fedbiad_fl::algorithm::{FlAlgorithm, RoundInfo};
+use fedbiad_fl::workload::{build, Scale, Workload};
+use fedbiad_tensor::rng::{stream, StreamTag};
+
+fn bench_one<A: FlAlgorithm>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    mut algo: A,
+    bundle: &fedbiad_fl::workload::WorkloadBundle,
+) {
+    let model = bundle.model.as_ref();
+    let global = model.init_params(&mut stream(7, StreamTag::Init, 0, 0));
+    let info = RoundInfo { round: 0, total_rounds: 10, seed: 7 };
+    let data = &bundle.data.clients[0];
+    let cfg = bundle.train;
+    let rctx = algo.begin_round(info, &global);
+    group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+        let mut st = algo.init_client_state(0, model, &global);
+        b.iter(|| algo.local_update(info, &rctx, 0, &mut st, &global, data, model, &cfg))
+    });
+}
+
+fn bench_local_step(c: &mut Criterion) {
+    let bundle = build(Workload::MnistLike, Scale::Smoke, 7);
+    let p = bundle.dropout_rate;
+    let mut group = c.benchmark_group("local_step");
+    bench_one(&mut group, "fedavg", FedAvg::new(), &bundle);
+    bench_one(&mut group, "feddrop", FedDrop::new(p), &bundle);
+    bench_one(&mut group, "afd", Afd::new(p), &bundle);
+    bench_one(&mut group, "fjord", Fjord::new(p), &bundle);
+    bench_one(&mut group, "fedbiad", FedBiad::new(FedBiadConfig::paper(p, 5)), &bundle);
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_step);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Diagnostic: centralized (non-federated) training ceiling for the
+//! synthetic language workloads. Used to calibrate learning rates and to
+//! verify that the LSTM can actually exploit the Markov/topic structure
+//! (Bayes top-3 bound printed for reference). Not a paper artifact.
+
+use fedbiad_data::synth_text::SyntheticTextSpec;
+use fedbiad_nn::lstm_lm::LstmLmModel;
+use fedbiad_nn::{Batch, Model};
+use fedbiad_tensor::rng::{stream, StreamTag};
+use rand::Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let lrs: Vec<f32> = if args.len() > 1 {
+        args[1].split(',').map(|s| s.parse().expect("lr")).collect()
+    } else {
+        vec![0.5, 1.5, 4.0, 8.0]
+    };
+
+    let spec = SyntheticTextSpec::ptb_like();
+    let lang = spec.language(7);
+    println!(
+        "ptb-like: vocab={} bayes_top3={:.3} bayes_top1={:.3}",
+        spec.vocab,
+        lang.bayes_top_k(3),
+        lang.bayes_top_k(1)
+    );
+    let (train, test) = spec.generate(7);
+    let model = LstmLmModel::new(spec.vocab, 64, 64, 2);
+
+    for lr in lrs {
+        let mut rng = stream(1, StreamTag::Init, 0, 0);
+        let mut params = model.init_params(&mut rng);
+        let mut grads = params.zeros_like();
+        let mut brng = stream(2, StreamTag::Batch, 0, 0);
+        let n = train.num_windows();
+        print!("lr {lr:>5}: ");
+        for it in 0..iters {
+            let idx: Vec<usize> = (0..12).map(|_| brng.gen_range(0..n)).collect();
+            let windows: Vec<&[u32]> = idx.iter().map(|&i| train.window(i)).collect();
+            grads.zero();
+            let _ = model.loss_grad(&params, &Batch::Seq { windows: &windows }, &mut grads);
+            grads.clip_global_norm(5.0);
+            params.axpy(-lr, &grads);
+            if (it + 1) % (iters / 8).max(1) == 0 {
+                let widx: Vec<&[u32]> = (0..100).map(|i| test.window(i)).collect();
+                let acc = model.evaluate(&params, &Batch::Seq { windows: &widx }, 3);
+                print!("{:.1} ", acc.accuracy() * 100.0);
+            }
+        }
+        println!();
+    }
+}

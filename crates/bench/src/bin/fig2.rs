@@ -1,0 +1,65 @@
+//! Fig. 2 (motivation): next-word prediction on PTB with an LSTM — test
+//! loss and top-3 accuracy vs rounds for FedAvg, FedDrop, AFD, Fjord and
+//! FedBIAD. The paper's point: FedDrop/AFD/Fjord fall *below* FedAvg on
+//! RNN models, FedBIAD does not.
+//!
+//! ```text
+//! cargo run -p fedbiad-bench --release --bin fig2 -- [--rounds 60] [--seed 42]
+//! ```
+
+use fedbiad_bench::cli::Cli;
+use fedbiad_bench::methods::{run_method, Method, RunOpts};
+use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_fl::workload::{build, Workload};
+
+fn main() {
+    let cli = Cli::parse();
+    let rounds = cli.rounds.unwrap_or(60);
+    let bundle = build(Workload::PtbLike, cli.scale, cli.seed);
+    println!(
+        "=== Fig. 2 — {} (LSTM next-word prediction, {} rounds) ===",
+        bundle.data.name, rounds
+    );
+
+    let mut logs = Vec::new();
+    for m in Method::fig2() {
+        let mut opts = RunOpts::for_rounds(rounds, cli.seed);
+        opts.eval_max_samples = cli.eval_max;
+        logs.push(run_method(m, &bundle, opts));
+        println!("  finished {}", m.name());
+    }
+
+    // The paper's figure shows rounds 10–20; print that window plus the
+    // full-range endpoints.
+    let lo = (rounds / 6).max(1);
+    let hi = (rounds / 3).max(lo + 1).min(rounds - 1);
+    println!("\nTest loss (rounds {lo}..{hi} window, then final):");
+    let mut t = Table::new(&["Method", "r_lo", "r_mid", "r_hi", "final"]);
+    let mid = (lo + hi) / 2;
+    for log in &logs {
+        t.row(vec![
+            log.method.clone(),
+            format!("{:.3}", log.records[lo].test_loss),
+            format!("{:.3}", log.records[mid].test_loss),
+            format!("{:.3}", log.records[hi].test_loss),
+            format!("{:.3}", log.records.last().unwrap().test_loss),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("Top-3 accuracy (%):");
+    let mut t = Table::new(&["Method", "r_lo", "r_mid", "r_hi", "final"]);
+    for log in &logs {
+        t.row(vec![
+            log.method.clone(),
+            format!("{:.2}", log.records[lo].test_acc * 100.0),
+            format!("{:.2}", log.records[mid].test_acc * 100.0),
+            format!("{:.2}", log.records[hi].test_acc * 100.0),
+            format!("{:.2}", log.final_accuracy_pct()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let path = save_logs("fig2", &logs);
+    println!("full per-round series in {}", path.display());
+}

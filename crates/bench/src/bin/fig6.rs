@@ -1,0 +1,60 @@
+//! Fig. 6: training-loss and test-accuracy curves vs rounds on MNIST (a)
+//! and WikiText-2 (b) for all seven Table-I methods.
+//!
+//! ```text
+//! cargo run -p fedbiad-bench --release --bin fig6 -- [--rounds 60] [--seed 42]
+//! ```
+
+use fedbiad_bench::cli::Cli;
+use fedbiad_bench::methods::{run_method, Method, RunOpts};
+use fedbiad_bench::output::save_logs;
+use fedbiad_fl::workload::{build, Workload};
+
+fn main() {
+    let cli = Cli::parse();
+    let rounds = cli.rounds.unwrap_or(60);
+    let workloads = cli
+        .workloads
+        .clone()
+        .unwrap_or_else(|| vec![Workload::MnistLike, Workload::WikiText2Like]);
+    let mut all = Vec::new();
+
+    for w in workloads {
+        let bundle = build(w, cli.scale, cli.seed);
+        println!("\n=== Fig. 6 — {} ({} rounds) ===", w.name(), rounds);
+        let mut logs = Vec::new();
+        for m in Method::table1() {
+            let mut opts = RunOpts::for_rounds(rounds, cli.seed);
+            opts.eval_max_samples = cli.eval_max;
+            logs.push(run_method(m, &bundle, opts));
+            println!("  finished {}", m.name());
+        }
+
+        // Print the curves as fixed-step series (the JSON has every round).
+        let step = (rounds / 10).max(1);
+        println!("\ntrain loss:");
+        for log in &logs {
+            let series: Vec<String> = log
+                .records
+                .iter()
+                .step_by(step)
+                .map(|r| format!("{:.3}", r.train_loss))
+                .collect();
+            println!("  {:<12} {}", log.method, series.join(" "));
+        }
+        println!("test accuracy (%):");
+        for log in &logs {
+            let series: Vec<String> = log
+                .records
+                .iter()
+                .step_by(step)
+                .map(|r| format!("{:.1}", r.test_acc * 100.0))
+                .collect();
+            println!("  {:<12} {}", log.method, series.join(" "));
+        }
+        all.extend(logs);
+    }
+
+    let path = save_logs("fig6", &all);
+    println!("\nfull per-round series in {}", path.display());
+}

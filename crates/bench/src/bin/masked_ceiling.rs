@@ -1,0 +1,48 @@
+//! Diagnostic: centralized training ceiling of a *row-masked* LSTM LM —
+//! separates "masked model class cannot learn at this scale" from "FL
+//! dynamics are broken". Not a paper artifact.
+use fedbiad_core::pattern::{keep_count, DropPattern};
+use fedbiad_data::synth_text::SyntheticTextSpec;
+use fedbiad_nn::lstm_lm::LstmLmModel;
+use fedbiad_nn::{Batch, Model};
+use fedbiad_tensor::rng::{stream, StreamTag};
+use rand::Rng;
+
+fn main() {
+    let spec = SyntheticTextSpec::ptb_like();
+    let (train, test) = spec.generate(7);
+    let model = LstmLmModel::new(spec.vocab, 64, 64, 2);
+    let iters = 2400;
+    for p in [0.0f32, 0.2, 0.5] {
+        let mut rng = stream(1, StreamTag::Init, 0, 0);
+        let mut params = model.init_params(&mut rng);
+        let j = params.num_row_units();
+        let pattern = if p == 0.0 {
+            DropPattern::full(j)
+        } else {
+            let mut prng = stream(2, StreamTag::Pattern, 0, 0);
+            DropPattern::sample_global(j, keep_count(j, p), &mut prng)
+        };
+        // Zero dropped rows once; mask grads each step (fixed sub-model).
+        for ju in 0..j { if !pattern.is_kept(ju) { params.zero_row_unit(ju); } }
+        let mut grads = params.zeros_like();
+        let mut brng = stream(3, StreamTag::Batch, 0, 0);
+        let n = train.num_windows();
+        print!("p={p}: ");
+        for it in 0..iters {
+            let idx: Vec<usize> = (0..12).map(|_| brng.gen_range(0..n)).collect();
+            let windows: Vec<&[u32]> = idx.iter().map(|&i| train.window(i)).collect();
+            grads.zero();
+            let _ = model.loss_grad(&params, &Batch::Seq { windows: &windows }, &mut grads);
+            pattern.mask_grads(&mut grads);
+            grads.clip_global_norm(5.0);
+            params.axpy(-4.0, &grads);
+            if (it + 1) % (iters / 8) == 0 {
+                let widx: Vec<&[u32]> = (0..100).map(|i| test.window(i)).collect();
+                let acc = model.evaluate(&params, &Batch::Seq { windows: &widx }, 3);
+                print!("{:.1} ", acc.accuracy() * 100.0);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,90 @@
+//! Theorem 1 validation (experiment E7): evaluate the analytic
+//! generalization-error bound (eqs. (13)–(15)) across rounds and compare
+//! its *shape* with a measured generalization gap (train-minus-test loss)
+//! from an actual FedBIAD run.
+//!
+//! ```text
+//! cargo run -p fedbiad-bench --release --bin theory_bound -- [--rounds 40]
+//! ```
+
+use fedbiad_bench::cli::Cli;
+use fedbiad_bench::methods::{run_method, Method, RunOpts};
+use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_core::spike_slab::posterior_variance;
+use fedbiad_core::theory::{
+    epsilon_bound, generalization_bound, holder_upper_bound, m_r, minimax_rate, TheoryParams,
+};
+use fedbiad_fl::workload::{build, Workload};
+
+fn main() {
+    let cli = Cli::parse();
+    let rounds = cli.rounds.unwrap_or(40);
+    let bundle = build(Workload::MnistLike, cli.scale, cli.seed);
+    let arch = bundle.model.arch();
+    let p = TheoryParams::from_arch(&arch, bundle.dropout_rate as f64);
+    let v = bundle.train.local_iters;
+    let min_dk = bundle.data.min_client_samples();
+
+    println!("=== Theorem 1 — bound vs measured generalization gap ===");
+    println!(
+        "arch: N = {}, S = {:.0}, L = {}, D = {}, d = {}; V = {v}, min|D_k| = {min_dk}",
+        arch.total_weights, p.s, p.l, p.d_width, p.d_in
+    );
+
+    // Measured side: run FedBIAD and log train/test loss per round.
+    let mut opts = RunOpts::for_rounds(rounds, cli.seed);
+    opts.eval_max_samples = cli.eval_max;
+    let log = run_method(Method::FedBiad, &bundle, opts);
+
+    let mut t = Table::new(&[
+        "round",
+        "m_r",
+        "s~2 (eq13)",
+        "eps (eq15)",
+        "bound (eq14)",
+        "measured |test-train| loss gap",
+    ]);
+    let step = (rounds / 10).max(1);
+    for r in (0..rounds).step_by(step) {
+        let m = m_r(r + 1, v, min_dk);
+        let s2 = posterior_variance(p.s, m, &arch, p.b);
+        let eps = epsilon_bound(&p, m);
+        let bound = generalization_bound(&p, m, 0.0);
+        let rec = &log.records[r];
+        let gap = (rec.test_loss - rec.train_loss as f64).abs();
+        t.row(vec![
+            format!("{}", r + 1),
+            format!("{m:.0}"),
+            format!("{s2:.3e}"),
+            format!("{eps:.4}"),
+            format!("{bound:.4}"),
+            format!("{gap:.4}"),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Monotonicity check (the Theorem-1 "shape"): the bound must strictly
+    // decrease with rounds.
+    let bounds: Vec<f64> =
+        (1..=rounds).map(|r| generalization_bound(&p, m_r(r, v, min_dk), 0.0)).collect();
+    let monotone = bounds.windows(2).all(|w| w[1] < w[0]);
+    println!("bound strictly decreasing over rounds: {monotone}");
+    assert!(monotone, "Theorem 1 shape violated");
+
+    println!("\nminimax envelope (γ = 1.5, d = {}):", p.d_in);
+    let mut t = Table::new(&["m_r", "lower rate (eq18)", "upper rate·log² (eq17)", "ratio"]);
+    for &m in &[1e3, 1e4, 1e5, 1e6] {
+        let lo = minimax_rate(m, 1.5, p.d_in);
+        let hi = holder_upper_bound(m, 1.5, p.d_in, 1.0);
+        t.row(vec![
+            format!("{m:.0e}"),
+            format!("{lo:.4e}"),
+            format!("{hi:.4e}"),
+            format!("{:.1} (= log²m)", hi / lo),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let path = save_logs("theory_bound", &[log]);
+    println!("JSON written to {}", path.display());
+}

@@ -1,0 +1,136 @@
+//! Minimal CLI flag parsing shared by the harness binaries (no external
+//! dependency; flags are `--key value`).
+
+use fedbiad_fl::workload::{Scale, Workload};
+
+/// Parsed common flags.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// `--rounds N` (default per binary).
+    pub rounds: Option<usize>,
+    /// `--seed N` (default 42).
+    pub seed: u64,
+    /// `--scale smoke|lab` (default lab).
+    pub scale: Scale,
+    /// `--workloads a,b,c` (default: binary-specific).
+    pub workloads: Option<Vec<Workload>>,
+    /// `--eval-max N` test-sample cap (default 2000).
+    pub eval_max: usize,
+    /// `--methods a,b` restriction (default: binary-specific set).
+    pub methods: Option<Vec<String>>,
+}
+
+impl Cli {
+    /// Parse from `std::env::args`. Unknown flags abort with a message.
+    pub fn parse() -> Cli {
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parse from an explicit vector (testable).
+    pub fn parse_from(args: Vec<String>) -> Cli {
+        let mut cli = Cli {
+            rounds: None,
+            seed: 42,
+            scale: Scale::Lab,
+            workloads: None,
+            eval_max: 2_000,
+            methods: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut val = || {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--rounds" => cli.rounds = Some(val().parse().expect("--rounds: integer")),
+                "--seed" => cli.seed = val().parse().expect("--seed: integer"),
+                "--eval-max" => cli.eval_max = val().parse().expect("--eval-max: integer"),
+                "--scale" => {
+                    cli.scale = match val().as_str() {
+                        "smoke" => Scale::Smoke,
+                        "lab" => Scale::Lab,
+                        other => {
+                            eprintln!("unknown scale {other} (smoke|lab)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--methods" => {
+                    cli.methods =
+                        Some(val().split(',').map(|s| s.to_string()).collect());
+                }
+                "--workloads" => {
+                    let list = val();
+                    cli.workloads = Some(
+                        list.split(',')
+                            .map(|s| parse_workload(s).unwrap_or_else(|| {
+                                eprintln!("unknown workload {s}");
+                                std::process::exit(2);
+                            }))
+                            .collect(),
+                    );
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --rounds N  --seed N  --scale smoke|lab  \
+                         --workloads mnist,fmnist,ptb,wikitext2,reddit  \
+                         --methods fedavg,fedbiad,...  --eval-max N"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+}
+
+/// Parse a workload name (short forms accepted).
+pub fn parse_workload(s: &str) -> Option<Workload> {
+    match s.to_ascii_lowercase().as_str() {
+        "mnist" | "mnist-like" => Some(Workload::MnistLike),
+        "fmnist" | "fmnist-like" => Some(Workload::FmnistLike),
+        "ptb" | "ptb-like" => Some(Workload::PtbLike),
+        "wikitext2" | "wikitext-2" | "wikitext2-like" | "wt2" => Some(Workload::WikiText2Like),
+        "reddit" | "reddit-like" => Some(Workload::RedditLike),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_flags() {
+        let c = Cli::parse_from(vec![]);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.scale, Scale::Lab);
+        let c = Cli::parse_from(
+            ["--rounds", "7", "--seed", "9", "--scale", "smoke", "--workloads", "ptb,reddit"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(c.rounds, Some(7));
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.scale, Scale::Smoke);
+        assert_eq!(
+            c.workloads,
+            Some(vec![Workload::PtbLike, Workload::RedditLike])
+        );
+    }
+
+    #[test]
+    fn workload_short_names() {
+        assert_eq!(parse_workload("wt2"), Some(Workload::WikiText2Like));
+        assert_eq!(parse_workload("MNIST"), Some(Workload::MnistLike));
+        assert_eq!(parse_workload("bogus"), None);
+    }
+}

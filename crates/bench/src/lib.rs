@@ -1,0 +1,24 @@
+//! # fedbiad-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§V). One binary per artifact:
+//!
+//! | binary        | paper artifact | what it prints |
+//! |---------------|----------------|----------------|
+//! | `fig2`        | Fig. 2         | PTB test loss/top-3 acc vs rounds, 5 methods |
+//! | `table1`      | Table I        | acc / upload size / save ratio, 7 methods × 5 datasets |
+//! | `table2`      | Table II       | sketched compressors × 5 datasets |
+//! | `fig6`        | Fig. 6         | train-loss & test-acc curves (MNIST, WikiText-2) |
+//! | `fig7`        | Fig. 7         | LTTR + TTA bars |
+//! | `fig8`        | Fig. 8         | accuracy + TTA vs dropout rate (Reddit) |
+//! | `theory_bound`| Thm. 1         | bound vs measured generalization gap |
+//! | `ablation`    | DESIGN.md §4   | design-choice ablations |
+//!
+//! Each binary accepts `--rounds`, `--seed`, `--scale smoke|lab` and
+//! writes machine-readable JSON to `target/experiments/`.
+
+pub mod cli;
+pub mod methods;
+pub mod output;
+
+pub use methods::{run_method, Method};

@@ -1,0 +1,226 @@
+//! Method registry: build + run any algorithm of Tables I/II against a
+//! workload.
+
+use fedbiad_compress::dgc::Dgc;
+use fedbiad_compress::fedpaq::FedPaq;
+use fedbiad_compress::signsgd::SignSgd;
+use fedbiad_compress::stc::Stc;
+use fedbiad_core::baselines::{Afd, FedAvg, FedDrop, FedMp, Fjord, HeteroFl};
+use fedbiad_core::{FedBiad, FedBiadConfig};
+use fedbiad_fl::runner::{Experiment, ExperimentConfig};
+use fedbiad_fl::workload::WorkloadBundle;
+use fedbiad_fl::ExperimentLog;
+use std::sync::Arc;
+
+/// Every method appearing in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// FedAvg \[1\].
+    FedAvg,
+    /// FedDrop \[12\].
+    FedDrop,
+    /// AFD \[15\].
+    Afd,
+    /// FedMP \[27\].
+    FedMp,
+    /// FjORD \[14\].
+    Fjord,
+    /// HeteroFL \[43\].
+    HeteroFl,
+    /// FedBIAD (this paper).
+    FedBiad,
+    /// FedPAQ \[9\] (8-bit quantisation).
+    FedPaq,
+    /// signSGD \[11\] (1-bit).
+    SignSgd,
+    /// STC \[5\] (sparse ternary).
+    Stc,
+    /// DGC \[4\] (deep gradient compression).
+    Dgc,
+    /// AFD combined with DGC.
+    AfdDgc,
+    /// FjORD combined with DGC.
+    FjordDgc,
+    /// FedBIAD combined with DGC.
+    FedBiadDgc,
+}
+
+impl Method {
+    /// Table I row order.
+    pub fn table1() -> [Method; 7] {
+        [
+            Method::FedAvg,
+            Method::FedDrop,
+            Method::Afd,
+            Method::FedMp,
+            Method::Fjord,
+            Method::HeteroFl,
+            Method::FedBiad,
+        ]
+    }
+
+    /// Table II column order.
+    pub fn table2() -> [Method; 7] {
+        [
+            Method::FedPaq,
+            Method::SignSgd,
+            Method::Stc,
+            Method::Dgc,
+            Method::AfdDgc,
+            Method::FjordDgc,
+            Method::FedBiadDgc,
+        ]
+    }
+
+    /// Fig. 2 methods (the motivation experiment).
+    pub fn fig2() -> [Method; 5] {
+        [Method::FedAvg, Method::FedDrop, Method::Afd, Method::Fjord, Method::FedBiad]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::FedAvg => "FedAvg",
+            Method::FedDrop => "FedDrop",
+            Method::Afd => "AFD",
+            Method::FedMp => "FedMP",
+            Method::Fjord => "FjORD",
+            Method::HeteroFl => "HeteroFL",
+            Method::FedBiad => "FedBIAD",
+            Method::FedPaq => "FedPAQ",
+            Method::SignSgd => "SignSGD",
+            Method::Stc => "STC",
+            Method::Dgc => "DGC",
+            Method::AfdDgc => "AFD+DGC",
+            Method::FjordDgc => "Fjord+DGC",
+            Method::FedBiadDgc => "FedBIAD+DGC",
+        }
+    }
+
+    /// Parse a CLI name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Method> {
+        let all = [
+            Method::FedAvg,
+            Method::FedDrop,
+            Method::Afd,
+            Method::FedMp,
+            Method::Fjord,
+            Method::HeteroFl,
+            Method::FedBiad,
+            Method::FedPaq,
+            Method::SignSgd,
+            Method::Stc,
+            Method::Dgc,
+            Method::AfdDgc,
+            Method::FjordDgc,
+            Method::FedBiadDgc,
+        ];
+        let needle = s.to_ascii_lowercase().replace(['-', '_', '+'], "");
+        all.into_iter()
+            .find(|m| m.name().to_ascii_lowercase().replace('+', "") == needle)
+    }
+}
+
+/// Options shared by all harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Global rounds R.
+    pub rounds: usize,
+    /// Stage boundary R_b for FedBIAD (paper: R−5).
+    pub stage_boundary: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Evaluate every k rounds.
+    pub eval_every: usize,
+    /// Cap evaluated test samples (0 = all).
+    pub eval_max_samples: usize,
+}
+
+impl RunOpts {
+    /// Paper-style defaults for `rounds` (R_b = R − 5, κ = 0.1).
+    pub fn for_rounds(rounds: usize, seed: u64) -> Self {
+        Self {
+            rounds,
+            stage_boundary: rounds.saturating_sub(5).max(1),
+            seed,
+            eval_every: 1,
+            eval_max_samples: 2_000,
+        }
+    }
+}
+
+/// Run `method` on `bundle` and return the log.
+pub fn run_method(method: Method, bundle: &WorkloadBundle, opts: RunOpts) -> ExperimentLog {
+    let cfg = ExperimentConfig {
+        rounds: opts.rounds,
+        client_fraction: 0.1,
+        seed: opts.seed,
+        train: bundle.train,
+        eval_topk: bundle.eval_topk,
+        eval_every: opts.eval_every,
+        eval_max_samples: opts.eval_max_samples,
+    };
+    let p = bundle.dropout_rate;
+    let model = bundle.model.as_ref();
+    let data = &bundle.data;
+    let dgc = || Arc::new(Dgc::paper());
+    match method {
+        Method::FedAvg => Experiment::new(model, data, FedAvg::new(), cfg).run(),
+        Method::FedDrop => Experiment::new(model, data, FedDrop::new(p), cfg).run(),
+        Method::Afd => Experiment::new(model, data, Afd::new(p), cfg).run(),
+        Method::FedMp => Experiment::new(model, data, FedMp::new(p), cfg).run(),
+        Method::Fjord => Experiment::new(model, data, Fjord::new(p), cfg).run(),
+        Method::HeteroFl => Experiment::new(model, data, HeteroFl::new(p), cfg).run(),
+        Method::FedBiad => {
+            let algo = FedBiad::new(FedBiadConfig::paper(p, opts.stage_boundary));
+            Experiment::new(model, data, algo, cfg).run()
+        }
+        Method::FedPaq => {
+            Experiment::new(model, data, FedAvg::with_sketch(Arc::new(FedPaq::paper())), cfg)
+                .run()
+        }
+        Method::SignSgd => {
+            Experiment::new(model, data, FedAvg::with_sketch(Arc::new(SignSgd::default())), cfg)
+                .run()
+        }
+        Method::Stc => {
+            Experiment::new(model, data, FedAvg::with_sketch(Arc::new(Stc::paper())), cfg).run()
+        }
+        Method::Dgc => {
+            Experiment::new(model, data, FedAvg::with_sketch(dgc()), cfg).run()
+        }
+        Method::AfdDgc => {
+            Experiment::new(model, data, Afd::with_sketch(p, dgc()), cfg).run()
+        }
+        Method::FjordDgc => {
+            Experiment::new(model, data, Fjord::with_sketch(p, dgc()), cfg).run()
+        }
+        Method::FedBiadDgc => {
+            let algo =
+                FedBiad::with_sketch(FedBiadConfig::paper(p, opts.stage_boundary), dgc());
+            Experiment::new(model, data, algo, cfg).run()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for m in Method::table1().into_iter().chain(Method::table2()) {
+            assert_eq!(Method::parse(m.name()), Some(m), "{}", m.name());
+        }
+        assert_eq!(Method::parse("fedbiad+dgc"), Some(Method::FedBiadDgc));
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn run_opts_sets_paper_stage_boundary() {
+        let o = RunOpts::for_rounds(60, 1);
+        assert_eq!(o.stage_boundary, 55);
+        let tiny = RunOpts::for_rounds(3, 1);
+        assert!(tiny.stage_boundary >= 1);
+    }
+}

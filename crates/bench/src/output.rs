@@ -1,0 +1,94 @@
+//! Experiment output: aligned tables on stdout + JSON under
+//! `target/experiments/`.
+
+use fedbiad_fl::ExperimentLog;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory for machine-readable results.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Persist a set of logs as JSON (one file per artifact).
+pub fn save_logs(artifact: &str, logs: &[ExperimentLog]) -> PathBuf {
+    let path = experiments_dir().join(format!("{artifact}.json"));
+    let body = serde_json::to_string_pretty(logs).expect("serialise logs");
+    fs::write(&path, body).expect("write experiment json");
+    path
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+            }
+            s
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["method", "acc"]);
+        t.row(vec!["FedBIAD".into(), "95.20".into()]);
+        t.row(vec!["FedAvg".into(), "95.06".into()]);
+        let s = t.render();
+        assert!(s.contains("FedBIAD  95.20"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+}

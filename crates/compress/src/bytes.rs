@@ -1,0 +1,73 @@
+//! Wire-size constants and helpers (paper §V-B / Table II conventions).
+
+/// Bytes per transmitted f32 value.
+pub const F32_BYTES: u64 = 4;
+
+/// Bytes per transmitted position index — the paper's fairness convention:
+/// "the position representation of each parameter occupies 64 bits" \[4\].
+pub const POSITION_BYTES: u64 = 8;
+
+/// Bytes of a per-tensor quantisation scale.
+pub const SCALE_BYTES: u64 = 4;
+
+/// Wire size of a dense f32 payload.
+pub fn dense_bytes(n: usize) -> u64 {
+    n as u64 * F32_BYTES
+}
+
+/// Wire size of a sparse f32 payload: values + 64-bit positions.
+pub fn sparse_f32_bytes(k: usize) -> u64 {
+    k as u64 * (F32_BYTES + POSITION_BYTES)
+}
+
+/// Wire size of a sparse ternary payload: 1 sign bit per value + 64-bit
+/// positions + one shared magnitude.
+pub fn sparse_ternary_bytes(k: usize) -> u64 {
+    (k as u64).div_ceil(8) + k as u64 * POSITION_BYTES + SCALE_BYTES
+}
+
+/// Wire size of a `bits`-wide uniform quantisation of `n` values with one
+/// shared scale.
+pub fn quantized_bytes(n: usize, bits: u32) -> u64 {
+    (n as u64 * bits as u64).div_ceil(8) + SCALE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_is_4n() {
+        assert_eq!(dense_bytes(100), 400);
+    }
+
+    #[test]
+    fn sparse_is_12_per_value() {
+        assert_eq!(sparse_f32_bytes(10), 120);
+    }
+
+    #[test]
+    fn ternary_counts_bits_positions_scale() {
+        // 9 values: 2 sign bytes + 72 position bytes + 4 scale bytes.
+        assert_eq!(sparse_ternary_bytes(9), 2 + 72 + 4);
+    }
+
+    #[test]
+    fn quantized_widths() {
+        assert_eq!(quantized_bytes(8, 8), 8 + 4); // 8-bit: 1 B per value
+        assert_eq!(quantized_bytes(8, 1), 1 + 4); // 1-bit: ⌈8/8⌉
+        assert_eq!(quantized_bytes(9, 1), 2 + 4);
+    }
+
+    #[test]
+    fn save_ratios_match_paper_orders_of_magnitude() {
+        // FedPAQ ≈ 4×, SignSGD ≈ 32-33×, DGC at 0.1% ≈ 300×+ (Table II).
+        let n = 1_000_000usize;
+        let full = dense_bytes(n) as f64;
+        assert!((full / quantized_bytes(n, 8) as f64 - 4.0).abs() < 0.1);
+        assert!((full / quantized_bytes(n, 1) as f64 - 32.0).abs() < 0.5);
+        let k = n / 1000;
+        let dgc_ratio = full / sparse_f32_bytes(k) as f64;
+        assert!(dgc_ratio > 300.0 && dgc_ratio < 340.0, "{dgc_ratio}");
+    }
+}

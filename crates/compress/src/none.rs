@@ -1,0 +1,45 @@
+//! Identity compressor (FedAvg's uncompressed upload).
+
+use crate::{bytes, ClientState, Compressed, Compressor};
+use rand::rngs::StdRng;
+
+/// No compression: the delta is transmitted as dense f32.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCompression;
+
+impl Compressor for NoCompression {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn compress(
+        &self,
+        _state: &mut ClientState,
+        delta: &[f32],
+        _round: usize,
+        _rng: &mut StdRng,
+    ) -> Compressed {
+        Compressed {
+            decoded: delta.to_vec(),
+            wire_bytes: bytes::dense_bytes(delta.len()),
+            sent_values: delta.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_tensor::rng::{stream, StreamTag};
+
+    #[test]
+    fn identity_round_trip() {
+        let delta = vec![1.0, -2.0, 0.5];
+        let mut st = ClientState::default();
+        let mut rng = stream(1, StreamTag::Compress, 0, 0);
+        let c = NoCompression.compress(&mut st, &delta, 0, &mut rng);
+        assert_eq!(c.decoded, delta);
+        assert_eq!(c.wire_bytes, 12);
+        assert_eq!(c.sent_values, 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! FedMP [27]: federated learning through adaptive model pruning.
+//!
+//! Each client prunes the weights with the lowest absolute values
+//! ("FedMP assumes that small weights have a weak effect on model
+//! accuracy", paper §V-A) at rate p, trains the sparse model and uploads
+//! only the surviving weights plus a 1-bit/element position bitmap.
+//! Pruning applies to dense (non-recurrent, non-embedding) matrices —
+//! magnitude pruning of recurrent and embedding structure is outside the
+//! method's published scope.
+
+use super::masked_local_update;
+use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
+use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
+use fedbiad_fl::upload::Upload;
+use fedbiad_data::ClientData;
+use fedbiad_nn::mask::{BitVec, CoverageMask, ModelMask};
+use fedbiad_nn::params::LayerKind;
+use fedbiad_nn::{Model, ParamSet};
+use fedbiad_tensor::stats;
+use std::sync::Arc;
+
+/// Magnitude pruning at a fixed rate.
+pub struct FedMp {
+    rate: f32,
+    sketch: Option<Arc<dyn Compressor>>,
+}
+
+impl FedMp {
+    /// Plain FedMP at pruning rate `rate`.
+    pub fn new(rate: f32) -> Self {
+        assert!((0.0..1.0).contains(&rate));
+        Self { rate, sketch: None }
+    }
+
+    /// FedMP with a sketched compressor.
+    pub fn with_sketch(rate: f32, comp: Arc<dyn Compressor>) -> Self {
+        Self { sketch: Some(comp), ..Self::new(rate) }
+    }
+
+    /// Is entry `e` prunable under FedMP's published scope?
+    fn prunable(kind: LayerKind) -> bool {
+        matches!(kind, LayerKind::DenseHidden | LayerKind::DenseOutput)
+    }
+
+    /// Element mask keeping the top-(1−p) |weights| of each prunable entry.
+    pub fn prune_mask(&self, global: &ParamSet) -> ModelMask {
+        let per_entry = (0..global.num_entries())
+            .map(|e| {
+                if !Self::prunable(global.meta(e).kind) {
+                    return CoverageMask::Full;
+                }
+                let w = global.mat(e).as_slice();
+                let keep = ((w.len() as f64 * (1.0 - self.rate) as f64).round() as usize)
+                    .clamp(1, w.len());
+                let top = stats::top_k_abs_indices(w, keep);
+                let mut bits = BitVec::new(w.len(), false);
+                for &i in &top {
+                    bits.set(i, true);
+                }
+                CoverageMask::Elements(bits)
+            })
+            .collect();
+        ModelMask { per_entry }
+    }
+}
+
+impl FlAlgorithm for FedMp {
+    type ClientState = SketchState;
+    type RoundCtx = ();
+
+    fn name(&self) -> String {
+        match &self.sketch {
+            Some(c) => format!("fedmp+{}", c.name()),
+            None => "fedmp".into(),
+        }
+    }
+
+    fn init_client_state(&self, _: usize, _: &dyn Model, _: &ParamSet) -> SketchState {
+        SketchState::default()
+    }
+
+    fn begin_round(&mut self, _: RoundInfo, _: &ParamSet) {}
+
+    fn local_update(
+        &self,
+        info: RoundInfo,
+        _rctx: &(),
+        client_id: usize,
+        state: &mut SketchState,
+        global: &ParamSet,
+        data: &ClientData,
+        model: &dyn Model,
+        cfg: &TrainConfig,
+    ) -> LocalResult {
+        // Magnitudes are taken from the received global — all clients of a
+        // round share them, but the mask recomputes every round as weights
+        // evolve ("adaptive" pruning).
+        let mask = self.prune_mask(global);
+        masked_local_update(
+            info,
+            client_id,
+            global,
+            data,
+            model,
+            cfg,
+            mask,
+            self.sketch.as_deref(),
+            state,
+        )
+    }
+
+    fn aggregate(
+        &mut self,
+        _info: RoundInfo,
+        _rctx: &(),
+        global: &mut ParamSet,
+        results: &[(usize, LocalResult)],
+    ) {
+        let ups: Vec<(f32, &Upload)> =
+            results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+        aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_nn::lstm_lm::LstmLmModel;
+    use fedbiad_nn::mlp::MlpModel;
+    use fedbiad_tensor::rng::{stream, StreamTag};
+
+    #[test]
+    fn prune_mask_keeps_largest_magnitudes() {
+        let model = MlpModel::new(3, 4, 2);
+        let mut global = model.init_params(&mut stream(1, StreamTag::Init, 0, 0));
+        global.mat_mut(0).fill(0.01);
+        global.mat_mut(0).set(0, 0, 5.0);
+        global.mat_mut(0).set(2, 1, -4.0);
+        let algo = FedMp::new(0.8);
+        let mask = algo.prune_mask(&global);
+        match &mask.per_entry[0] {
+            CoverageMask::Elements(bits) => {
+                assert!(bits.get(0)); // (0,0)
+                assert!(bits.get(2 * 3 + 1)); // (2,1)
+                // Keeps ⌈20%⌉ of 12 = 2… round(12·0.2)=2.
+                assert_eq!(bits.count_ones(), 2);
+            }
+            other => panic!("want Elements, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn embedding_and_recurrent_are_not_pruned() {
+        let model = LstmLmModel::new(15, 6, 5, 1);
+        let global = model.init_params(&mut stream(2, StreamTag::Init, 0, 0));
+        let algo = FedMp::new(0.5);
+        let mask = algo.prune_mask(&global);
+        // emb (0), wx (1), wh (2) stay Full; head (3) gets Elements.
+        assert_eq!(mask.per_entry[0], CoverageMask::Full);
+        assert_eq!(mask.per_entry[1], CoverageMask::Full);
+        assert_eq!(mask.per_entry[2], CoverageMask::Full);
+        assert!(matches!(mask.per_entry[3], CoverageMask::Elements(_)));
+    }
+
+    #[test]
+    fn wire_bytes_include_position_bitmap() {
+        let model = MlpModel::new(8, 16, 4);
+        let global = model.init_params(&mut stream(3, StreamTag::Init, 0, 0));
+        let algo = FedMp::new(0.5);
+        let mask = algo.prune_mask(&global);
+        let bytes = mask.wire_bytes(&global);
+        let kept = mask.kept_params(&global) as u64;
+        // weights + biases kept at 4B each, plus ⌈n/8⌉ bitmap per entry.
+        let bitmap: u64 = (0..global.num_entries())
+            .map(|e| (global.mat(e).len() as u64).div_ceil(8))
+            .sum();
+        assert_eq!(bytes, kept * 4 + bitmap);
+        assert!(bytes < global.total_bytes());
+    }
+}

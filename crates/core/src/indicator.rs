@@ -1,0 +1,112 @@
+//! Experience-based importance indicator (paper §IV-D, eq. (9)).
+//!
+//! Each client accumulates a weight score vector E^k over the J row units.
+//! At every iteration, rows the client currently *holds* gain score:
+//! unconditionally when the loss trend is favourable (ΔL ≤ 0), and only if
+//! they survive into the next pattern when the trend is bad (ΔL > 0,
+//! e_j = 1 iff β^{k,v+1}_j = 1). After the stage boundary R_b, the scores
+//! pick the dropping pattern directly (keep the top-(1−p) quantile).
+
+use crate::pattern::DropPattern;
+use serde::{Deserialize, Serialize};
+
+/// Per-client weight score vector E^k.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WeightScores {
+    /// Score per row unit.
+    pub e: Vec<f32>,
+}
+
+impl WeightScores {
+    /// Zero-initialised scores over J row units.
+    pub fn new(j: usize) -> Self {
+        Self { e: vec![0.0; j] }
+    }
+
+    /// Number of row units.
+    pub fn len(&self) -> usize {
+        self.e.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.e.is_empty()
+    }
+
+    /// Eq. (9) for one iteration. `held` is the pattern the row was trained
+    /// under at iteration v; `next` is the pattern for v+1 (same as `held`
+    /// unless the trend was bad and the client re-sampled);
+    /// `favourable` = (ΔL ≤ 0 at the last checkpoint, or no checkpoint yet).
+    pub fn update(&mut self, held: &DropPattern, next: &DropPattern, favourable: bool) {
+        debug_assert_eq!(held.len(), self.e.len());
+        debug_assert_eq!(next.len(), self.e.len());
+        for j in 0..self.e.len() {
+            if held.is_kept(j) {
+                if favourable {
+                    self.e[j] += 1.0;
+                } else if next.is_kept(j) {
+                    // e_j = 1 iff the row survives into the next pattern.
+                    self.e[j] += 1.0;
+                }
+            }
+        }
+    }
+
+    /// Stage-two pattern: keep the `keep` best-scoring rows (the paper's
+    /// p-quantile threshold λ with deterministic ties).
+    pub fn to_pattern(&self, keep: usize) -> DropPattern {
+        DropPattern::from_scores(&self.e, keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_nn::mask::BitVec;
+
+    fn pattern(bits: &[bool]) -> DropPattern {
+        let mut b = BitVec::new(bits.len(), false);
+        for (i, &v) in bits.iter().enumerate() {
+            b.set(i, v);
+        }
+        DropPattern { beta: b }
+    }
+
+    #[test]
+    fn favourable_trend_bumps_all_held_rows() {
+        let mut s = WeightScores::new(4);
+        let held = pattern(&[true, true, false, false]);
+        s.update(&held, &held, true);
+        assert_eq!(s.e, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bad_trend_bumps_only_survivors() {
+        let mut s = WeightScores::new(4);
+        let held = pattern(&[true, true, false, false]);
+        let next = pattern(&[true, false, true, false]);
+        s.update(&held, &next, false);
+        // Row 0 held and survives (+1); row 1 held but dropped next (0);
+        // row 2 not held at v (no credit even though kept next).
+        assert_eq!(s.e, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scores_accumulate_over_iterations() {
+        let mut s = WeightScores::new(3);
+        let a = pattern(&[true, false, true]);
+        for _ in 0..5 {
+            s.update(&a, &a, true);
+        }
+        assert_eq!(s.e, vec![5.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn to_pattern_selects_high_scores() {
+        let mut s = WeightScores::new(5);
+        s.e = vec![3.0, 9.0, 1.0, 7.0, 2.0];
+        let p = s.to_pattern(2);
+        assert!(p.is_kept(1) && p.is_kept(3));
+        assert_eq!(p.kept(), 2);
+    }
+}

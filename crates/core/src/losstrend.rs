@@ -1,0 +1,122 @@
+//! Loss-trend tracking (paper eq. (8)).
+//!
+//! The client keeps per-iteration losses and, every τ iterations (for
+//! v ≥ 2τ), computes
+//! ΔL^{k,v} = L̄^{k,v} − L̄^{k,v−τ}, where L̄^{k,v} is the mean loss of
+//! iterations (v−τ, v]. ΔL ≤ 0 means the current dropping pattern is
+//! "favourable for loss decrease" and is retained; otherwise the client
+//! re-samples.
+
+/// Sliding loss-trend tracker with window τ.
+#[derive(Clone, Debug)]
+pub struct LossTrend {
+    tau: usize,
+    losses: Vec<f32>,
+}
+
+impl LossTrend {
+    /// New tracker with window `tau` (the paper uses τ = 3).
+    pub fn new(tau: usize) -> Self {
+        assert!(tau >= 1, "tau must be ≥ 1");
+        Self { tau, losses: Vec::new() }
+    }
+
+    /// Record iteration loss.
+    pub fn observe(&mut self, loss: f32) {
+        self.losses.push(loss);
+    }
+
+    /// Number of observations so far.
+    pub fn len(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.losses.is_empty()
+    }
+
+    /// Window τ.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// ΔL per eq. (8) over the most recent 2τ observations; `None` until
+    /// v ≥ 2τ.
+    pub fn gap(&self) -> Option<f32> {
+        let n = self.losses.len();
+        if n < 2 * self.tau {
+            return None;
+        }
+        let recent: f32 = self.losses[n - self.tau..].iter().sum::<f32>() / self.tau as f32;
+        let previous: f32 =
+            self.losses[n - 2 * self.tau..n - self.tau].iter().sum::<f32>() / self.tau as f32;
+        Some(recent - previous)
+    }
+
+    /// Should the pattern be re-evaluated at (0-based) iteration `v`
+    /// (Algorithm 1 line 18: v > τ ∧ v % τ == 0, on 1-based v)?
+    pub fn at_checkpoint(&self, v_zero_based: usize) -> bool {
+        let v = v_zero_based + 1;
+        v > self.tau && v % self.tau == 0 && self.losses.len() >= 2 * self.tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_needs_two_windows() {
+        let mut t = LossTrend::new(3);
+        for l in [3.0, 2.9, 2.8, 2.7, 2.6] {
+            t.observe(l);
+        }
+        assert_eq!(t.gap(), None);
+        t.observe(2.5);
+        assert!(t.gap().is_some());
+    }
+
+    #[test]
+    fn decreasing_loss_gives_negative_gap() {
+        let mut t = LossTrend::new(2);
+        for l in [4.0, 3.0, 2.0, 1.0] {
+            t.observe(l);
+        }
+        // L̄ recent = 1.5, previous = 3.5.
+        assert!((t.gap().unwrap() + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn increasing_loss_gives_positive_gap() {
+        let mut t = LossTrend::new(2);
+        for l in [1.0, 1.0, 2.0, 2.0] {
+            t.observe(l);
+        }
+        assert!(t.gap().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_schedule_matches_algorithm1() {
+        let mut t = LossTrend::new(3);
+        let mut checkpoints = Vec::new();
+        for v in 0..12 {
+            t.observe(1.0);
+            if t.at_checkpoint(v) {
+                checkpoints.push(v + 1); // report 1-based
+            }
+        }
+        // 1-based v with v > τ ∧ v % τ == 0 and ≥ 2τ observations: 6, 9, 12.
+        assert_eq!(checkpoints, vec![6, 9, 12]);
+    }
+
+    #[test]
+    fn gap_uses_most_recent_windows_only() {
+        let mut t = LossTrend::new(1);
+        for l in [100.0, 1.0, 2.0] {
+            t.observe(l);
+        }
+        // Windows are [2.0] vs [1.0]: gap = +1 regardless of the old 100.
+        assert!((t.gap().unwrap() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,241 @@
+//! Neuron-level dropout structure for the baselines.
+//!
+//! FedDrop/AFD drop *neurons* (units), not weight rows: removing unit `u`
+//! removes its incoming row(s) **and** its outgoing column(s) in the
+//! downstream matrix. FjORD/HeteroFL shrink layer *widths*, which is the
+//! ordered variant of the same structure. A [`NeuronGroup`] captures where
+//! one logical unit lives inside the [`ParamSet`]:
+//!
+//! * MLP hidden unit `u` → row `u` of W1 (+bias) and column `u` of W2;
+//! * embedding dimension `u` → column `u` of the embedding table and
+//!   column `u` of the first LSTM layer's W_x;
+//! * LSTM hidden unit `u` of layer `l` → rows `u, H+u, 2H+u, 3H+u` of both
+//!   W_x^l and W_h^l, column `u` of W_h^l, and column `u` of the consumer
+//!   (next layer's W_x or the output head). These are **recurrent** groups
+//!   that FedDrop/AFD may not touch (paper §I) but FjORD/HeteroFL shrink.
+//!
+//! Groups are derived from the `ParamSet` metadata (layer kinds + shapes),
+//! so the baselines stay architecture-agnostic.
+
+use fedbiad_nn::mask::{BitVec, CoverageMask, ModelMask};
+use fedbiad_nn::params::LayerKind;
+use fedbiad_nn::ParamSet;
+
+/// One set of droppable units and the rows/columns each unit occupies.
+#[derive(Clone, Debug)]
+pub struct NeuronGroup {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of units.
+    pub count: usize,
+    /// Units live in recurrent connections (off-limits to FedDrop/AFD).
+    pub recurrent: bool,
+    /// Unit `u` occupies row `offset + u` of `entry`, per block.
+    pub row_blocks: Vec<(usize, usize)>,
+    /// Unit `u` occupies column `offset + u` of `entry`, per block.
+    pub col_blocks: Vec<(usize, usize)>,
+}
+
+/// Derive the neuron groups of a model from its parameter metadata.
+pub fn derive_groups(params: &ParamSet) -> Vec<NeuronGroup> {
+    let mut groups = Vec::new();
+    let n = params.num_entries();
+    for e in 0..n {
+        match params.meta(e).kind {
+            LayerKind::DenseHidden => {
+                let units = params.mat(e).rows();
+                let mut col_blocks = Vec::new();
+                // The first later entry consuming `units` inputs.
+                for e2 in e + 1..n {
+                    let k = params.meta(e2).kind;
+                    if params.mat(e2).cols() == units
+                        && matches!(k, LayerKind::DenseHidden | LayerKind::DenseOutput)
+                    {
+                        col_blocks.push((e2, 0));
+                        break;
+                    }
+                }
+                groups.push(NeuronGroup {
+                    name: format!("hidden/{}", params.meta(e).name),
+                    count: units,
+                    recurrent: false,
+                    row_blocks: vec![(e, 0)],
+                    col_blocks,
+                });
+            }
+            LayerKind::Embedding => {
+                let dims = params.mat(e).cols();
+                let mut col_blocks = vec![(e, 0)];
+                for e2 in e + 1..n {
+                    if params.meta(e2).kind == LayerKind::LstmInput
+                        && params.mat(e2).cols() == dims
+                    {
+                        col_blocks.push((e2, 0));
+                        break;
+                    }
+                }
+                groups.push(NeuronGroup {
+                    name: format!("embdim/{}", params.meta(e).name),
+                    count: dims,
+                    recurrent: false,
+                    row_blocks: Vec::new(),
+                    col_blocks,
+                });
+            }
+            LayerKind::LstmRecurrent => {
+                // Convention (LstmLmModel): W_x immediately precedes W_h.
+                let h = params.mat(e).cols();
+                let wx = e - 1;
+                debug_assert_eq!(params.meta(wx).kind, LayerKind::LstmInput);
+                let mut row_blocks = Vec::with_capacity(8);
+                for g in 0..4 {
+                    row_blocks.push((wx, g * h));
+                    row_blocks.push((e, g * h));
+                }
+                let mut col_blocks = vec![(e, 0)];
+                for e2 in e + 1..n {
+                    let k = params.meta(e2).kind;
+                    if params.mat(e2).cols() == h
+                        && matches!(k, LayerKind::LstmInput | LayerKind::DenseOutput)
+                    {
+                        col_blocks.push((e2, 0));
+                        break;
+                    }
+                }
+                groups.push(NeuronGroup {
+                    name: format!("lstm_hidden/{}", params.meta(e).name),
+                    count: h,
+                    recurrent: true,
+                    row_blocks,
+                    col_blocks,
+                });
+            }
+            LayerKind::DenseOutput | LayerKind::LstmInput => {}
+        }
+    }
+    groups
+}
+
+/// Build a coverage mask from per-group dropped-unit sets.
+/// `drops[i]` pairs a group with the unit ids it drops.
+pub fn mask_from_dropped_units(
+    params: &ParamSet,
+    drops: &[(&NeuronGroup, Vec<usize>)],
+) -> ModelMask {
+    let n = params.num_entries();
+    let mut row_bv: Vec<Option<BitVec>> = vec![None; n];
+    let mut col_bv: Vec<Option<BitVec>> = vec![None; n];
+    for (g, units) in drops {
+        for &(e, off) in &g.row_blocks {
+            let bv = row_bv[e].get_or_insert_with(|| BitVec::new(params.mat(e).rows(), true));
+            for &u in units {
+                bv.set(off + u, false);
+            }
+        }
+        for &(e, off) in &g.col_blocks {
+            let bv = col_bv[e].get_or_insert_with(|| BitVec::new(params.mat(e).cols(), true));
+            for &u in units {
+                bv.set(off + u, false);
+            }
+        }
+    }
+    let per_entry = (0..n)
+        .map(|e| match (row_bv[e].take(), col_bv[e].take()) {
+            (None, None) => CoverageMask::Full,
+            (Some(r), None) => CoverageMask::Rows(r),
+            (None, Some(c)) => {
+                CoverageMask::RowsCols { rows: BitVec::new(params.mat(e).rows(), true), cols: c }
+            }
+            (Some(r), Some(c)) => CoverageMask::RowsCols { rows: r, cols: c },
+        })
+        .collect();
+    ModelMask { per_entry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_nn::lstm_lm::LstmLmModel;
+    use fedbiad_nn::mlp::MlpModel;
+    use fedbiad_nn::Model;
+    use fedbiad_tensor::rng::{stream, StreamTag};
+
+    #[test]
+    fn mlp_has_one_hidden_group_with_downstream_cols() {
+        let model = MlpModel::new(10, 8, 3);
+        let p = model.init_params(&mut stream(1, StreamTag::Init, 0, 0));
+        let gs = derive_groups(&p);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].count, 8);
+        assert!(!gs[0].recurrent);
+        assert_eq!(gs[0].row_blocks, vec![(0, 0)]);
+        assert_eq!(gs[0].col_blocks, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn lstm_lm_groups_cover_embdim_and_hidden() {
+        let model = LstmLmModel::new(30, 12, 16, 2);
+        let p = model.init_params(&mut stream(2, StreamTag::Init, 0, 0));
+        let gs = derive_groups(&p);
+        // embdim + 2 lstm_hidden groups.
+        assert_eq!(gs.len(), 3);
+        let emb = &gs[0];
+        assert_eq!(emb.count, 12);
+        assert!(!emb.recurrent);
+        // Columns of emb (entry 0) and of lstm0.wx (entry 1).
+        assert_eq!(emb.col_blocks, vec![(0, 0), (1, 0)]);
+        let h0 = &gs[1];
+        assert!(h0.recurrent);
+        assert_eq!(h0.count, 16);
+        // 4 gate blocks in wx (entry 1) and wh (entry 2).
+        assert_eq!(h0.row_blocks.len(), 8);
+        // wh cols + next layer's wx cols.
+        assert_eq!(h0.col_blocks, vec![(2, 0), (3, 0)]);
+        let h1 = &gs[2];
+        // Top layer's consumer is the head (entry 5).
+        assert_eq!(h1.col_blocks, vec![(4, 0), (5, 0)]);
+    }
+
+    #[test]
+    fn mask_from_units_zeroes_rows_and_columns() {
+        let model = MlpModel::new(4, 3, 2);
+        let mut p = model.init_params(&mut stream(3, StreamTag::Init, 0, 0));
+        p.mat_mut(0).fill(1.0);
+        p.mat_mut(1).fill(1.0);
+        let gs = derive_groups(&p);
+        let mask = mask_from_dropped_units(&p, &[(&gs[0], vec![1])]);
+        let mut q = p.clone();
+        mask.apply(&mut q);
+        // Row 1 of W1 zeroed, column 1 of W2 zeroed.
+        assert_eq!(q.mat(0).row(1), &[0.0; 4]);
+        assert_eq!(q.mat(0).row(0), &[1.0; 4]);
+        assert_eq!(q.mat(1).get(0, 1), 0.0);
+        assert_eq!(q.mat(1).get(0, 0), 1.0);
+        // Wire bytes shrink accordingly: unit costs (4+1) + 2 weights.
+        assert!(mask.wire_bytes(&p) < p.total_bytes());
+    }
+
+    #[test]
+    fn lstm_hidden_drop_touches_all_four_gates() {
+        let model = LstmLmModel::new(10, 6, 4, 1);
+        let mut p = model.init_params(&mut stream(4, StreamTag::Init, 0, 0));
+        for e in 0..p.num_entries() {
+            p.mat_mut(e).fill(1.0);
+        }
+        let gs = derive_groups(&p);
+        let hidden = gs.iter().find(|g| g.recurrent).unwrap();
+        let mask = mask_from_dropped_units(&p, &[(hidden, vec![2])]);
+        let mut q = p.clone();
+        mask.apply(&mut q);
+        let h = 4;
+        for g in 0..4 {
+            assert_eq!(q.mat(1).row(g * h + 2), &[0.0; 6], "wx gate {g}");
+            assert_eq!(q.mat(2).row(g * h + 2)[0], 0.0, "wh gate {g}");
+        }
+        // Column 2 of wh and of head zeroed.
+        assert_eq!(q.mat(2).get(0, 2), 0.0);
+        assert_eq!(q.mat(3).get(0, 2), 0.0);
+        // Untouched entries stay full.
+        assert_eq!(q.mat(0).get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Spike-and-slab variational machinery (paper §III-B/C, eq. (3)(4)(13)).
+//!
+//! Each weight row follows π̃(w_j) = β_j·N(µ_j, s̃²I) + (1−β_j)·δ(0). The
+//! constant posterior variance s̃² is *not* a free hyper-parameter: the
+//! paper derives the optimal value (eq. (13)) from the architecture
+//! (S, L, D, d), the weight bound B and the amount of data m — and proves
+//! Theorem 1 under exactly that setting. By construction it is tiny for
+//! realistic models, so the reparameterised sample θ = β∘(U + s̃·ε) is a
+//! barely-perturbed masked copy of U; the Bayesian structure matters
+//! through the KL ≈ L2 term and the generalization analysis rather than
+//! through injected noise.
+
+use crate::pattern::DropPattern;
+use fedbiad_nn::{ArchInfo, ParamSet};
+use fedbiad_tensor::init::gaussian;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the posterior standard deviation s̃ is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NoiseLevel {
+    /// Optimal s̃² from eq. (13) given the architecture and current m
+    /// (the paper's setting).
+    Theory,
+    /// Fixed s̃ (ablation knob).
+    Fixed(f32),
+    /// No reparameterisation noise (θ = β∘U exactly).
+    Off,
+}
+
+/// Eq. (13): the optimal constant posterior variance
+/// s̃² = S / (16·m·d²·log(3D)) · (2BD)^(−2L) ·
+///        [ (d+1+1/(BD−1))² + 1/((BD)²−1) + 2/(BD−1)² ]^(−1).
+///
+/// * `s` — number of non-zero weights S;
+/// * `m` — client-side total input data m_r;
+/// * `arch` — supplies d (input dim), D (width), L (depth);
+/// * `b` — the Assumption-2 weight bound B ≥ 2.
+pub fn posterior_variance(s: f64, m: f64, arch: &ArchInfo, b: f64) -> f64 {
+    assert!(b >= 2.0, "Assumption 2 requires B ≥ 2");
+    assert!(m >= 1.0 && s >= 1.0);
+    let d = arch.input_dim as f64;
+    let big_d = arch.width as f64;
+    let l = arch.depth as f64;
+    let bd = b * big_d;
+
+    let lead = s / (16.0 * m * d * d * (3.0 * big_d).ln());
+    // (2BD)^(−2L) in log space to dodge underflow for deep/wide models.
+    let decay = (-2.0 * l * (2.0 * bd).ln()).exp();
+    let bracket = {
+        let t1 = d + 1.0 + 1.0 / (bd - 1.0);
+        let t2 = 1.0 / (bd * bd - 1.0);
+        let t3 = 2.0 / ((bd - 1.0) * (bd - 1.0));
+        t1 * t1 + t2 + t3
+    };
+    lead * decay / bracket
+}
+
+/// The paper's m_r = r · V · min{|D_1|, …, |D_K|} (client-side total input
+/// data after r rounds).
+pub fn client_total_data(round_one_based: usize, local_iters: usize, min_dk: usize) -> f64 {
+    (round_one_based.max(1) * local_iters.max(1) * min_dk.max(1)) as f64
+}
+
+/// Sample θ ~ β∘N(U, s̃²I): clone U, add s̃·ε element-wise, zero dropped
+/// rows. With `s_tilde == 0` this is just the masked copy.
+pub fn sample_theta(
+    u: &ParamSet,
+    pattern: &DropPattern,
+    s_tilde: f32,
+    rng: &mut impl Rng,
+) -> ParamSet {
+    let mut theta = u.clone();
+    if s_tilde > 0.0 {
+        for e in 0..theta.num_entries() {
+            let (m, b) = theta.mat_bias_mut(e);
+            for v in m.as_mut_slice() {
+                *v += s_tilde * gaussian(rng);
+            }
+            for v in b.iter_mut() {
+                *v += s_tilde * gaussian(rng);
+            }
+        }
+    }
+    for j in 0..pattern.len() {
+        if !pattern.is_kept(j) {
+            theta.zero_row_unit(j);
+        }
+    }
+    theta
+}
+
+/// Resolve a [`NoiseLevel`] to a concrete s̃ for the current round.
+pub fn resolve_noise(
+    level: NoiseLevel,
+    arch: &ArchInfo,
+    kept_weights: usize,
+    m: f64,
+    b: f64,
+) -> f32 {
+    match level {
+        NoiseLevel::Off => 0.0,
+        NoiseLevel::Fixed(s) => s,
+        NoiseLevel::Theory => {
+            posterior_variance(kept_weights.max(1) as f64, m, arch, b).sqrt() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_nn::mask::BitVec;
+    use fedbiad_nn::params::{EntryMeta, LayerKind};
+    use fedbiad_tensor::rng::{stream, StreamTag};
+    use fedbiad_tensor::Matrix;
+
+    fn arch() -> ArchInfo {
+        ArchInfo { total_weights: 101_770, depth: 2, width: 128, input_dim: 784 }
+    }
+
+    #[test]
+    fn posterior_variance_is_positive_and_tiny() {
+        let v = posterior_variance(80_000.0, 10_000.0, &arch(), 2.0);
+        assert!(v > 0.0);
+        assert!(v < 1e-6, "theory variance should be tiny, got {v}");
+    }
+
+    #[test]
+    fn posterior_variance_decreases_with_data() {
+        let a = posterior_variance(80_000.0, 1_000.0, &arch(), 2.0);
+        let b = posterior_variance(80_000.0, 100_000.0, &arch(), 2.0);
+        assert!(b < a);
+        // Exactly inversely proportional to m.
+        assert!((a / b - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn posterior_variance_survives_deep_wide_models() {
+        // LSTM-scale: D=300, L=4 — (2BD)^(−2L) ≈ 1e-25 must not underflow
+        // to zero.
+        let lstm = ArchInfo { total_weights: 7_800_000, depth: 4, width: 300, input_dim: 300 };
+        let v = posterior_variance(3_900_000.0, 50_000.0, &lstm, 2.0);
+        assert!(v > 0.0 && v.is_finite());
+    }
+
+    #[test]
+    fn m_r_formula() {
+        assert_eq!(client_total_data(3, 10, 120), 3600.0);
+        assert_eq!(client_total_data(0, 10, 120), 1200.0); // clamped to r=1
+    }
+
+    fn param_set() -> ParamSet {
+        let mut p = ParamSet::new();
+        p.push_entry(
+            Matrix::full(4, 3, 0.5),
+            Some(vec![0.5; 4]),
+            EntryMeta::new("w", LayerKind::DenseHidden, true, true),
+        );
+        p
+    }
+
+    #[test]
+    fn sample_theta_masks_and_perturbs() {
+        let u = param_set();
+        let mut beta = BitVec::new(4, true);
+        beta.set(1, false);
+        let pattern = DropPattern { beta };
+        let mut rng = stream(4, StreamTag::PosteriorNoise, 0, 0);
+        let theta = sample_theta(&u, &pattern, 0.1, &mut rng);
+        // Dropped row exactly zero (spike), kept rows perturbed around U.
+        assert_eq!(theta.mat(0).row(1), &[0.0, 0.0, 0.0]);
+        assert_eq!(theta.bias(0)[1], 0.0);
+        assert!(theta.mat(0).row(0).iter().all(|&v| (v - 0.5).abs() < 0.6));
+        assert!(theta.mat(0).row(0).iter().any(|&v| v != 0.5));
+    }
+
+    #[test]
+    fn sample_theta_zero_noise_is_masked_copy() {
+        let u = param_set();
+        let pattern = DropPattern::full(4);
+        let mut rng = stream(5, StreamTag::PosteriorNoise, 0, 0);
+        let theta = sample_theta(&u, &pattern, 0.0, &mut rng);
+        assert_eq!(theta.flatten(), u.flatten());
+    }
+
+    #[test]
+    fn resolve_noise_modes() {
+        let a = arch();
+        assert_eq!(resolve_noise(NoiseLevel::Off, &a, 100, 10.0, 2.0), 0.0);
+        assert_eq!(resolve_noise(NoiseLevel::Fixed(0.3), &a, 100, 10.0, 2.0), 0.3);
+        let t = resolve_noise(NoiseLevel::Theory, &a, 80_000, 10_000.0, 2.0);
+        assert!(t > 0.0 && t < 1e-3);
+    }
+}

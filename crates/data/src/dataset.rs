@@ -1,0 +1,197 @@
+//! Dataset containers: image sets, token streams, and the federated bundle.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled image dataset (features flattened row-major).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ImageSet {
+    /// Flat features, length `n * dim`, values in [0, 1].
+    pub x: Vec<f32>,
+    /// Labels, length `n`.
+    pub y: Vec<u32>,
+    /// Feature dimension (e.g. 784).
+    pub dim: usize,
+}
+
+impl ImageSet {
+    /// Empty set with the given feature dimension.
+    pub fn empty(dim: usize) -> Self {
+        Self { x: Vec::new(), y: Vec::new(), dim }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature slice of sample `i`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        &self.x[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, features: &[f32], label: u32) {
+        assert_eq!(features.len(), self.dim);
+        self.x.extend_from_slice(features);
+        self.y.push(label);
+    }
+
+    /// Copy the samples at `idx` into contiguous batch buffers (reused
+    /// across calls to avoid per-batch allocation).
+    pub fn gather(&self, idx: &[usize], bx: &mut Vec<f32>, by: &mut Vec<u32>) {
+        bx.clear();
+        by.clear();
+        bx.reserve(idx.len() * self.dim);
+        by.reserve(idx.len());
+        for &i in idx {
+            bx.extend_from_slice(self.sample(i));
+            by.push(self.y[i]);
+        }
+    }
+}
+
+/// A token stream for next-word prediction, consumed as non-overlapping
+/// windows of `seq_len + 1` tokens (inputs + shifted targets).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TextSet {
+    /// Token ids.
+    pub tokens: Vec<u32>,
+    /// BPTT window length (number of predictions per window).
+    pub seq_len: usize,
+}
+
+impl TextSet {
+    /// Number of complete windows.
+    pub fn num_windows(&self) -> usize {
+        if self.tokens.len() < self.seq_len + 1 {
+            0
+        } else {
+            // Windows advance by seq_len so that every target position is
+            // predicted exactly once (standard LM batching).
+            (self.tokens.len() - 1) / self.seq_len
+        }
+    }
+
+    /// Window `i` as a slice of `seq_len + 1` tokens.
+    pub fn window(&self, i: usize) -> &[u32] {
+        let start = i * self.seq_len;
+        &self.tokens[start..start + self.seq_len + 1]
+    }
+
+    /// Borrow the windows at `idx`.
+    pub fn gather<'a>(&'a self, idx: &[usize], out: &mut Vec<&'a [u32]>) {
+        out.clear();
+        out.reserve(idx.len());
+        for &i in idx {
+            out.push(self.window(i));
+        }
+    }
+}
+
+/// One client's local dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ClientData {
+    /// Image classification client.
+    Image(ImageSet),
+    /// Next-word-prediction client.
+    Text(TextSet),
+}
+
+impl ClientData {
+    /// |D_k| — the sample count used as the aggregation weight in eq. (10).
+    /// Images count samples; text counts prediction windows.
+    pub fn num_samples(&self) -> usize {
+        match self {
+            ClientData::Image(s) => s.len(),
+            ClientData::Text(t) => t.num_windows(),
+        }
+    }
+}
+
+/// A complete federated benchmark dataset: per-client shards + a held-out
+/// global test set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FedDataset {
+    /// Dataset name (for logs), e.g. `"mnist-like"`.
+    pub name: String,
+    /// One shard per client.
+    pub clients: Vec<ClientData>,
+    /// Global test set.
+    pub test: ClientData,
+}
+
+impl FedDataset {
+    /// Number of clients K.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// min_k |D_k| — the quantity entering m_r in Theorem 1.
+    pub fn min_client_samples(&self) -> usize {
+        self.clients.iter().map(ClientData::num_samples).min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_set_push_sample_gather() {
+        let mut s = ImageSet::empty(2);
+        s.push(&[0.1, 0.2], 1);
+        s.push(&[0.3, 0.4], 0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.sample(1), &[0.3, 0.4]);
+        let mut bx = Vec::new();
+        let mut by = Vec::new();
+        s.gather(&[1, 0, 1], &mut bx, &mut by);
+        assert_eq!(by, vec![0, 1, 0]);
+        assert_eq!(bx.len(), 6);
+        assert_eq!(&bx[0..2], &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn text_windows_tile_the_stream() {
+        let t = TextSet { tokens: (0..21).collect(), seq_len: 5 };
+        assert_eq!(t.num_windows(), 4);
+        assert_eq!(t.window(0), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.window(3), &[15, 16, 17, 18, 19, 20]);
+        // Consecutive windows share exactly the boundary token (the last
+        // target of window i is the first input of window i+1).
+        assert_eq!(t.window(0)[5], t.window(1)[0]);
+    }
+
+    #[test]
+    fn text_too_short_has_no_windows() {
+        let t = TextSet { tokens: vec![1, 2, 3], seq_len: 5 };
+        assert_eq!(t.num_windows(), 0);
+    }
+
+    #[test]
+    fn client_data_sample_counts() {
+        let img = ClientData::Image(ImageSet { x: vec![0.0; 8], y: vec![0; 4], dim: 2 });
+        assert_eq!(img.num_samples(), 4);
+        let txt = ClientData::Text(TextSet { tokens: (0..11).collect(), seq_len: 5 });
+        assert_eq!(txt.num_samples(), 2);
+    }
+
+    #[test]
+    fn fed_dataset_min_samples() {
+        let fd = FedDataset {
+            name: "t".into(),
+            clients: vec![
+                ClientData::Image(ImageSet { x: vec![0.0; 4], y: vec![0; 2], dim: 2 }),
+                ClientData::Image(ImageSet { x: vec![0.0; 10], y: vec![0; 5], dim: 2 }),
+            ],
+            test: ClientData::Image(ImageSet::empty(2)),
+        };
+        assert_eq!(fd.num_clients(), 2);
+        assert_eq!(fd.min_client_samples(), 2);
+    }
+}

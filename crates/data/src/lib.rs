@@ -1,0 +1,29 @@
+//! # fedbiad-data
+//!
+//! Synthetic dataset generators and federated partitioners for the FedBIAD
+//! reproduction.
+//!
+//! The paper evaluates on MNIST, FMNIST (images, 1000 non-IID clients) and
+//! PTB / WikiText-2 / Reddit (next-word prediction, 100 clients; Reddit is
+//! naturally non-IID). Those corpora are not available offline, so this
+//! crate builds *synthetic equivalents* that preserve the properties the
+//! experiments actually exercise (see DESIGN.md §3):
+//!
+//! * [`synth_image`]: class-conditional 28×28 image generator with a
+//!   controllable class-separability knob — "MNIST-like" is easier than
+//!   "FMNIST-like", matching the paper's hardness ordering;
+//! * [`synth_text`]: Zipf-vocabulary Markov language generator with a
+//!   latent topic state, so an LSTM genuinely benefits from its recurrent
+//!   weights (the structure FedBIAD can compress but FedDrop/AFD cannot);
+//! * [`partition`]: IID, label-shard and Dirichlet label-skew partitioners
+//!   plus contiguous text splitting; Reddit-like non-IID-ness comes from
+//!   per-user generator parameters.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod dataset;
+pub mod partition;
+pub mod synth_image;
+pub mod synth_text;
+
+pub use dataset::{ClientData, FedDataset, ImageSet, TextSet};

@@ -1,0 +1,326 @@
+//! Server-side aggregation.
+//!
+//! Two weight-aggregation semantics are provided (DESIGN.md §4.2):
+//!
+//! * [`ZeroMode::ZerosPull`] — the literal eq. (10): every selected client
+//!   contributes its *reconstructed* β∘U (dropped rows as zeros) and the
+//!   denominator is Σ|D_k| over all selected clients. A row dropped by
+//!   many clients is pulled toward zero — spike-and-slab shrinkage.
+//! * [`ZeroMode::HoldersOnly`] — each element is averaged only over the
+//!   clients that actually trained it; elements nobody held keep their
+//!   previous global value. This is the classic federated-dropout
+//!   aggregation (Caldas et al., FjORD, HeteroFL) and is used by the
+//!   baselines.
+//!
+//! Delta uploads (sketched compression) are applied as
+//! `global += Σ w_k Δ_k / Σ w_k`.
+
+use crate::upload::{Upload, UploadKind};
+use fedbiad_nn::{CoverageMask, ParamSet};
+use fedbiad_tensor::Matrix;
+
+/// How dropped (non-covered) parameters participate in weight averaging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZeroMode {
+    /// Literal eq. (10): dropped rows are averaged as zeros. Under partial
+    /// participation this shrinks every row by the expected drop fraction
+    /// each round and the model collapses — kept as an ablation
+    /// (DESIGN.md §4.2); the paper's own convergence curves (Fig. 6)
+    /// cannot arise under this reading.
+    ZerosPull,
+    /// Average over holders; keep the previous global value where no
+    /// client held the parameter (classic federated-dropout aggregation).
+    HoldersOnly,
+    /// The operational reading of step 4 / eq. (10): the server
+    /// "reconstructs complete variational parameters" by filling each
+    /// client's dropped rows from the global model it broadcast, then
+    /// averages. Dropped rows effectively vote "no change". FedBIAD's
+    /// default.
+    StaleFill,
+}
+
+/// Aggregate `Weights` uploads into `global`. `weights[k]` is |D_k|.
+/// Panics if any upload is not of `Weights` kind.
+pub fn aggregate_weights(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    mode: ZeroMode,
+) {
+    assert!(!uploads.is_empty(), "no uploads to aggregate");
+    for (_, u) in uploads {
+        assert_eq!(u.kind, UploadKind::Weights, "aggregate_weights needs Weights uploads");
+    }
+    let total_w: f32 = uploads.iter().map(|(w, _)| *w).sum();
+    assert!(total_w > 0.0, "total aggregation weight must be positive");
+
+    for e in 0..global.num_entries() {
+        let rows = global.mat(e).rows();
+        let cols = global.mat(e).cols();
+        let has_bias = global.meta(e).has_bias;
+
+        // Numerators.
+        let mut num = Matrix::zeros(rows, cols);
+        let mut num_b = vec![0.0f32; if has_bias { rows } else { 0 }];
+        // Per-element denominators (not needed for the plain zero-pull).
+        let mut den: Option<Matrix> = match mode {
+            ZeroMode::ZerosPull => None,
+            ZeroMode::HoldersOnly | ZeroMode::StaleFill => Some(Matrix::zeros(rows, cols)),
+        };
+        let mut den_b = vec![0.0f32; if has_bias { rows } else { 0 }];
+
+        for (w, u) in uploads {
+            num.axpy_assign(*w, u.params.mat(e));
+            if has_bias {
+                fedbiad_tensor::ops::axpy(*w, u.params.bias(e), &mut num_b);
+            }
+            if let Some(den) = den.as_mut() {
+                match &u.coverage.per_entry[e] {
+                    CoverageMask::Full => {
+                        for v in den.as_mut_slice() {
+                            *v += *w;
+                        }
+                        for v in den_b.iter_mut() {
+                            *v += *w;
+                        }
+                    }
+                    CoverageMask::Rows(rbits) => {
+                        for r in 0..rows {
+                            if rbits.get(r) {
+                                for v in den.row_mut(r) {
+                                    *v += *w;
+                                }
+                                if has_bias {
+                                    den_b[r] += *w;
+                                }
+                            }
+                        }
+                    }
+                    CoverageMask::RowsCols { rows: rbits, cols: cbits } => {
+                        for r in 0..rows {
+                            if rbits.get(r) {
+                                let drow = den.row_mut(r);
+                                for (c, v) in drow.iter_mut().enumerate() {
+                                    if cbits.get(c) {
+                                        *v += *w;
+                                    }
+                                }
+                                if has_bias {
+                                    den_b[r] += *w;
+                                }
+                            }
+                        }
+                    }
+                    CoverageMask::Elements(bits) => {
+                        let dslice = den.as_mut_slice();
+                        for (i, v) in dslice.iter_mut().enumerate() {
+                            if bits.get(i) {
+                                *v += *w;
+                            }
+                        }
+                        // Elements masks transmit biases in full.
+                        for v in den_b.iter_mut() {
+                            *v += *w;
+                        }
+                    }
+                }
+            }
+        }
+
+        match (&mut den, mode) {
+            (None, _) => {
+                // eq. (10): divide everything by Σ|D_k|.
+                num.scale(1.0 / total_w);
+                *global.mat_mut(e) = num;
+                if has_bias {
+                    for v in num_b.iter_mut() {
+                        *v /= total_w;
+                    }
+                    global.bias_mut(e).copy_from_slice(&num_b);
+                }
+            }
+            (Some(den), ZeroMode::HoldersOnly) => {
+                let g = global.mat_mut(e);
+                let gs = g.as_mut_slice();
+                let ns = num.as_slice();
+                let ds = den.as_slice();
+                for i in 0..gs.len() {
+                    if ds[i] > 0.0 {
+                        gs[i] = ns[i] / ds[i];
+                    } // else: keep previous global value
+                }
+                if has_bias {
+                    let gb = global.bias_mut(e);
+                    for r in 0..gb.len() {
+                        if den_b[r] > 0.0 {
+                            gb[r] = num_b[r] / den_b[r];
+                        }
+                    }
+                }
+            }
+            (Some(den), _) => {
+                // StaleFill: non-covering clients contribute the broadcast
+                // global value, so new = (num + (W − den)·g_prev) / W.
+                let g = global.mat_mut(e);
+                let gs = g.as_mut_slice();
+                let ns = num.as_slice();
+                let ds = den.as_slice();
+                for i in 0..gs.len() {
+                    gs[i] = (ns[i] + (total_w - ds[i]) * gs[i]) / total_w;
+                }
+                if has_bias {
+                    let gb = global.bias_mut(e);
+                    for r in 0..gb.len() {
+                        gb[r] = (num_b[r] + (total_w - den_b[r]) * gb[r]) / total_w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Apply `Delta` uploads: `global += Σ w_k Δ_k / Σ w_k`.
+pub fn aggregate_deltas(global: &mut ParamSet, uploads: &[(f32, &Upload)]) {
+    assert!(!uploads.is_empty(), "no uploads to aggregate");
+    for (_, u) in uploads {
+        assert_eq!(u.kind, UploadKind::Delta, "aggregate_deltas needs Delta uploads");
+    }
+    let total_w: f32 = uploads.iter().map(|(w, _)| *w).sum();
+    assert!(total_w > 0.0);
+    for (w, u) in uploads {
+        global.axpy(*w / total_w, &u.params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_nn::mask::{BitVec, ModelMask};
+    use fedbiad_nn::params::{EntryMeta, LayerKind};
+
+    fn param(v: f32) -> ParamSet {
+        let mut p = ParamSet::new();
+        p.push_entry(
+            Matrix::full(2, 2, v),
+            Some(vec![v; 2]),
+            EntryMeta::new("w", LayerKind::DenseHidden, true, true),
+        );
+        p
+    }
+
+    fn masked_upload(v: f32, kept: [bool; 2]) -> Upload {
+        let p = param(v);
+        let mut beta = BitVec::new(2, true);
+        for (r, &k) in kept.iter().enumerate() {
+            beta.set(r, k);
+        }
+        Upload::masked_weights(p.clone(), ModelMask::from_row_pattern(&p, &beta))
+    }
+
+    #[test]
+    fn zeros_pull_matches_eq10() {
+        // Client A (|D|=1) keeps both rows with value 4; client B (|D|=3)
+        // drops row 1 with value 8 on row 0.
+        let a = masked_upload(4.0, [true, true]);
+        let b = masked_upload(8.0, [true, false]);
+        let mut g = param(0.0);
+        aggregate_weights(&mut g, &[(1.0, &a), (3.0, &b)], ZeroMode::ZerosPull);
+        // Row 0: (1·4 + 3·8)/4 = 7; row 1: (1·4 + 3·0)/4 = 1.
+        assert_eq!(g.mat(0).row(0), &[7.0, 7.0]);
+        assert_eq!(g.mat(0).row(1), &[1.0, 1.0]);
+        assert_eq!(g.bias(0), &[7.0, 1.0]);
+    }
+
+    #[test]
+    fn holders_only_ignores_droppers_and_keeps_uncovered() {
+        let a = masked_upload(4.0, [false, true]);
+        let b = masked_upload(8.0, [false, true]);
+        let mut g = param(-1.0);
+        aggregate_weights(&mut g, &[(1.0, &a), (1.0, &b)], ZeroMode::HoldersOnly);
+        // Row 0: nobody held it ⇒ previous global value −1 preserved.
+        assert_eq!(g.mat(0).row(0), &[-1.0, -1.0]);
+        // Row 1: mean of holders = 6.
+        assert_eq!(g.mat(0).row(1), &[6.0, 6.0]);
+        assert_eq!(g.bias(0), &[-1.0, 6.0]);
+    }
+
+    #[test]
+    fn stale_fill_blends_holders_with_previous_global() {
+        // Client A (|D|=1) keeps both rows at 4; client B (|D|=3) keeps
+        // only row 0 at 8. Previous global is 2 everywhere.
+        let a = masked_upload(4.0, [true, true]);
+        let b = masked_upload(8.0, [true, false]);
+        let mut g = param(2.0);
+        aggregate_weights(&mut g, &[(1.0, &a), (3.0, &b)], ZeroMode::StaleFill);
+        // Row 0: all cover → (1·4 + 3·8)/4 = 7.
+        assert_eq!(g.mat(0).row(0), &[7.0, 7.0]);
+        // Row 1: B votes "no change" with the old value 2:
+        // (1·4 + 3·2)/4 = 2.5.
+        assert_eq!(g.mat(0).row(1), &[2.5, 2.5]);
+        assert_eq!(g.bias(0), &[7.0, 2.5]);
+    }
+
+    #[test]
+    fn stale_fill_never_shrinks_unheld_rows() {
+        // The failure mode of the literal eq. (10): a row dropped by every
+        // selected client must stay put under StaleFill.
+        let a = masked_upload(4.0, [false, true]);
+        let mut g = param(5.0);
+        aggregate_weights(&mut g, &[(2.0, &a)], ZeroMode::StaleFill);
+        assert_eq!(g.mat(0).row(0), &[5.0, 5.0]);
+        assert_eq!(g.mat(0).row(1), &[4.0, 4.0]);
+        // …whereas zeros-pull collapses it.
+        let mut g2 = param(5.0);
+        aggregate_weights(&mut g2, &[(2.0, &a)], ZeroMode::ZerosPull);
+        assert_eq!(g2.mat(0).row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn full_coverage_both_modes_agree_with_weighted_mean() {
+        let a = Upload::full_weights(param(2.0));
+        let b = Upload::full_weights(param(6.0));
+        for mode in [ZeroMode::ZerosPull, ZeroMode::HoldersOnly, ZeroMode::StaleFill] {
+            let mut g = param(0.0);
+            aggregate_weights(&mut g, &[(1.0, &a), (3.0, &b)], mode);
+            assert_eq!(g.mat(0).get(0, 0), 5.0, "{mode:?}");
+            assert_eq!(g.bias(0)[0], 5.0);
+        }
+    }
+
+    #[test]
+    fn delta_aggregation_moves_global() {
+        let mut g = param(1.0);
+        let mut d1 = param(0.0);
+        d1.mat_mut(0).set(0, 0, 2.0);
+        let mut d2 = param(0.0);
+        d2.mat_mut(0).set(0, 0, 4.0);
+        let u1 = Upload {
+            kind: UploadKind::Delta,
+            coverage: ModelMask::full(&d1),
+            wire_bytes: 0,
+            params: d1,
+        };
+        let u2 = Upload {
+            kind: UploadKind::Delta,
+            coverage: ModelMask::full(&d2),
+            wire_bytes: 0,
+            params: d2,
+        };
+        aggregate_deltas(&mut g, &[(1.0, &u1), (1.0, &u2)]);
+        assert_eq!(g.mat(0).get(0, 0), 1.0 + 3.0);
+        assert_eq!(g.mat(0).get(1, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Weights uploads")]
+    fn kind_mismatch_is_rejected() {
+        let d = param(0.0);
+        let u = Upload {
+            kind: UploadKind::Delta,
+            coverage: ModelMask::full(&d),
+            wire_bytes: 0,
+            params: d,
+        };
+        let mut g = param(0.0);
+        aggregate_weights(&mut g, &[(1.0, &u)], ZeroMode::ZerosPull);
+    }
+}

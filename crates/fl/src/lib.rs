@@ -1,0 +1,36 @@
+//! # fedbiad-fl
+//!
+//! Federated-learning simulation framework: the substrate on which FedBIAD
+//! and its baselines (implemented in `fedbiad-core`) run.
+//!
+//! * [`algorithm::FlAlgorithm`] — the contract an FL method implements:
+//!   per-client local update producing an [`upload::Upload`], plus
+//!   server-side aggregation;
+//! * [`client`] — the shared local-SGD loop (mini-batch sampling, weight
+//!   decay for the KL ≈ L2 term of loss (2), gradient masking hooks per
+//!   eq. (7));
+//! * [`aggregate`] — weighted aggregation with the two zero-handling
+//!   semantics discussed in DESIGN.md: literal eq. (10) (dropped rows pull
+//!   the average toward zero) and holders-only averaging;
+//! * [`network`] / [`timing`] — the paper's T-Mobile 5G link model
+//!   (14.0 Mbps up / 110.6 Mbps down, §V-C) and LTTR/TTA accounting;
+//! * [`runner`] — the round loop: sample ⌈κK⌉ clients, run local updates in
+//!   parallel (rayon), aggregate, evaluate, record;
+//! * [`workload`] — assembles the five benchmark workloads (dataset +
+//!   model + per-dataset hyper-parameters) at smoke/lab/paper scales.
+
+pub mod aggregate;
+pub mod algorithm;
+pub mod client;
+pub mod metrics;
+pub mod network;
+pub mod runner;
+pub mod timing;
+pub mod upload;
+pub mod workload;
+
+pub use algorithm::{FlAlgorithm, LocalResult, RoundInfo};
+pub use metrics::{ExperimentLog, RoundRecord};
+pub use network::NetworkModel;
+pub use runner::{Experiment, ExperimentConfig};
+pub use upload::{Upload, UploadKind};

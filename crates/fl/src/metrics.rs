@@ -1,0 +1,149 @@
+//! Per-round experiment records and serialisable logs.
+
+use serde::{Deserialize, Serialize};
+
+/// What the runner records after each round — everything needed to rebuild
+/// the paper's tables and figures (accuracy/loss curves, upload sizes,
+/// LTTR, TTA).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// |D_k|-weighted mean of client training losses.
+    pub train_loss: f32,
+    /// Global-model test loss.
+    pub test_loss: f64,
+    /// Global-model test accuracy (top-1 images / top-3 next-word).
+    pub test_acc: f64,
+    /// Mean uplink bytes over selected clients.
+    pub upload_bytes_mean: u64,
+    /// Max uplink bytes over selected clients (round critical path).
+    pub upload_bytes_max: u64,
+    /// Downlink bytes per client (full global model).
+    pub download_bytes: u64,
+    /// Mean local-training seconds over selected clients (LTTR).
+    pub local_seconds_mean: f64,
+    /// Max local-training seconds (round critical path).
+    pub local_seconds_max: f64,
+    /// Server aggregation seconds.
+    pub agg_seconds: f64,
+}
+
+/// A complete experiment log.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentLog {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Per-round records.
+    pub records: Vec<RoundRecord>,
+}
+
+impl ExperimentLog {
+    /// Final test accuracy (last round), in percent.
+    pub fn final_accuracy_pct(&self) -> f64 {
+        self.records.last().map(|r| r.test_acc * 100.0).unwrap_or(0.0)
+    }
+
+    /// Best test accuracy over rounds, in percent.
+    pub fn best_accuracy_pct(&self) -> f64 {
+        self.records.iter().map(|r| r.test_acc * 100.0).fold(0.0, f64::max)
+    }
+
+    /// Mean per-round upload bytes over all rounds (the Table I
+    /// 'Upload Size' column).
+    pub fn mean_upload_bytes(&self) -> u64 {
+        if self.records.is_empty() {
+            return 0;
+        }
+        let s: u128 = self.records.iter().map(|r| r.upload_bytes_mean as u128).sum();
+        (s / self.records.len() as u128) as u64
+    }
+
+    /// Mean LTTR in seconds (Fig. 7a/b).
+    pub fn mean_lttr_seconds(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.local_seconds_mean).sum::<f64>()
+            / self.records.len() as f64
+    }
+}
+
+/// Human-readable byte size (KB/MB with the paper's 1024 convention).
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.1}MB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.0}KB", b / 1024.0)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: usize, acc: f64, up: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            train_loss: 1.0,
+            test_loss: 1.0,
+            test_acc: acc,
+            upload_bytes_mean: up,
+            upload_bytes_max: up,
+            download_bytes: 100,
+            local_seconds_mean: 0.5,
+            local_seconds_max: 0.6,
+            agg_seconds: 0.01,
+        }
+    }
+
+    #[test]
+    fn log_summaries() {
+        let log = ExperimentLog {
+            dataset: "d".into(),
+            method: "m".into(),
+            seed: 1,
+            records: vec![rec(0, 0.5, 100), rec(1, 0.8, 200), rec(2, 0.7, 300)],
+        };
+        assert!((log.final_accuracy_pct() - 70.0).abs() < 1e-9);
+        assert!((log.best_accuracy_pct() - 80.0).abs() < 1e-9);
+        assert_eq!(log.mean_upload_bytes(), 200);
+        assert!((log.mean_lttr_seconds() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_is_zeroes() {
+        let log =
+            ExperimentLog { dataset: "d".into(), method: "m".into(), seed: 1, records: vec![] };
+        assert_eq!(log.final_accuracy_pct(), 0.0);
+        assert_eq!(log.mean_upload_bytes(), 0);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(530 * 1024 + 500), "530KB");
+        assert_eq!(fmt_bytes(31_250_000), "29.8MB");
+    }
+
+    #[test]
+    fn log_round_trips_through_json() {
+        let log = ExperimentLog {
+            dataset: "d".into(),
+            method: "m".into(),
+            seed: 7,
+            records: vec![rec(0, 0.1, 10)],
+        };
+        let s = serde_json::to_string(&log).unwrap();
+        let back: ExperimentLog = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.seed, 7);
+    }
+}

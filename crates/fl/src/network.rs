@@ -1,0 +1,71 @@
+//! Wireless link model.
+//!
+//! The paper simulates transmission over the T-Mobile 5G profile measured
+//! by OpenSignal (§I / §V-C): **110.6 Mbps downlink, 14.0 Mbps uplink** —
+//! the ~8× asymmetry that makes *uplink* compression the valuable
+//! direction.
+
+use serde::{Deserialize, Serialize};
+
+/// Megabit per second → bytes per second.
+const MBPS_TO_BYTES: f64 = 1_000_000.0 / 8.0;
+
+/// Link-speed model for transmission-time accounting.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Uplink speed in Mbps.
+    pub uplink_mbps: f64,
+    /// Downlink speed in Mbps.
+    pub downlink_mbps: f64,
+}
+
+impl NetworkModel {
+    /// The paper's T-Mobile 5G profile.
+    pub fn t_mobile_5g() -> Self {
+        Self { uplink_mbps: 14.0, downlink_mbps: 110.6 }
+    }
+
+    /// Seconds to upload `bytes`.
+    pub fn upload_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.uplink_mbps * MBPS_TO_BYTES)
+    }
+
+    /// Seconds to download `bytes`.
+    pub fn download_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.downlink_mbps * MBPS_TO_BYTES)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::t_mobile_5g()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uplink_is_the_bottleneck() {
+        let n = NetworkModel::t_mobile_5g();
+        let bytes = 29_800_000; // the paper's PTB model
+        assert!(n.upload_seconds(bytes) > 7.0 * n.download_seconds(bytes));
+    }
+
+    #[test]
+    fn upload_time_matches_hand_calc() {
+        let n = NetworkModel::t_mobile_5g();
+        // 14 Mbps = 1.75 MB/s ⇒ 1.75 MB uploads in 1 s.
+        let s = n.upload_seconds(1_750_000);
+        assert!((s - 1.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn halving_bytes_halves_time() {
+        let n = NetworkModel::t_mobile_5g();
+        let t1 = n.upload_seconds(1000);
+        let t2 = n.upload_seconds(500);
+        assert!((t1 - 2.0 * t2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,417 @@
+//! The experiment runner: the server's round loop.
+//!
+//! Per round (Algorithm 1, server side): sample `max(⌊κK⌋, 1)` clients,
+//! broadcast the global variational parameters, run the selected clients'
+//! local updates in parallel (rayon), aggregate the uploads, evaluate the
+//! new global model on the held-out test set, and record everything the
+//! tables/figures need.
+
+use crate::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
+use crate::metrics::{ExperimentLog, RoundRecord};
+use fedbiad_data::{ClientData, FedDataset};
+use fedbiad_nn::{Batch, EvalAccum, Model, ParamSet};
+use fedbiad_tensor::rng::{stream, StreamTag};
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Experiment-level configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Global rounds R (paper: 60).
+    pub rounds: usize,
+    /// Client selection fraction κ (paper: 0.1).
+    pub client_fraction: f32,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Local-training hyper-parameters.
+    pub train: TrainConfig,
+    /// Top-k for evaluation accuracy (1 images / 3 next-word, §V-B).
+    pub eval_topk: usize,
+    /// Evaluate every this many rounds (the final round is always
+    /// evaluated). 1 = every round.
+    pub eval_every: usize,
+    /// Cap on evaluated test samples per round (0 = whole test set).
+    pub eval_max_samples: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 30,
+            client_fraction: 0.1,
+            seed: 42,
+            train: TrainConfig::default(),
+            eval_topk: 1,
+            eval_every: 1,
+            eval_max_samples: 0,
+        }
+    }
+}
+
+/// An experiment: one (model, dataset, algorithm) triple.
+pub struct Experiment<'a, A: FlAlgorithm> {
+    /// The model architecture.
+    pub model: &'a dyn Model,
+    /// Federated data.
+    pub data: &'a FedDataset,
+    /// The FL method under test.
+    pub algo: A,
+    /// Configuration.
+    pub cfg: ExperimentConfig,
+}
+
+impl<'a, A: FlAlgorithm> Experiment<'a, A> {
+    /// Construct with defaults.
+    pub fn new(model: &'a dyn Model, data: &'a FedDataset, algo: A, cfg: ExperimentConfig) -> Self {
+        Self { model, data, algo, cfg }
+    }
+
+    /// Run all rounds and return the log.
+    pub fn run(mut self) -> ExperimentLog {
+        let k = self.data.num_clients();
+        assert!(k > 0, "no clients");
+        let c = ((self.cfg.client_fraction * k as f32).floor() as usize).max(1);
+
+        let mut init_rng = stream(self.cfg.seed, StreamTag::Init, 0, 0);
+        let mut global = self.model.init_params(&mut init_rng);
+        let mut states: Vec<Option<A::ClientState>> = (0..k).map(|_| None).collect();
+
+        let mut records = Vec::with_capacity(self.cfg.rounds);
+        for round in 0..self.cfg.rounds {
+            let info = RoundInfo { round, total_rounds: self.cfg.rounds, seed: self.cfg.seed };
+
+            // --- client sampling (uniform without replacement) ---
+            let mut ids: Vec<usize> = (0..k).collect();
+            let mut srng = stream(self.cfg.seed, StreamTag::ClientSampling, round as u64, 0);
+            ids.shuffle(&mut srng);
+            ids.truncate(c);
+            ids.sort_unstable(); // deterministic processing order
+
+            let rctx = self.algo.begin_round(info, &global);
+
+            // --- parallel local updates ---
+            // Move each selected client's state out of the table so rayon
+            // workers get disjoint &mut access.
+            let mut work: Vec<(usize, A::ClientState)> = ids
+                .iter()
+                .map(|&id| {
+                    let st = states[id]
+                        .take()
+                        .unwrap_or_else(|| self.algo.init_client_state(id, self.model, &global));
+                    (id, st)
+                })
+                .collect();
+
+            let algo = &self.algo;
+            let model = self.model;
+            let cfg_train = self.cfg.train;
+            let global_ref = &global;
+            let data = self.data;
+            let results: Vec<(usize, LocalResult)> = work
+                .par_iter_mut()
+                .map(|(id, st)| {
+                    let t0 = Instant::now();
+                    let mut res = algo.local_update(
+                        info,
+                        &rctx,
+                        *id,
+                        st,
+                        global_ref,
+                        &data.clients[*id],
+                        model,
+                        &cfg_train,
+                    );
+                    // LTTR includes everything the client computed this
+                    // round (pattern search, score updates, compression).
+                    res.local_seconds = t0.elapsed().as_secs_f64();
+                    (*id, res)
+                })
+                .collect();
+
+            for (id, st) in work {
+                states[id] = Some(st);
+            }
+
+            // --- aggregation ---
+            let t_agg = Instant::now();
+            self.algo.aggregate(info, &rctx, &mut global, &results);
+            let agg_seconds = t_agg.elapsed().as_secs_f64();
+
+            // --- bookkeeping ---
+            let total_w: f64 = results.iter().map(|(_, r)| r.num_samples as f64).sum();
+            let train_loss = if total_w > 0.0 {
+                (results
+                    .iter()
+                    .map(|(_, r)| r.train_loss as f64 * r.num_samples as f64)
+                    .sum::<f64>()
+                    / total_w) as f32
+            } else {
+                f32::NAN
+            };
+            let upload_bytes: Vec<u64> =
+                results.iter().map(|(_, r)| r.upload.wire_bytes).collect();
+            let upload_bytes_mean =
+                (upload_bytes.iter().sum::<u64>() / upload_bytes.len().max(1) as u64).max(1);
+            let upload_bytes_max = upload_bytes.iter().copied().max().unwrap_or(0);
+            let local_secs: Vec<f64> = results.iter().map(|(_, r)| r.local_seconds).collect();
+            let local_seconds_mean =
+                local_secs.iter().sum::<f64>() / local_secs.len().max(1) as f64;
+            let local_seconds_max = local_secs.iter().copied().fold(0.0, f64::max);
+
+            let eval_now = round % self.cfg.eval_every.max(1) == 0 || round + 1 == self.cfg.rounds;
+            let (test_loss, test_acc) = if eval_now {
+                let deploy = self.algo.eval_params(&global);
+                let acc = evaluate_model(
+                    self.model,
+                    &deploy,
+                    &self.data.test,
+                    self.cfg.eval_topk,
+                    self.cfg.eval_max_samples,
+                );
+                (acc.mean_loss(), acc.accuracy())
+            } else {
+                // Carry forward the last evaluation for continuity.
+                records
+                    .last()
+                    .map(|r: &RoundRecord| (r.test_loss, r.test_acc))
+                    .unwrap_or((f64::NAN, 0.0))
+            };
+
+            records.push(RoundRecord {
+                round,
+                train_loss,
+                test_loss,
+                test_acc,
+                upload_bytes_mean,
+                upload_bytes_max,
+                // Downlink: the server broadcasts the full global model
+                // (the uplink is the paper's bottleneck; downlink
+                // sub-model optimisations are out of scope, DESIGN.md §3).
+                download_bytes: global.total_bytes(),
+                local_seconds_mean,
+                local_seconds_max,
+                agg_seconds,
+            });
+        }
+
+        ExperimentLog {
+            dataset: self.data.name.clone(),
+            method: self.algo.name(),
+            seed: self.cfg.seed,
+            records,
+        }
+    }
+}
+
+/// Evaluate `params` on a dataset, rayon-parallel over chunks.
+/// `max_samples = 0` means the whole set.
+pub fn evaluate_model(
+    model: &dyn Model,
+    params: &ParamSet,
+    data: &ClientData,
+    topk: usize,
+    max_samples: usize,
+) -> EvalAccum {
+    const CHUNK: usize = 64;
+    match data {
+        ClientData::Image(set) => {
+            let n = if max_samples == 0 { set.len() } else { set.len().min(max_samples) };
+            let chunks: Vec<(usize, usize)> =
+                (0..n).step_by(CHUNK).map(|s| (s, (s + CHUNK).min(n))).collect();
+            chunks
+                .par_iter()
+                .map(|&(s, e)| {
+                    let batch = Batch::Dense {
+                        x: &set.x[s * set.dim..e * set.dim],
+                        y: &set.y[s..e],
+                        dim: set.dim,
+                    };
+                    model.evaluate(params, &batch, topk)
+                })
+                .reduce(EvalAccum::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        }
+        ClientData::Text(set) => {
+            let n_windows = set.num_windows();
+            let budget = if max_samples == 0 {
+                n_windows
+            } else {
+                (max_samples / set.seq_len.max(1)).clamp(1, n_windows)
+            };
+            let chunks: Vec<(usize, usize)> = (0..budget)
+                .step_by(CHUNK / 8 + 1)
+                .map(|s| (s, (s + CHUNK / 8 + 1).min(budget)))
+                .collect();
+            chunks
+                .par_iter()
+                .map(|&(s, e)| {
+                    let windows: Vec<&[u32]> = (s..e).map(|i| set.window(i)).collect();
+                    let batch = Batch::Seq { windows: &windows };
+                    model.evaluate(params, &batch, topk)
+                })
+                .reduce(EvalAccum::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{aggregate_weights, ZeroMode};
+    use crate::upload::Upload;
+    use fedbiad_data::dataset::ImageSet;
+    use fedbiad_data::synth_image::SyntheticImageSpec;
+    use fedbiad_data::partition::{partition_images, ImagePartition};
+    use fedbiad_nn::mlp::MlpModel;
+
+    /// Minimal FedAvg used to exercise the runner before fedbiad-core
+    /// exists (the real baselines live there).
+    struct MiniFedAvg;
+
+    impl FlAlgorithm for MiniFedAvg {
+        type ClientState = ();
+        type RoundCtx = ();
+
+        fn name(&self) -> String {
+            "mini-fedavg".into()
+        }
+
+        fn init_client_state(&self, _: usize, _: &dyn Model, _: &ParamSet) {}
+
+        fn begin_round(&mut self, _: RoundInfo, _: &ParamSet) {}
+
+        fn local_update(
+            &self,
+            info: RoundInfo,
+            _rctx: &(),
+            client_id: usize,
+            _state: &mut (),
+            global: &ParamSet,
+            data: &ClientData,
+            model: &dyn Model,
+            cfg: &TrainConfig,
+        ) -> LocalResult {
+            let mut u = global.clone();
+            let id = crate::client::LocalRunId {
+                seed: info.seed,
+                round: info.round,
+                client: client_id,
+            };
+            let stats = crate::client::run_local_training(
+                id,
+                model,
+                data,
+                cfg,
+                &mut u,
+                &mut crate::client::NoHooks,
+            );
+            LocalResult {
+                upload: Upload::full_weights(u),
+                train_loss: stats.mean_loss,
+                loss_improvement: stats.improvement(),
+                local_seconds: stats.seconds,
+                num_samples: data.num_samples(),
+            }
+        }
+
+        fn aggregate(
+            &mut self,
+            _info: RoundInfo,
+            _rctx: &(),
+            global: &mut ParamSet,
+            results: &[(usize, LocalResult)],
+        ) {
+            let ups: Vec<(f32, &Upload)> =
+                results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+            aggregate_weights(global, &ups, ZeroMode::ZerosPull);
+        }
+    }
+
+    fn tiny_fed_dataset(seed: u64) -> (FedDataset, MlpModel) {
+        let spec = SyntheticImageSpec {
+            classes: 4,
+            side: 6,
+            train_n: 240,
+            test_n: 80,
+            prototypes_per_class: 2,
+            bumps: 3,
+            distinctiveness: 0.9,
+            noise: 0.08,
+            shift_max: 1,
+        };
+        let (train, test) = spec.generate(seed);
+        let shards = partition_images(&train, 6, &ImagePartition::Iid, seed);
+        let fd = FedDataset {
+            name: "tiny".into(),
+            clients: shards.into_iter().map(ClientData::Image).collect(),
+            test: ClientData::Image(test),
+        };
+        (fd, MlpModel::new(36, 12, 4))
+    }
+
+    #[test]
+    fn fedavg_learns_on_tiny_dataset() {
+        let (fd, model) = tiny_fed_dataset(17);
+        let cfg = ExperimentConfig {
+            rounds: 12,
+            client_fraction: 0.5,
+            seed: 17,
+            train: TrainConfig { local_iters: 8, batch_size: 16, lr: 0.4, ..Default::default() },
+            eval_topk: 1,
+            eval_every: 1,
+            eval_max_samples: 0,
+        };
+        let log = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
+        assert_eq!(log.records.len(), 12);
+        let first = log.records[0].test_acc;
+        let last = log.records[11].test_acc;
+        assert!(last > first, "no learning: {first} -> {last}");
+        assert!(last > 0.5, "final acc too low: {last}");
+        // Upload bytes are the full model every round.
+        let model_bytes = model.init_params(
+            &mut stream(1, StreamTag::Init, 0, 0),
+        ).total_bytes();
+        assert!(log.records.iter().all(|r| r.upload_bytes_mean == model_bytes));
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let (fd, model) = tiny_fed_dataset(23);
+        let cfg = ExperimentConfig {
+            rounds: 4,
+            client_fraction: 0.5,
+            seed: 5,
+            train: TrainConfig { local_iters: 3, batch_size: 8, lr: 0.2, ..Default::default() },
+            eval_topk: 1,
+            eval_every: 1,
+            eval_max_samples: 0,
+        };
+        let a = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
+        let b = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.test_acc, rb.test_acc);
+            assert_eq!(ra.train_loss, rb.train_loss);
+        }
+    }
+
+    #[test]
+    fn eval_subsampling_caps_work() {
+        let mut set = ImageSet::empty(4);
+        for i in 0..100 {
+            set.push(&[0.0, 1.0, 0.0, 1.0], (i % 2) as u32);
+        }
+        let model = MlpModel::new(4, 4, 2);
+        let params = model.init_params(&mut stream(1, StreamTag::Init, 0, 0));
+        let all = evaluate_model(&model, &params, &ClientData::Image(set.clone()), 1, 0);
+        let capped = evaluate_model(&model, &params, &ClientData::Image(set), 1, 10);
+        assert_eq!(all.count, 100);
+        assert_eq!(capped.count, 10);
+    }
+}

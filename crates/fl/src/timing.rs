@@ -1,0 +1,85 @@
+//! LTTR and Time-To-Accuracy (TTA) accounting (§V-C).
+//!
+//! TTA "comprises local running time, parameter transmission time, and
+//! parameter aggregation time": per round the critical path is
+//! `max_k(LTTR_k) + upload_max/uplink + download/downlink + aggregation`,
+//! accumulated until the global model first reaches the target accuracy.
+
+use crate::metrics::RoundRecord;
+use crate::network::NetworkModel;
+
+/// Wall-clock duration of one round's critical path.
+pub fn round_seconds(rec: &RoundRecord, net: &NetworkModel) -> f64 {
+    rec.local_seconds_max
+        + net.upload_seconds(rec.upload_bytes_max)
+        + net.download_seconds(rec.download_bytes)
+        + rec.agg_seconds
+}
+
+/// Cumulative time until `target_acc` is first reached; `None` if never.
+pub fn time_to_accuracy(
+    records: &[RoundRecord],
+    target_acc: f64,
+    net: &NetworkModel,
+) -> Option<f64> {
+    let mut t = 0.0;
+    for rec in records {
+        t += round_seconds(rec, net);
+        if rec.test_acc >= target_acc {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Total simulated wall-clock of the whole run.
+pub fn total_seconds(records: &[RoundRecord], net: &NetworkModel) -> f64 {
+    records.iter().map(|r| round_seconds(r, net)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(acc: f64, up: u64, local: f64) -> RoundRecord {
+        RoundRecord {
+            round: 0,
+            train_loss: 0.0,
+            test_loss: 0.0,
+            test_acc: acc,
+            upload_bytes_mean: up,
+            upload_bytes_max: up,
+            download_bytes: 0,
+            local_seconds_mean: local,
+            local_seconds_max: local,
+            agg_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn tta_stops_at_first_crossing() {
+        let net = NetworkModel { uplink_mbps: 8.0, downlink_mbps: 8.0 }; // 1 MB/s
+        let records = vec![rec(0.1, 1_000_000, 1.0), rec(0.6, 1_000_000, 1.0), rec(0.9, 1_000_000, 1.0)];
+        // Each round costs 1 s local + 1 s upload = 2 s.
+        let tta = time_to_accuracy(&records, 0.5, &net).unwrap();
+        assert!((tta - 4.0).abs() < 1e-9, "{tta}");
+        assert!(time_to_accuracy(&records, 0.95, &net).is_none());
+    }
+
+    #[test]
+    fn smaller_uploads_give_smaller_tta() {
+        let net = NetworkModel::t_mobile_5g();
+        let fat = vec![rec(0.9, 10_000_000, 1.0)];
+        let slim = vec![rec(0.9, 5_000_000, 1.0)];
+        let t_fat = time_to_accuracy(&fat, 0.5, &net).unwrap();
+        let t_slim = time_to_accuracy(&slim, 0.5, &net).unwrap();
+        assert!(t_slim < t_fat);
+    }
+
+    #[test]
+    fn total_time_sums_rounds() {
+        let net = NetworkModel { uplink_mbps: 8.0, downlink_mbps: 8.0 };
+        let records = vec![rec(0.0, 0, 1.5), rec(0.0, 0, 0.5)];
+        assert!((total_seconds(&records, &net) - 2.0).abs() < 1e-9);
+    }
+}

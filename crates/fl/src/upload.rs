@@ -1,0 +1,87 @@
+//! What a client sends to the server each round.
+
+use fedbiad_nn::{ModelMask, ParamSet};
+
+/// Payload semantics of an upload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UploadKind {
+    /// Masked *weights* β∘U (federated-dropout methods; aggregated by
+    /// weighted averaging per eq. (10) or holders-only).
+    Weights,
+    /// A model *delta* U_local − U_global (sketched-compression methods;
+    /// the server adds the weighted mean of deltas to the global model).
+    Delta,
+}
+
+/// A client's per-round upload: dense-representation payload + coverage +
+/// the exact bytes it would occupy on the wire.
+#[derive(Clone, Debug)]
+pub struct Upload {
+    /// Payload semantics.
+    pub kind: UploadKind,
+    /// Dense payload. For `Weights` this is β∘U (non-covered entries are
+    /// zero); for `Delta` it is the (decoded) delta.
+    pub params: ParamSet,
+    /// Which parameters the client actually trained/transmitted.
+    pub coverage: ModelMask,
+    /// Exact uplink bytes, including pattern/position overhead.
+    pub wire_bytes: u64,
+}
+
+impl Upload {
+    /// Full-model weights upload (FedAvg).
+    pub fn full_weights(params: ParamSet) -> Self {
+        let coverage = ModelMask::full(&params);
+        let wire_bytes = coverage.wire_bytes(&params);
+        Self { kind: UploadKind::Weights, params, coverage, wire_bytes }
+    }
+
+    /// Masked weights upload: applies `coverage` to `params` (zeroing
+    /// non-covered rows) and computes wire bytes from the mask.
+    pub fn masked_weights(mut params: ParamSet, coverage: ModelMask) -> Self {
+        coverage.apply(&mut params);
+        let wire_bytes = coverage.wire_bytes(&params);
+        Self { kind: UploadKind::Weights, params, coverage, wire_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_nn::mask::BitVec;
+    use fedbiad_nn::params::{EntryMeta, LayerKind};
+    use fedbiad_tensor::Matrix;
+
+    fn params() -> ParamSet {
+        let mut p = ParamSet::new();
+        p.push_entry(
+            Matrix::full(4, 2, 1.0),
+            None,
+            EntryMeta::new("w", LayerKind::DenseHidden, false, true),
+        );
+        p
+    }
+
+    #[test]
+    fn full_upload_bytes_match_paramset() {
+        let p = params();
+        let u = Upload::full_weights(p.clone());
+        assert_eq!(u.wire_bytes, p.total_bytes());
+        assert_eq!(u.kind, UploadKind::Weights);
+    }
+
+    #[test]
+    fn masked_upload_zeroes_and_discounts() {
+        let p = params();
+        let mut beta = BitVec::new(4, true);
+        beta.set(1, false);
+        beta.set(3, false);
+        let mask = fedbiad_nn::ModelMask::from_row_pattern(&p, &beta);
+        let u = Upload::masked_weights(p.clone(), mask);
+        assert_eq!(u.params.mat(0).row(1), &[0.0, 0.0]);
+        assert_eq!(u.params.mat(0).row(0), &[1.0, 1.0]);
+        // 4 kept weights × 4 B + 1 pattern byte.
+        assert_eq!(u.wire_bytes, 16 + 1);
+        assert!(u.wire_bytes < p.total_bytes());
+    }
+}

@@ -1,0 +1,322 @@
+//! A small CNN classifier with **filter-wise droppable units** — the
+//! paper's §IV-C CNN extension of FedBIAD ("for each convolutional layer
+//! in CNN, if the j-th filter has the dropping label β = 0, all weights in
+//! this filter are zeroed out").
+//!
+//! Architecture: `conv(k×k, F filters) → ReLU → maxpool2 → FC hidden →
+//! ReLU → FC classes`. Conv filters are rows of the first entry, so the
+//! ParamSet row-unit registry gives filter-wise dropout for free.
+
+use crate::activation::Activation;
+use crate::conv::{
+    conv2d_backward, conv2d_forward, maxpool2_backward, maxpool2_forward, ConvShape,
+};
+use crate::dense;
+use crate::model::{Batch, EvalAccum, Model};
+use crate::params::{ArchInfo, EntryMeta, LayerKind, ParamSet};
+use crate::softmax;
+use fedbiad_tensor::{init, ops, stats, Matrix};
+use rand::rngs::StdRng;
+
+/// Conv + pool + 2-layer MLP head.
+#[derive(Clone, Debug)]
+pub struct CnnModel {
+    /// Input side length (images are side×side, single channel).
+    pub side: usize,
+    /// Conv filters F.
+    pub filters: usize,
+    /// Kernel size k.
+    pub kernel: usize,
+    /// FC hidden width.
+    pub hidden: usize,
+    /// Classes.
+    pub classes: usize,
+}
+
+impl CnnModel {
+    /// Convenience constructor.
+    pub fn new(side: usize, filters: usize, kernel: usize, hidden: usize, classes: usize) -> Self {
+        assert!(side > kernel, "kernel must fit");
+        Self { side, filters, kernel, hidden, classes }
+    }
+
+    fn in_shape(&self) -> ConvShape {
+        ConvShape { in_ch: 1, h: self.side, w: self.side }
+    }
+
+    fn conv_shape(&self) -> ConvShape {
+        self.in_shape().conv_out(self.filters, self.kernel)
+    }
+
+    fn pool_shape(&self) -> ConvShape {
+        self.conv_shape().pool2_out()
+    }
+
+    /// Flattened feature length entering the FC head.
+    pub fn flat_len(&self) -> usize {
+        self.pool_shape().len()
+    }
+}
+
+struct FwdBuffers {
+    conv: Vec<f32>,
+    pooled: Vec<f32>,
+    argmax: Vec<usize>,
+    hidden: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+impl CnnModel {
+    fn buffers(&self) -> FwdBuffers {
+        FwdBuffers {
+            conv: vec![0.0; self.conv_shape().len()],
+            pooled: vec![0.0; self.flat_len()],
+            argmax: vec![0; self.flat_len()],
+            hidden: vec![0.0; self.hidden],
+            logits: vec![0.0; self.classes],
+        }
+    }
+
+    fn forward(&self, params: &ParamSet, x: &[f32], b: &mut FwdBuffers) {
+        conv2d_forward(
+            params.mat(0),
+            params.bias(0),
+            x,
+            self.in_shape(),
+            self.kernel,
+            &mut b.conv,
+        );
+        Activation::Relu.forward(&mut b.conv);
+        maxpool2_forward(&b.conv, self.conv_shape(), &mut b.pooled, &mut b.argmax);
+        dense::forward(params.mat(1), params.bias(1), &b.pooled, Activation::Relu, &mut b.hidden);
+        dense::forward(params.mat(2), params.bias(2), &b.hidden, Activation::Linear, &mut b.logits);
+    }
+}
+
+impl Model for CnnModel {
+    fn name(&self) -> &str {
+        "cnn"
+    }
+
+    fn arch(&self) -> ArchInfo {
+        let conv_w = self.filters * self.kernel * self.kernel + self.filters;
+        let fc1 = self.hidden * self.flat_len() + self.hidden;
+        let fc2 = self.classes * self.hidden + self.classes;
+        ArchInfo {
+            total_weights: conv_w + fc1 + fc2,
+            depth: 3,
+            width: self.hidden.max(self.filters),
+            input_dim: self.side * self.side,
+        }
+    }
+
+    fn init_params(&self, rng: &mut StdRng) -> ParamSet {
+        let mut p = ParamSet::new();
+        let kk = self.kernel * self.kernel;
+        let mut conv = Matrix::zeros(self.filters, kk);
+        init::xavier(&mut conv, kk, self.filters, rng);
+        p.push_entry(
+            conv,
+            Some(vec![0.0; self.filters]),
+            // Filter-wise droppable: one row unit per filter (§IV-C).
+            EntryMeta::new("conv1", LayerKind::DenseHidden, true, true),
+        );
+        let mut fc1 = Matrix::zeros(self.hidden, self.flat_len());
+        init::xavier(&mut fc1, self.flat_len(), self.hidden, rng);
+        p.push_entry(
+            fc1,
+            Some(vec![0.0; self.hidden]),
+            EntryMeta::new("fc1", LayerKind::DenseHidden, true, true),
+        );
+        let mut fc2 = Matrix::zeros(self.classes, self.hidden);
+        init::xavier(&mut fc2, self.hidden, self.classes, rng);
+        p.push_entry(
+            fc2,
+            Some(vec![0.0; self.classes]),
+            EntryMeta::new("fc2", LayerKind::DenseOutput, true, true),
+        );
+        p
+    }
+
+    fn loss_grad(&self, params: &ParamSet, batch: &Batch<'_>, grads: &mut ParamSet) -> f32 {
+        let (x, y, dim) = match batch {
+            Batch::Dense { x, y, dim } => (*x, *y, *dim),
+            Batch::Seq { .. } => panic!("CnnModel expects Batch::Dense"),
+        };
+        assert_eq!(dim, self.side * self.side, "input must be side²");
+        let n = y.len();
+        assert!(n > 0);
+        let inv_n = 1.0 / n as f32;
+        let mut b = self.buffers();
+        let mut dh = vec![0.0f32; self.hidden];
+        let mut dpool = vec![0.0f32; self.flat_len()];
+        let mut dconv = vec![0.0f32; self.conv_shape().len()];
+        let mut loss_sum = 0.0f32;
+
+        for (s, &label) in y.iter().enumerate() {
+            let xs = &x[s * dim..(s + 1) * dim];
+            self.forward(params, xs, &mut b);
+            loss_sum += softmax::softmax_xent_grad(&mut b.logits, label as usize);
+            for g in b.logits.iter_mut() {
+                *g *= inv_n;
+            }
+            {
+                let (w2g, b2g) = grads.mat_bias_mut(2);
+                ops::ger(w2g, 1.0, &b.logits, &b.hidden);
+                ops::axpy(1.0, &b.logits, b2g);
+            }
+            ops::gemv_t(params.mat(2), &b.logits, &mut dh);
+            {
+                let (w1g, b1g) = grads.mat_bias_mut(1);
+                dense::backward(
+                    params.mat(1),
+                    &b.pooled,
+                    &b.hidden,
+                    Activation::Relu,
+                    &mut dh,
+                    w1g,
+                    b1g,
+                    Some(&mut dpool),
+                );
+            }
+            maxpool2_backward(&dpool, &b.argmax, &mut dconv);
+            // ReLU derivative from conv outputs.
+            Activation::Relu.backward_from_output(&b.conv, &mut dconv);
+            let (cg, cbg) = grads.mat_bias_mut(0);
+            conv2d_backward(
+                params.mat(0),
+                xs,
+                self.in_shape(),
+                self.kernel,
+                &dconv,
+                cg,
+                cbg,
+                None,
+            );
+        }
+        loss_sum * inv_n
+    }
+
+    fn evaluate(&self, params: &ParamSet, batch: &Batch<'_>, k: usize) -> EvalAccum {
+        let (x, y, dim) = match batch {
+            Batch::Dense { x, y, dim } => (*x, *y, *dim),
+            Batch::Seq { .. } => panic!("CnnModel expects Batch::Dense"),
+        };
+        let mut b = self.buffers();
+        let mut acc = EvalAccum::default();
+        for (s, &label) in y.iter().enumerate() {
+            let xs = &x[s * dim..(s + 1) * dim];
+            self.forward(params, xs, &mut b);
+            if stats::in_top_k(&b.logits, label as usize, k) {
+                acc.correct += 1;
+            }
+            acc.loss_sum += softmax::softmax_xent_loss(&mut b.logits, label as usize) as f64;
+            acc.count += 1;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_tensor::rng::{stream, StreamTag};
+
+    fn toy() -> (CnnModel, ParamSet) {
+        let m = CnnModel::new(8, 4, 3, 10, 3);
+        let p = m.init_params(&mut stream(33, StreamTag::Init, 0, 0));
+        (m, p)
+    }
+
+    #[test]
+    fn shapes_and_row_units() {
+        let (m, p) = toy();
+        // conv out: 6×6×4 → pool 3×3×4 = 36 features.
+        assert_eq!(m.flat_len(), 36);
+        assert_eq!(p.total_params(), m.arch().total_weights);
+        // Row units: 4 filters + 10 hidden + 3 classes.
+        assert_eq!(p.num_row_units(), 4 + 10 + 3);
+    }
+
+    #[test]
+    fn loss_grad_matches_finite_difference() {
+        let (m, p) = toy();
+        let dim = 64;
+        let x: Vec<f32> = (0..2 * dim).map(|i| ((i * 13) % 7) as f32 * 0.1).collect();
+        let y = vec![1u32, 2u32];
+        let batch = Batch::Dense { x: &x, y: &y, dim };
+        let mut grads = p.zeros_like();
+        let _ = m.loss_grad(&p, &batch, &mut grads);
+
+        let eps = 1e-2;
+        for (e, r, c) in [(0usize, 0usize, 0usize), (0, 3, 8), (1, 5, 20), (2, 1, 4)] {
+            let mut pp = p.clone();
+            let v = pp.mat(e).get(r, c);
+            pp.mat_mut(e).set(r, c, v + eps);
+            let mut pm = p.clone();
+            pm.mat_mut(e).set(r, c, v - eps);
+            let mut g = p.zeros_like();
+            let fp = m.loss_grad(&pp, &batch, &mut g);
+            g.zero();
+            let fm = m.loss_grad(&pm, &batch, &mut g);
+            let fd = (fp - fm) / (2.0 * eps);
+            let got = grads.mat(e).get(r, c);
+            assert!((got - fd).abs() < 3e-2, "entry {e} [{r},{c}]: {got} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn cnn_learns_oriented_patterns() {
+        // Two classes: vertical vs horizontal bars — convolution filters
+        // should separate these quickly.
+        let (m, mut p) = toy();
+        let m = CnnModel { classes: 2, ..m };
+        let mut p2 = m.init_params(&mut stream(34, StreamTag::Init, 0, 0));
+        std::mem::swap(&mut p, &mut p2);
+        let dim = 64;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..24 {
+            let mut img = vec![0.0f32; dim];
+            if i % 2 == 0 {
+                let col = 1 + (i / 2) % 6;
+                for r in 0..8 {
+                    img[r * 8 + col] = 1.0;
+                }
+                y.push(0u32);
+            } else {
+                let row = 1 + (i / 2) % 6;
+                for c in 0..8 {
+                    img[row * 8 + c] = 1.0;
+                }
+                y.push(1u32);
+            }
+            x.extend(img);
+        }
+        let batch = Batch::Dense { x: &x, y: &y, dim };
+        let mut grads = p.zeros_like();
+        for _ in 0..150 {
+            grads.zero();
+            let _ = m.loss_grad(&p, &batch, &mut grads);
+            p.axpy(-0.3, &grads);
+        }
+        let acc = m.evaluate(&p, &batch, 1);
+        assert!(acc.accuracy() > 0.9, "CNN should separate bars, acc {}", acc.accuracy());
+    }
+
+    #[test]
+    fn filter_dropout_works_through_row_units() {
+        let (m, mut p) = toy();
+        // Drop filter 2 via the row-unit registry.
+        p.zero_row_unit(2);
+        assert!(p.mat(0).row(2).iter().all(|&v| v == 0.0));
+        assert_eq!(p.bias(0)[2], 0.0);
+        // Forward still works; the dropped filter's plane is zero after
+        // ReLU so downstream features see nothing from it.
+        let x = vec![0.5f32; 64];
+        let yv = vec![0u32];
+        let batch = Batch::Dense { x: &x, y: &yv, dim: 64 };
+        let acc = m.evaluate(&p, &batch, 1);
+        assert!(acc.loss_sum.is_finite());
+    }
+}

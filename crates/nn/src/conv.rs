@@ -1,0 +1,280 @@
+//! 2-D convolution + max-pool kernels for the CNN model.
+//!
+//! The paper extends FedBIAD to CNNs with *filter-wise* dropout (§IV-C):
+//! "we view weights by filters and dropout is filter-wise... if the j-th
+//! filter has the dropping label β = 0, all weights in this filter are
+//! zeroed out". A conv layer's weights are stored as a matrix with one
+//! **row per output filter** (row-major `in_ch · kh · kw` columns), so the
+//! existing row-unit registry expresses filter dropout with no special
+//! cases.
+
+use fedbiad_tensor::Matrix;
+
+/// Shape of a conv layer's input feature map.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvShape {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+}
+
+impl ConvShape {
+    /// Flattened length.
+    pub fn len(&self) -> usize {
+        self.in_ch * self.h * self.w
+    }
+
+    /// `true` when any dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Output shape after a valid (no-padding) `k×k` convolution with
+    /// `out_ch` filters.
+    pub fn conv_out(&self, out_ch: usize, k: usize) -> ConvShape {
+        assert!(self.h >= k && self.w >= k, "kernel larger than input");
+        ConvShape { in_ch: out_ch, h: self.h - k + 1, w: self.w - k + 1 }
+    }
+
+    /// Output shape after non-overlapping 2×2 max pooling (floor).
+    pub fn pool2_out(&self) -> ConvShape {
+        ConvShape { in_ch: self.in_ch, h: self.h / 2, w: self.w / 2 }
+    }
+}
+
+/// Valid convolution forward: `y[f, oy, ox] = b[f] + Σ_c,ky,kx
+/// w[f, c, ky, kx] · x[c, oy+ky, ox+kx]`. `w` has one row per filter.
+pub fn conv2d_forward(
+    w: &Matrix,
+    bias: &[f32],
+    x: &[f32],
+    shape: ConvShape,
+    k: usize,
+    y: &mut [f32],
+) {
+    let out = shape.conv_out(w.rows(), k);
+    debug_assert_eq!(w.cols(), shape.in_ch * k * k, "filter width");
+    debug_assert_eq!(x.len(), shape.len());
+    debug_assert_eq!(y.len(), out.len());
+    let (oh, ow) = (out.h, out.w);
+    for f in 0..w.rows() {
+        let filt = w.row(f);
+        let b = if bias.is_empty() { 0.0 } else { bias[f] };
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b;
+                let mut wi = 0;
+                for c in 0..shape.in_ch {
+                    let plane = &x[c * shape.h * shape.w..(c + 1) * shape.h * shape.w];
+                    for ky in 0..k {
+                        let row = &plane[(oy + ky) * shape.w + ox..][..k];
+                        for &xv in row {
+                            acc += filt[wi] * xv;
+                            wi += 1;
+                        }
+                    }
+                }
+                y[(f * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+}
+
+/// Backward through [`conv2d_forward`]: accumulates `dw`, `db`, and
+/// (optionally) writes `dx`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward(
+    w: &Matrix,
+    x: &[f32],
+    shape: ConvShape,
+    k: usize,
+    dy: &[f32],
+    dw: &mut Matrix,
+    db: &mut [f32],
+    dx: Option<&mut [f32]>,
+) {
+    let out = shape.conv_out(w.rows(), k);
+    let (oh, ow) = (out.h, out.w);
+    if let Some(dx) = &dx {
+        debug_assert_eq!(dx.len(), shape.len());
+    }
+    let mut dx = dx;
+    if let Some(dx) = dx.as_deref_mut() {
+        dx.fill(0.0);
+    }
+    for f in 0..w.rows() {
+        let filt = w.row(f);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = dy[(f * oh + oy) * ow + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                if !db.is_empty() {
+                    db[f] += g;
+                }
+                let drow = dw.row_mut(f);
+                let mut wi = 0;
+                for c in 0..shape.in_ch {
+                    let base = c * shape.h * shape.w;
+                    for ky in 0..k {
+                        let xoff = base + (oy + ky) * shape.w + ox;
+                        for kx in 0..k {
+                            drow[wi] += g * x[xoff + kx];
+                            if let Some(dx) = dx.as_deref_mut() {
+                                dx[xoff + kx] += g * filt[wi];
+                            }
+                            wi += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Non-overlapping 2×2 max pool; records argmax indices for the backward.
+pub fn maxpool2_forward(x: &[f32], shape: ConvShape, y: &mut [f32], argmax: &mut [usize]) {
+    let out = shape.pool2_out();
+    debug_assert_eq!(y.len(), out.len());
+    debug_assert_eq!(argmax.len(), out.len());
+    for c in 0..shape.in_ch {
+        let plane = &x[c * shape.h * shape.w..];
+        for oy in 0..out.h {
+            for ox in 0..out.w {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_i = 0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let i = (oy * 2 + dy) * shape.w + ox * 2 + dx;
+                        if plane[i] > best {
+                            best = plane[i];
+                            best_i = c * shape.h * shape.w + i;
+                        }
+                    }
+                }
+                let o = (c * out.h + oy) * out.w + ox;
+                y[o] = best;
+                argmax[o] = best_i;
+            }
+        }
+    }
+}
+
+/// Max-pool backward: routes each output gradient to its argmax input.
+pub fn maxpool2_backward(dy: &[f32], argmax: &[usize], dx: &mut [f32]) {
+    dx.fill(0.0);
+    for (g, &i) in dy.iter().zip(argmax) {
+        dx[i] += g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_forward_matches_hand_example() {
+        // 1×3×3 input, one 2×2 filter of ones, bias 0.5.
+        let w = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let shape = ConvShape { in_ch: 1, h: 3, w: 3 };
+        let mut y = [0.0; 4];
+        conv2d_forward(&w, &[0.5], &x, shape, 2, &mut y);
+        assert_eq!(y, [12.5, 16.5, 24.5, 28.5]);
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        use fedbiad_tensor::init;
+        use fedbiad_tensor::rng::{stream, StreamTag};
+        let shape = ConvShape { in_ch: 2, h: 4, w: 4 };
+        let (f, k) = (3usize, 3usize);
+        let mut rng = stream(9, StreamTag::Init, 0, 0);
+        let mut w = Matrix::zeros(f, shape.in_ch * k * k);
+        init::uniform(&mut w, 0.5, &mut rng);
+        let bias: Vec<f32> = (0..f).map(|i| 0.1 * i as f32).collect();
+        let x: Vec<f32> = (0..shape.len()).map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4).collect();
+        let out = shape.conv_out(f, k);
+
+        let loss_of = |w: &Matrix, b: &[f32], x: &[f32]| -> f32 {
+            let mut y = vec![0.0; out.len()];
+            conv2d_forward(w, b, x, shape, k, &mut y);
+            0.5 * y.iter().map(|v| v * v).sum::<f32>()
+        };
+
+        let mut y = vec![0.0; out.len()];
+        conv2d_forward(&w, &bias, &x, shape, k, &mut y);
+        let dy = y.clone();
+        let mut dw = Matrix::zeros(f, shape.in_ch * k * k);
+        let mut db = vec![0.0; f];
+        let mut dx = vec![0.0; shape.len()];
+        conv2d_backward(&w, &x, shape, k, &dy, &mut dw, &mut db, Some(&mut dx));
+
+        let eps = 1e-2;
+        for (r, c) in [(0usize, 0usize), (1, 7), (2, 17)] {
+            let mut p = w.clone();
+            p.set(r, c, p.get(r, c) + eps);
+            let mut m = w.clone();
+            m.set(r, c, m.get(r, c) - eps);
+            let fd = (loss_of(&p, &bias, &x) - loss_of(&m, &bias, &x)) / (2.0 * eps);
+            assert!((dw.get(r, c) - fd).abs() < 2e-2, "dw[{r},{c}]: {} vs {fd}", dw.get(r, c));
+        }
+        for i in [0usize, 9, 31] {
+            let mut p = x.clone();
+            p[i] += eps;
+            let mut m = x.clone();
+            m[i] -= eps;
+            let fd = (loss_of(&w, &bias, &p) - loss_of(&w, &bias, &m)) / (2.0 * eps);
+            assert!((dx[i] - fd).abs() < 2e-2, "dx[{i}]");
+        }
+        for r in 0..f {
+            let mut p = bias.clone();
+            p[r] += eps;
+            let mut m = bias.clone();
+            m[r] -= eps;
+            let fd = (loss_of(&w, &p, &x) - loss_of(&w, &m, &x)) / (2.0 * eps);
+            assert!((db[r] - fd).abs() < 2e-2, "db[{r}]");
+        }
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let shape = ConvShape { in_ch: 1, h: 4, w: 4 };
+        let x = [
+            1.0, 2.0, 0.0, 0.0, //
+            3.0, 4.0, 0.0, 5.0, //
+            0.0, 0.0, 9.0, 0.0, //
+            0.0, 7.0, 0.0, 8.0,
+        ];
+        let out = shape.pool2_out();
+        let mut y = vec![0.0; out.len()];
+        let mut arg = vec![0usize; out.len()];
+        maxpool2_forward(&x, shape, &mut y, &mut arg);
+        assert_eq!(y, vec![4.0, 5.0, 7.0, 9.0]);
+        let mut dx = vec![0.0; 16];
+        maxpool2_backward(&[1.0, 2.0, 3.0, 4.0], &arg, &mut dx);
+        assert_eq!(dx[5], 1.0); // 4.0's position
+        assert_eq!(dx[7], 2.0); // 5.0's position
+        assert_eq!(dx[13], 3.0); // 7.0's position
+        assert_eq!(dx[10], 4.0); // 9.0's position
+    }
+
+    #[test]
+    fn zeroed_filter_row_produces_constant_plane() {
+        // Filter-wise dropout semantics: zeroing filter row j (incl. bias)
+        // makes its whole output plane zero.
+        let mut w = Matrix::from_rows(&[&[0.3, -0.2, 0.5, 0.1], &[1.0, 1.0, 1.0, 1.0]]);
+        let mut b = vec![0.2, 0.4];
+        w.zero_row(0);
+        b[0] = 0.0;
+        let shape = ConvShape { in_ch: 1, h: 3, w: 3 };
+        let mut y = vec![0.0; 8];
+        conv2d_forward(&w, &b, &[1.0; 9], shape, 2, &mut y);
+        assert!(y[..4].iter().all(|&v| v == 0.0));
+        assert!(y[4..].iter().all(|&v| v == 4.4));
+    }
+}

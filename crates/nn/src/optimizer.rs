@@ -1,0 +1,84 @@
+//! SGD optimiser.
+//!
+//! The paper trains image models with plain SGD and language models with
+//! "SGD with the clipped gradient norm" (§V-A). The KL(π̃‖π) ≈ L2 term of
+//! loss (2) is *not* folded in here: the FedBIAD client applies weight decay
+//! to the gradient **before** masking it with β (eq. (7)), so decay is a
+//! training-loop concern — see `fedbiad-fl::client`.
+
+use crate::params::ParamSet;
+use serde::{Deserialize, Serialize};
+
+/// Plain SGD with optional global gradient-norm clipping.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate η (eq. (7)).
+    pub lr: f32,
+    /// Clip the global gradient norm to this value when set.
+    pub clip_norm: Option<f32>,
+}
+
+impl Sgd {
+    /// Constructor without clipping.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, clip_norm: None }
+    }
+
+    /// Constructor with clipping (LSTM language models).
+    pub fn with_clip(lr: f32, clip: f32) -> Self {
+        Self { lr, clip_norm: Some(clip) }
+    }
+
+    /// One update: optionally clip `grads`, then `params -= lr * grads`.
+    /// `grads` is taken mutably because clipping scales it in place.
+    pub fn step(&self, params: &mut ParamSet, grads: &mut ParamSet) {
+        if let Some(c) = self.clip_norm {
+            grads.clip_global_norm(c);
+        }
+        params.axpy(-self.lr, grads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{EntryMeta, LayerKind};
+    use fedbiad_tensor::Matrix;
+
+    fn one_entry(v: f32) -> ParamSet {
+        let mut p = ParamSet::new();
+        p.push_entry(
+            Matrix::full(2, 2, v),
+            None,
+            EntryMeta::new("w", LayerKind::DenseHidden, false, true),
+        );
+        p
+    }
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let mut p = one_entry(1.0);
+        let mut g = one_entry(2.0);
+        Sgd::new(0.5).step(&mut p, &mut g);
+        assert_eq!(p.mat(0).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn clip_limits_step_size() {
+        let mut p = one_entry(0.0);
+        let mut g = one_entry(100.0);
+        Sgd::with_clip(1.0, 1.0).step(&mut p, &mut g);
+        // ‖g‖ clipped to 1 ⇒ each of the 4 equal entries is 0.5.
+        assert!((p.mat(0).get(0, 0) + 0.5).abs() < 1e-6);
+        assert!((p.l2_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_lr_is_identity() {
+        let mut p = one_entry(3.0);
+        let q = p.clone();
+        let mut g = one_entry(5.0);
+        Sgd::new(0.0).step(&mut p, &mut g);
+        assert_eq!(p.flatten(), q.flatten());
+    }
+}

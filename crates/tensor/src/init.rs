@@ -1,0 +1,77 @@
+//! Deterministic weight initialisers.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Uniform(-limit, limit) fill.
+pub fn uniform(m: &mut Matrix, limit: f32, rng: &mut impl Rng) {
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-limit..limit);
+    }
+}
+
+/// Xavier/Glorot-uniform: limit = sqrt(6 / (fan_in + fan_out)).
+///
+/// `fan_in`/`fan_out` are passed explicitly because for bundled-bias rows
+/// (see `fedbiad-nn::params`) the matrix shape is not the layer fan.
+pub fn xavier(m: &mut Matrix, fan_in: usize, fan_out: usize, rng: &mut impl Rng) {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(m, limit, rng);
+}
+
+/// Standard normal fill scaled by `std`.
+pub fn normal(m: &mut Matrix, std: f32, rng: &mut impl Rng) {
+    for v in m.as_mut_slice() {
+        *v = std * gaussian(rng);
+    }
+}
+
+/// One standard-normal sample via Box–Muller (avoids a rand_distr
+/// dependency; two uniforms per sample, second discarded for simplicity).
+#[inline]
+pub fn gaussian(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 > f32::MIN_POSITIVE {
+            let u2: f32 = rng.gen::<f32>();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{stream, StreamTag};
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut m = Matrix::zeros(64, 32);
+        let mut rng = stream(1, StreamTag::Init, 0, 0);
+        xavier(&mut m, 32, 64, &mut rng);
+        let limit = (6.0f32 / 96.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
+        // Not all zero.
+        assert!(m.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = stream(7, StreamTag::Init, 0, 0);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let m = crate::stats::mean(&xs);
+        let v = crate::stats::variance(&xs);
+        assert!(m.abs() < 0.05, "mean {m}");
+        assert!((v - 1.0).abs() < 0.1, "var {v}");
+    }
+
+    #[test]
+    fn init_is_deterministic_per_stream() {
+        let mut a = Matrix::zeros(4, 4);
+        let mut b = Matrix::zeros(4, 4);
+        normal(&mut a, 0.1, &mut stream(9, StreamTag::Init, 0, 3));
+        normal(&mut b, 0.1, &mut stream(9, StreamTag::Init, 0, 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! # fedbiad-tensor
+//!
+//! Dense `f32` linear-algebra substrate for the FedBIAD reproduction.
+//!
+//! This crate deliberately implements only what the federated-learning stack
+//! above it needs — row-major matrices, matrix–vector and matrix–matrix
+//! products, element-wise kernels, reductions, quantiles and deterministic
+//! random initialisation — but implements those pieces carefully:
+//!
+//! * hot loops are written over slices so the compiler can elide bounds
+//!   checks (see the Rust Performance Book guidance on bounds checks),
+//! * [`ops::gemm`] is blocked and parallelised with rayon,
+//! * all randomness flows through [`rng::stream`] so every experiment is
+//!   bit-reproducible regardless of thread scheduling.
+//!
+//! The crate has no opinion about neural networks; that lives in
+//! `fedbiad-nn`.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;

@@ -1,0 +1,253 @@
+//! BLAS-like kernels: GEMV, GEMM, AXPY, dot products and outer-product
+//! accumulation.
+//!
+//! These are the hot loops of local training — a client's forward/backward
+//! pass is a chain of `gemv`/`ger` calls — so they are written over plain
+//! slices (bounds checks elided by iterator shape) and `gemm` is blocked and
+//! parallelised with rayon over row panels.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// `y += alpha * x` over equal-length slices.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product of equal-length slices.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    // 4-way unrolled accumulation: keeps several FMA chains in flight and is
+    // deterministic (fixed association order), unlike a parallel reduction.
+    let mut acc = [0.0f32; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Squared L2 norm of a slice.
+#[inline]
+pub fn norm_sq(x: &[f32]) -> f32 {
+    dot(x, x)
+}
+
+/// `y = W x + b` (GEMV). `b` may be empty to skip the bias.
+///
+/// Shapes: `W: m×n`, `x: n`, `b: m` (or empty), `y: m`.
+pub fn gemv(w: &Matrix, x: &[f32], b: &[f32], y: &mut [f32]) {
+    assert_eq!(w.cols(), x.len(), "gemv: W.cols != x.len");
+    assert_eq!(w.rows(), y.len(), "gemv: W.rows != y.len");
+    assert!(b.is_empty() || b.len() == y.len(), "gemv: bad bias length");
+    for (r, yr) in y.iter_mut().enumerate() {
+        let base = if b.is_empty() { 0.0 } else { b[r] };
+        *yr = base + dot(w.row(r), x);
+    }
+}
+
+/// `y = Wᵀ x` (transposed GEMV). Shapes: `W: m×n`, `x: m`, `y: n`.
+///
+/// Used by backprop to push deltas through a layer without materialising
+/// the transpose.
+pub fn gemv_t(w: &Matrix, x: &[f32], y: &mut [f32]) {
+    assert_eq!(w.rows(), x.len(), "gemv_t: W.rows != x.len");
+    assert_eq!(w.cols(), y.len(), "gemv_t: W.cols != y.len");
+    y.fill(0.0);
+    for (r, &xr) in x.iter().enumerate() {
+        if xr != 0.0 {
+            axpy(xr, w.row(r), y);
+        }
+    }
+}
+
+/// Rank-1 update `W += alpha * u vᵀ` (GER). Shapes: `W: m×n`, `u: m`, `v: n`.
+///
+/// This is how weight gradients accumulate: `dW += delta ⊗ input`.
+pub fn ger(w: &mut Matrix, alpha: f32, u: &[f32], v: &[f32]) {
+    assert_eq!(w.rows(), u.len(), "ger: W.rows != u.len");
+    assert_eq!(w.cols(), v.len(), "ger: W.cols != v.len");
+    for (r, &ur) in u.iter().enumerate() {
+        let coeff = alpha * ur;
+        if coeff != 0.0 {
+            axpy(coeff, v, w.row_mut(r));
+        }
+    }
+}
+
+/// Minimum number of output elements before `gemm` fans out to rayon.
+/// Below this the spawn/steal overhead dominates.
+const GEMM_PAR_THRESHOLD: usize = 64 * 64;
+
+/// `C = A B` (GEMM), blocked over K and parallelised over row panels of C.
+///
+/// Shapes: `A: m×k`, `B: k×n`, `C: m×n`. The kernel iterates `k` in the
+/// outer position and accumulates AXPYs into each output row, which walks
+/// both `B` and `C` row-major — cache-friendly without an explicit pack.
+pub fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "gemm: inner dims differ");
+    assert_eq!(a.rows(), c.rows(), "gemm: C rows");
+    assert_eq!(b.cols(), c.cols(), "gemm: C cols");
+    let n = b.cols();
+    let k = a.cols();
+
+    let row_kernel = |(r, crow): (usize, &mut [f32])| {
+        crow.fill(0.0);
+        let arow = a.row(r);
+        for p in 0..k {
+            let apv = arow[p];
+            if apv != 0.0 {
+                axpy(apv, b.row(p), crow);
+            }
+        }
+    };
+
+    if c.len() >= GEMM_PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_exact_mut(n)
+            .enumerate()
+            .for_each(row_kernel);
+    } else {
+        c.as_mut_slice()
+            .chunks_exact_mut(n)
+            .enumerate()
+            .for_each(row_kernel);
+    }
+}
+
+/// Clip `g` so its global L2 norm is at most `max_norm`; returns the scale
+/// that was applied (1.0 when no clipping happened).
+///
+/// This is the "SGD with the clipped gradient norm" the paper uses for the
+/// LSTM language models (§V-A).
+pub fn clip_norm(g: &mut [f32], max_norm: f32) -> f32 {
+    let norm = norm_sq(g).sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for v in g.iter_mut() {
+            *v *= scale;
+        }
+        scale
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f32> = (0..13).map(|i| i as f32).collect();
+        let y: Vec<f32> = (0..13).map(|i| (i * 2) as f32).collect();
+        let naive: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gemv_with_and_without_bias() {
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let x = [1.0, 1.0];
+        let mut y = [0.0; 2];
+        gemv(&w, &x, &[], &mut y);
+        assert_eq!(y, [3.0, 7.0]);
+        gemv(&w, &x, &[10.0, 20.0], &mut y);
+        assert_eq!(y, [13.0, 27.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose_gemv() {
+        let w = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        gemv_t(&w, &x, &mut y);
+        let wt = w.transpose();
+        let mut y2 = [0.0; 3];
+        gemv(&wt, &x, &[], &mut y2);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn ger_accumulates_outer_product() {
+        let mut w = Matrix::zeros(2, 3);
+        ger(&mut w, 2.0, &[1.0, 3.0], &[1.0, 0.0, -1.0]);
+        assert_eq!(w.row(0), &[2.0, 0.0, -2.0]);
+        assert_eq!(w.row(1), &[6.0, 0.0, -6.0]);
+    }
+
+    #[test]
+    fn gemm_small_matches_naive() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[10.0, 11.0, 12.0]]);
+        let mut c = Matrix::zeros(3, 3);
+        gemm(&a, &b, &mut c);
+        assert_eq!(c, naive_gemm(&a, &b));
+    }
+
+    #[test]
+    fn gemm_large_parallel_matches_naive() {
+        // Cross the parallel threshold to exercise the rayon path.
+        let n = 80;
+        let mut a = Matrix::zeros(n, n);
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, ((i * 7 + j * 3) % 11) as f32 - 5.0);
+                b.set(i, j, ((i * 5 + j * 2) % 13) as f32 - 6.0);
+            }
+        }
+        let mut c = Matrix::zeros(n, n);
+        gemm(&a, &b, &mut c);
+        let want = naive_gemm(&a, &b);
+        for (x, y) in c.as_slice().iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn clip_norm_scales_only_when_needed() {
+        let mut g = [3.0, 4.0];
+        let s = clip_norm(&mut g, 10.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(g, [3.0, 4.0]);
+        let s = clip_norm(&mut g, 1.0);
+        assert!((s - 0.2).abs() < 1e-6);
+        let norm = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_norm_handles_zero_gradient() {
+        let mut g = [0.0, 0.0];
+        assert_eq!(clip_norm(&mut g, 1.0), 1.0);
+        assert_eq!(g, [0.0, 0.0]);
+    }
+}

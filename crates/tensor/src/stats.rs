@@ -1,0 +1,158 @@
+//! Reductions and order statistics.
+//!
+//! The p-quantile ([`quantile`]) is load-bearing for FedBIAD stage two: the
+//! threshold λ_r^k is "the p-quantile of E^k" (paper §IV-D), and the top-k
+//! selection ([`top_k_indices`]) drives DGC/STC sparsification.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance; 0.0 for slices shorter than 2.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// The `q`-quantile (q ∈ \[0,1\]) with linear interpolation between order
+/// statistics, matching the common "linear" convention. Panics on empty
+/// input or q outside \[0,1\].
+pub fn quantile(xs: &[f32], q: f32) -> f32 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f32;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Index of the maximum element (first on ties). Panics on empty input.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    let mut best_v = xs[0];
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Indices of the `k` largest values of `score(x)`, descending. Determinist
+/// tie-break by smaller index. `k` is clamped to the slice length.
+pub fn top_k_indices_by(xs: &[f32], k: usize, score: impl Fn(f32) -> f32) -> Vec<usize> {
+    let k = k.min(xs.len());
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    // Full sort is O(n log n) but deterministic and simple; selection is not
+    // a bottleneck next to GEMV in this workload. select_nth would not give
+    // a stable ordering for equal scores.
+    idx.sort_by(|&a, &b| {
+        score(xs[b])
+            .partial_cmp(&score(xs[a]))
+            .expect("NaN score")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Indices of the `k` largest values, descending.
+pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
+    top_k_indices_by(xs, k, |v| v)
+}
+
+/// Indices of the `k` largest |values|, descending (magnitude top-k for
+/// DGC/STC/FedMP).
+pub fn top_k_abs_indices(xs: &[f32], k: usize) -> Vec<usize> {
+    top_k_indices_by(xs, k, |v| v.abs())
+}
+
+/// `true` iff the top-`k` set of `logits` contains `target` (top-k accuracy,
+/// the paper uses k=3 for next-word prediction and k=1 for images).
+pub fn in_top_k(logits: &[f32], target: usize, k: usize) -> bool {
+    debug_assert!(target < logits.len());
+    let t = logits[target];
+    // Count how many strictly exceed the target logit; ties resolved in the
+    // target's favour only for earlier indices (deterministic, matches an
+    // argsort-based implementation).
+    let mut above = 0usize;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > t || (v == t && i < target) {
+            above += 1;
+            if above >= k {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-6);
+        assert!((variance(&xs) - 1.25).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn top_k_orders_and_breaks_ties_by_index() {
+        let xs = [1.0, 9.0, 9.0, 3.0];
+        assert_eq!(top_k_indices(&xs, 3), vec![1, 2, 3]);
+        assert_eq!(top_k_abs_indices(&[-10.0, 2.0, 5.0], 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn top_k_clamps_k() {
+        assert_eq!(top_k_indices(&[1.0], 5), vec![0]);
+    }
+
+    #[test]
+    fn in_top_k_agrees_with_sorting() {
+        let logits = [0.1, 0.9, 0.5, 0.7];
+        assert!(in_top_k(&logits, 1, 1));
+        assert!(!in_top_k(&logits, 2, 2)); // top-2 = {1,3}
+        assert!(in_top_k(&logits, 2, 3));
+        assert!(!in_top_k(&logits, 0, 3));
+    }
+}

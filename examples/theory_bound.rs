@@ -1,0 +1,48 @@
+//! Theorem 1 in action: evaluate the generalization-error bound (eqs. (13),
+//! (14), (15)) for the paper's MNIST-scale model across rounds, and show
+//! the minimax-rate envelope (eqs. (17)/(18)).
+//!
+//! ```text
+//! cargo run --release --example theory_bound
+//! ```
+
+use fedbiad::core::spike_slab::posterior_variance;
+use fedbiad::core::theory::{
+    epsilon_bound, generalization_bound, holder_upper_bound, m_r, minimax_rate, TheoryParams,
+};
+use fedbiad::nn::mlp::MlpModel;
+use fedbiad::nn::Model;
+
+fn main() {
+    let model = MlpModel::new(784, 128, 10);
+    let arch = model.arch();
+    let p = TheoryParams::from_arch(&arch, 0.2);
+    println!(
+        "model: MLP 784-128-10, N = {} weights, S = {:.0} (p = 0.2), L = {}, D = {}",
+        arch.total_weights, p.s, p.l, p.d_width
+    );
+
+    // The paper's setting: V local iterations, min |D_k| = 60 samples.
+    let (v, min_dk) = (24, 60);
+    println!("\nround     m_r      s̃² (eq.13)     ε (eq.15)   bound (eq.14)");
+    for r in [1usize, 2, 5, 10, 20, 40, 60] {
+        let m = m_r(r, v, min_dk);
+        let s2 = posterior_variance(p.s, m, &arch, p.b);
+        let eps = epsilon_bound(&p, m);
+        let bound = generalization_bound(&p, m, 0.0);
+        println!("{r:>5} {m:>8.0}  {s2:>12.3e}  {eps:>12.4}  {bound:>12.4}");
+    }
+
+    println!("\nminimax envelope (γ-Hölder targets, γ = 1.5, d = 784):");
+    println!("  m_r        lower C₂·rate    upper C₁·rate·log²m    ratio(=log²m)");
+    for m in [1e3, 1e4, 1e5, 1e6] {
+        let lo = minimax_rate(m, 1.5, 784.0);
+        let hi = holder_upper_bound(m, 1.5, 784.0, 1.0);
+        println!("{m:>8.0e}   {lo:>12.4e}     {hi:>14.4e}      {:>10.1}", hi / lo);
+    }
+    println!(
+        "\nThe bound decreases monotonically in the round count and the \
+         upper/lower envelopes differ by exactly log²(m_r): the convergence \
+         rate is minimax optimal up to a squared logarithmic factor (Thm. 1)."
+    );
+}

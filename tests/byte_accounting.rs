@@ -1,0 +1,101 @@
+//! Cross-crate byte-accounting invariants: the Table-I/II upload-size
+//! columns are *exact* functions of architecture + method + rate, so they
+//! are verified analytically here — including at full paper scale, where
+//! no training is needed.
+
+use fedbiad::core::pattern::{keep_count, DropPattern};
+use fedbiad::nn::lstm_lm::LstmLmModel;
+use fedbiad::nn::mlp::MlpModel;
+use fedbiad::nn::Model;
+use fedbiad::tensor::rng::{stream, StreamTag};
+
+#[test]
+fn fedbiad_upload_fraction_tracks_one_minus_p() {
+    // Expected kept fraction of bytes ≈ (1−p) — rows have different
+    // lengths so individual patterns vary; average over samples.
+    let model = MlpModel::new(784, 128, 10);
+    let params = model.init_params(&mut stream(1, StreamTag::Init, 0, 0));
+    let j = params.num_row_units();
+    let total = params.total_bytes() as f64;
+    for p in [0.2f32, 0.5] {
+        let keep = keep_count(j, p);
+        let mut rng = stream(2, StreamTag::Pattern, 0, 0);
+        let mut sum = 0.0;
+        let samples = 30;
+        for _ in 0..samples {
+            let pat = DropPattern::sample_global(j, keep, &mut rng);
+            let mask = pat.to_mask(&params);
+            sum += mask.wire_bytes(&params) as f64 / total;
+        }
+        let frac = sum / samples as f64;
+        assert!(
+            (frac - (1.0 - p as f64)).abs() < 0.08,
+            "p={p}: mean kept fraction {frac}"
+        );
+    }
+}
+
+#[test]
+fn paper_scale_ptb_fedbiad_upload_matches_table1() {
+    // Table I: PTB FedAvg 29.8 MB, FedBIAD 16.4 MB at p = 0.5 (2×).
+    let model = LstmLmModel::paper_ptb();
+    let params = model.init_params(&mut stream(3, StreamTag::Init, 0, 0));
+    let total_mb = params.total_bytes() as f64 / (1024.0 * 1024.0);
+    assert!((total_mb - 29.8).abs() < 0.1, "full model {total_mb:.2} MB");
+
+    let j = params.num_row_units();
+    let keep = keep_count(j, 0.5);
+    let mut rng = stream(4, StreamTag::Pattern, 0, 0);
+    let pat = DropPattern::sample_global(j, keep, &mut rng);
+    let up_mb = pat.to_mask(&params).wire_bytes(&params) as f64 / (1024.0 * 1024.0);
+    // ≈ half the model ± row-length variance; the paper reports 16.4 MB
+    // (their masked half plus the pattern bits).
+    assert!(
+        up_mb > 13.5 && up_mb < 16.5,
+        "paper-scale FedBIAD upload {up_mb:.2} MB should be ≈ 14.9 ± row variance"
+    );
+    let save = total_mb / up_mb;
+    assert!(save > 1.8 && save < 2.2, "save ratio {save:.2} should be ≈ 2x");
+}
+
+#[test]
+fn pattern_bits_are_negligible_vs_weights() {
+    // "β in the Reddit dataset is 0.3 KB, much smaller than the original
+    // model size of 29.8 MB" (§V-B).
+    let model = LstmLmModel::paper_ptb();
+    let params = model.init_params(&mut stream(5, StreamTag::Init, 0, 0));
+    let mask = fedbiad::nn::ModelMask::from_row_pattern(
+        &params,
+        &DropPattern::full(params.num_row_units()).beta,
+    );
+    let overhead = mask.wire_bytes(&params) - mask.kept_params(&params) as u64 * 4;
+    // Our row-granular bitmap over all matrices: a few KB at most.
+    assert!(overhead < 8 * 1024, "pattern overhead {overhead} B");
+    assert!((overhead as f64) < params.total_bytes() as f64 * 1e-3);
+}
+
+#[test]
+fn dgc_paper_scale_save_ratio_matches_table2_order() {
+    // Table II PTB: DGC 95 KB of 29.8 MB ≈ 321×. With 0.1 % sparsity and
+    // 64-bit positions: 29.8 MB / (k·12 B) where k = 0.001·N.
+    let model = LstmLmModel::paper_ptb();
+    let n = model.arch().total_weights;
+    let k = n / 1000;
+    let wire = fedbiad::compress::bytes::sparse_f32_bytes(k);
+    let save = (n as f64 * 4.0) / wire as f64;
+    assert!(save > 300.0 && save < 340.0, "DGC paper-scale save {save:.0}x");
+}
+
+#[test]
+fn fedbiad_dgc_combo_halves_dgc_bytes_at_p05() {
+    // Table II: FedBIAD+DGC ≈ 53-55 KB vs naive DGC ≈ 95-97 KB on PTB —
+    // compressing only the kept rows halves the top-k base set.
+    let model = LstmLmModel::paper_ptb();
+    let n = model.arch().total_weights as f64;
+    let naive_k = n * 0.001;
+    let combo_k = n * 0.5 * 0.001; // kept-row subvector
+    let naive = fedbiad::compress::bytes::sparse_f32_bytes(naive_k as usize);
+    let combo = fedbiad::compress::bytes::sparse_f32_bytes(combo_k as usize);
+    let ratio = naive as f64 / combo as f64;
+    assert!((ratio - 2.0).abs() < 0.05, "combo should halve DGC bytes, got {ratio:.2}");
+}

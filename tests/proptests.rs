@@ -1,0 +1,188 @@
+//! Property-based tests on the core invariants (proptest).
+
+use fedbiad::compress::dgc::Dgc;
+use fedbiad::compress::fedpaq::FedPaq;
+use fedbiad::compress::signsgd::SignSgd;
+use fedbiad::compress::stc::Stc;
+use fedbiad::compress::{ClientState, Compressor};
+use fedbiad::core::pattern::{keep_count, DropPattern};
+use fedbiad::fl::aggregate::{aggregate_weights, ZeroMode};
+use fedbiad::fl::upload::Upload;
+use fedbiad::nn::mask::BitVec;
+use fedbiad::nn::mlp::MlpModel;
+use fedbiad::nn::params::{EntryMeta, LayerKind, ParamSet};
+use fedbiad::nn::{Model, ModelMask};
+use fedbiad::tensor::rng::{stream, StreamTag};
+use fedbiad::tensor::{stats, Matrix};
+use proptest::prelude::*;
+
+fn small_params(rows: usize, cols: usize, vals: &[f32]) -> ParamSet {
+    let mut p = ParamSet::new();
+    p.push_entry(
+        Matrix::from_vec(rows, cols, vals.to_vec()),
+        None,
+        EntryMeta::new("w", LayerKind::DenseHidden, false, true),
+    );
+    p
+}
+
+proptest! {
+    /// Sampling from Z_S^N always yields exactly S kept rows, for any
+    /// (J, p, seed).
+    #[test]
+    fn pattern_cardinality_is_exact(j in 1usize..300, p in 0.0f32..0.95, seed in 0u64..500) {
+        let keep = keep_count(j, p);
+        let mut rng = stream(seed, StreamTag::Pattern, 0, 0);
+        let pat = DropPattern::sample_global(j, keep, &mut rng);
+        prop_assert_eq!(pat.kept(), keep);
+        prop_assert!(keep >= 1 && keep <= j);
+    }
+
+    /// Masked-weights upload bytes never exceed the dense model and always
+    /// cover the kept parameters.
+    #[test]
+    fn upload_bytes_bounded(rows in 1usize..20, cols in 1usize..20, p in 0.0f32..0.9, seed in 0u64..100) {
+        let vals = vec![1.0f32; rows * cols];
+        let params = small_params(rows, cols, &vals);
+        let j = params.num_row_units();
+        let keep = keep_count(j, p);
+        let mut rng = stream(seed, StreamTag::Pattern, 0, 0);
+        let pat = DropPattern::sample_global(j, keep, &mut rng);
+        let mask = pat.to_mask(&params);
+        let bytes = mask.wire_bytes(&params);
+        prop_assert!(bytes >= (keep * cols * 4) as u64);
+        prop_assert!(bytes <= params.total_bytes() + (rows as u64).div_ceil(8));
+    }
+
+    /// Weighted aggregation of identical uploads is the identity
+    /// (idempotence), for every zero-handling mode.
+    #[test]
+    fn aggregation_idempotent_on_identical_full_uploads(v in -5.0f32..5.0, w in 0.5f32..10.0) {
+        let params = small_params(3, 2, &[v; 6]);
+        let up = Upload::full_weights(params.clone());
+        for mode in [ZeroMode::ZerosPull, ZeroMode::HoldersOnly, ZeroMode::StaleFill] {
+            let mut g = small_params(3, 2, &[0.0; 6]);
+            aggregate_weights(&mut g, &[(w, &up), (w, &up)], mode);
+            for (a, b) in g.flatten().iter().zip(params.flatten()) {
+                prop_assert!((a - b).abs() < 1e-5, "{mode:?}");
+            }
+        }
+    }
+
+    /// Aggregated values always lie in the convex hull of the inputs
+    /// (weights version of the averaging contract), holders mode.
+    #[test]
+    fn aggregation_stays_in_convex_hull(a in -3.0f32..3.0, b in -3.0f32..3.0, wa in 0.1f32..5.0, wb in 0.1f32..5.0) {
+        let ua = Upload::full_weights(small_params(2, 2, &[a; 4]));
+        let ub = Upload::full_weights(small_params(2, 2, &[b; 4]));
+        let mut g = small_params(2, 2, &[0.0; 4]);
+        aggregate_weights(&mut g, &[(wa, &ua), (wb, &ub)], ZeroMode::HoldersOnly);
+        let lo = a.min(b) - 1e-5;
+        let hi = a.max(b) + 1e-5;
+        for v in g.flatten() {
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    /// Error-feedback compressors conserve mass: decoded + residual =
+    /// corrected input (per coordinate), every round.
+    #[test]
+    fn stc_conserves_mass(vals in proptest::collection::vec(-10.0f32..10.0, 4..64)) {
+        let comp = Stc { keep_fraction: 0.25 };
+        let mut st = ClientState::default();
+        let mut rng = stream(1, StreamTag::Compress, 0, 0);
+        // corrected = vals + residual(=0); decoded + residual' must equal it.
+        let c = comp.compress(&mut st, &vals, 0, &mut rng);
+        for i in 0..vals.len() {
+            prop_assert!((c.decoded[i] + st.residual[i] - vals[i]).abs() < 1e-4);
+        }
+    }
+
+    /// Quantisers are sign-preserving and bounded by the input range.
+    #[test]
+    fn fedpaq_bounded_and_sign_preserving(vals in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let comp = FedPaq::paper();
+        let mut st = ClientState::default();
+        let mut rng = stream(2, StreamTag::Compress, 0, 0);
+        let c = comp.compress(&mut st, &vals, 0, &mut rng);
+        let max = vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (d, &v) in c.decoded.iter().zip(&vals) {
+            prop_assert!(d.abs() <= max + 1e-4);
+            // Quantisation may flip only values within half a step of zero.
+            if v.abs() > max / 127.0 {
+                prop_assert!(d.signum() == v.signum() || *d == 0.0);
+            }
+        }
+    }
+
+    /// SignSGD wire size is exactly ⌈n/8⌉ + 4 bytes.
+    #[test]
+    fn signsgd_wire_size_exact(n in 1usize..1000) {
+        let comp = SignSgd::default();
+        let mut st = ClientState::default();
+        let mut rng = stream(3, StreamTag::Compress, 0, 0);
+        let c = comp.compress(&mut st, &vec![1.0; n], 0, &mut rng);
+        prop_assert_eq!(c.wire_bytes, (n as u64).div_ceil(8) + 4);
+    }
+
+    /// DGC's warm-up schedule is monotone non-increasing and ends at the
+    /// configured fraction.
+    #[test]
+    fn dgc_warmup_monotone(keep in 0.0001f32..0.1, warmup in 0usize..8) {
+        let d = Dgc { keep_fraction: keep, momentum: 0.9, warmup_rounds: warmup };
+        let mut prev = f32::INFINITY;
+        for r in 0..warmup + 3 {
+            let k = d.keep_at(r);
+            prop_assert!(k <= prev + 1e-9);
+            prev = k;
+        }
+        prop_assert!((d.keep_at(warmup + 2) - keep).abs() < 1e-9);
+    }
+
+    /// Quantile is monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(vals in proptest::collection::vec(-50.0f32..50.0, 1..64), q1 in 0.0f32..1.0, q2 in 0.0f32..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&vals, lo);
+        let b = stats::quantile(&vals, hi);
+        prop_assert!(a <= b + 1e-6);
+        let mn = vals.iter().copied().fold(f32::INFINITY, f32::min);
+        let mx = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(a >= mn - 1e-6 && b <= mx + 1e-6);
+    }
+
+    /// Coverage mask application is idempotent.
+    #[test]
+    fn mask_apply_idempotent(seed in 0u64..200, p in 0.1f32..0.9) {
+        let model = MlpModel::new(6, 8, 3);
+        let params = model.init_params(&mut stream(seed, StreamTag::Init, 0, 0));
+        let j = params.num_row_units();
+        let mut rng = stream(seed, StreamTag::Pattern, 1, 0);
+        let pat = DropPattern::sample_global(j, keep_count(j, p), &mut rng);
+        let mask = pat.to_mask(&params);
+        let mut once = params.clone();
+        mask.apply(&mut once);
+        let mut twice = once.clone();
+        mask.apply(&mut twice);
+        prop_assert_eq!(once.flatten(), twice.flatten());
+    }
+
+    /// β → mask → kept-bit round trip: a row unit is kept in the mask iff
+    /// β says so.
+    #[test]
+    fn beta_mask_round_trip(seed in 0u64..200) {
+        let model = MlpModel::new(5, 7, 4);
+        let params = model.init_params(&mut stream(seed, StreamTag::Init, 0, 0));
+        let j = params.num_row_units();
+        let mut rng = stream(seed, StreamTag::Pattern, 2, 0);
+        let pat = DropPattern::sample_global(j, keep_count(j, 0.4), &mut rng);
+        let mask = pat.to_mask(&params);
+        for ju in 0..j {
+            let (e, u) = params.row_unit(ju);
+            let cols = params.mat(e).cols();
+            prop_assert_eq!(mask.per_entry[e].covers(u, 0, cols), pat.is_kept(ju));
+        }
+        let _ = BitVec::new(1, true); // keep the import exercised
+        let _ = ModelMask::full(&params);
+    }
+}
