@@ -55,9 +55,9 @@ impl Compressor for Dgc {
         let n = delta.len();
         state.ensure_len(n);
         // Momentum correction: v = m·v + g ; accumulate u += v.
-        for i in 0..n {
-            state.velocity[i] = self.momentum * state.velocity[i] + delta[i];
-            state.residual[i] += state.velocity[i];
+        for ((v, u), &g) in state.velocity.iter_mut().zip(&mut state.residual).zip(delta) {
+            *v = self.momentum * *v + g;
+            *u += *v;
         }
         let keep = self.keep_at(round);
         let k = ((n as f64 * keep as f64).ceil() as usize).clamp(1, n);
@@ -155,18 +155,18 @@ mod tests {
         // sum of deltas (per coordinate).
         let d = Dgc { keep_fraction: 0.25, momentum: 0.0, warmup_rounds: 0 };
         let mut st = ClientState::default();
-        let mut sent = vec![0.0f32; 4];
+        let mut sent = [0.0f32; 4];
         let deltas = [[1.0f32, -2.0, 0.5, 0.1], [0.3, 0.3, -0.2, 0.9]];
         for (round, dvec) in deltas.iter().enumerate() {
             let c = d.compress(&mut st, dvec, round, &mut rng());
-            for i in 0..4 {
-                sent[i] += c.decoded[i];
+            for (s, &v) in sent.iter_mut().zip(&c.decoded) {
+                *s += v;
             }
         }
-        for i in 0..4 {
+        for (i, &s) in sent.iter().enumerate() {
             let total: f32 = deltas.iter().map(|d| d[i]).sum();
             assert!(
-                (sent[i] + st.residual[i] - total).abs() < 1e-6,
+                (s + st.residual[i] - total).abs() < 1e-6,
                 "coordinate {i} leaked mass"
             );
         }

@@ -1,0 +1,203 @@
+//! Cross-compressor invariants, exercised uniformly through the public
+//! `Compressor` trait for all four sketched methods plus the identity
+//! compressor: encode→decode shape/byte-count contracts and the
+//! `ClientState` error-feedback accounting.
+
+use fedbiad_compress::dgc::Dgc;
+use fedbiad_compress::fedpaq::FedPaq;
+use fedbiad_compress::none::NoCompression;
+use fedbiad_compress::signsgd::SignSgd;
+use fedbiad_compress::stc::Stc;
+use fedbiad_compress::{bytes, ClientState, Compressor};
+use fedbiad_tensor::rng::{stream, StreamTag};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn rng(salt: u64) -> StdRng {
+    stream(salt, StreamTag::Compress, 0, 0)
+}
+
+fn test_delta(n: usize, salt: u64) -> Vec<f32> {
+    let mut r = rng(salt);
+    (0..n).map(|_| r.gen_range(-2.0f32..2.0)).collect()
+}
+
+fn all_compressors() -> Vec<(&'static str, Box<dyn Compressor>)> {
+    vec![
+        ("none", Box::new(NoCompression)),
+        ("fedpaq", Box::new(FedPaq::paper())),
+        ("signsgd", Box::new(SignSgd::default())),
+        ("stc", Box::new(Stc::paper())),
+        ("dgc", Box::new(Dgc::paper())),
+    ]
+}
+
+/// Decoded output always has the input's shape, a positive wire size no
+/// larger than dense f32, and `sent_values ≤ n` — for every compressor,
+/// several sizes, several rounds.
+#[test]
+fn round_trip_shape_and_byte_invariants() {
+    for (name, comp) in all_compressors() {
+        for &n in &[1usize, 7, 64, 1000] {
+            let delta = test_delta(n, 1);
+            let mut st = ClientState::default();
+            for round in 0..6 {
+                let c = comp.compress(&mut st, &delta, round, &mut rng(2));
+                assert_eq!(c.decoded.len(), n, "{name} n={n} round {round}: shape");
+                assert!(c.wire_bytes > 0, "{name} n={n}: empty wire payload");
+                assert!(c.decoded.iter().all(|v| v.is_finite()), "{name}: non-finite decode");
+                assert!(
+                    c.sent_values <= n as u64,
+                    "{name} n={n}: sent {} of {n} values",
+                    c.sent_values
+                );
+                // No compressor may exceed the dense payload by more than
+                // its fixed header (scale word) plus per-sent-value
+                // position overhead (sparse methods pay 64-bit positions,
+                // which on tiny inputs can exceed the dense encoding).
+                assert!(
+                    c.wire_bytes
+                        <= bytes::dense_bytes(n)
+                            + bytes::SCALE_BYTES
+                            + c.sent_values * bytes::POSITION_BYTES,
+                    "{name} n={n}: {} wire bytes for {} dense",
+                    c.wire_bytes,
+                    bytes::dense_bytes(n)
+                );
+            }
+        }
+    }
+}
+
+/// Exact wire-byte formulas per method (the Table-II accounting contract).
+#[test]
+fn wire_bytes_match_published_formulas() {
+    let n = 1000usize;
+    let delta = test_delta(n, 3);
+
+    let c = NoCompression.compress(&mut ClientState::default(), &delta, 0, &mut rng(4));
+    assert_eq!(c.wire_bytes, bytes::dense_bytes(n));
+
+    let c = FedPaq::paper().compress(&mut ClientState::default(), &delta, 0, &mut rng(4));
+    assert_eq!(c.wire_bytes, bytes::quantized_bytes(n, 8));
+
+    let c = SignSgd::default().compress(&mut ClientState::default(), &delta, 0, &mut rng(4));
+    assert_eq!(c.wire_bytes, bytes::quantized_bytes(n, 1));
+
+    let c = Stc::paper().compress(&mut ClientState::default(), &delta, 0, &mut rng(4));
+    assert_eq!(c.wire_bytes, bytes::sparse_ternary_bytes(c.sent_values as usize));
+
+    let c = Dgc::paper().compress(&mut ClientState::default(), &delta, 10, &mut rng(4));
+    assert_eq!(c.wire_bytes, bytes::sparse_f32_bytes(c.sent_values as usize));
+}
+
+/// Error-feedback accounting: for the residual-carrying compressors, after
+/// every round `decoded + residual' == delta + residual` per coordinate
+/// (no mass created or destroyed by the sketch).
+#[test]
+fn client_state_error_feedback_conserves_mass_per_round() {
+    let n = 128usize;
+    let feedback: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("signsgd", Box::new(SignSgd::default())),
+        ("stc", Box::new(Stc { keep_fraction: 0.05 })),
+        // momentum 0 ⇒ DGC's velocity does not inject extra mass, so the
+        // conservation identity holds exactly.
+        ("dgc", Box::new(Dgc { keep_fraction: 0.05, momentum: 0.0, warmup_rounds: 0 })),
+    ];
+    for (name, comp) in feedback {
+        let mut st = ClientState::default();
+        for round in 0..8 {
+            let delta = test_delta(n, 10 + round as u64);
+            let before = st.residual.clone();
+            let c = comp.compress(&mut st, &delta, round, &mut rng(5));
+            for i in 0..n {
+                let carried = if before.is_empty() { 0.0 } else { before[i] };
+                let input = delta[i] + carried;
+                let output = c.decoded[i] + st.residual[i];
+                assert!(
+                    (input - output).abs() < 1e-4,
+                    "{name} round {round} coord {i}: {input} in vs {output} out"
+                );
+            }
+        }
+    }
+}
+
+/// Residuals stay bounded over many rounds (error feedback prevents the
+/// "noise accumulated over long-term learning" blow-up of §I).
+#[test]
+fn residuals_stay_bounded_over_long_runs() {
+    let n = 64usize;
+    let delta = test_delta(n, 20);
+    let max_in = delta.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let feedback: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("signsgd", Box::new(SignSgd::default())),
+        ("stc", Box::new(Stc { keep_fraction: 0.1 })),
+    ];
+    for (name, comp) in feedback {
+        let mut st = ClientState::default();
+        for round in 0..200 {
+            comp.compress(&mut st, &delta, round, &mut rng(6));
+        }
+        let max_res = st.residual.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(
+            max_res < 50.0 * max_in,
+            "{name}: residual blew up to {max_res} (inputs ≤ {max_in})"
+        );
+    }
+}
+
+/// `none` passthrough: bit-identical decode, dense byte accounting, and an
+/// untouched client state.
+#[test]
+fn none_and_bytes_passthrough() {
+    let delta = test_delta(333, 30);
+    let mut st = ClientState::default();
+    let c = NoCompression.compress(&mut st, &delta, 0, &mut rng(7));
+    assert_eq!(c.decoded, delta, "identity decode must be bit-exact");
+    assert_eq!(c.wire_bytes, bytes::dense_bytes(delta.len()));
+    assert_eq!(c.sent_values, delta.len() as u64);
+    assert!(st.residual.is_empty() && st.velocity.is_empty(), "identity must not touch state");
+
+    // And the byte helpers themselves are consistent.
+    assert_eq!(bytes::dense_bytes(0), 0);
+    assert_eq!(bytes::sparse_f32_bytes(1), bytes::F32_BYTES + bytes::POSITION_BYTES);
+    assert_eq!(
+        bytes::sparse_ternary_bytes(8),
+        1 + 8 * bytes::POSITION_BYTES + bytes::SCALE_BYTES
+    );
+    assert_eq!(bytes::quantized_bytes(16, 8), 16 + bytes::SCALE_BYTES);
+}
+
+/// Compression is a pure function of (config, state, delta, round, rng) —
+/// two identically-seeded runs agree bitwise. This is the per-client
+/// determinism the experiment runner's reproducibility contract needs.
+#[test]
+fn compressors_are_deterministic_given_seed() {
+    for (name, comp) in all_compressors() {
+        let delta = test_delta(512, 40);
+        let run = || {
+            let mut st = ClientState::default();
+            let mut out = Vec::new();
+            for round in 0..5 {
+                let c = comp.compress(&mut st, &delta, round, &mut rng(8));
+                out.push((c.wire_bytes, c.sent_values, c.decoded));
+            }
+            (out, st.residual)
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        for ((wa, sa, da), (wb, sb, db)) in a.iter().zip(&b) {
+            assert_eq!(wa, wb, "{name}: wire bytes diverged");
+            assert_eq!(sa, sb, "{name}: sent values diverged");
+            assert!(
+                da.iter().zip(db).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{name}: decoded values diverged"
+            );
+        }
+        assert!(
+            ra.iter().zip(&rb).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{name}: residual state diverged"
+        );
+    }
+}

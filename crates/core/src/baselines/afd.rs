@@ -227,10 +227,17 @@ mod tests {
     #[test]
     fn low_norm_units_are_dropped_first() {
         let (model, mut global, _) = setup();
-        // Make unit 3's row tiny and unit 5's row huge.
+        // Make unit 3 tiny and unit 5 huge in *both* of the unit's weight
+        // blocks (its W1 row and its W2 column) — the score sums both, so
+        // shrinking only the row would leave the verdict at the mercy of
+        // the random W2 init.
         for c in 0..4 {
             global.mat_mut(0).set(3, c, 1e-6);
             global.mat_mut(0).set(5, c, 10.0);
+        }
+        for r in 0..2 {
+            global.mat_mut(1).set(r, 3, 1e-6);
+            global.mat_mut(1).set(r, 5, 10.0);
         }
         let mut algo = Afd::new(0.25);
         algo.epsilon = 0.0; // no exploration for determinism

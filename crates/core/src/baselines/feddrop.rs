@@ -35,7 +35,7 @@ impl FedDrop {
 
     /// FedDrop combined with a sketched compressor.
     pub fn with_sketch(rate: f32, comp: Arc<dyn Compressor>) -> Self {
-        Self { rate, sketch: Some(comp), ..Self::new(rate) }
+        Self { sketch: Some(comp), ..Self::new(rate) }
     }
 
     /// Random per-client drop sets over the non-recurrent groups.

@@ -40,10 +40,10 @@ impl Fjord {
     }
 
     /// Trailing units dropped by a client at width `w`.
-    fn ordered_drops<'g>(
-        groups: &'g [NeuronGroup],
+    fn ordered_drops(
+        groups: &[NeuronGroup],
         width: f32,
-    ) -> Vec<(&'g NeuronGroup, Vec<usize>)> {
+    ) -> Vec<(&NeuronGroup, Vec<usize>)> {
         groups
             .iter()
             .map(|g| {

@@ -40,10 +40,10 @@ impl HeteroFl {
         self.ladder[client_id % self.ladder.len()]
     }
 
-    fn drops<'g>(
-        groups: &'g [NeuronGroup],
+    fn drops(
+        groups: &[NeuronGroup],
         width: f32,
-    ) -> Vec<(&'g NeuronGroup, Vec<usize>)> {
+    ) -> Vec<(&NeuronGroup, Vec<usize>)> {
         groups
             .iter()
             .map(|g| {

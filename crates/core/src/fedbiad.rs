@@ -145,7 +145,7 @@ impl FedBiad {
     /// Is `round` (0-based) in stage one? The paper's stage rule is
     /// 1-based: r ≤ R_b.
     fn stage_one(&self, round: usize) -> bool {
-        round + 1 <= self.cfg.stage_boundary
+        round < self.cfg.stage_boundary
     }
 
     /// Rows that must always be kept (small classification heads — see

@@ -58,7 +58,7 @@ impl LossTrend {
     /// (Algorithm 1 line 18: v > τ ∧ v % τ == 0, on 1-based v)?
     pub fn at_checkpoint(&self, v_zero_based: usize) -> bool {
         let v = v_zero_based + 1;
-        v > self.tau && v % self.tau == 0 && self.losses.len() >= 2 * self.tau
+        v > self.tau && v.is_multiple_of(self.tau) && self.losses.len() >= 2 * self.tau
     }
 }
 

@@ -201,13 +201,13 @@ mod tests {
     #[test]
     fn global_sample_is_roughly_uniform_over_rows() {
         let mut rng = stream(2, StreamTag::Pattern, 0, 0);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         let trials = 2000;
         for _ in 0..trials {
             let p = DropPattern::sample_global(50, 25, &mut rng);
-            for j in 0..50 {
+            for (j, c) in counts.iter_mut().enumerate() {
                 if p.is_kept(j) {
-                    counts[j] += 1;
+                    *c += 1;
                 }
             }
         }

@@ -154,7 +154,7 @@ mod tests {
             let upper = holder_upper_bound(m, gamma, d, 1.0);
             assert!(upper >= lower);
             let ratio = upper / lower;
-            let lg = (m as f64).ln();
+            let lg = m.ln();
             assert!((ratio - lg * lg).abs() < 1e-6, "ratio is exactly log²m");
         }
     }

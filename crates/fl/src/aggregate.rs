@@ -41,6 +41,10 @@ pub enum ZeroMode {
 
 /// Aggregate `Weights` uploads into `global`. `weights[k]` is |D_k|.
 /// Panics if any upload is not of `Weights` kind.
+// Index loops are deliberate: the per-entry bias denominator is empty for
+// bias-less entries, so iterating it instead of `0..rows` would skip the
+// matrix-row denominators.
+#[allow(clippy::needless_range_loop)]
 pub fn aggregate_weights(
     global: &mut ParamSet,
     uploads: &[(f32, &Upload)],

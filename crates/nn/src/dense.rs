@@ -21,6 +21,10 @@ pub fn forward(w: &Matrix, b: &[f32], x: &[f32], act: Activation, y: &mut [f32])
 ///   from outputs).
 /// * Accumulates `dw += δ ⊗ x`, `db += δ` and optionally writes
 ///   `dx = Wᵀ δ`.
+///
+/// The argument list mirrors the BLAS-style call shape of the forward pass;
+/// bundling them into a struct would only obscure the dataflow.
+#[allow(clippy::too_many_arguments)]
 pub fn backward(
     w: &Matrix,
     x: &[f32],

@@ -82,12 +82,15 @@ pub fn cell_forward(
     cache.c.resize(h, 0.0);
     cache.tanh_c.resize(h, 0.0);
     cache.h.resize(h, 0.0);
-    for k in 0..h {
+    // Hard length check: iterating a short `c_prev` would silently truncate
+    // the state update and leave stale tail values in the resized caches.
+    assert_eq!(c_prev.len(), h, "cell_forward: c_prev length");
+    for (k, &cp) in c_prev.iter().enumerate() {
         let i = cache.gates[k];
         let f = cache.gates[h + k];
         let g = cache.gates[2 * h + k];
         let o = cache.gates[3 * h + k];
-        let c = f * c_prev[k] + i * g;
+        let c = f * cp + i * g;
         cache.c[k] = c;
         let tc = c.tanh();
         cache.tanh_c[k] = tc;

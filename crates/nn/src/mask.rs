@@ -172,6 +172,10 @@ impl ModelMask {
 
     /// Zero all *non-covered* parameters in place — turning U into β∘U
     /// (eq. (6)).
+    // Index loops are deliberate: the bias vector is empty when the entry
+    // has no bias, so iterating it instead of `0..rows` would skip the
+    // matrix-row zeroing entirely.
+    #[allow(clippy::needless_range_loop)]
     pub fn apply(&self, params: &mut ParamSet) {
         assert_eq!(self.per_entry.len(), params.num_entries());
         for (e, mask) in self.per_entry.iter().enumerate() {

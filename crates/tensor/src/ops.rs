@@ -102,13 +102,11 @@ pub fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.rows(), c.rows(), "gemm: C rows");
     assert_eq!(b.cols(), c.cols(), "gemm: C cols");
     let n = b.cols();
-    let k = a.cols();
 
     let row_kernel = |(r, crow): (usize, &mut [f32])| {
         crow.fill(0.0);
         let arow = a.row(r);
-        for p in 0..k {
-            let apv = arow[p];
+        for (p, &apv) in arow.iter().enumerate() {
             if apv != 0.0 {
                 axpy(apv, b.row(p), crow);
             }

@@ -36,7 +36,10 @@ pub fn quantile(xs: &[f32], q: f32) -> f32 {
         sorted[lo]
     } else {
         let frac = pos - lo as f32;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        // Single-product form: monotone in `frac` under f32 rounding, unlike
+        // `a*(1-frac) + b*frac` which can land a few ULPs outside [a, b].
+        // The clamp covers the one remaining rounding case (a + (b-a) > b).
+        (sorted[lo] + frac * (sorted[hi] - sorted[lo])).clamp(sorted[lo], sorted[hi])
     }
 }
 

@@ -93,8 +93,8 @@ proptest! {
         let mut rng = stream(1, StreamTag::Compress, 0, 0);
         // corrected = vals + residual(=0); decoded + residual' must equal it.
         let c = comp.compress(&mut st, &vals, 0, &mut rng);
-        for i in 0..vals.len() {
-            prop_assert!((c.decoded[i] + st.residual[i] - vals[i]).abs() < 1e-4);
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert!((c.decoded[i] + st.residual[i] - v).abs() < 1e-4);
         }
     }
 

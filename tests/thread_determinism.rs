@@ -1,0 +1,84 @@
+//! Regression guard for the parallel-aggregation ordering contract: the
+//! exact same experiment must produce **bit-identical** logs whether the
+//! worker pool has one thread (`RAYON_NUM_THREADS=1`) or the machine
+//! default. The vendored rayon shim guarantees this by claiming work items
+//! from an atomic counter into per-index result slots and folding
+//! reductions in item-index order — this test keeps anyone from regressing
+//! that into a scheduling-order-dependent reduce.
+//!
+//! Timing fields (`local_seconds_*`, `agg_seconds`) are genuinely
+//! wall-clock and excluded from the comparison.
+
+use fedbiad::prelude::*;
+
+fn run_once(seed: u64) -> ExperimentLog {
+    let bundle = build(Workload::MnistLike, Scale::Smoke, seed);
+    let cfg = ExperimentConfig {
+        rounds: 4,
+        client_fraction: 0.5,
+        seed,
+        train: bundle.train,
+        eval_topk: 1,
+        eval_every: 1,
+        eval_max_samples: 0,
+    };
+    let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 2));
+    Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()
+}
+
+fn assert_logs_bit_identical(a: &ExperimentLog, b: &ExperimentLog, what: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{what}: round count");
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(
+            ra.train_loss.to_bits(),
+            rb.train_loss.to_bits(),
+            "{what}: train loss, round {}",
+            ra.round
+        );
+        assert_eq!(
+            ra.test_loss.to_bits(),
+            rb.test_loss.to_bits(),
+            "{what}: test loss, round {}",
+            ra.round
+        );
+        assert_eq!(
+            ra.test_acc.to_bits(),
+            rb.test_acc.to_bits(),
+            "{what}: test acc, round {}",
+            ra.round
+        );
+        assert_eq!(
+            ra.upload_bytes_mean, rb.upload_bytes_mean,
+            "{what}: upload bytes, round {}",
+            ra.round
+        );
+        assert_eq!(
+            ra.upload_bytes_max, rb.upload_bytes_max,
+            "{what}: max upload bytes, round {}",
+            ra.round
+        );
+        assert_eq!(
+            ra.download_bytes, rb.download_bytes,
+            "{what}: download bytes, round {}",
+            ra.round
+        );
+    }
+}
+
+#[test]
+fn single_thread_and_default_threading_agree_bitwise() {
+    // One process, one test: flip the env var between runs. The rayon shim
+    // re-reads RAYON_NUM_THREADS on every parallel call, so the setting
+    // takes effect immediately.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single = run_once(2024);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let parallel = run_once(2024);
+    assert_logs_bit_identical(&single, &parallel, "1 thread vs default");
+
+    // An oversubscribed pool must agree too (stress the claim ordering).
+    std::env::set_var("RAYON_NUM_THREADS", "16");
+    let oversub = run_once(2024);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_logs_bit_identical(&single, &oversub, "1 thread vs 16 threads");
+}

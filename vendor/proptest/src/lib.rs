@@ -1,0 +1,213 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! `proptest! { #[test] fn name(x in strategy, ...) { body } }` macro with
+//! range and `collection::vec` strategies plus `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking: failures report the drawn
+//! inputs via the panic message of the underlying `assert!`. Generation is
+//! deterministic per test (seeded from the test's name), so CI failures
+//! reproduce locally. Boundary values get a probability boost — uniform
+//! sampling alone would visit `low`/`high-1` too rarely to catch off-by-one
+//! bugs in 256 cases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of generated cases per property (matches proptest's default).
+pub const NUM_CASES: usize = 256;
+
+/// Derive the per-test RNG, seeded from the test name (FNV-1a) so every
+/// property is deterministic and independent.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // 1-in-8 boost for each boundary.
+                match rng.gen_range(0u32..16) {
+                    0 | 1 => self.start,
+                    2 | 3 => self.end - 1,
+                    _ => rng.gen_range(self.start..self.end),
+                }
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                match rng.gen_range(0u32..16) {
+                    0 | 1 => *self.start(),
+                    2 | 3 => *self.end(),
+                    _ => rng.gen_range(self.clone()),
+                }
+            }
+        }
+    )*};
+}
+
+int_strategy_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // Occasionally pin (almost) the boundaries.
+                match rng.gen_range(0u32..16) {
+                    0 => self.start,
+                    1 => {
+                        // Largest representable value strictly below `end`.
+                        let hi = self.end - (self.end - self.start) * <$t>::EPSILON;
+                        hi.max(self.start)
+                    }
+                    _ => rng.gen_range(self.start..self.end),
+                }
+            }
+        }
+    )*};
+}
+
+float_strategy_impls!(f32, f64);
+
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element_strategy, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let len = match rng.gen_range(0u32..16) {
+                0 | 1 => self.size.start,
+                2 | 3 => self.size.end - 1,
+                _ => rng.gen_range(self.size.clone()),
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property assertion (no shrinking: plain `assert!` under the hood).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` item macro: expands each contained
+/// `#[test] fn name(arg in strategy, ...) { body }` into a `#[test]` that
+/// draws [`NUM_CASES`](crate::NUM_CASES) inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __pt_rng = $crate::rng_for(stringify!($name));
+            for _pt_case in 0..$crate::NUM_CASES {
+                $(
+                    let $arg = $crate::Strategy::generate(&($strat), &mut __pt_rng);
+                )*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in collection::vec(0i32..5, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn boundaries_are_visited() {
+        let mut rng = crate::rng_for("boundaries");
+        let strat = 0usize..100;
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..crate::NUM_CASES {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            lo |= v == 0;
+            hi |= v == 99;
+        }
+        assert!(lo && hi, "boundary boost failed");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::rng_for("same");
+        let mut b = crate::rng_for("same");
+        let strat = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(
+                crate::Strategy::generate(&strat, &mut a),
+                crate::Strategy::generate(&strat, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Offline shim for the subset of the `rand` crate API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! re-implements exactly the surface the FedBIAD reproduction needs:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256** generator (NOT the
+//!   upstream ChaCha12; stream values differ from real `rand`, which is fine
+//!   because no test pins upstream draw values, only self-consistency);
+//! * [`SeedableRng::seed_from_u64`];
+//! * the [`Rng`] extension trait with `gen`, `gen_range` and `gen_bool`;
+//! * [`seq::SliceRandom::shuffle`] / `choose` (Fisher–Yates, matching the
+//!   upstream downward-iteration order contract of determinism, not its
+//!   exact output).
+//!
+//! Everything is `no_std`-free plain Rust with zero dependencies, and every
+//! generator is fully determined by its seed — the property the repo's
+//! reproducibility contract (`fedbiad_tensor::rng::stream`) relies on.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-width byte array upstream; we keep it simple).
+    type Seed;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it with SplitMix64 exactly like the
+    /// upstream default implementation does.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic standard RNG: xoshiro256** (Blackman & Vigna).
+    ///
+    /// Small, fast, passes BigCrush, and — the property this repo actually
+    /// depends on — a pure function of its seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // All-zero state is the one invalid xoshiro state.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the upstream `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from the full-range / unit-interval distribution.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Unbiased integer in `[0, span)` via Lemire's multiply-with-rejection.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            if lo < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_below(rng, span);
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_below(rng, span as u64);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = <$t as Standard>::draw(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = <$t as Standard>::draw(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+float_range_impls!(f32, f64);
+
+/// The user-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draw from the standard distribution of `T` (full integer range /
+    /// `[0, 1)` for floats).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform draw from a (half-open or inclusive) range.
+    #[inline]
+    fn gen_range<T, Rge: SampleRange<T>>(&mut self, range: Rge) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        <f64 as Standard>::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::{uniform_below, RngCore};
+
+    /// Slice randomisation, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = r.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut counts = [[0u32; 4]; 4];
+        for _ in 0..4000 {
+            let mut v = [0usize, 1, 2, 3];
+            v.shuffle(&mut r);
+            let mut sorted = v;
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2, 3]);
+            for (pos, &val) in v.iter().enumerate() {
+                counts[pos][val] += 1;
+            }
+        }
+        for row in counts {
+            for c in row {
+                assert!((700..1300).contains(&c), "position bias: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = StdRng::seed_from_u64(6);
+        let v = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let c = *v.choose(&mut r).unwrap();
+            seen[(c / 10 - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

@@ -1,0 +1,375 @@
+//! Offline shim for the subset of the `rayon` API this workspace uses:
+//! `par_iter().map().reduce()`, `par_iter().map().collect()`,
+//! `par_iter_mut().map().collect()` and
+//! `par_chunks_exact_mut().enumerate().for_each()`.
+//!
+//! ## Determinism contract (stronger than upstream rayon)
+//!
+//! Work items are claimed from an atomic counter by a pool of scoped
+//! threads, each result is written into its own index slot, and all
+//! combining (`collect` order, `reduce` fold order) happens **sequentially
+//! in item-index order** after the parallel phase. Consequently the result
+//! of every combinator here is a pure function of the inputs — bit-identical
+//! across thread counts and scheduling orders. The repo's reproducibility
+//! tests (`tests/determinism*.rs`) rely on this.
+//!
+//! Thread count: `RAYON_NUM_THREADS` (read on every call, so tests can
+//! toggle it), else `std::thread::available_parallelism()`.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Import target mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{ParSliceExt, ParSliceMutExt};
+}
+
+/// Number of worker threads for the next parallel call.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Slot buffer written concurrently at disjoint indices.
+struct Slots<R> {
+    cells: Vec<UnsafeCell<MaybeUninit<R>>>,
+}
+
+// Safety: each index is written by exactly one thread (unique claims from an
+// atomic counter) and only read after all writers have joined.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(len: usize) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        for _ in 0..len {
+            cells.push(UnsafeCell::new(MaybeUninit::uninit()));
+        }
+        Self { cells }
+    }
+
+    /// Write the result for index `i`. Caller guarantees unique claims.
+    unsafe fn write(&self, i: usize, value: R) {
+        (*self.cells[i].get()).write(value);
+    }
+
+    /// Consume into a fully-initialised `Vec`. Caller guarantees every index
+    /// was written exactly once.
+    unsafe fn into_vec(self) -> Vec<R> {
+        self.cells
+            .into_iter()
+            .map(|c| c.into_inner().assume_init())
+            .collect()
+    }
+}
+
+/// Run `f(i)` for every `i < len` on a pool of scoped threads and return the
+/// results in index order. The backbone of every combinator in this crate.
+fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let slots = Slots::new(len);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                // Safety: `i` is claimed exactly once across all threads.
+                unsafe { slots.write(i, f(i)) };
+            });
+        }
+    });
+    // Safety: the claim counter ran past `len`, so every index was written.
+    unsafe { slots.into_vec() }
+}
+
+/// Raw-pointer wrapper so scoped threads can address disjoint elements of a
+/// mutable slice.
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Raw pointer to element `i`. Callers must only materialise `&mut`
+    /// references for disjoint indices/ranges (see call sites).
+    fn at(&self, i: usize) -> *mut T {
+        // Safety of the offset itself: `i` is always < the source slice
+        // length at every call site.
+        unsafe { self.0.add(i) }
+    }
+}
+
+/// Entry point `slice.par_iter()` (shared access).
+pub trait ParSliceExt<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Entry points `slice.par_iter_mut()` / `slice.par_chunks_exact_mut(n)`.
+pub trait ParSliceMutExt<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// Parallel iterator over non-overlapping `&mut [T]` chunks of exactly
+    /// `chunk_size` elements (the remainder is not visited, like upstream
+    /// `par_chunks_exact_mut`).
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T>;
+}
+
+impl<T: Send> ParSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_exact_mut: zero chunk size");
+        ParChunksExactMut { slice: self, chunk_size }
+    }
+}
+
+/// Parallel shared-reference iterator.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { slice: self.slice, f }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map_indexed(self.slice.len(), |i| f(&self.slice[i]));
+    }
+}
+
+/// Mapped parallel shared-reference iterator.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Materialise into a collection, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParResults<R>,
+    {
+        let f = &self.f;
+        C::from_vec(par_map_indexed(self.slice.len(), |i| f(&self.slice[i])))
+    }
+
+    /// Reduce with `identity` + `op`, folding **in index order** (stronger
+    /// determinism than upstream, which reduces in an arbitrary tree).
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        let f = &self.f;
+        let results = par_map_indexed(self.slice.len(), |i| f(&self.slice[i]));
+        results.into_iter().fold(identity(), op)
+    }
+}
+
+/// Parallel mutable-reference iterator.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Map each `&mut` element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMapMut<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        ParMapMut { slice: self.slice, f }
+    }
+
+    /// Run `f` on every `&mut` element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let len = self.slice.len();
+        let base = SendPtr(self.slice.as_mut_ptr());
+        par_map_indexed(len, |i| {
+            // Safety: indices are claimed uniquely, so access is disjoint.
+            f(unsafe { &mut *base.at(i) })
+        });
+    }
+}
+
+/// Mapped parallel mutable-reference iterator.
+pub struct ParMapMut<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F> ParMapMut<'a, T, F> {
+    /// Materialise into a collection, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+        C: FromParResults<R>,
+    {
+        let len = self.slice.len();
+        let base = SendPtr(self.slice.as_mut_ptr());
+        let f = &self.f;
+        C::from_vec(par_map_indexed(len, |i| {
+            // Safety: indices are claimed uniquely, so access is disjoint.
+            f(unsafe { &mut *base.at(i) })
+        }))
+    }
+}
+
+/// Parallel exact-chunks mutable iterator.
+pub struct ParChunksExactMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksExactMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksEnumerate<'a, T> {
+        ParChunksEnumerate { slice: self.slice, chunk_size: self.chunk_size }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel exact-chunks mutable iterator.
+pub struct ParChunksEnumerate<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksEnumerate<'a, T> {
+    /// Run `f((chunk_index, chunk))` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let size = self.chunk_size;
+        let nchunks = self.slice.len() / size;
+        let base = SendPtr(self.slice.as_mut_ptr());
+        par_map_indexed(nchunks, |c| {
+            // Safety: chunk `c` spans [c*size, (c+1)*size), disjoint from
+            // every other claimed chunk and in bounds (c < len/size).
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.at(c * size), size) };
+            f((c, chunk));
+        });
+    }
+}
+
+/// Collections buildable from ordered parallel results.
+pub trait FromParResults<R> {
+    /// Build from results already in input order.
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParResults<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_reduce_folds_in_order() {
+        // String concatenation is order-sensitive: proves index-order folding.
+        let v: Vec<usize> = (0..50).collect();
+        let s: String = v
+            .par_iter()
+            .map(|x| format!("{x},"))
+            .reduce(String::new, |a, b| a + &b);
+        let want: String = (0..50).map(|x| format!("{x},")).collect();
+        assert_eq!(s, want);
+    }
+
+    #[test]
+    fn iter_mut_sees_every_element_once() {
+        let mut v = vec![1i64; 500];
+        let ids: Vec<i64> = v.par_iter_mut().map(|x| {
+            *x += 1;
+            *x
+        }).collect();
+        assert!(v.iter().all(|&x| x == 2));
+        assert_eq!(ids, vec![2i64; 500]);
+    }
+
+    #[test]
+    fn chunks_exact_mut_covers_exact_chunks_only() {
+        let mut v: Vec<usize> = vec![0; 10];
+        v.par_chunks_exact_mut(3).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = c + 1;
+            }
+        });
+        assert_eq!(v, [1, 1, 1, 2, 2, 2, 3, 3, 3, 0]);
+    }
+
+    #[test]
+    fn respects_rayon_num_threads_env() {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let a: Vec<u32> = (0u32..64).collect::<Vec<_>>().par_iter().map(|x| x * x).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let b: Vec<u32> = (0u32..64).collect::<Vec<_>>().par_iter().map(|x| x * x).collect();
+        assert_eq!(a, b);
+    }
+}
