@@ -26,15 +26,18 @@ fn bench_aggregation(c: &mut Criterion) {
                 Upload::masked_weights(global0.clone(), pattern.to_mask(&global0))
             })
             .collect();
-        for mode in [ZeroMode::ZerosPull, ZeroMode::HoldersOnly, ZeroMode::StaleFill] {
+        for mode in [
+            ZeroMode::ZerosPull,
+            ZeroMode::HoldersOnly,
+            ZeroMode::StaleFill,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{mode:?}"), clients),
                 &(),
                 |b, _| {
                     b.iter(|| {
                         let mut g = global0.clone();
-                        let ups: Vec<(f32, &Upload)> =
-                            uploads.iter().map(|u| (1.0, u)).collect();
+                        let ups: Vec<(f32, &Upload)> = uploads.iter().map(|u| (1.0, u)).collect();
                         aggregate_weights(&mut g, &ups, mode);
                         g
                     })

@@ -18,7 +18,11 @@ fn bench_one<A: FlAlgorithm>(
 ) {
     let model = bundle.model.as_ref();
     let global = model.init_params(&mut stream(7, StreamTag::Init, 0, 0));
-    let info = RoundInfo { round: 0, total_rounds: 10, seed: 7 };
+    let info = RoundInfo {
+        round: 0,
+        total_rounds: 10,
+        seed: 7,
+    };
     let data = &bundle.data.clients[0];
     let cfg = bundle.train;
     let rctx = algo.begin_round(info, &global);
@@ -36,7 +40,12 @@ fn bench_local_step(c: &mut Criterion) {
     bench_one(&mut group, "feddrop", FedDrop::new(p), &bundle);
     bench_one(&mut group, "afd", Afd::new(p), &bundle);
     bench_one(&mut group, "fjord", Fjord::new(p), &bundle);
-    bench_one(&mut group, "fedbiad", FedBiad::new(FedBiadConfig::paper(p, 5)), &bundle);
+    bench_one(
+        &mut group,
+        "fedbiad",
+        FedBiad::new(FedBiadConfig::paper(p, 5)),
+        &bundle,
+    );
     group.finish();
 }
 

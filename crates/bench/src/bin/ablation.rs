@@ -33,47 +33,83 @@ struct Variant {
 
 fn variants() -> Vec<Variant> {
     vec![
-        Variant { name: "default", cfg: Box::new(|c| c) },
+        Variant {
+            name: "default",
+            cfg: Box::new(|c| c),
+        },
         Variant {
             name: "agg=holders",
-            cfg: Box::new(|c| FedBiadConfig { aggregation: ZeroMode::HoldersOnly, ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                aggregation: ZeroMode::HoldersOnly,
+                ..c
+            }),
         },
         Variant {
             name: "agg=zeros(eq10)",
-            cfg: Box::new(|c| FedBiadConfig { aggregation: ZeroMode::ZerosPull, ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                aggregation: ZeroMode::ZerosPull,
+                ..c
+            }),
         },
         Variant {
             name: "sampling=per-entry",
-            cfg: Box::new(|c| FedBiadConfig { sampling: PatternSampling::PerEntry, ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                sampling: PatternSampling::PerEntry,
+                ..c
+            }),
         },
         Variant {
             name: "noise=off",
-            cfg: Box::new(|c| FedBiadConfig { noise: NoiseLevel::Off, ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                noise: NoiseLevel::Off,
+                ..c
+            }),
         },
         Variant {
             name: "noise=0.01",
-            cfg: Box::new(|c| FedBiadConfig { noise: NoiseLevel::Fixed(0.01), ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                noise: NoiseLevel::Fixed(0.01),
+                ..c
+            }),
         },
-        Variant { name: "tau=1", cfg: Box::new(|c| FedBiadConfig { tau: 1, ..c }) },
-        Variant { name: "tau=6", cfg: Box::new(|c| FedBiadConfig { tau: 6, ..c }) },
+        Variant {
+            name: "tau=1",
+            cfg: Box::new(|c| FedBiadConfig { tau: 1, ..c }),
+        },
+        Variant {
+            name: "tau=6",
+            cfg: Box::new(|c| FedBiadConfig { tau: 6, ..c }),
+        },
         Variant {
             name: "no-stage2",
-            cfg: Box::new(|c| FedBiadConfig { stage_boundary: usize::MAX, ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                stage_boundary: usize::MAX,
+                ..c
+            }),
         },
         Variant {
             name: "early-stage2(R/2)",
             cfg: Box::new(|c| {
                 let rb = (c.stage_boundary + 5) / 2; // R/2 given rb = R−5
-                FedBiadConfig { stage_boundary: rb.max(1), ..c }
+                FedBiadConfig {
+                    stage_boundary: rb.max(1),
+                    ..c
+                }
             }),
         },
         Variant {
             name: "no-head-protect",
-            cfg: Box::new(|c| FedBiadConfig { protect_small_output_rows: 0, ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                protect_small_output_rows: 0,
+                ..c
+            }),
         },
         Variant {
             name: "protect-all-heads",
-            cfg: Box::new(|c| FedBiadConfig { protect_small_output_rows: usize::MAX, ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                protect_small_output_rows: usize::MAX,
+                ..c
+            }),
         },
         Variant {
             name: "protect-embedding",
@@ -98,14 +134,21 @@ fn variants() -> Vec<Variant> {
         },
         Variant {
             name: "paper-literal(resample)",
-            cfg: Box::new(|c| FedBiadConfig { persistent_patterns: false, ..c }),
+            cfg: Box::new(|c| FedBiadConfig {
+                persistent_patterns: false,
+                ..c
+            }),
         },
     ]
 }
 
-fn run_variant(bundle: &WorkloadBundle, v: &Variant, rounds: usize, seed: u64, eval_max: usize)
-    -> ExperimentLog
-{
+fn run_variant(
+    bundle: &WorkloadBundle,
+    v: &Variant,
+    rounds: usize,
+    seed: u64,
+    eval_max: usize,
+) -> ExperimentLog {
     let base = FedBiadConfig::paper(bundle.dropout_rate, rounds.saturating_sub(5).max(1));
     let cfg = (v.cfg)(base);
     let algo = FedBiad::new(cfg);

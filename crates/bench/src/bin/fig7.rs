@@ -57,7 +57,8 @@ fn main() {
             t.row(vec![
                 m.name().into(),
                 format!("{lttr_ms:.1}"),
-                tta.map(|x| format!("{x:.1}")).unwrap_or_else(|| "not reached".into()),
+                tta.map(|x| format!("{x:.1}"))
+                    .unwrap_or_else(|| "not reached".into()),
                 format!("{:.2}", log.final_accuracy_pct()),
             ]);
             println!("  finished {}", m.name());

@@ -37,8 +37,7 @@ fn main() {
     println!("=== Fig. 8 — {} ({} rounds) ===", bundle.data.name, rounds);
 
     // FedAvg is rate-independent: run once, reuse across the sweep.
-    let fedavg =
-        Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
+    let fedavg = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
     println!("  finished FedAvg (rate-independent)");
 
     let mut logs: Vec<ExperimentLog> = vec![fedavg.clone()];

@@ -24,7 +24,11 @@ fn main() {
             DropPattern::sample_global(j, keep_count(j, p), &mut prng)
         };
         // Zero dropped rows once; mask grads each step (fixed sub-model).
-        for ju in 0..j { if !pattern.is_kept(ju) { params.zero_row_unit(ju); } }
+        for ju in 0..j {
+            if !pattern.is_kept(ju) {
+                params.zero_row_unit(ju);
+            }
+        }
         let mut grads = params.zeros_like();
         let mut brng = stream(3, StreamTag::Batch, 0, 0);
         let n = train.num_windows();

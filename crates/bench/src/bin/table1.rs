@@ -71,14 +71,20 @@ fn paper_rows(w: Workload) -> &'static [(&'static str, f64, &'static str, f64)] 
 fn main() {
     let cli = Cli::parse();
     let rounds = cli.rounds.unwrap_or(30);
-    let workloads = cli.workloads.clone().unwrap_or_else(|| Workload::all().to_vec());
+    let workloads = cli
+        .workloads
+        .clone()
+        .unwrap_or_else(|| Workload::all().to_vec());
     let mut all_logs = Vec::new();
 
     for w in workloads {
         let bundle = build(w, cli.scale, cli.seed);
         let full_bytes = {
             use fedbiad_tensor::rng::{stream, StreamTag};
-            bundle.model.init_params(&mut stream(cli.seed, StreamTag::Init, 0, 0)).total_bytes()
+            bundle
+                .model
+                .init_params(&mut stream(cli.seed, StreamTag::Init, 0, 0))
+                .total_bytes()
         };
         println!(
             "\n=== Table I — {} (p = {}, {} clients, {} rounds) ===",

@@ -65,14 +65,20 @@ fn main() {
 
     // Monotonicity check (the Theorem-1 "shape"): the bound must strictly
     // decrease with rounds.
-    let bounds: Vec<f64> =
-        (1..=rounds).map(|r| generalization_bound(&p, m_r(r, v, min_dk), 0.0)).collect();
+    let bounds: Vec<f64> = (1..=rounds)
+        .map(|r| generalization_bound(&p, m_r(r, v, min_dk), 0.0))
+        .collect();
     let monotone = bounds.windows(2).all(|w| w[1] < w[0]);
     println!("bound strictly decreasing over rounds: {monotone}");
     assert!(monotone, "Theorem 1 shape violated");
 
     println!("\nminimax envelope (γ = 1.5, d = {}):", p.d_in);
-    let mut t = Table::new(&["m_r", "lower rate (eq18)", "upper rate·log² (eq17)", "ratio"]);
+    let mut t = Table::new(&[
+        "m_r",
+        "lower rate (eq18)",
+        "upper rate·log² (eq17)",
+        "ratio",
+    ]);
     for &m in &[1e3, 1e4, 1e5, 1e6] {
         let lo = minimax_rate(m, 1.5, p.d_in);
         let hi = holder_upper_bound(m, 1.5, p.d_in, 1.0);

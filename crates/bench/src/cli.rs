@@ -59,17 +59,18 @@ impl Cli {
                     }
                 }
                 "--methods" => {
-                    cli.methods =
-                        Some(val().split(',').map(|s| s.to_string()).collect());
+                    cli.methods = Some(val().split(',').map(|s| s.to_string()).collect());
                 }
                 "--workloads" => {
                     let list = val();
                     cli.workloads = Some(
                         list.split(',')
-                            .map(|s| parse_workload(s).unwrap_or_else(|| {
-                                eprintln!("unknown workload {s}");
-                                std::process::exit(2);
-                            }))
+                            .map(|s| {
+                                parse_workload(s).unwrap_or_else(|| {
+                                    eprintln!("unknown workload {s}");
+                                    std::process::exit(2);
+                                })
+                            })
                             .collect(),
                     );
                 }
@@ -113,10 +114,19 @@ mod tests {
         assert_eq!(c.seed, 42);
         assert_eq!(c.scale, Scale::Lab);
         let c = Cli::parse_from(
-            ["--rounds", "7", "--seed", "9", "--scale", "smoke", "--workloads", "ptb,reddit"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            [
+                "--rounds",
+                "7",
+                "--seed",
+                "9",
+                "--scale",
+                "smoke",
+                "--workloads",
+                "ptb,reddit",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         );
         assert_eq!(c.rounds, Some(7));
         assert_eq!(c.seed, 9);

@@ -74,7 +74,13 @@ impl Method {
 
     /// Fig. 2 methods (the motivation experiment).
     pub fn fig2() -> [Method; 5] {
-        [Method::FedAvg, Method::FedDrop, Method::Afd, Method::Fjord, Method::FedBiad]
+        [
+            Method::FedAvg,
+            Method::FedDrop,
+            Method::Afd,
+            Method::Fjord,
+            Method::FedBiad,
+        ]
     }
 
     /// Display name matching the paper's tables.
@@ -175,29 +181,32 @@ pub fn run_method(method: Method, bundle: &WorkloadBundle, opts: RunOpts) -> Exp
             let algo = FedBiad::new(FedBiadConfig::paper(p, opts.stage_boundary));
             Experiment::new(model, data, algo, cfg).run()
         }
-        Method::FedPaq => {
-            Experiment::new(model, data, FedAvg::with_sketch(Arc::new(FedPaq::paper())), cfg)
-                .run()
-        }
-        Method::SignSgd => {
-            Experiment::new(model, data, FedAvg::with_sketch(Arc::new(SignSgd::default())), cfg)
-                .run()
-        }
-        Method::Stc => {
-            Experiment::new(model, data, FedAvg::with_sketch(Arc::new(Stc::paper())), cfg).run()
-        }
-        Method::Dgc => {
-            Experiment::new(model, data, FedAvg::with_sketch(dgc()), cfg).run()
-        }
-        Method::AfdDgc => {
-            Experiment::new(model, data, Afd::with_sketch(p, dgc()), cfg).run()
-        }
-        Method::FjordDgc => {
-            Experiment::new(model, data, Fjord::with_sketch(p, dgc()), cfg).run()
-        }
+        Method::FedPaq => Experiment::new(
+            model,
+            data,
+            FedAvg::with_sketch(Arc::new(FedPaq::paper())),
+            cfg,
+        )
+        .run(),
+        Method::SignSgd => Experiment::new(
+            model,
+            data,
+            FedAvg::with_sketch(Arc::new(SignSgd::default())),
+            cfg,
+        )
+        .run(),
+        Method::Stc => Experiment::new(
+            model,
+            data,
+            FedAvg::with_sketch(Arc::new(Stc::paper())),
+            cfg,
+        )
+        .run(),
+        Method::Dgc => Experiment::new(model, data, FedAvg::with_sketch(dgc()), cfg).run(),
+        Method::AfdDgc => Experiment::new(model, data, Afd::with_sketch(p, dgc()), cfg).run(),
+        Method::FjordDgc => Experiment::new(model, data, Fjord::with_sketch(p, dgc()), cfg).run(),
         Method::FedBiadDgc => {
-            let algo =
-                FedBiad::with_sketch(FedBiadConfig::paper(p, opts.stage_boundary), dgc());
+            let algo = FedBiad::with_sketch(FedBiadConfig::paper(p, opts.stage_boundary), dgc());
             Experiment::new(model, data, algo, cfg).run()
         }
     }

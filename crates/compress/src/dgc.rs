@@ -26,7 +26,11 @@ impl Dgc {
     /// The configuration used for Table II (99.9 % sparsity, m = 0.9,
     /// 4-round exponential warm-up).
     pub fn paper() -> Self {
-        Self { keep_fraction: 0.001, momentum: 0.9, warmup_rounds: 4 }
+        Self {
+            keep_fraction: 0.001,
+            momentum: 0.9,
+            warmup_rounds: 4,
+        }
     }
 
     /// Kept fraction for `round` under the warm-up schedule.
@@ -55,7 +59,12 @@ impl Compressor for Dgc {
         let n = delta.len();
         state.ensure_len(n);
         // Momentum correction: v = m·v + g ; accumulate u += v.
-        for ((v, u), &g) in state.velocity.iter_mut().zip(&mut state.residual).zip(delta) {
+        for ((v, u), &g) in state
+            .velocity
+            .iter_mut()
+            .zip(&mut state.residual)
+            .zip(delta)
+        {
             *v = self.momentum * *v + g;
             *u += *v;
         }
@@ -103,7 +112,11 @@ mod tests {
     fn transmits_exact_values_at_topk() {
         let delta = [3.0f32, -0.1, 0.2, -5.0];
         let mut st = ClientState::default();
-        let d = Dgc { keep_fraction: 0.5, momentum: 0.0, warmup_rounds: 0 };
+        let d = Dgc {
+            keep_fraction: 0.5,
+            momentum: 0.0,
+            warmup_rounds: 0,
+        };
         let c = d.compress(&mut st, &delta, 0, &mut rng());
         assert_eq!(c.sent_values, 2);
         assert_eq!(c.decoded[3], -5.0);
@@ -122,7 +135,11 @@ mod tests {
         // starved. Coordinate 0 always wins the single slot; coordinate 1
         // accumulates with momentum.
         let delta = [10.0f32, 1.0];
-        let d = Dgc { keep_fraction: 0.5, momentum: 0.9, warmup_rounds: 0 };
+        let d = Dgc {
+            keep_fraction: 0.5,
+            momentum: 0.9,
+            warmup_rounds: 0,
+        };
         let mut st = ClientState::default();
         for round in 0..4 {
             let c = d.compress(&mut st, &delta, round, &mut rng());
@@ -153,7 +170,11 @@ mod tests {
     fn nothing_is_lost_sum_conservation() {
         // With momentum 0, decoded + residual must always equal the running
         // sum of deltas (per coordinate).
-        let d = Dgc { keep_fraction: 0.25, momentum: 0.0, warmup_rounds: 0 };
+        let d = Dgc {
+            keep_fraction: 0.25,
+            momentum: 0.0,
+            warmup_rounds: 0,
+        };
         let mut st = ClientState::default();
         let mut sent = [0.0f32; 4];
         let deltas = [[1.0f32, -2.0, 0.5, 0.1], [0.3, 0.3, -0.2, 0.9]];

@@ -84,24 +84,14 @@ mod tests {
     #[test]
     fn save_ratio_is_about_4x() {
         let n = 4096;
-        let c = FedPaq::paper().compress(
-            &mut ClientState::default(),
-            &vec![0.5; n],
-            0,
-            &mut rng(),
-        );
+        let c = FedPaq::paper().compress(&mut ClientState::default(), &vec![0.5; n], 0, &mut rng());
         let ratio = bytes::dense_bytes(n) as f64 / c.wire_bytes as f64;
         assert!((ratio - 4.0).abs() < 0.05, "{ratio}");
     }
 
     #[test]
     fn zero_delta_stays_zero() {
-        let c = FedPaq::paper().compress(
-            &mut ClientState::default(),
-            &[0.0; 16],
-            0,
-            &mut rng(),
-        );
+        let c = FedPaq::paper().compress(&mut ClientState::default(), &[0.0; 16], 0, &mut rng());
         assert!(c.decoded.iter().all(|&v| v == 0.0));
     }
 

@@ -19,7 +19,9 @@ pub struct SignSgd {
 
 impl Default for SignSgd {
     fn default() -> Self {
-        Self { error_feedback: true }
+        Self {
+            error_feedback: true,
+        }
     }
 }
 
@@ -39,7 +41,11 @@ impl Compressor for SignSgd {
         state.ensure_len(n);
         // Corrected signal = new delta + residual from previous rounds.
         let corrected: Vec<f32> = if self.error_feedback {
-            delta.iter().zip(&state.residual).map(|(d, r)| d + r).collect()
+            delta
+                .iter()
+                .zip(&state.residual)
+                .map(|(d, r)| d + r)
+                .collect()
         } else {
             delta.to_vec()
         };
@@ -74,7 +80,10 @@ mod tests {
     fn signs_are_preserved_and_magnitude_shared() {
         let delta = [2.0f32, -1.0, 0.5, -0.5];
         let mut st = ClientState::default();
-        let c = SignSgd { error_feedback: false }.compress(&mut st, &delta, 0, &mut rng());
+        let c = SignSgd {
+            error_feedback: false,
+        }
+        .compress(&mut st, &delta, 0, &mut rng());
         let mu = 1.0; // mean |delta|
         assert_eq!(c.decoded, vec![mu, -mu, mu, -mu]);
     }
@@ -82,12 +91,8 @@ mod tests {
     #[test]
     fn save_ratio_is_about_32x() {
         let n = 1 << 16;
-        let c = SignSgd::default().compress(
-            &mut ClientState::default(),
-            &vec![0.25; n],
-            0,
-            &mut rng(),
-        );
+        let c =
+            SignSgd::default().compress(&mut ClientState::default(), &vec![0.25; n], 0, &mut rng());
         let ratio = bytes::dense_bytes(n) as f64 / c.wire_bytes as f64;
         assert!(ratio > 31.0 && ratio <= 32.0, "{ratio}");
     }
@@ -123,7 +128,9 @@ mod tests {
     fn without_feedback_bias_persists() {
         let delta = [10.0f32, 0.1];
         let mut st = ClientState::default();
-        let comp = SignSgd { error_feedback: false };
+        let comp = SignSgd {
+            error_feedback: false,
+        };
         let mut sum1 = 0.0;
         for round in 0..50 {
             sum1 += comp.compress(&mut st, &delta, round, &mut rng()).decoded[1];

@@ -20,7 +20,9 @@ pub struct Stc {
 impl Stc {
     /// Configuration matching Table II's STC save ratios (≈177-206×).
     pub fn paper() -> Self {
-        Self { keep_fraction: 1.0 / 330.0 }
+        Self {
+            keep_fraction: 1.0 / 330.0,
+        }
     }
 }
 
@@ -39,8 +41,11 @@ impl Compressor for Stc {
         let n = delta.len();
         state.ensure_len(n);
         // Error feedback: compress delta + residual.
-        let corrected: Vec<f32> =
-            delta.iter().zip(&state.residual).map(|(d, r)| d + r).collect();
+        let corrected: Vec<f32> = delta
+            .iter()
+            .zip(&state.residual)
+            .map(|(d, r)| d + r)
+            .collect();
         let k = ((n as f64 * self.keep_fraction as f64).ceil() as usize).clamp(1, n);
         let idx = stats::top_k_abs_indices(&corrected, k);
         let mu = idx.iter().map(|&i| corrected[i].abs()).sum::<f32>() / k as f32;
@@ -110,7 +115,9 @@ mod tests {
         // A coordinate below the top-k threshold accumulates in the
         // residual and must eventually be selected.
         let delta = [1.0f32, 0.3, 0.0, 0.0];
-        let comp = Stc { keep_fraction: 0.25 }; // k = 1
+        let comp = Stc {
+            keep_fraction: 0.25,
+        }; // k = 1
         let mut st = ClientState::default();
         let mut coord1_total = 0.0f32;
         for round in 0..12 {

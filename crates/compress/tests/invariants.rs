@@ -45,7 +45,10 @@ fn round_trip_shape_and_byte_invariants() {
                 let c = comp.compress(&mut st, &delta, round, &mut rng(2));
                 assert_eq!(c.decoded.len(), n, "{name} n={n} round {round}: shape");
                 assert!(c.wire_bytes > 0, "{name} n={n}: empty wire payload");
-                assert!(c.decoded.iter().all(|v| v.is_finite()), "{name}: non-finite decode");
+                assert!(
+                    c.decoded.iter().all(|v| v.is_finite()),
+                    "{name}: non-finite decode"
+                );
                 assert!(
                     c.sent_values <= n as u64,
                     "{name} n={n}: sent {} of {n} values",
@@ -85,10 +88,16 @@ fn wire_bytes_match_published_formulas() {
     assert_eq!(c.wire_bytes, bytes::quantized_bytes(n, 1));
 
     let c = Stc::paper().compress(&mut ClientState::default(), &delta, 0, &mut rng(4));
-    assert_eq!(c.wire_bytes, bytes::sparse_ternary_bytes(c.sent_values as usize));
+    assert_eq!(
+        c.wire_bytes,
+        bytes::sparse_ternary_bytes(c.sent_values as usize)
+    );
 
     let c = Dgc::paper().compress(&mut ClientState::default(), &delta, 10, &mut rng(4));
-    assert_eq!(c.wire_bytes, bytes::sparse_f32_bytes(c.sent_values as usize));
+    assert_eq!(
+        c.wire_bytes,
+        bytes::sparse_f32_bytes(c.sent_values as usize)
+    );
 }
 
 /// Error-feedback accounting: for the residual-carrying compressors, after
@@ -99,10 +108,22 @@ fn client_state_error_feedback_conserves_mass_per_round() {
     let n = 128usize;
     let feedback: Vec<(&str, Box<dyn Compressor>)> = vec![
         ("signsgd", Box::new(SignSgd::default())),
-        ("stc", Box::new(Stc { keep_fraction: 0.05 })),
+        (
+            "stc",
+            Box::new(Stc {
+                keep_fraction: 0.05,
+            }),
+        ),
         // momentum 0 ⇒ DGC's velocity does not inject extra mass, so the
         // conservation identity holds exactly.
-        ("dgc", Box::new(Dgc { keep_fraction: 0.05, momentum: 0.0, warmup_rounds: 0 })),
+        (
+            "dgc",
+            Box::new(Dgc {
+                keep_fraction: 0.05,
+                momentum: 0.0,
+                warmup_rounds: 0,
+            }),
+        ),
     ];
     for (name, comp) in feedback {
         let mut st = ClientState::default();
@@ -157,11 +178,17 @@ fn none_and_bytes_passthrough() {
     assert_eq!(c.decoded, delta, "identity decode must be bit-exact");
     assert_eq!(c.wire_bytes, bytes::dense_bytes(delta.len()));
     assert_eq!(c.sent_values, delta.len() as u64);
-    assert!(st.residual.is_empty() && st.velocity.is_empty(), "identity must not touch state");
+    assert!(
+        st.residual.is_empty() && st.velocity.is_empty(),
+        "identity must not touch state"
+    );
 
     // And the byte helpers themselves are consistent.
     assert_eq!(bytes::dense_bytes(0), 0);
-    assert_eq!(bytes::sparse_f32_bytes(1), bytes::F32_BYTES + bytes::POSITION_BYTES);
+    assert_eq!(
+        bytes::sparse_f32_bytes(1),
+        bytes::F32_BYTES + bytes::POSITION_BYTES
+    );
     assert_eq!(
         bytes::sparse_ternary_bytes(8),
         1 + 8 * bytes::POSITION_BYTES + bytes::SCALE_BYTES

@@ -12,10 +12,10 @@
 use super::{masked_local_update, units_to_drop};
 use crate::neuron::{derive_groups, mask_from_dropped_units, NeuronGroup};
 use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_data::ClientData;
 use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::upload::Upload;
-use fedbiad_data::ClientData;
 use fedbiad_nn::{Model, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::Rng;
@@ -37,12 +37,21 @@ impl Afd {
     /// Plain AFD at dropout rate `rate`.
     pub fn new(rate: f32) -> Self {
         assert!((0.0..1.0).contains(&rate));
-        Self { rate, epsilon: 0.1, sketch: None, credit: Vec::new(), last_drops: Vec::new() }
+        Self {
+            rate,
+            epsilon: 0.1,
+            sketch: None,
+            credit: Vec::new(),
+            last_drops: Vec::new(),
+        }
     }
 
     /// AFD combined with a sketched compressor (Table II "AFD+DGC").
     pub fn with_sketch(rate: f32, comp: Arc<dyn Compressor>) -> Self {
-        Self { sketch: Some(comp), ..Self::new(rate) }
+        Self {
+            sketch: Some(comp),
+            ..Self::new(rate)
+        }
     }
 
     /// Unit score = global weight-norm of the unit's rows/cols + credit.
@@ -116,9 +125,7 @@ impl FlAlgorithm for Afd {
                 let n_drop = units_to_drop(g.count, self.rate);
                 // Drop the lowest-scoring units…
                 let mut order: Vec<usize> = (0..g.count).collect();
-                order.sort_by(|&a, &b| {
-                    s[a].partial_cmp(&s[b]).expect("NaN score").then(a.cmp(&b))
-                });
+                order.sort_by(|&a, &b| s[a].partial_cmp(&s[b]).expect("NaN score").then(a.cmp(&b)));
                 let mut dropped: Vec<usize> = order[..n_drop].to_vec();
                 // …with ε-greedy exploration swaps.
                 for d in dropped.iter_mut() {
@@ -174,8 +181,10 @@ impl FlAlgorithm for Afd {
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
     ) {
-        let ups: Vec<(f32, &Upload)> =
-            results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+        let ups: Vec<(f32, &Upload)> = results
+            .iter()
+            .map(|(_, r)| (r.num_samples as f32, &r.upload))
+            .collect();
         aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
 
         // Credit active units with the mean loss improvement (EMA 0.9).
@@ -212,10 +221,19 @@ mod tests {
     fn server_decides_one_drop_set_for_all_clients() {
         let (model, global, data) = setup();
         let mut algo = Afd::new(0.5);
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 8 };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 8,
+        };
         let rctx = algo.begin_round(info, &global);
         assert!(!rctx.drops[0].is_empty());
-        let cfg = TrainConfig { local_iters: 2, batch_size: 8, lr: 0.1, ..Default::default() };
+        let cfg = TrainConfig {
+            local_iters: 2,
+            batch_size: 8,
+            lr: 0.1,
+            ..Default::default()
+        };
         let mut st0 = SketchState::default();
         let mut st1 = SketchState::default();
         let a = algo.local_update(info, &rctx, 0, &mut st0, &global, &data, &model, &cfg);
@@ -241,7 +259,11 @@ mod tests {
         }
         let mut algo = Afd::new(0.25);
         algo.epsilon = 0.0; // no exploration for determinism
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 8 };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 8,
+        };
         let rctx = algo.begin_round(info, &global);
         assert!(rctx.drops[0].contains(&3), "{:?}", rctx.drops[0]);
         assert!(!rctx.drops[0].contains(&5));
@@ -253,9 +275,18 @@ mod tests {
         let (model, global, data) = setup();
         let mut algo = Afd::new(0.5);
         algo.epsilon = 0.0;
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 8 };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 8,
+        };
         let rctx = algo.begin_round(info, &global);
-        let cfg = TrainConfig { local_iters: 6, batch_size: 8, lr: 0.3, ..Default::default() };
+        let cfg = TrainConfig {
+            local_iters: 6,
+            batch_size: 8,
+            lr: 0.3,
+            ..Default::default()
+        };
         let mut st = SketchState::default();
         let res = algo.local_update(info, &rctx, 0, &mut st, &global, &data, &model, &cfg);
         let mut g = global.clone();

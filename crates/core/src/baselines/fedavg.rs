@@ -3,11 +3,11 @@
 //! STC, DGC), which compress the full-model *delta* with no dropout.
 
 use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_data::ClientData;
 use fedbiad_fl::aggregate::{aggregate_deltas, aggregate_weights, ZeroMode};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::client::{run_local_training, LocalRunId, NoHooks};
 use fedbiad_fl::upload::{Upload, UploadKind};
-use fedbiad_data::ClientData;
 use fedbiad_nn::{Model, ModelMask, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use std::sync::Arc;
@@ -65,7 +65,11 @@ impl FlAlgorithm for FedAvg {
         cfg: &TrainConfig,
     ) -> LocalResult {
         let mut u = global.clone();
-        let id = LocalRunId { seed: info.seed, round: info.round, client: client_id };
+        let id = LocalRunId {
+            seed: info.seed,
+            round: info.round,
+            client: client_id,
+        };
         let stats = run_local_training(id, model, data, cfg, &mut u, &mut NoHooks);
 
         let upload = match &self.sketch {
@@ -110,8 +114,10 @@ impl FlAlgorithm for FedAvg {
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
     ) {
-        let ups: Vec<(f32, &Upload)> =
-            results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+        let ups: Vec<(f32, &Upload)> = results
+            .iter()
+            .map(|(_, r)| (r.num_samples as f32, &r.upload))
+            .collect();
         match self.sketch {
             None => aggregate_weights(global, &ups, ZeroMode::HoldersOnly),
             Some(_) => aggregate_deltas(global, &ups),
@@ -131,7 +137,11 @@ mod tests {
         let mut set = ImageSet::empty(4);
         for i in 0..40 {
             let c = i % 2;
-            let f = if c == 0 { [1.0, 1.0, 0.0, 0.0] } else { [0.0, 0.0, 1.0, 1.0] };
+            let f = if c == 0 {
+                [1.0, 1.0, 0.0, 0.0]
+            } else {
+                [0.0, 0.0, 1.0, 1.0]
+            };
             set.push(&f, c as u32);
         }
         (model, global, ClientData::Image(set))
@@ -142,8 +152,17 @@ mod tests {
         let (model, global, data) = setup();
         let algo = FedAvg::new();
         let mut st = algo.init_client_state(0, &model, &global);
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 2 };
-        let cfg = TrainConfig { local_iters: 3, batch_size: 8, lr: 0.1, ..Default::default() };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 2,
+        };
+        let cfg = TrainConfig {
+            local_iters: 3,
+            batch_size: 8,
+            lr: 0.1,
+            ..Default::default()
+        };
         let res = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg);
         assert_eq!(res.upload.wire_bytes, global.total_bytes());
         assert_eq!(res.upload.kind, UploadKind::Weights);
@@ -154,8 +173,17 @@ mod tests {
         let (model, global, data) = setup();
         let algo = FedAvg::with_sketch(Arc::new(FedPaq::paper()));
         let mut st = algo.init_client_state(0, &model, &global);
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 2 };
-        let cfg = TrainConfig { local_iters: 3, batch_size: 8, lr: 0.1, ..Default::default() };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 2,
+        };
+        let cfg = TrainConfig {
+            local_iters: 3,
+            batch_size: 8,
+            lr: 0.1,
+            ..Default::default()
+        };
         let res = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg);
         assert_eq!(res.upload.kind, UploadKind::Delta);
         // ≈4× smaller than the dense model.
@@ -169,8 +197,17 @@ mod tests {
         let (model, global, data) = setup();
         let mut algo = FedAvg::with_sketch(Arc::new(FedPaq::paper()));
         let mut st = algo.init_client_state(0, &model, &global);
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 3 };
-        let cfg = TrainConfig { local_iters: 5, batch_size: 8, lr: 0.2, ..Default::default() };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 3,
+        };
+        let cfg = TrainConfig {
+            local_iters: 5,
+            batch_size: 8,
+            lr: 0.2,
+            ..Default::default()
+        };
         let res = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg);
         let mut g = global.clone();
         algo.aggregate(info, &(), &mut g, &[(0, res)]);

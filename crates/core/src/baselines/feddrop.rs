@@ -11,10 +11,10 @@
 use super::{masked_local_update, units_to_drop};
 use crate::neuron::{derive_groups, mask_from_dropped_units, NeuronGroup};
 use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_data::ClientData;
 use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::upload::Upload;
-use fedbiad_data::ClientData;
 use fedbiad_nn::{Model, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::seq::SliceRandom;
@@ -35,7 +35,10 @@ impl FedDrop {
 
     /// FedDrop combined with a sketched compressor.
     pub fn with_sketch(rate: f32, comp: Arc<dyn Compressor>) -> Self {
-        Self { sketch: Some(comp), ..Self::new(rate) }
+        Self {
+            sketch: Some(comp),
+            ..Self::new(rate)
+        }
     }
 
     /// Random per-client drop sets over the non-recurrent groups.
@@ -45,8 +48,12 @@ impl FedDrop {
         info: RoundInfo,
         client_id: usize,
     ) -> Vec<(&'g NeuronGroup, Vec<usize>)> {
-        let mut rng =
-            stream(info.seed, StreamTag::Baseline, info.round as u64, client_id as u64);
+        let mut rng = stream(
+            info.seed,
+            StreamTag::Baseline,
+            info.round as u64,
+            client_id as u64,
+        );
         groups
             .iter()
             .filter(|g| !g.recurrent)
@@ -112,8 +119,10 @@ impl FlAlgorithm for FedDrop {
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
     ) {
-        let ups: Vec<(f32, &Upload)> =
-            results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+        let ups: Vec<(f32, &Upload)> = results
+            .iter()
+            .map(|(_, r)| (r.num_samples as f32, &r.upload))
+            .collect();
         aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
     }
 }
@@ -138,15 +147,22 @@ mod tests {
         let model = MlpModel::new(4, 10, 2);
         let global = model.init_params(&mut stream(1, StreamTag::Init, 0, 0));
         let data = image_client();
-        let cfg = TrainConfig { local_iters: 2, batch_size: 8, lr: 0.1, ..Default::default() };
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 4 };
+        let cfg = TrainConfig {
+            local_iters: 2,
+            batch_size: 8,
+            lr: 0.1,
+            ..Default::default()
+        };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 4,
+        };
         let algo_lo = FedDrop::new(0.2);
         let algo_hi = FedDrop::new(0.5);
         let mut st = SketchState::default();
-        let lo =
-            algo_lo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg);
-        let hi =
-            algo_hi.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg);
+        let lo = algo_lo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg);
+        let hi = algo_hi.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg);
         assert!(hi.upload.wire_bytes < lo.upload.wire_bytes);
         assert!(lo.upload.wire_bytes < global.total_bytes());
     }
@@ -159,7 +175,11 @@ mod tests {
         let global = model.init_params(&mut stream(2, StreamTag::Init, 0, 0));
         let groups = derive_groups(&global);
         let algo = FedDrop::new(0.5);
-        let info = RoundInfo { round: 3, total_rounds: 5, seed: 7 };
+        let info = RoundInfo {
+            round: 3,
+            total_rounds: 5,
+            seed: 7,
+        };
         let drops = algo.sample_drops(&groups, info, 0);
         for (g, units) in &drops {
             assert!(!g.recurrent);
@@ -176,7 +196,11 @@ mod tests {
         let global = model.init_params(&mut stream(3, StreamTag::Init, 0, 0));
         let groups = derive_groups(&global);
         let algo = FedDrop::new(0.5);
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 4 };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 4,
+        };
         let a = algo.sample_drops(&groups, info, 0);
         let b = algo.sample_drops(&groups, info, 1);
         assert_ne!(a[0].1, b[0].1);

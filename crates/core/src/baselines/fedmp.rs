@@ -10,10 +10,10 @@
 
 use super::masked_local_update;
 use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_data::ClientData;
 use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::upload::Upload;
-use fedbiad_data::ClientData;
 use fedbiad_nn::mask::{BitVec, CoverageMask, ModelMask};
 use fedbiad_nn::params::LayerKind;
 use fedbiad_nn::{Model, ParamSet};
@@ -35,7 +35,10 @@ impl FedMp {
 
     /// FedMP with a sketched compressor.
     pub fn with_sketch(rate: f32, comp: Arc<dyn Compressor>) -> Self {
-        Self { sketch: Some(comp), ..Self::new(rate) }
+        Self {
+            sketch: Some(comp),
+            ..Self::new(rate)
+        }
     }
 
     /// Is entry `e` prunable under FedMP's published scope?
@@ -117,8 +120,10 @@ impl FlAlgorithm for FedMp {
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
     ) {
-        let ups: Vec<(f32, &Upload)> =
-            results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+        let ups: Vec<(f32, &Upload)> = results
+            .iter()
+            .map(|(_, r)| (r.num_samples as f32, &r.upload))
+            .collect();
         aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
     }
 }
@@ -143,7 +148,7 @@ mod tests {
             CoverageMask::Elements(bits) => {
                 assert!(bits.get(0)); // (0,0)
                 assert!(bits.get(2 * 3 + 1)); // (2,1)
-                // Keeps ⌈20%⌉ of 12 = 2… round(12·0.2)=2.
+                                              // Keeps ⌈20%⌉ of 12 = 2… round(12·0.2)=2.
                 assert_eq!(bits.count_ones(), 2);
             }
             other => panic!("want Elements, got {other:?}"),

@@ -11,10 +11,10 @@
 use super::{masked_local_update, units_to_drop};
 use crate::neuron::{derive_groups, mask_from_dropped_units, NeuronGroup};
 use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_data::ClientData;
 use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::upload::Upload;
-use fedbiad_data::ClientData;
 use fedbiad_nn::{Model, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::Rng;
@@ -31,19 +31,22 @@ impl Fjord {
     /// Ladder derived from dropout rate p: {1−p, 1−p/2, 1} (uniform).
     pub fn new(rate: f32) -> Self {
         assert!((0.0..1.0).contains(&rate));
-        Self { ladder: vec![1.0 - rate, 1.0 - rate / 2.0, 1.0], sketch: None }
+        Self {
+            ladder: vec![1.0 - rate, 1.0 - rate / 2.0, 1.0],
+            sketch: None,
+        }
     }
 
     /// FjORD with a sketched compressor (Table II "Fjord+DGC").
     pub fn with_sketch(rate: f32, comp: Arc<dyn Compressor>) -> Self {
-        Self { sketch: Some(comp), ..Self::new(rate) }
+        Self {
+            sketch: Some(comp),
+            ..Self::new(rate)
+        }
     }
 
     /// Trailing units dropped by a client at width `w`.
-    fn ordered_drops(
-        groups: &[NeuronGroup],
-        width: f32,
-    ) -> Vec<(&NeuronGroup, Vec<usize>)> {
+    fn ordered_drops(groups: &[NeuronGroup], width: f32) -> Vec<(&NeuronGroup, Vec<usize>)> {
         groups
             .iter()
             .map(|g| {
@@ -84,8 +87,12 @@ impl FlAlgorithm for Fjord {
         model: &dyn Model,
         cfg: &TrainConfig,
     ) -> LocalResult {
-        let mut rng =
-            stream(info.seed, StreamTag::Baseline, info.round as u64, client_id as u64);
+        let mut rng = stream(
+            info.seed,
+            StreamTag::Baseline,
+            info.round as u64,
+            client_id as u64,
+        );
         let width = self.ladder[rng.gen_range(0..self.ladder.len())];
         let groups = derive_groups(global);
         let drops = Self::ordered_drops(&groups, width);
@@ -110,8 +117,10 @@ impl FlAlgorithm for Fjord {
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
     ) {
-        let ups: Vec<(f32, &Upload)> =
-            results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+        let ups: Vec<(f32, &Upload)> = results
+            .iter()
+            .map(|(_, r)| (r.num_samples as f32, &r.upload))
+            .collect();
         aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
     }
 }
@@ -148,14 +157,22 @@ mod tests {
             set.push(&[0.5; 4], (i % 2) as u32);
         }
         let data = ClientData::Image(set);
-        let cfg = TrainConfig { local_iters: 1, batch_size: 4, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            local_iters: 1,
+            batch_size: 4,
+            lr: 0.05,
+            ..Default::default()
+        };
         let algo = Fjord::new(0.5);
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 6 };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 6,
+        };
         let mut seen = std::collections::BTreeSet::new();
         for client in 0..12usize {
             let mut st = SketchState::default();
-            let res =
-                algo.local_update(info, &(), client, &mut st, &global, &data, &model, &cfg);
+            let res = algo.local_update(info, &(), client, &mut st, &global, &data, &model, &cfg);
             seen.insert(res.upload.wire_bytes);
         }
         // At least two distinct widths appear across 12 clients.

@@ -9,10 +9,10 @@
 use super::{masked_local_update, units_to_drop};
 use crate::neuron::{derive_groups, mask_from_dropped_units, NeuronGroup};
 use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_data::ClientData;
 use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::upload::Upload;
-use fedbiad_data::ClientData;
 use fedbiad_nn::{Model, ParamSet};
 use std::sync::Arc;
 
@@ -27,12 +27,18 @@ impl HeteroFl {
     /// Ladder derived from dropout rate p: {1−p, √(1−p), 1}.
     pub fn new(rate: f32) -> Self {
         assert!((0.0..1.0).contains(&rate));
-        Self { ladder: vec![1.0 - rate, (1.0 - rate).sqrt(), 1.0], sketch: None }
+        Self {
+            ladder: vec![1.0 - rate, (1.0 - rate).sqrt(), 1.0],
+            sketch: None,
+        }
     }
 
     /// HeteroFL with a sketched compressor.
     pub fn with_sketch(rate: f32, comp: Arc<dyn Compressor>) -> Self {
-        Self { sketch: Some(comp), ..Self::new(rate) }
+        Self {
+            sketch: Some(comp),
+            ..Self::new(rate)
+        }
     }
 
     /// The static width class of `client_id`.
@@ -40,10 +46,7 @@ impl HeteroFl {
         self.ladder[client_id % self.ladder.len()]
     }
 
-    fn drops(
-        groups: &[NeuronGroup],
-        width: f32,
-    ) -> Vec<(&NeuronGroup, Vec<usize>)> {
+    fn drops(groups: &[NeuronGroup], width: f32) -> Vec<(&NeuronGroup, Vec<usize>)> {
         groups
             .iter()
             .map(|g| {
@@ -107,8 +110,10 @@ impl FlAlgorithm for HeteroFl {
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
     ) {
-        let ups: Vec<(f32, &Upload)> =
-            results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+        let ups: Vec<(f32, &Upload)> = results
+            .iter()
+            .map(|(_, r)| (r.num_samples as f32, &r.upload))
+            .collect();
         aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
     }
 }
@@ -138,17 +143,28 @@ mod tests {
             set.push(&[0.5; 4], (i % 2) as u32);
         }
         let data = ClientData::Image(set);
-        let cfg = TrainConfig { local_iters: 1, batch_size: 4, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            local_iters: 1,
+            batch_size: 4,
+            lr: 0.05,
+            ..Default::default()
+        };
         let algo = HeteroFl::new(0.5);
-        let info = RoundInfo { round: 0, total_rounds: 5, seed: 6 };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 5,
+            seed: 6,
+        };
         let mut bytes = Vec::new();
         for client in 0..3usize {
             let mut st = SketchState::default();
-            let res =
-                algo.local_update(info, &(), client, &mut st, &global, &data, &model, &cfg);
+            let res = algo.local_update(info, &(), client, &mut st, &global, &data, &model, &cfg);
             bytes.push((algo.width_of(client), res.upload.wire_bytes));
         }
         bytes.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        assert!(bytes[0].1 < bytes[1].1 && bytes[1].1 < bytes[2].1, "{bytes:?}");
+        assert!(
+            bytes[0].1 < bytes[1].1 && bytes[1].1 < bytes[2].1,
+            "{bytes:?}"
+        );
     }
 }

@@ -26,10 +26,10 @@ pub use heterofl::HeteroFl;
 
 use crate::combo;
 use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_data::ClientData;
 use fedbiad_fl::algorithm::{LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::client::{run_local_training, LocalHooks, LocalRunId};
 use fedbiad_fl::upload::{Upload, UploadKind};
-use fedbiad_data::ClientData;
 use fedbiad_nn::{Model, ModelMask, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 
@@ -60,7 +60,11 @@ pub(crate) fn masked_local_update(
 ) -> LocalResult {
     let mut u = global.clone();
     mask.apply(&mut u);
-    let id = LocalRunId { seed: info.seed, round: info.round, client: client_id };
+    let id = LocalRunId {
+        seed: info.seed,
+        round: info.round,
+        client: client_id,
+    };
     let stats = run_local_training(id, model, data, cfg, &mut u, &mut MaskHooks { mask: &mask });
 
     let upload = match sketch {
@@ -68,8 +72,12 @@ pub(crate) fn masked_local_update(
         Some(comp) => {
             let mut masked_u = u;
             mask.apply(&mut masked_u);
-            let mut crng =
-                stream(info.seed, StreamTag::Compress, info.round as u64, client_id as u64);
+            let mut crng = stream(
+                info.seed,
+                StreamTag::Compress,
+                info.round as u64,
+                client_id as u64,
+            );
             let out = combo::sketch_masked_weights(
                 comp,
                 sketch_state,
@@ -79,8 +87,7 @@ pub(crate) fn masked_local_update(
                 info.round,
                 &mut crng,
             );
-            let overhead =
-                mask.wire_bytes(&masked_u) - mask.kept_params(&masked_u) as u64 * 4;
+            let overhead = mask.wire_bytes(&masked_u) - mask.kept_params(&masked_u) as u64 * 4;
             Upload {
                 kind: UploadKind::Weights,
                 params: out.reconstructed,

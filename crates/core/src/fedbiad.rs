@@ -21,11 +21,11 @@ use crate::losstrend::LossTrend;
 use crate::pattern::{keep_count, DropPattern};
 use crate::spike_slab::{client_total_data, resolve_noise, sample_theta, NoiseLevel};
 use fedbiad_compress::{ClientState as SketchState, Compressor};
+use fedbiad_data::ClientData;
 use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::client::{run_local_training, LocalHooks, LocalRunId};
 use fedbiad_fl::upload::Upload;
-use fedbiad_data::ClientData;
 use fedbiad_nn::{Model, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::rngs::StdRng;
@@ -133,13 +133,21 @@ pub struct FedBiad {
 impl FedBiad {
     /// Plain FedBIAD.
     pub fn new(cfg: FedBiadConfig) -> Self {
-        Self { cfg, sketch: None, keep_freq: Vec::new() }
+        Self {
+            cfg,
+            sketch: None,
+            keep_freq: Vec::new(),
+        }
     }
 
     /// FedBIAD combined with a sketched compressor (paper Fig. 5 /
     /// Table II "FedBIAD+DGC").
     pub fn with_sketch(cfg: FedBiadConfig, comp: Arc<dyn Compressor>) -> Self {
-        Self { cfg, sketch: Some(comp), keep_freq: Vec::new() }
+        Self {
+            cfg,
+            sketch: Some(comp),
+            keep_freq: Vec::new(),
+        }
     }
 
     /// Is `round` (0-based) in stage one? The paper's stage rule is
@@ -214,7 +222,12 @@ struct BiadHooks<'a> {
 impl LocalHooks for BiadHooks<'_> {
     fn make_theta(&mut self, _v: usize, u: &ParamSet) -> Option<ParamSet> {
         // Algorithm 1 line 16: θ ~ β ∘ N(U, s̃²I).
-        Some(sample_theta(u, &self.pattern, self.s_tilde, &mut self.noise_rng))
+        Some(sample_theta(
+            u,
+            &self.pattern,
+            self.s_tilde,
+            &mut self.noise_rng,
+        ))
     }
 
     fn mask_grads(&mut self, _v: usize, grads: &mut ParamSet) {
@@ -295,8 +308,12 @@ impl FlAlgorithm for FedBiad {
         } else {
             client_id as u64
         };
-        let mut pattern_rng =
-            stream(info.seed, StreamTag::Pattern, info.round as u64, pattern_client);
+        let mut pattern_rng = stream(
+            info.seed,
+            StreamTag::Pattern,
+            info.round as u64,
+            pattern_client,
+        );
         let noise_rng = stream(
             info.seed,
             StreamTag::PosteriorNoise,
@@ -329,8 +346,13 @@ impl FlAlgorithm for FedBiad {
         let m_r = client_total_data(info.round + 1, cfg.local_iters, data.num_samples());
         let kept_weights =
             (arch.total_weights as f64 * (1.0 - self.cfg.dropout_rate) as f64) as usize;
-        let s_tilde =
-            resolve_noise(self.cfg.noise, &arch, kept_weights, m_r, self.cfg.weight_bound);
+        let s_tilde = resolve_noise(
+            self.cfg.noise,
+            &arch,
+            kept_weights,
+            m_r,
+            self.cfg.weight_bound,
+        );
 
         let mut hooks = BiadHooks {
             fedbiad: self,
@@ -347,7 +369,11 @@ impl FlAlgorithm for FedBiad {
             resamples: 0,
         };
 
-        let id = LocalRunId { seed: info.seed, round: info.round, client: client_id };
+        let id = LocalRunId {
+            seed: info.seed,
+            round: info.round,
+            client: client_id,
+        };
         let stats = run_local_training(id, model, data, cfg, &mut u, &mut hooks);
         let final_pattern = hooks.pattern.clone();
         drop(hooks); // release the &mut borrow of state.scores
@@ -406,8 +432,10 @@ impl FlAlgorithm for FedBiad {
         results: &[(usize, LocalResult)],
     ) {
         // Eq. (10): weighted average of reconstructed β∘U.
-        let ups: Vec<(f32, &Upload)> =
-            results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+        let ups: Vec<(f32, &Upload)> = results
+            .iter()
+            .map(|(_, r)| (r.num_samples as f32, &r.upload))
+            .collect();
         aggregate_weights(global, &ups, self.cfg.aggregation);
 
         // Update the posterior keep-frequency EMA from this round's
@@ -485,7 +513,12 @@ mod tests {
     }
 
     fn cfg() -> TrainConfig {
-        TrainConfig { local_iters: 12, batch_size: 16, lr: 0.3, ..Default::default() }
+        TrainConfig {
+            local_iters: 12,
+            batch_size: 16,
+            lr: 0.3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -493,7 +526,11 @@ mod tests {
         let (model, global, data) = toy_setup();
         let algo = FedBiad::new(FedBiadConfig::paper(0.5, 5));
         let mut st = algo.init_client_state(0, &model, &global);
-        let info = RoundInfo { round: 0, total_rounds: 10, seed: 7 };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 10,
+            seed: 7,
+        };
         let res = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg());
         // Exactly keep_count rows transmitted.
         let j = global.num_row_units();
@@ -517,7 +554,11 @@ mod tests {
         for (i, e) in st.scores.e.iter_mut().enumerate() {
             *e = i as f32;
         }
-        let info = RoundInfo { round: 5, total_rounds: 10, seed: 7 }; // r=6 > Rb
+        let info = RoundInfo {
+            round: 5,
+            total_rounds: 10,
+            seed: 7,
+        }; // r=6 > Rb
         let res = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg());
         let j = global.num_row_units();
         let keep = keep_count(j, 0.5);
@@ -532,7 +573,11 @@ mod tests {
         let (model, global, data) = toy_setup();
         let algo = FedBiad::new(FedBiadConfig::paper(0.5, 10));
         let mut st = algo.init_client_state(0, &model, &global);
-        let info = RoundInfo { round: 0, total_rounds: 10, seed: 3 };
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 10,
+            seed: 3,
+        };
         let _ = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg());
         let total: f32 = st.scores.e.iter().sum();
         assert!(total > 0.0, "scores should accumulate");
@@ -555,12 +600,21 @@ mod tests {
             })
             .collect();
         let (_, _, test) = toy_setup();
-        let fd = FedDataset { name: "toy".into(), clients, test };
+        let fd = FedDataset {
+            name: "toy".into(),
+            clients,
+            test,
+        };
         let cfg = ExperimentConfig {
             rounds: 15,
             client_fraction: 0.5,
             seed: 11,
-            train: TrainConfig { local_iters: 8, batch_size: 16, lr: 0.3, ..Default::default() },
+            train: TrainConfig {
+                local_iters: 8,
+                batch_size: 16,
+                lr: 0.3,
+                ..Default::default()
+            },
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,
@@ -568,7 +622,10 @@ mod tests {
         let algo = FedBiad::new(FedBiadConfig::paper(0.3, 12));
         let log = Experiment::new(&model, &fd, algo, cfg).run();
         let last = log.records.last().unwrap().test_acc;
-        assert!(last > 0.85, "FedBIAD should learn the toy task, acc = {last}");
+        assert!(
+            last > 0.85,
+            "FedBIAD should learn the toy task, acc = {last}"
+        );
         // Uplink strictly below FedAvg's full model.
         let full = model
             .init_params(&mut stream(1, StreamTag::Init, 0, 0))
@@ -581,16 +638,25 @@ mod tests {
         use fedbiad_compress::none::NoCompression;
         let (model, global, data) = toy_setup();
         let plain = FedBiad::new(FedBiadConfig::paper(0.4, 10));
-        let sketched =
-            FedBiad::with_sketch(FedBiadConfig::paper(0.4, 10), Arc::new(NoCompression));
-        let info = RoundInfo { round: 0, total_rounds: 10, seed: 9 };
+        let sketched = FedBiad::with_sketch(FedBiadConfig::paper(0.4, 10), Arc::new(NoCompression));
+        let info = RoundInfo {
+            round: 0,
+            total_rounds: 10,
+            seed: 9,
+        };
         let mut st_a = plain.init_client_state(0, &model, &global);
         let mut st_b = sketched.init_client_state(0, &model, &global);
         let a = plain.local_update(info, &(), 0, &mut st_a, &global, &data, &model, &cfg());
         let b = sketched.local_update(info, &(), 0, &mut st_b, &global, &data, &model, &cfg());
         // Identity compression reconstructs the masked weights up to the
         // f32 rounding of the delta round-trip (g + (u − g)).
-        for (x, y) in a.upload.params.flatten().iter().zip(b.upload.params.flatten()) {
+        for (x, y) in a
+            .upload
+            .params
+            .flatten()
+            .iter()
+            .zip(b.upload.params.flatten())
+        {
             assert!((x - y).abs() < 1e-5, "{x} vs {y}");
         }
         // The identity compressor sends the same kept values densely, so

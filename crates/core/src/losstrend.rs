@@ -18,7 +18,10 @@ impl LossTrend {
     /// New tracker with window `tau` (the paper uses τ = 3).
     pub fn new(tau: usize) -> Self {
         assert!(tau >= 1, "tau must be ≥ 1");
-        Self { tau, losses: Vec::new() }
+        Self {
+            tau,
+            losses: Vec::new(),
+        }
     }
 
     /// Record iteration loss.
@@ -49,8 +52,10 @@ impl LossTrend {
             return None;
         }
         let recent: f32 = self.losses[n - self.tau..].iter().sum::<f32>() / self.tau as f32;
-        let previous: f32 =
-            self.losses[n - 2 * self.tau..n - self.tau].iter().sum::<f32>() / self.tau as f32;
+        let previous: f32 = self.losses[n - 2 * self.tau..n - self.tau]
+            .iter()
+            .sum::<f32>()
+            / self.tau as f32;
         Some(recent - previous)
     }
 

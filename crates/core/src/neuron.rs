@@ -67,8 +67,7 @@ pub fn derive_groups(params: &ParamSet) -> Vec<NeuronGroup> {
                 let dims = params.mat(e).cols();
                 let mut col_blocks = vec![(e, 0)];
                 for e2 in e + 1..n {
-                    if params.meta(e2).kind == LayerKind::LstmInput
-                        && params.mat(e2).cols() == dims
+                    if params.meta(e2).kind == LayerKind::LstmInput && params.mat(e2).cols() == dims
                     {
                         col_blocks.push((e2, 0));
                         break;
@@ -143,9 +142,10 @@ pub fn mask_from_dropped_units(
         .map(|e| match (row_bv[e].take(), col_bv[e].take()) {
             (None, None) => CoverageMask::Full,
             (Some(r), None) => CoverageMask::Rows(r),
-            (None, Some(c)) => {
-                CoverageMask::RowsCols { rows: BitVec::new(params.mat(e).rows(), true), cols: c }
-            }
+            (None, Some(c)) => CoverageMask::RowsCols {
+                rows: BitVec::new(params.mat(e).rows(), true),
+                cols: c,
+            },
             (Some(r), Some(c)) => CoverageMask::RowsCols { rows: r, cols: c },
         })
         .collect();

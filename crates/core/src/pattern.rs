@@ -34,7 +34,9 @@ pub struct DropPattern {
 impl DropPattern {
     /// All rows kept (β = 1).
     pub fn full(j: usize) -> Self {
-        Self { beta: BitVec::new(j, true) }
+        Self {
+            beta: BitVec::new(j, true),
+        }
     }
 
     /// Number of kept rows.
@@ -149,7 +151,10 @@ impl DropPattern {
             // Rank non-forced rows only.
             let mut ranked: Vec<usize> = (0..j).filter(|&r| !forced.get(r)).collect();
             ranked.sort_by(|&a, &b| {
-                scores[b].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&b))
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .expect("NaN score")
+                    .then(a.cmp(&b))
             });
             for &r in ranked.iter().take(budget) {
                 beta.set(r, true);

@@ -116,7 +116,12 @@ mod tests {
     use fedbiad_tensor::Matrix;
 
     fn arch() -> ArchInfo {
-        ArchInfo { total_weights: 101_770, depth: 2, width: 128, input_dim: 784 }
+        ArchInfo {
+            total_weights: 101_770,
+            depth: 2,
+            width: 128,
+            input_dim: 784,
+        }
     }
 
     #[test]
@@ -139,7 +144,12 @@ mod tests {
     fn posterior_variance_survives_deep_wide_models() {
         // LSTM-scale: D=300, L=4 — (2BD)^(−2L) ≈ 1e-25 must not underflow
         // to zero.
-        let lstm = ArchInfo { total_weights: 7_800_000, depth: 4, width: 300, input_dim: 300 };
+        let lstm = ArchInfo {
+            total_weights: 7_800_000,
+            depth: 4,
+            width: 300,
+            input_dim: 300,
+        };
         let v = posterior_variance(3_900_000.0, 50_000.0, &lstm, 2.0);
         assert!(v > 0.0 && v.is_finite());
     }
@@ -188,7 +198,10 @@ mod tests {
     fn resolve_noise_modes() {
         let a = arch();
         assert_eq!(resolve_noise(NoiseLevel::Off, &a, 100, 10.0, 2.0), 0.0);
-        assert_eq!(resolve_noise(NoiseLevel::Fixed(0.3), &a, 100, 10.0, 2.0), 0.3);
+        assert_eq!(
+            resolve_noise(NoiseLevel::Fixed(0.3), &a, 100, 10.0, 2.0),
+            0.3
+        );
         let t = resolve_noise(NoiseLevel::Theory, &a, 80_000, 10_000.0, 2.0);
         assert!(t > 0.0 && t < 1e-3);
     }

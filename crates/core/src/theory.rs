@@ -110,8 +110,10 @@ mod tests {
     #[test]
     fn epsilon_decreases_with_data() {
         let p = params();
-        let seq: Vec<f64> =
-            [1e3, 1e4, 1e5, 1e6].iter().map(|&m| epsilon_bound(&p, m)).collect();
+        let seq: Vec<f64> = [1e3, 1e4, 1e5, 1e6]
+            .iter()
+            .map(|&m| epsilon_bound(&p, m))
+            .collect();
         assert!(seq.windows(2).all(|w| w[1] < w[0]), "{seq:?}");
         assert!(seq.iter().all(|&e| e > 0.0));
     }
@@ -171,7 +173,12 @@ mod tests {
 
     #[test]
     fn from_arch_applies_dropout_to_s() {
-        let arch = ArchInfo { total_weights: 1000, depth: 2, width: 16, input_dim: 8 };
+        let arch = ArchInfo {
+            total_weights: 1000,
+            depth: 2,
+            width: 16,
+            input_dim: 8,
+        };
         let p = TheoryParams::from_arch(&arch, 0.5);
         assert_eq!(p.s, 500.0);
     }

@@ -16,7 +16,11 @@ pub struct ImageSet {
 impl ImageSet {
     /// Empty set with the given feature dimension.
     pub fn empty(dim: usize) -> Self {
-        Self { x: Vec::new(), y: Vec::new(), dim }
+        Self {
+            x: Vec::new(),
+            y: Vec::new(),
+            dim,
+        }
     }
 
     /// Number of samples.
@@ -133,7 +137,11 @@ impl FedDataset {
 
     /// min_k |D_k| — the quantity entering m_r in Theorem 1.
     pub fn min_client_samples(&self) -> usize {
-        self.clients.iter().map(ClientData::num_samples).min().unwrap_or(0)
+        self.clients
+            .iter()
+            .map(ClientData::num_samples)
+            .min()
+            .unwrap_or(0)
     }
 }
 
@@ -158,7 +166,10 @@ mod tests {
 
     #[test]
     fn text_windows_tile_the_stream() {
-        let t = TextSet { tokens: (0..21).collect(), seq_len: 5 };
+        let t = TextSet {
+            tokens: (0..21).collect(),
+            seq_len: 5,
+        };
         assert_eq!(t.num_windows(), 4);
         assert_eq!(t.window(0), &[0, 1, 2, 3, 4, 5]);
         assert_eq!(t.window(3), &[15, 16, 17, 18, 19, 20]);
@@ -169,15 +180,25 @@ mod tests {
 
     #[test]
     fn text_too_short_has_no_windows() {
-        let t = TextSet { tokens: vec![1, 2, 3], seq_len: 5 };
+        let t = TextSet {
+            tokens: vec![1, 2, 3],
+            seq_len: 5,
+        };
         assert_eq!(t.num_windows(), 0);
     }
 
     #[test]
     fn client_data_sample_counts() {
-        let img = ClientData::Image(ImageSet { x: vec![0.0; 8], y: vec![0; 4], dim: 2 });
+        let img = ClientData::Image(ImageSet {
+            x: vec![0.0; 8],
+            y: vec![0; 4],
+            dim: 2,
+        });
         assert_eq!(img.num_samples(), 4);
-        let txt = ClientData::Text(TextSet { tokens: (0..11).collect(), seq_len: 5 });
+        let txt = ClientData::Text(TextSet {
+            tokens: (0..11).collect(),
+            seq_len: 5,
+        });
         assert_eq!(txt.num_samples(), 2);
     }
 
@@ -186,8 +207,16 @@ mod tests {
         let fd = FedDataset {
             name: "t".into(),
             clients: vec![
-                ClientData::Image(ImageSet { x: vec![0.0; 4], y: vec![0; 2], dim: 2 }),
-                ClientData::Image(ImageSet { x: vec![0.0; 10], y: vec![0; 5], dim: 2 }),
+                ClientData::Image(ImageSet {
+                    x: vec![0.0; 4],
+                    y: vec![0; 2],
+                    dim: 2,
+                }),
+                ClientData::Image(ImageSet {
+                    x: vec![0.0; 10],
+                    y: vec![0; 5],
+                    dim: 2,
+                }),
             ],
             test: ClientData::Image(ImageSet::empty(2)),
         };

@@ -159,7 +159,9 @@ pub fn partition_text_contiguous(set: &TextSet, clients: usize) -> Vec<TextSet> 
 /// with more data are chosen as clients, so that different clients have
 /// different sample sizes" — a truncated Zipf profile over users.
 pub fn reddit_user_sizes(users: usize, total_tokens: usize, seq_len: usize) -> Vec<usize> {
-    let weights: Vec<f64> = (0..users).map(|u| 1.0 / (1.0 + u as f64).powf(0.7)).collect();
+    let weights: Vec<f64> = (0..users)
+        .map(|u| 1.0 / (1.0 + u as f64).powf(0.7))
+        .collect();
     let sum: f64 = weights.iter().sum();
     let min_tokens = (seq_len + 1) * 2; // every user must yield ≥ 2 windows
     weights
@@ -195,8 +197,12 @@ pub fn label_skew(shards: &[ImageSet], classes: usize) -> f32 {
             h[y as usize] += 1.0;
         }
         let n = s.len() as f64;
-        let tv: f64 =
-            h.iter().zip(&global).map(|(a, g)| (a / n - g).abs()).sum::<f64>() / 2.0;
+        let tv: f64 = h
+            .iter()
+            .zip(&global)
+            .map(|(a, g)| (a / n - g).abs())
+            .sum::<f64>()
+            / 2.0;
         skew += tv;
         counted += 1;
     }
@@ -233,7 +239,9 @@ mod tests {
         let sh = partition_images(
             &set,
             20,
-            &ImagePartition::Shards { shards_per_client: 2 },
+            &ImagePartition::Shards {
+                shards_per_client: 2,
+            },
             2,
         );
         assert_eq!(sh.iter().map(ImageSet::len).sum::<usize>(), 2000);
@@ -268,7 +276,10 @@ mod tests {
 
     #[test]
     fn text_contiguous_split_covers_stream() {
-        let t = TextSet { tokens: (0..1000).collect(), seq_len: 10 };
+        let t = TextSet {
+            tokens: (0..1000).collect(),
+            seq_len: 10,
+        };
         let parts = partition_text_contiguous(&t, 8);
         assert_eq!(parts.len(), 8);
         assert!(parts.iter().all(|p| p.tokens.len() == 125));

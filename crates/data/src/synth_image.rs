@@ -139,12 +139,7 @@ impl SyntheticImageSpec {
         img
     }
 
-    fn sample_set(
-        &self,
-        n: usize,
-        protos: &[Vec<Vec<f32>>],
-        rng: &mut impl Rng,
-    ) -> ImageSet {
+    fn sample_set(&self, n: usize, protos: &[Vec<Vec<f32>>], rng: &mut impl Rng) -> ImageSet {
         let mut set = ImageSet::empty(self.dim());
         let mut buf = vec![0.0f32; self.dim()];
         for i in 0..n {
@@ -156,17 +151,13 @@ impl SyntheticImageSpec {
                 for xx in 0..self.side {
                     let ox = xx as i32 - sx;
                     let oy = yy as i32 - sy;
-                    let base = if ox >= 0
-                        && ox < self.side as i32
-                        && oy >= 0
-                        && oy < self.side as i32
-                    {
-                        proto[oy as usize * self.side + ox as usize]
-                    } else {
-                        0.0
-                    };
-                    let noisy =
-                        base + self.noise * fedbiad_tensor::init::gaussian(rng);
+                    let base =
+                        if ox >= 0 && ox < self.side as i32 && oy >= 0 && oy < self.side as i32 {
+                            proto[oy as usize * self.side + ox as usize]
+                        } else {
+                            0.0
+                        };
+                    let noisy = base + self.noise * fedbiad_tensor::init::gaussian(rng);
                     buf[yy * self.side + xx] = noisy.clamp(0.0, 1.0);
                 }
             }
@@ -278,7 +269,10 @@ mod tests {
         // around ~0.6 for nearest-mean, so demand a clear 2× margin over
         // chance rather than a knife-edge threshold.
         let mean_acc = total / seeds.len() as f32;
-        assert!(mean_acc > 0.5, "easy spec should be separable, mean acc = {mean_acc}");
+        assert!(
+            mean_acc > 0.5,
+            "easy spec should be separable, mean acc = {mean_acc}"
+        );
     }
 
     /// The FMNIST-like spec must be harder than the MNIST-like one for the
@@ -325,6 +319,9 @@ mod tests {
         };
         let easy = acc_of(&SyntheticImageSpec::mnist_like());
         let hard = acc_of(&SyntheticImageSpec::fmnist_like());
-        assert!(easy > hard, "mnist-like ({easy}) should be easier than fmnist-like ({hard})");
+        assert!(
+            easy > hard,
+            "mnist-like ({easy}) should be easier than fmnist-like ({hard})"
+        );
     }
 }

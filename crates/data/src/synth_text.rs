@@ -111,25 +111,28 @@ impl SyntheticTextSpec {
         let train = lang.emit(self.tokens_train, None, &mut rng);
         let test = lang.emit(self.tokens_test, None, &mut rng);
         (
-            TextSet { tokens: train, seq_len: self.seq_len },
-            TextSet { tokens: test, seq_len: self.seq_len },
+            TextSet {
+                tokens: train,
+                seq_len: self.seq_len,
+            },
+            TextSet {
+                tokens: test,
+                seq_len: self.seq_len,
+            },
         )
     }
 
     /// Generate one *user's* stream from the global language with a
     /// user-specific topic bias (Reddit-like non-IID-ness): the user mostly
     /// stays in their home topic, so their token distribution is skewed.
-    pub fn generate_user(
-        &self,
-        lang: &Language,
-        seed: u64,
-        user: u64,
-        tokens: usize,
-    ) -> TextSet {
+    pub fn generate_user(&self, lang: &Language, seed: u64, user: u64, tokens: usize) -> TextSet {
         let mut rng = stream(seed, StreamTag::Data, 1, user);
         let home_topic = (user as usize) % self.topics;
         let toks = lang.emit(tokens, Some(home_topic), &mut rng);
-        TextSet { tokens: toks, seq_len: self.seq_len }
+        TextSet {
+            tokens: toks,
+            seq_len: self.seq_len,
+        }
     }
 }
 
@@ -177,7 +180,11 @@ impl Language {
             *c /= tot;
         }
 
-        Self { spec: spec.clone(), succ, cum }
+        Self {
+            spec: spec.clone(),
+            succ,
+            cum,
+        }
     }
 
     /// Successor candidates of `(token, topic)`.
@@ -221,7 +228,10 @@ impl Language {
             }
             // Draw the next token from the geometric successor weights.
             let u: f32 = rng.gen();
-            let rank = self.cum.partition_point(|&c| c < u).min(spec.successors - 1);
+            let rank = self
+                .cum
+                .partition_point(|&c| c < u)
+                .min(spec.successors - 1);
             tok = self.successors(tok, topic)[rank];
         }
         out
@@ -234,7 +244,9 @@ impl Language {
         // Rank weights are sorted descending by construction, but candidate
         // draws may repeat a token across ranks, which only *increases*
         // achievable accuracy; this is the conservative bound.
-        (0..k.min(self.spec.successors)).map(|r| self.rank_prob(r)).sum()
+        (0..k.min(self.spec.successors))
+            .map(|r| self.rank_prob(r))
+            .sum()
     }
 }
 

@@ -45,14 +45,14 @@ pub enum ZeroMode {
 // bias-less entries, so iterating it instead of `0..rows` would skip the
 // matrix-row denominators.
 #[allow(clippy::needless_range_loop)]
-pub fn aggregate_weights(
-    global: &mut ParamSet,
-    uploads: &[(f32, &Upload)],
-    mode: ZeroMode,
-) {
+pub fn aggregate_weights(global: &mut ParamSet, uploads: &[(f32, &Upload)], mode: ZeroMode) {
     assert!(!uploads.is_empty(), "no uploads to aggregate");
     for (_, u) in uploads {
-        assert_eq!(u.kind, UploadKind::Weights, "aggregate_weights needs Weights uploads");
+        assert_eq!(
+            u.kind,
+            UploadKind::Weights,
+            "aggregate_weights needs Weights uploads"
+        );
     }
     let total_w: f32 = uploads.iter().map(|(w, _)| *w).sum();
     assert!(total_w > 0.0, "total aggregation weight must be positive");
@@ -99,7 +99,10 @@ pub fn aggregate_weights(
                             }
                         }
                     }
-                    CoverageMask::RowsCols { rows: rbits, cols: cbits } => {
+                    CoverageMask::RowsCols {
+                        rows: rbits,
+                        cols: cbits,
+                    } => {
                         for r in 0..rows {
                             if rbits.get(r) {
                                 let drow = den.row_mut(r);
@@ -186,7 +189,11 @@ pub fn aggregate_weights(
 pub fn aggregate_deltas(global: &mut ParamSet, uploads: &[(f32, &Upload)]) {
     assert!(!uploads.is_empty(), "no uploads to aggregate");
     for (_, u) in uploads {
-        assert_eq!(u.kind, UploadKind::Delta, "aggregate_deltas needs Delta uploads");
+        assert_eq!(
+            u.kind,
+            UploadKind::Delta,
+            "aggregate_deltas needs Delta uploads"
+        );
     }
     let total_w: f32 = uploads.iter().map(|(w, _)| *w).sum();
     assert!(total_w > 0.0);
@@ -282,7 +289,11 @@ mod tests {
     fn full_coverage_both_modes_agree_with_weighted_mean() {
         let a = Upload::full_weights(param(2.0));
         let b = Upload::full_weights(param(6.0));
-        for mode in [ZeroMode::ZerosPull, ZeroMode::HoldersOnly, ZeroMode::StaleFill] {
+        for mode in [
+            ZeroMode::ZerosPull,
+            ZeroMode::HoldersOnly,
+            ZeroMode::StaleFill,
+        ] {
             let mut g = param(0.0);
             aggregate_weights(&mut g, &[(1.0, &a), (3.0, &b)], mode);
             assert_eq!(g.mat(0).get(0, 0), 5.0, "{mode:?}");

@@ -9,8 +9,8 @@
 
 use crate::algorithm::TrainConfig;
 use fedbiad_data::ClientData;
-use fedbiad_nn::{Batch, Model, ParamSet};
 use fedbiad_nn::optimizer::Sgd;
+use fedbiad_nn::{Batch, Model, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::Rng;
 use std::time::Instant;
@@ -83,7 +83,10 @@ pub fn run_local_training(
 ) -> LocalRunStats {
     let start = Instant::now();
     let mut rng = stream(id.seed, StreamTag::Batch, id.round as u64, id.client as u64);
-    let sgd = Sgd { lr: cfg.lr, clip_norm: cfg.clip_norm };
+    let sgd = Sgd {
+        lr: cfg.lr,
+        clip_norm: cfg.clip_norm,
+    };
     let mut grads = u.zeros_like();
 
     // Reusable batch buffers.
@@ -107,7 +110,11 @@ pub fn run_local_training(
                     idx.push(rng.gen_range(0..set.len()));
                 }
                 set.gather(&idx, &mut bx, &mut by);
-                let batch = Batch::Dense { x: &bx, y: &by, dim: set.dim };
+                let batch = Batch::Dense {
+                    x: &bx,
+                    y: &by,
+                    dim: set.dim,
+                };
                 model.loss_grad(theta, &batch, &mut grads)
             }
             ClientData::Text(set) => {
@@ -158,7 +165,11 @@ mod tests {
         let mut s = ImageSet::empty(4);
         for i in 0..32 {
             let c = i % 2;
-            let f = if c == 0 { [1.0, 1.0, 0.0, 0.0] } else { [0.0, 0.0, 1.0, 1.0] };
+            let f = if c == 0 {
+                [1.0, 1.0, 0.0, 0.0]
+            } else {
+                [0.0, 0.0, 1.0, 1.0]
+            };
             s.push(&f, c as u32);
         }
         ClientData::Image(s)
@@ -170,12 +181,30 @@ mod tests {
         let mut rng = stream(1, StreamTag::Init, 0, 0);
         let mut u = model.init_params(&mut rng);
         let data = toy_data();
-        let cfg = TrainConfig { local_iters: 50, batch_size: 16, lr: 0.5, ..Default::default() };
-        let id = LocalRunId { seed: 3, round: 0, client: 0 };
+        let cfg = TrainConfig {
+            local_iters: 50,
+            batch_size: 16,
+            lr: 0.5,
+            ..Default::default()
+        };
+        let id = LocalRunId {
+            seed: 3,
+            round: 0,
+            client: 0,
+        };
         let first = run_local_training(id, &model, &data, &cfg, &mut u, &mut NoHooks);
-        let id2 = LocalRunId { seed: 3, round: 1, client: 0 };
+        let id2 = LocalRunId {
+            seed: 3,
+            round: 1,
+            client: 0,
+        };
         let second = run_local_training(id2, &model, &data, &cfg, &mut u, &mut NoHooks);
-        assert!(second.mean_loss < first.mean_loss, "{} -> {}", second.mean_loss, first.mean_loss);
+        assert!(
+            second.mean_loss < first.mean_loss,
+            "{} -> {}",
+            second.mean_loss,
+            first.mean_loss
+        );
         assert!(first.seconds > 0.0);
     }
 
@@ -185,8 +214,17 @@ mod tests {
         let mut rng = stream(2, StreamTag::Init, 0, 0);
         let u0 = model.init_params(&mut rng);
         let data = toy_data();
-        let cfg = TrainConfig { local_iters: 5, batch_size: 8, lr: 0.1, ..Default::default() };
-        let id = LocalRunId { seed: 9, round: 4, client: 7 };
+        let cfg = TrainConfig {
+            local_iters: 5,
+            batch_size: 8,
+            lr: 0.1,
+            ..Default::default()
+        };
+        let id = LocalRunId {
+            seed: 9,
+            round: 4,
+            client: 7,
+        };
         let mut a = u0.clone();
         let mut b = u0.clone();
         run_local_training(id, &model, &data, &cfg, &mut a, &mut NoHooks);
@@ -215,7 +253,11 @@ mod tests {
             weight_decay: 0.0,
             ..Default::default()
         };
-        let id = LocalRunId { seed: 5, round: 0, client: 0 };
+        let id = LocalRunId {
+            seed: 5,
+            round: 0,
+            client: 0,
+        };
         run_local_training(id, &model, &toy_data(), &cfg, &mut u, &mut FreezeRow0);
         assert_eq!(u.mat(0).row(0), &frozen_row[..], "masked row must not move");
         assert_eq!(u.bias(0)[0], frozen_bias);
@@ -238,13 +280,23 @@ mod tests {
             weight_decay: 0.1,
             ..Default::default()
         };
-        let cfg_nowd = TrainConfig { weight_decay: 0.0, ..cfg_wd };
-        let id = LocalRunId { seed: 6, round: 0, client: 0 };
+        let cfg_nowd = TrainConfig {
+            weight_decay: 0.0,
+            ..cfg_wd
+        };
+        let id = LocalRunId {
+            seed: 6,
+            round: 0,
+            client: 0,
+        };
         let data = toy_data();
         let mut a = u0.clone();
         let mut b = u0.clone();
         run_local_training(id, &model, &data, &cfg_wd, &mut a, &mut NoHooks);
         run_local_training(id, &model, &data, &cfg_nowd, &mut b, &mut NoHooks);
-        assert!(a.l2_norm() < b.l2_norm(), "decay should shrink the solution");
+        assert!(
+            a.l2_norm() < b.l2_norm(),
+            "decay should shrink the solution"
+        );
     }
 }

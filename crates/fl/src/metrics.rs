@@ -45,12 +45,18 @@ pub struct ExperimentLog {
 impl ExperimentLog {
     /// Final test accuracy (last round), in percent.
     pub fn final_accuracy_pct(&self) -> f64 {
-        self.records.last().map(|r| r.test_acc * 100.0).unwrap_or(0.0)
+        self.records
+            .last()
+            .map(|r| r.test_acc * 100.0)
+            .unwrap_or(0.0)
     }
 
     /// Best test accuracy over rounds, in percent.
     pub fn best_accuracy_pct(&self) -> f64 {
-        self.records.iter().map(|r| r.test_acc * 100.0).fold(0.0, f64::max)
+        self.records
+            .iter()
+            .map(|r| r.test_acc * 100.0)
+            .fold(0.0, f64::max)
     }
 
     /// Mean per-round upload bytes over all rounds (the Table I
@@ -59,7 +65,11 @@ impl ExperimentLog {
         if self.records.is_empty() {
             return 0;
         }
-        let s: u128 = self.records.iter().map(|r| r.upload_bytes_mean as u128).sum();
+        let s: u128 = self
+            .records
+            .iter()
+            .map(|r| r.upload_bytes_mean as u128)
+            .sum();
         (s / self.records.len() as u128) as u64
     }
 
@@ -68,7 +78,10 @@ impl ExperimentLog {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.local_seconds_mean).sum::<f64>()
+        self.records
+            .iter()
+            .map(|r| r.local_seconds_mean)
+            .sum::<f64>()
             / self.records.len() as f64
     }
 }
@@ -120,8 +133,12 @@ mod tests {
 
     #[test]
     fn empty_log_is_zeroes() {
-        let log =
-            ExperimentLog { dataset: "d".into(), method: "m".into(), seed: 1, records: vec![] };
+        let log = ExperimentLog {
+            dataset: "d".into(),
+            method: "m".into(),
+            seed: 1,
+            records: vec![],
+        };
         assert_eq!(log.final_accuracy_pct(), 0.0);
         assert_eq!(log.mean_upload_bytes(), 0);
     }

@@ -22,7 +22,10 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// The paper's T-Mobile 5G profile.
     pub fn t_mobile_5g() -> Self {
-        Self { uplink_mbps: 14.0, downlink_mbps: 110.6 }
+        Self {
+            uplink_mbps: 14.0,
+            downlink_mbps: 110.6,
+        }
     }
 
     /// Seconds to upload `bytes`.

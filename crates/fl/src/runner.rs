@@ -65,7 +65,12 @@ pub struct Experiment<'a, A: FlAlgorithm> {
 impl<'a, A: FlAlgorithm> Experiment<'a, A> {
     /// Construct with defaults.
     pub fn new(model: &'a dyn Model, data: &'a FedDataset, algo: A, cfg: ExperimentConfig) -> Self {
-        Self { model, data, algo, cfg }
+        Self {
+            model,
+            data,
+            algo,
+            cfg,
+        }
     }
 
     /// Run all rounds and return the log.
@@ -80,7 +85,11 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
 
         let mut records = Vec::with_capacity(self.cfg.rounds);
         for round in 0..self.cfg.rounds {
-            let info = RoundInfo { round, total_rounds: self.cfg.rounds, seed: self.cfg.seed };
+            let info = RoundInfo {
+                round,
+                total_rounds: self.cfg.rounds,
+                seed: self.cfg.seed,
+            };
 
             // --- client sampling (uniform without replacement) ---
             let mut ids: Vec<usize> = (0..k).collect();
@@ -150,8 +159,7 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             } else {
                 f32::NAN
             };
-            let upload_bytes: Vec<u64> =
-                results.iter().map(|(_, r)| r.upload.wire_bytes).collect();
+            let upload_bytes: Vec<u64> = results.iter().map(|(_, r)| r.upload.wire_bytes).collect();
             let upload_bytes_mean =
                 (upload_bytes.iter().sum::<u64>() / upload_bytes.len().max(1) as u64).max(1);
             let upload_bytes_max = upload_bytes.iter().copied().max().unwrap_or(0);
@@ -217,9 +225,15 @@ pub fn evaluate_model(
     const CHUNK: usize = 64;
     match data {
         ClientData::Image(set) => {
-            let n = if max_samples == 0 { set.len() } else { set.len().min(max_samples) };
-            let chunks: Vec<(usize, usize)> =
-                (0..n).step_by(CHUNK).map(|s| (s, (s + CHUNK).min(n))).collect();
+            let n = if max_samples == 0 {
+                set.len()
+            } else {
+                set.len().min(max_samples)
+            };
+            let chunks: Vec<(usize, usize)> = (0..n)
+                .step_by(CHUNK)
+                .map(|s| (s, (s + CHUNK).min(n)))
+                .collect();
             chunks
                 .par_iter()
                 .map(|&(s, e)| {
@@ -267,8 +281,8 @@ mod tests {
     use crate::aggregate::{aggregate_weights, ZeroMode};
     use crate::upload::Upload;
     use fedbiad_data::dataset::ImageSet;
-    use fedbiad_data::synth_image::SyntheticImageSpec;
     use fedbiad_data::partition::{partition_images, ImagePartition};
+    use fedbiad_data::synth_image::SyntheticImageSpec;
     use fedbiad_nn::mlp::MlpModel;
 
     /// Minimal FedAvg used to exercise the runner before fedbiad-core
@@ -328,8 +342,10 @@ mod tests {
             global: &mut ParamSet,
             results: &[(usize, LocalResult)],
         ) {
-            let ups: Vec<(f32, &Upload)> =
-                results.iter().map(|(_, r)| (r.num_samples as f32, &r.upload)).collect();
+            let ups: Vec<(f32, &Upload)> = results
+                .iter()
+                .map(|(_, r)| (r.num_samples as f32, &r.upload))
+                .collect();
             aggregate_weights(global, &ups, ZeroMode::ZerosPull);
         }
     }
@@ -363,7 +379,12 @@ mod tests {
             rounds: 12,
             client_fraction: 0.5,
             seed: 17,
-            train: TrainConfig { local_iters: 8, batch_size: 16, lr: 0.4, ..Default::default() },
+            train: TrainConfig {
+                local_iters: 8,
+                batch_size: 16,
+                lr: 0.4,
+                ..Default::default()
+            },
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,
@@ -375,10 +396,13 @@ mod tests {
         assert!(last > first, "no learning: {first} -> {last}");
         assert!(last > 0.5, "final acc too low: {last}");
         // Upload bytes are the full model every round.
-        let model_bytes = model.init_params(
-            &mut stream(1, StreamTag::Init, 0, 0),
-        ).total_bytes();
-        assert!(log.records.iter().all(|r| r.upload_bytes_mean == model_bytes));
+        let model_bytes = model
+            .init_params(&mut stream(1, StreamTag::Init, 0, 0))
+            .total_bytes();
+        assert!(log
+            .records
+            .iter()
+            .all(|r| r.upload_bytes_mean == model_bytes));
     }
 
     #[test]
@@ -388,7 +412,12 @@ mod tests {
             rounds: 4,
             client_fraction: 0.5,
             seed: 5,
-            train: TrainConfig { local_iters: 3, batch_size: 8, lr: 0.2, ..Default::default() },
+            train: TrainConfig {
+                local_iters: 3,
+                batch_size: 8,
+                lr: 0.2,
+                ..Default::default()
+            },
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,

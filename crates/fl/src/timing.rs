@@ -58,8 +58,15 @@ mod tests {
 
     #[test]
     fn tta_stops_at_first_crossing() {
-        let net = NetworkModel { uplink_mbps: 8.0, downlink_mbps: 8.0 }; // 1 MB/s
-        let records = vec![rec(0.1, 1_000_000, 1.0), rec(0.6, 1_000_000, 1.0), rec(0.9, 1_000_000, 1.0)];
+        let net = NetworkModel {
+            uplink_mbps: 8.0,
+            downlink_mbps: 8.0,
+        }; // 1 MB/s
+        let records = vec![
+            rec(0.1, 1_000_000, 1.0),
+            rec(0.6, 1_000_000, 1.0),
+            rec(0.9, 1_000_000, 1.0),
+        ];
         // Each round costs 1 s local + 1 s upload = 2 s.
         let tta = time_to_accuracy(&records, 0.5, &net).unwrap();
         assert!((tta - 4.0).abs() < 1e-9, "{tta}");
@@ -78,7 +85,10 @@ mod tests {
 
     #[test]
     fn total_time_sums_rounds() {
-        let net = NetworkModel { uplink_mbps: 8.0, downlink_mbps: 8.0 };
+        let net = NetworkModel {
+            uplink_mbps: 8.0,
+            downlink_mbps: 8.0,
+        };
         let records = vec![rec(0.0, 0, 1.5), rec(0.0, 0, 0.5)];
         assert!((total_seconds(&records, &net) - 2.0).abs() < 1e-9);
     }

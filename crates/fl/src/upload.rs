@@ -33,7 +33,12 @@ impl Upload {
     pub fn full_weights(params: ParamSet) -> Self {
         let coverage = ModelMask::full(&params);
         let wire_bytes = coverage.wire_bytes(&params);
-        Self { kind: UploadKind::Weights, params, coverage, wire_bytes }
+        Self {
+            kind: UploadKind::Weights,
+            params,
+            coverage,
+            wire_bytes,
+        }
     }
 
     /// Masked weights upload: applies `coverage` to `params` (zeroing
@@ -41,7 +46,12 @@ impl Upload {
     pub fn masked_weights(mut params: ParamSet, coverage: ModelMask) -> Self {
         coverage.apply(&mut params);
         let wire_bytes = coverage.wire_bytes(&params);
-        Self { kind: UploadKind::Weights, params, coverage, wire_bytes }
+        Self {
+            kind: UploadKind::Weights,
+            params,
+            coverage,
+            wire_bytes,
+        }
     }
 }
 

@@ -302,8 +302,7 @@ mod tests {
     #[test]
     fn reddit_clients_are_unequal() {
         let b = build(Workload::RedditLike, Scale::Smoke, 4);
-        let sizes: Vec<usize> =
-            b.data.clients.iter().map(ClientData::num_samples).collect();
+        let sizes: Vec<usize> = b.data.clients.iter().map(ClientData::num_samples).collect();
         assert!(sizes[0] > *sizes.last().unwrap(), "{sizes:?}");
     }
 

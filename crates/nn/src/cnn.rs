@@ -37,11 +37,21 @@ impl CnnModel {
     /// Convenience constructor.
     pub fn new(side: usize, filters: usize, kernel: usize, hidden: usize, classes: usize) -> Self {
         assert!(side > kernel, "kernel must fit");
-        Self { side, filters, kernel, hidden, classes }
+        Self {
+            side,
+            filters,
+            kernel,
+            hidden,
+            classes,
+        }
     }
 
     fn in_shape(&self) -> ConvShape {
-        ConvShape { in_ch: 1, h: self.side, w: self.side }
+        ConvShape {
+            in_ch: 1,
+            h: self.side,
+            w: self.side,
+        }
     }
 
     fn conv_shape(&self) -> ConvShape {
@@ -88,8 +98,20 @@ impl CnnModel {
         );
         Activation::Relu.forward(&mut b.conv);
         maxpool2_forward(&b.conv, self.conv_shape(), &mut b.pooled, &mut b.argmax);
-        dense::forward(params.mat(1), params.bias(1), &b.pooled, Activation::Relu, &mut b.hidden);
-        dense::forward(params.mat(2), params.bias(2), &b.hidden, Activation::Linear, &mut b.logits);
+        dense::forward(
+            params.mat(1),
+            params.bias(1),
+            &b.pooled,
+            Activation::Relu,
+            &mut b.hidden,
+        );
+        dense::forward(
+            params.mat(2),
+            params.bias(2),
+            &b.hidden,
+            Activation::Linear,
+            &mut b.logits,
+        );
     }
 }
 
@@ -261,7 +283,10 @@ mod tests {
             let fm = m.loss_grad(&pm, &batch, &mut g);
             let fd = (fp - fm) / (2.0 * eps);
             let got = grads.mat(e).get(r, c);
-            assert!((got - fd).abs() < 3e-2, "entry {e} [{r},{c}]: {got} vs {fd}");
+            assert!(
+                (got - fd).abs() < 3e-2,
+                "entry {e} [{r},{c}]: {got} vs {fd}"
+            );
         }
     }
 
@@ -301,7 +326,11 @@ mod tests {
             p.axpy(-0.3, &grads);
         }
         let acc = m.evaluate(&p, &batch, 1);
-        assert!(acc.accuracy() > 0.9, "CNN should separate bars, acc {}", acc.accuracy());
+        assert!(
+            acc.accuracy() > 0.9,
+            "CNN should separate bars, acc {}",
+            acc.accuracy()
+        );
     }
 
     #[test]
@@ -315,7 +344,11 @@ mod tests {
         // ReLU so downstream features see nothing from it.
         let x = vec![0.5f32; 64];
         let yv = vec![0u32];
-        let batch = Batch::Dense { x: &x, y: &yv, dim: 64 };
+        let batch = Batch::Dense {
+            x: &x,
+            y: &yv,
+            dim: 64,
+        };
         let acc = m.evaluate(&p, &batch, 1);
         assert!(acc.loss_sum.is_finite());
     }

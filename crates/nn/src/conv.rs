@@ -36,12 +36,20 @@ impl ConvShape {
     /// `out_ch` filters.
     pub fn conv_out(&self, out_ch: usize, k: usize) -> ConvShape {
         assert!(self.h >= k && self.w >= k, "kernel larger than input");
-        ConvShape { in_ch: out_ch, h: self.h - k + 1, w: self.w - k + 1 }
+        ConvShape {
+            in_ch: out_ch,
+            h: self.h - k + 1,
+            w: self.w - k + 1,
+        }
     }
 
     /// Output shape after non-overlapping 2×2 max pooling (floor).
     pub fn pool2_out(&self) -> ConvShape {
-        ConvShape { in_ch: self.in_ch, h: self.h / 2, w: self.w / 2 }
+        ConvShape {
+            in_ch: self.in_ch,
+            h: self.h / 2,
+            w: self.w / 2,
+        }
     }
 }
 
@@ -181,7 +189,11 @@ mod tests {
         // 1×3×3 input, one 2×2 filter of ones, bias 0.5.
         let w = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]);
         let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
-        let shape = ConvShape { in_ch: 1, h: 3, w: 3 };
+        let shape = ConvShape {
+            in_ch: 1,
+            h: 3,
+            w: 3,
+        };
         let mut y = [0.0; 4];
         conv2d_forward(&w, &[0.5], &x, shape, 2, &mut y);
         assert_eq!(y, [12.5, 16.5, 24.5, 28.5]);
@@ -191,13 +203,19 @@ mod tests {
     fn conv_gradcheck() {
         use fedbiad_tensor::init;
         use fedbiad_tensor::rng::{stream, StreamTag};
-        let shape = ConvShape { in_ch: 2, h: 4, w: 4 };
+        let shape = ConvShape {
+            in_ch: 2,
+            h: 4,
+            w: 4,
+        };
         let (f, k) = (3usize, 3usize);
         let mut rng = stream(9, StreamTag::Init, 0, 0);
         let mut w = Matrix::zeros(f, shape.in_ch * k * k);
         init::uniform(&mut w, 0.5, &mut rng);
         let bias: Vec<f32> = (0..f).map(|i| 0.1 * i as f32).collect();
-        let x: Vec<f32> = (0..shape.len()).map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4).collect();
+        let x: Vec<f32> = (0..shape.len())
+            .map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4)
+            .collect();
         let out = shape.conv_out(f, k);
 
         let loss_of = |w: &Matrix, b: &[f32], x: &[f32]| -> f32 {
@@ -221,7 +239,11 @@ mod tests {
             let mut m = w.clone();
             m.set(r, c, m.get(r, c) - eps);
             let fd = (loss_of(&p, &bias, &x) - loss_of(&m, &bias, &x)) / (2.0 * eps);
-            assert!((dw.get(r, c) - fd).abs() < 2e-2, "dw[{r},{c}]: {} vs {fd}", dw.get(r, c));
+            assert!(
+                (dw.get(r, c) - fd).abs() < 2e-2,
+                "dw[{r},{c}]: {} vs {fd}",
+                dw.get(r, c)
+            );
         }
         for i in [0usize, 9, 31] {
             let mut p = x.clone();
@@ -243,7 +265,11 @@ mod tests {
 
     #[test]
     fn maxpool_routes_gradient_to_argmax() {
-        let shape = ConvShape { in_ch: 1, h: 4, w: 4 };
+        let shape = ConvShape {
+            in_ch: 1,
+            h: 4,
+            w: 4,
+        };
         let x = [
             1.0, 2.0, 0.0, 0.0, //
             3.0, 4.0, 0.0, 5.0, //
@@ -271,7 +297,11 @@ mod tests {
         let mut b = vec![0.2, 0.4];
         w.zero_row(0);
         b[0] = 0.0;
-        let shape = ConvShape { in_ch: 1, h: 3, w: 3 };
+        let shape = ConvShape {
+            in_ch: 1,
+            h: 3,
+            w: 3,
+        };
         let mut y = vec![0.0; 8];
         conv2d_forward(&w, &b, &[1.0; 9], shape, 2, &mut y);
         assert!(y[..4].iter().all(|&v| v == 0.0));

@@ -195,8 +195,17 @@ mod tests {
         let mut dh_prev = vec![0.0; h];
         let mut dc_prev = vec![0.0; h];
         cell_backward(
-            &wx, &wh, &cache, &dh, &dc0v, &mut dwx, &mut dbias, &mut dwh, &mut dx,
-            &mut dh_prev, &mut dc_prev,
+            &wx,
+            &wh,
+            &cache,
+            &dh,
+            &dc0v,
+            &mut dwx,
+            &mut dbias,
+            &mut dwh,
+            &mut dx,
+            &mut dh_prev,
+            &mut dc_prev,
         );
 
         let eps = 1e-3;
@@ -209,7 +218,11 @@ mod tests {
             let fd = (loss_one_step(&p, &bias, &wh, &x, &h0, &c0)
                 - loss_one_step(&m, &bias, &wh, &x, &h0, &c0))
                 / (2.0 * eps);
-            assert!((dwx.get(r, c) - fd).abs() < 2e-3, "dwx[{r},{c}]: {} vs {fd}", dwx.get(r, c));
+            assert!(
+                (dwx.get(r, c) - fd).abs() < 2e-3,
+                "dwx[{r},{c}]: {} vs {fd}",
+                dwx.get(r, c)
+            );
         }
         for (r, c) in [(0, 0), (4, 1), (6, 0)] {
             let mut p = wh.clone();
@@ -295,8 +308,24 @@ mod tests {
         let bias = vec![0.1; 4 * h];
         let mut a = StepCache::default();
         let mut b = StepCache::default();
-        cell_forward(&wx, &bias, &wh, &[0.5, -0.5], &[0.9, -0.9], &[0.0; 2], &mut a);
-        cell_forward(&wx, &bias, &wh, &[0.5, -0.5], &[-0.3, 0.3], &[0.0; 2], &mut b);
+        cell_forward(
+            &wx,
+            &bias,
+            &wh,
+            &[0.5, -0.5],
+            &[0.9, -0.9],
+            &[0.0; 2],
+            &mut a,
+        );
+        cell_forward(
+            &wx,
+            &bias,
+            &wh,
+            &[0.5, -0.5],
+            &[-0.3, 0.3],
+            &[0.0; 2],
+            &mut b,
+        );
         assert_eq!(a.h, b.h);
     }
 }

@@ -28,7 +28,12 @@ impl LstmLmModel {
     /// Convenience constructor.
     pub fn new(vocab: usize, embed: usize, hidden: usize, layers: usize) -> Self {
         assert!(layers >= 1, "need at least one LSTM layer");
-        Self { vocab, embed, hidden, layers }
+        Self {
+            vocab,
+            embed,
+            hidden,
+            layers,
+        }
     }
 
     /// Paper-scale PTB/Reddit model (Table I: 29.8 MB). The vocabulary is
@@ -100,7 +105,15 @@ impl LstmLmModel {
                 let bias = params.bias(self.wx_entry(l));
                 let wh = params.mat(self.wh_entry(l));
                 let cache = &mut caches[l][t];
-                cell_forward(wx, bias, wh, &x_buf[..x_len], &h_state[l], &c_state[l], cache);
+                cell_forward(
+                    wx,
+                    bias,
+                    wh,
+                    &x_buf[..x_len],
+                    &h_state[l],
+                    &c_state[l],
+                    cache,
+                );
                 h_state[l].copy_from_slice(&cache.h);
                 c_state[l].copy_from_slice(&cache.c);
                 // Next layer's input is this layer's hidden state.
@@ -323,10 +336,16 @@ mod tests {
     fn paper_models_match_table1_sizes() {
         let ptb = LstmLmModel::paper_ptb();
         let mb = ptb.arch().total_weights as f64 * 4.0 / (1024.0 * 1024.0);
-        assert!((mb - 29.8).abs() < 0.1, "PTB model should be 29.8 MB, got {mb:.2}");
+        assert!(
+            (mb - 29.8).abs() < 0.1,
+            "PTB model should be 29.8 MB, got {mb:.2}"
+        );
         let wt2 = LstmLmModel::paper_wikitext2();
         let mb = wt2.arch().total_weights as f64 * 4.0 / (1024.0 * 1024.0);
-        assert!((mb - 75.3).abs() < 0.1, "WikiText-2 model should be 75.3 MB, got {mb:.2}");
+        assert!(
+            (mb - 75.3).abs() < 0.1,
+            "WikiText-2 model should be 75.3 MB, got {mb:.2}"
+        );
     }
 
     #[test]

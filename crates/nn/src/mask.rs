@@ -30,7 +30,10 @@ impl BitVec {
     pub fn new(len: usize, value: bool) -> Self {
         let nwords = len.div_ceil(64);
         let fill = if value { u64::MAX } else { 0 };
-        let mut bv = Self { words: vec![fill; nwords], len };
+        let mut bv = Self {
+            words: vec![fill; nwords],
+            len,
+        };
         bv.clear_tail();
         bv
     }
@@ -140,7 +143,9 @@ pub struct ModelMask {
 impl ModelMask {
     /// Full coverage of every entry (FedAvg).
     pub fn full(params: &ParamSet) -> Self {
-        Self { per_entry: vec![CoverageMask::Full; params.num_entries()] }
+        Self {
+            per_entry: vec![CoverageMask::Full; params.num_entries()],
+        }
     }
 
     /// Build from a global row-unit pattern β (length J, bit = kept):
@@ -385,8 +390,9 @@ mod tests {
         let p = two_entry_params();
         let mut bits = BitVec::new(12, false);
         bits.set(5, true);
-        let mask =
-            ModelMask { per_entry: vec![CoverageMask::Elements(bits), CoverageMask::Full] };
+        let mask = ModelMask {
+            per_entry: vec![CoverageMask::Elements(bits), CoverageMask::Full],
+        };
         // entry0: 1 weight + 4 biases; entry1: 10.
         assert_eq!(mask.kept_params(&p), 5 + 10);
         let mut q = p.clone();

@@ -24,7 +24,11 @@ pub struct MlpModel {
 impl MlpModel {
     /// Convenience constructor.
     pub fn new(input_dim: usize, hidden: usize, classes: usize) -> Self {
-        Self { input_dim, hidden, classes }
+        Self {
+            input_dim,
+            hidden,
+            classes,
+        }
     }
 
     fn forward(&self, params: &ParamSet, x: &[f32], h: &mut [f32], logits: &mut [f32]) {
@@ -103,7 +107,16 @@ impl Model for MlpModel {
             }
             fedbiad_tensor::ops::gemv_t(params.mat(1), &logits, &mut dh);
             let (w1g, b1g) = grads.mat_bias_mut(0);
-            dense::backward(params.mat(0), xs, &h, Activation::Relu, &mut dh, w1g, b1g, None);
+            dense::backward(
+                params.mat(0),
+                xs,
+                &h,
+                Activation::Relu,
+                &mut dh,
+                w1g,
+                b1g,
+                None,
+            );
         }
         loss_sum * inv_n
     }
@@ -154,7 +167,11 @@ mod tests {
         let (m, p) = toy();
         let x = vec![0.5, -0.2, 0.8, 0.1, -0.9, 0.4, 0.0, 0.3];
         let y = vec![2u32, 0u32];
-        let batch = Batch::Dense { x: &x, y: &y, dim: 4 };
+        let batch = Batch::Dense {
+            x: &x,
+            y: &y,
+            dim: 4,
+        };
 
         let mut grads = p.zeros_like();
         let _ = m.loss_grad(&p, &batch, &mut grads);
@@ -173,7 +190,10 @@ mod tests {
             let fm = m.loss_grad(&pm, &batch, &mut g);
             let fd = (fp - fm) / (2.0 * eps);
             let got = grads.mat(e).get(r, c);
-            assert!((got - fd).abs() < 2e-2, "entry {e} [{r},{c}]: {got} vs {fd}");
+            assert!(
+                (got - fd).abs() < 2e-2,
+                "entry {e} [{r},{c}]: {got} vs {fd}"
+            );
         }
         for (e, r) in [(0usize, 3usize), (1, 1)] {
             let mut pp = p.clone();
@@ -201,7 +221,11 @@ mod tests {
             0.1, 0.0, 0.9, 1.0,
         ];
         let y = vec![0u32, 0, 1, 1];
-        let batch = Batch::Dense { x: &x, y: &y, dim: 4 };
+        let batch = Batch::Dense {
+            x: &x,
+            y: &y,
+            dim: 4,
+        };
         let mut grads = p.zeros_like();
         let first = m.loss_grad(&p, &batch, &mut grads);
         for _ in 0..200 {
@@ -221,7 +245,11 @@ mod tests {
         let (m, p) = toy();
         let x = vec![0.3; 8];
         let y = vec![1u32, 2u32];
-        let batch = Batch::Dense { x: &x, y: &y, dim: 4 };
+        let batch = Batch::Dense {
+            x: &x,
+            y: &y,
+            dim: 4,
+        };
         let a1 = m.evaluate(&p, &batch, 1).accuracy();
         let a3 = m.evaluate(&p, &batch, 3).accuracy();
         assert!(a3 >= a1);

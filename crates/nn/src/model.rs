@@ -111,8 +111,16 @@ mod tests {
 
     #[test]
     fn eval_accum_merges_and_divides() {
-        let mut a = EvalAccum { loss_sum: 2.0, correct: 1, count: 2 };
-        let b = EvalAccum { loss_sum: 4.0, correct: 3, count: 4 };
+        let mut a = EvalAccum {
+            loss_sum: 2.0,
+            correct: 1,
+            count: 2,
+        };
+        let b = EvalAccum {
+            loss_sum: 4.0,
+            correct: 3,
+            count: 4,
+        };
         a.merge(&b);
         assert_eq!(a.count, 6);
         assert!((a.mean_loss() - 1.0).abs() < 1e-12);
@@ -126,7 +134,11 @@ mod tests {
     fn batch_len_counts_samples() {
         let x = vec![0.0; 6];
         let y = vec![0, 1, 0];
-        let b = Batch::Dense { x: &x, y: &y, dim: 2 };
+        let b = Batch::Dense {
+            x: &x,
+            y: &y,
+            dim: 2,
+        };
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
         let w1 = [1u32, 2, 3];

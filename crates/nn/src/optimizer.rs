@@ -21,12 +21,18 @@ pub struct Sgd {
 impl Sgd {
     /// Constructor without clipping.
     pub fn new(lr: f32) -> Self {
-        Self { lr, clip_norm: None }
+        Self {
+            lr,
+            clip_norm: None,
+        }
     }
 
     /// Constructor with clipping (LSTM language models).
     pub fn with_clip(lr: f32, clip: f32) -> Self {
-        Self { lr, clip_norm: Some(clip) }
+        Self {
+            lr,
+            clip_norm: Some(clip),
+        }
     }
 
     /// One update: optionally clip `grads`, then `params -= lr * grads`.

@@ -64,7 +64,13 @@ pub struct EntryMeta {
 impl EntryMeta {
     /// Convenience constructor with `gate_groups = 1`.
     pub fn new(name: impl Into<String>, kind: LayerKind, has_bias: bool, droppable: bool) -> Self {
-        Self { name: name.into(), kind, has_bias, droppable, gate_groups: 1 }
+        Self {
+            name: name.into(),
+            kind,
+            has_bias,
+            droppable,
+            gate_groups: 1,
+        }
     }
 }
 
@@ -99,7 +105,12 @@ pub struct ParamSet {
 impl ParamSet {
     /// Build an empty set; add entries with [`ParamSet::push_entry`].
     pub fn new() -> Self {
-        Self { mats: Vec::new(), biases: Vec::new(), meta: Vec::new(), row_offsets: vec![0] }
+        Self {
+            mats: Vec::new(),
+            biases: Vec::new(),
+            meta: Vec::new(),
+            row_offsets: vec![0],
+        }
     }
 
     /// Append a weight matrix (with optional bias) and return its entry
@@ -109,7 +120,11 @@ impl ParamSet {
         let idx = self.mats.len();
         let rows = w.rows();
         assert!(meta.gate_groups >= 1, "gate_groups must be ≥ 1");
-        assert_eq!(rows % meta.gate_groups, 0, "rows must divide into gate groups");
+        assert_eq!(
+            rows % meta.gate_groups,
+            0,
+            "rows must divide into gate groups"
+        );
         if let Some(b) = &bias {
             assert_eq!(b.len(), rows, "bias length must equal rows");
             assert!(meta.has_bias, "bias provided but has_bias=false");
@@ -118,7 +133,8 @@ impl ParamSet {
         }
         let units = rows / meta.gate_groups;
         let prev = *self.row_offsets.last().expect("offsets nonempty");
-        self.row_offsets.push(prev + if meta.droppable { units } else { 0 });
+        self.row_offsets
+            .push(prev + if meta.droppable { units } else { 0 });
         self.mats.push(w);
         self.biases.push(bias.unwrap_or_default());
         self.meta.push(meta);

@@ -23,12 +23,20 @@ impl Matrix {
     /// `vec![0.0; n]` is the fastest way to obtain zeroed storage (the
     /// allocator can hand back pre-zeroed pages).
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Build a matrix from an existing buffer. Panics if the buffer length
@@ -47,7 +55,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -124,7 +136,11 @@ impl Matrix {
         let (first, second) = self.data.split_at_mut(hi * c);
         let lo_row = &mut first[lo * c..(lo + 1) * c];
         let hi_row = &mut second[..c];
-        if a < b { (lo_row, hi_row) } else { (hi_row, lo_row) }
+        if a < b {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        }
     }
 
     /// Iterator over row slices.

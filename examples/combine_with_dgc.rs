@@ -29,8 +29,13 @@ fn main() {
 
     let logs = vec![
         Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run(),
-        Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::with_sketch(dgc()), cfg)
-            .run(),
+        Experiment::new(
+            bundle.model.as_ref(),
+            &bundle.data,
+            FedAvg::with_sketch(dgc()),
+            cfg,
+        )
+        .run(),
         Experiment::new(
             bundle.model.as_ref(),
             &bundle.data,
@@ -41,7 +46,10 @@ fn main() {
     ];
 
     let full = logs[0].mean_upload_bytes();
-    println!("{:<14} {:>7} {:>12} {:>9}", "method", "acc%", "upload/rnd", "save");
+    println!(
+        "{:<14} {:>7} {:>12} {:>9}",
+        "method", "acc%", "upload/rnd", "save"
+    );
     for log in &logs {
         println!(
             "{:<14} {:>7.2} {:>12} {:>8.0}x",

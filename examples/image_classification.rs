@@ -36,7 +36,10 @@ fn run(
         Experiment::new(
             bundle.model.as_ref(),
             &bundle.data,
-            FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, rounds.saturating_sub(5))),
+            FedBiad::new(FedBiadConfig::paper(
+                bundle.dropout_rate,
+                rounds.saturating_sub(5),
+            )),
             cfg,
         )
         .run(),

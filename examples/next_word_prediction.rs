@@ -51,7 +51,10 @@ fn main() {
     ];
 
     let full = logs[0].mean_upload_bytes();
-    println!("\n{:<10} {:>10} {:>12} {:>8}", "method", "top3-acc%", "upload/rnd", "save");
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>8}",
+        "method", "top3-acc%", "upload/rnd", "save"
+    );
     for log in &logs {
         println!(
             "{:<10} {:>10.2} {:>12} {:>7.2}x",

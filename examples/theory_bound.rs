@@ -38,7 +38,10 @@ fn main() {
     for m in [1e3, 1e4, 1e5, 1e6] {
         let lo = minimax_rate(m, 1.5, 784.0);
         let hi = holder_upper_bound(m, 1.5, 784.0, 1.0);
-        println!("{m:>8.0e}   {lo:>12.4e}     {hi:>14.4e}      {:>10.1}", hi / lo);
+        println!(
+            "{m:>8.0e}   {lo:>12.4e}     {hi:>14.4e}      {:>10.1}",
+            hi / lo
+        );
     }
     println!(
         "\nThe bound decreases monotonically in the round count and the \

@@ -25,7 +25,9 @@ fn all_six_baselines_smoke_on_images() {
     let model = bundle.model.as_ref();
     let full_bytes = {
         use fedbiad::tensor::rng::{stream, StreamTag};
-        model.init_params(&mut stream(71, StreamTag::Init, 0, 0)).total_bytes()
+        model
+            .init_params(&mut stream(71, StreamTag::Init, 0, 0))
+            .total_bytes()
     };
 
     let logs = vec![
@@ -42,9 +44,24 @@ fn all_six_baselines_smoke_on_images() {
     for log in &logs {
         assert_eq!(log.records.len(), 2, "{}: wrong round count", log.method);
         for r in &log.records {
-            assert!(r.train_loss.is_finite(), "{} round {}: train loss", log.method, r.round);
-            assert!(r.test_loss.is_finite(), "{} round {}: test loss", log.method, r.round);
-            assert!(r.test_acc.is_finite(), "{} round {}: test acc", log.method, r.round);
+            assert!(
+                r.train_loss.is_finite(),
+                "{} round {}: train loss",
+                log.method,
+                r.round
+            );
+            assert!(
+                r.test_loss.is_finite(),
+                "{} round {}: test loss",
+                log.method,
+                r.round
+            );
+            assert!(
+                r.test_acc.is_finite(),
+                "{} round {}: test acc",
+                log.method,
+                r.round
+            );
             assert!(
                 r.upload_bytes_mean > 0,
                 "{} round {}: zero mean upload bytes",
@@ -93,10 +110,16 @@ fn all_six_baselines_smoke_on_text() {
     for log in &logs {
         assert_eq!(log.records.len(), 2, "{}", log.method);
         assert!(
-            log.records.iter().all(|r| r.train_loss.is_finite() && r.test_loss.is_finite()),
+            log.records
+                .iter()
+                .all(|r| r.train_loss.is_finite() && r.test_loss.is_finite()),
             "{}: non-finite loss",
             log.method
         );
-        assert!(log.mean_upload_bytes() > 0, "{}: zero upload accounting", log.method);
+        assert!(
+            log.mean_upload_bytes() > 0,
+            "{}: zero upload accounting",
+            log.method
+        );
     }
 }

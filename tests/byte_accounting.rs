@@ -55,7 +55,10 @@ fn paper_scale_ptb_fedbiad_upload_matches_table1() {
         "paper-scale FedBIAD upload {up_mb:.2} MB should be ≈ 14.9 ± row variance"
     );
     let save = total_mb / up_mb;
-    assert!(save > 1.8 && save < 2.2, "save ratio {save:.2} should be ≈ 2x");
+    assert!(
+        save > 1.8 && save < 2.2,
+        "save ratio {save:.2} should be ≈ 2x"
+    );
 }
 
 #[test]
@@ -83,7 +86,10 @@ fn dgc_paper_scale_save_ratio_matches_table2_order() {
     let k = n / 1000;
     let wire = fedbiad::compress::bytes::sparse_f32_bytes(k);
     let save = (n as f64 * 4.0) / wire as f64;
-    assert!(save > 300.0 && save < 340.0, "DGC paper-scale save {save:.0}x");
+    assert!(
+        save > 300.0 && save < 340.0,
+        "DGC paper-scale save {save:.0}x"
+    );
 }
 
 #[test]
@@ -97,5 +103,8 @@ fn fedbiad_dgc_combo_halves_dgc_bytes_at_p05() {
     let naive = fedbiad::compress::bytes::sparse_f32_bytes(naive_k as usize);
     let combo = fedbiad::compress::bytes::sparse_f32_bytes(combo_k as usize);
     let ratio = naive as f64 / combo as f64;
-    assert!((ratio - 2.0).abs() < 0.05, "combo should halve DGC bytes, got {ratio:.2}");
+    assert!(
+        (ratio - 2.0).abs() < 0.05,
+        "combo should halve DGC bytes, got {ratio:.2}"
+    );
 }

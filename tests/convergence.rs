@@ -26,8 +26,16 @@ fn fedavg_and_fedbiad_both_learn_mnist_like() {
     )
     .run();
     // Chance on the 4-class smoke task is 25 %.
-    assert!(avg.final_accuracy_pct() > 45.0, "fedavg {}", avg.final_accuracy_pct());
-    assert!(biad.final_accuracy_pct() > 40.0, "fedbiad {}", biad.final_accuracy_pct());
+    assert!(
+        avg.final_accuracy_pct() > 45.0,
+        "fedavg {}",
+        avg.final_accuracy_pct()
+    );
+    assert!(
+        biad.final_accuracy_pct() > 40.0,
+        "fedbiad {}",
+        biad.final_accuracy_pct()
+    );
     // FedBIAD stays within a reasonable band of FedAvg while uploading less.
     assert!(biad.final_accuracy_pct() > avg.final_accuracy_pct() - 20.0);
     assert!(biad.mean_upload_bytes() < avg.mean_upload_bytes());
@@ -74,8 +82,11 @@ fn train_loss_trends_down_for_fedbiad() {
     )
     .run();
     let head: f32 = log.records[..4].iter().map(|r| r.train_loss).sum::<f32>() / 4.0;
-    let tail: f32 =
-        log.records[rounds - 4..].iter().map(|r| r.train_loss).sum::<f32>() / 4.0;
+    let tail: f32 = log.records[rounds - 4..]
+        .iter()
+        .map(|r| r.train_loss)
+        .sum::<f32>()
+        / 4.0;
     assert!(tail < head, "train loss should fall: {head} -> {tail}");
 }
 
@@ -121,7 +132,10 @@ fn tta_improves_with_smaller_uploads_all_else_equal() {
     let target = 0.45;
     let t_avg = time_to_accuracy(&avg.records, target, &net);
     let t_biad = time_to_accuracy(&biad.records, target, &net);
-    assert!(t_avg.is_some() && t_biad.is_some(), "both should reach {target}");
+    assert!(
+        t_avg.is_some() && t_biad.is_some(),
+        "both should reach {target}"
+    );
     // Not asserting strict ordering at smoke scale — only that both are
     // finite and FedBIAD is not catastrophically slower.
     assert!(t_biad.unwrap() < 3.0 * t_avg.unwrap());

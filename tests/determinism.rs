@@ -23,7 +23,12 @@ fn same_seed_bitwise_identical() {
     let a = run_once(101);
     let b = run_once(101);
     for (ra, rb) in a.records.iter().zip(&b.records) {
-        assert_eq!(ra.test_acc.to_bits(), rb.test_acc.to_bits(), "round {}", ra.round);
+        assert_eq!(
+            ra.test_acc.to_bits(),
+            rb.test_acc.to_bits(),
+            "round {}",
+            ra.round
+        );
         assert_eq!(ra.train_loss.to_bits(), rb.train_loss.to_bits());
         assert_eq!(ra.upload_bytes_mean, rb.upload_bytes_mean);
     }

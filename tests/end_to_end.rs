@@ -25,7 +25,9 @@ fn every_algorithm_runs_on_images() {
     let model = bundle.model.as_ref();
     let full = {
         use fedbiad::tensor::rng::{stream, StreamTag};
-        model.init_params(&mut stream(11, StreamTag::Init, 0, 0)).total_bytes()
+        model
+            .init_params(&mut stream(11, StreamTag::Init, 0, 0))
+            .total_bytes()
     };
 
     let logs = vec![
@@ -35,19 +37,32 @@ fn every_algorithm_runs_on_images() {
         Experiment::new(model, &bundle.data, FedMp::new(p), cfg).run(),
         Experiment::new(model, &bundle.data, Fjord::new(p), cfg).run(),
         Experiment::new(model, &bundle.data, HeteroFl::new(p), cfg).run(),
-        Experiment::new(model, &bundle.data, FedBiad::new(FedBiadConfig::paper(p, 3)), cfg)
-            .run(),
+        Experiment::new(
+            model,
+            &bundle.data,
+            FedBiad::new(FedBiadConfig::paper(p, 3)),
+            cfg,
+        )
+        .run(),
     ];
     for log in &logs {
         assert_eq!(log.records.len(), 4, "{}", log.method);
-        assert!(log.records.iter().all(|r| r.test_acc.is_finite()), "{}", log.method);
+        assert!(
+            log.records.iter().all(|r| r.test_acc.is_finite()),
+            "{}",
+            log.method
+        );
         assert!(log.mean_upload_bytes() > 0, "{}", log.method);
         assert!(log.mean_upload_bytes() <= full, "{}", log.method);
     }
     // Every dropout method uploads strictly less than FedAvg.
     let fedavg_up = logs[0].mean_upload_bytes();
     for log in &logs[1..] {
-        assert!(log.mean_upload_bytes() < fedavg_up, "{} not compressed", log.method);
+        assert!(
+            log.mean_upload_bytes() < fedavg_up,
+            "{} not compressed",
+            log.method
+        );
     }
 }
 
@@ -64,12 +79,25 @@ fn every_algorithm_runs_on_text() {
         Experiment::new(model, &bundle.data, Afd::new(p), cfg).run(),
         Experiment::new(model, &bundle.data, Fjord::new(p), cfg).run(),
         Experiment::new(model, &bundle.data, HeteroFl::new(p), cfg).run(),
-        Experiment::new(model, &bundle.data, FedBiad::new(FedBiadConfig::paper(p, 2)), cfg)
-            .run(),
+        Experiment::new(
+            model,
+            &bundle.data,
+            FedBiad::new(FedBiadConfig::paper(p, 2)),
+            cfg,
+        )
+        .run(),
     ];
     for log in &logs {
-        assert!(log.records.last().unwrap().test_acc >= 0.0, "{}", log.method);
-        assert!(log.records.last().unwrap().test_loss.is_finite(), "{}", log.method);
+        assert!(
+            log.records.last().unwrap().test_acc >= 0.0,
+            "{}",
+            log.method
+        );
+        assert!(
+            log.records.last().unwrap().test_loss.is_finite(),
+            "{}",
+            log.method
+        );
     }
     // Structural claim of the paper: FedBIAD's save ratio on an RNN model
     // beats FedDrop's (recurrent rows are droppable).
@@ -139,9 +167,13 @@ fn fedbiad_with_dgc_combination_runs() {
     let cfg = smoke_cfg(3, &bundle);
     let model = bundle.model.as_ref();
     let p = bundle.dropout_rate;
-    let plain =
-        Experiment::new(model, &bundle.data, FedBiad::new(FedBiadConfig::paper(p, 2)), cfg)
-            .run();
+    let plain = Experiment::new(
+        model,
+        &bundle.data,
+        FedBiad::new(FedBiadConfig::paper(p, 2)),
+        cfg,
+    )
+    .run();
     let combo = Experiment::new(
         model,
         &bundle.data,

@@ -41,12 +41,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Function + parameter id.
     pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
-        Self { label: format!("{}/{}", function.into(), parameter) }
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
     }
 
     /// Parameter-only id.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -63,7 +67,10 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Open a named group of related benchmarks.
-    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
         let sample_size = self.sample_size;
         BenchmarkGroup {
             _criterion: self,
@@ -112,7 +119,10 @@ impl<M> BenchmarkGroup<'_, M> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         routine(&mut bencher, input);
         self.report(&id.label, &bencher.samples);
         self
@@ -123,7 +133,10 @@ impl<M> BenchmarkGroup<'_, M> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         routine(&mut bencher);
         self.report(&id.into(), &bencher.samples);
         self

@@ -91,7 +91,7 @@ macro_rules! float_strategy_impls {
 float_strategy_impls!(f32, f64);
 
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
 
     /// Strategy for `Vec<S::Value>` with length drawn from `size`.

@@ -37,7 +37,9 @@ pub fn current_num_threads() -> usize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Slot buffer written concurrently at disjoint indices.
@@ -148,7 +150,10 @@ impl<T: Send> ParSliceMutExt<T> for [T] {
 
     fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
         assert!(chunk_size > 0, "par_chunks_exact_mut: zero chunk size");
-        ParChunksExactMut { slice: self, chunk_size }
+        ParChunksExactMut {
+            slice: self,
+            chunk_size,
+        }
     }
 }
 
@@ -164,7 +169,10 @@ impl<'a, T: Sync> ParIter<'a, T> {
         R: Send,
         F: Fn(&'a T) -> R + Sync,
     {
-        ParMap { slice: self.slice, f }
+        ParMap {
+            slice: self.slice,
+            f,
+        }
     }
 
     /// Run `f` on every element in parallel.
@@ -221,7 +229,10 @@ impl<'a, T: Send> ParIterMut<'a, T> {
         R: Send,
         F: Fn(&mut T) -> R + Sync,
     {
-        ParMapMut { slice: self.slice, f }
+        ParMapMut {
+            slice: self.slice,
+            f,
+        }
     }
 
     /// Run `f` on every `&mut` element in parallel.
@@ -271,7 +282,10 @@ pub struct ParChunksExactMut<'a, T> {
 impl<'a, T: Send> ParChunksExactMut<'a, T> {
     /// Pair each chunk with its index.
     pub fn enumerate(self) -> ParChunksEnumerate<'a, T> {
-        ParChunksEnumerate { slice: self.slice, chunk_size: self.chunk_size }
+        ParChunksEnumerate {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
     }
 
     /// Run `f` on every chunk in parallel.
@@ -345,10 +359,13 @@ mod tests {
     #[test]
     fn iter_mut_sees_every_element_once() {
         let mut v = vec![1i64; 500];
-        let ids: Vec<i64> = v.par_iter_mut().map(|x| {
-            *x += 1;
-            *x
-        }).collect();
+        let ids: Vec<i64> = v
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
         assert!(v.iter().all(|&x| x == 2));
         assert_eq!(ids, vec![2i64; 500]);
     }
@@ -356,20 +373,30 @@ mod tests {
     #[test]
     fn chunks_exact_mut_covers_exact_chunks_only() {
         let mut v: Vec<usize> = vec![0; 10];
-        v.par_chunks_exact_mut(3).enumerate().for_each(|(c, chunk)| {
-            for x in chunk.iter_mut() {
-                *x = c + 1;
-            }
-        });
+        v.par_chunks_exact_mut(3)
+            .enumerate()
+            .for_each(|(c, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = c + 1;
+                }
+            });
         assert_eq!(v, [1, 1, 1, 2, 2, 2, 3, 3, 3, 0]);
     }
 
     #[test]
     fn respects_rayon_num_threads_env() {
         std::env::set_var("RAYON_NUM_THREADS", "1");
-        let a: Vec<u32> = (0u32..64).collect::<Vec<_>>().par_iter().map(|x| x * x).collect();
+        let a: Vec<u32> = (0u32..64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|x| x * x)
+            .collect();
         std::env::remove_var("RAYON_NUM_THREADS");
-        let b: Vec<u32> = (0u32..64).collect::<Vec<_>>().par_iter().map(|x| x * x).collect();
+        let b: Vec<u32> = (0u32..64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|x| x * x)
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -84,11 +84,7 @@ impl std::fmt::Display for DeError {
 impl std::error::Error for DeError {}
 
 /// Look up a struct field in an object (derive-macro helper).
-pub fn field<'v>(
-    obj: &'v [(String, Value)],
-    name: &str,
-    ty: &str,
-) -> Result<&'v Value, DeError> {
+pub fn field<'v>(obj: &'v [(String, Value)], name: &str, ty: &str) -> Result<&'v Value, DeError> {
     obj.iter()
         .find(|(k, _)| k == name)
         .map(|(_, v)| v)
@@ -250,8 +246,7 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let items: Vec<T> = Vec::from_value(v)?;
-        <[T; N]>::try_from(items)
-            .map_err(|_| DeError::msg(format!("expected array of length {N}")))
+        <[T; N]>::try_from(items).map_err(|_| DeError::msg(format!("expected array of length {N}")))
     }
 }
 
@@ -315,7 +310,11 @@ tuple_impls!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
 
 impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 

@@ -29,9 +29,18 @@ struct Variant {
 
 #[derive(Debug)]
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Walk past attributes (`#[...]`, including doc comments) and visibility
@@ -73,7 +82,11 @@ fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
         i += 1;
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found `{other}`")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found `{other}`"
+                ))
+            }
         }
         // Skip the type: consume until a comma at angle-bracket depth 0.
         let mut angle: i32 = 0;
@@ -202,17 +215,24 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     match kind.as_str() {
         "struct" => match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok(Item::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Ok(Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
             }
             other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
         },
         "enum" => match tokens.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok(Item::Enum { name, variants: parse_enum_variants(g.stream())? })
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_enum_variants(g.stream())?,
+            }),
             other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
         },
         other => Err(format!("cannot derive for `{other}` items")),
@@ -268,16 +288,15 @@ fn gen_serialize(item: &Item) -> String {
                 .map(|v| {
                     let vn = &v.name;
                     match &v.kind {
-                        VariantKind::Unit => format!(
-                            "{name}::{vn} => ::serde::Value::Str(String::from({vn:?})),\n"
-                        ),
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(String::from({vn:?})),\n")
+                        }
                         VariantKind::Tuple(1) => format!(
                             "{name}::{vn}(x0) => ::serde::Value::Object(vec![\
                              (String::from({vn:?}), ::serde::Serialize::to_value(x0))]),\n"
                         ),
                         VariantKind::Tuple(n) => {
-                            let binds: Vec<String> =
-                                (0..*n).map(|k| format!("x{k}")).collect();
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
                             let items: Vec<String> = binds
                                 .iter()
                                 .map(|b| format!("::serde::Serialize::to_value({b})"))
@@ -393,9 +412,7 @@ fn gen_deserialize(item: &Item) -> String {
                         )),
                         VariantKind::Tuple(n) => {
                             let items: Vec<String> = (0..*n)
-                                .map(|k| {
-                                    format!("::serde::Deserialize::from_value(&arr[{k}])?")
-                                })
+                                .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
                                 .collect();
                             Some(format!(
                                 "{vn:?} => {{\n\

@@ -91,9 +91,14 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
             }
         }
         Value::Str(s) => write_escaped(out, s),
-        Value::Array(items) => {
-            write_seq(out, items, indent, depth, |o, x, d| write_value(o, x, indent, d), "[]")
-        }
+        Value::Array(items) => write_seq(
+            out,
+            items,
+            indent,
+            depth,
+            |o, x, d| write_value(o, x, indent, d),
+            "[]",
+        ),
         Value::Object(pairs) => write_seq(
             out,
             pairs,
@@ -174,7 +179,10 @@ fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
         *pos += lit.len();
         Ok(())
     } else {
-        Err(Error::new(format!("expected `{lit}` at byte {pos}", pos = *pos)))
+        Err(Error::new(format!(
+            "expected `{lit}` at byte {pos}",
+            pos = *pos
+        )))
     }
 }
 
@@ -212,7 +220,12 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
                         *pos += 1;
                         return Ok(Value::Array(items));
                     }
-                    _ => return Err(Error::new(format!("expected `,` or `]` at byte {pos}", pos = *pos))),
+                    _ => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `]` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
                 }
             }
         }
@@ -238,7 +251,12 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
                         *pos += 1;
                         return Ok(Value::Object(pairs));
                     }
-                    _ => return Err(Error::new(format!("expected `,` or `}}` at byte {pos}", pos = *pos))),
+                    _ => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `}}` at byte {pos}",
+                            pos = *pos
+                        )))
+                    }
                 }
             }
         }
@@ -248,7 +266,10 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value> {
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
     if b.get(*pos) != Some(&b'"') {
-        return Err(Error::new(format!("expected string at byte {pos}", pos = *pos)));
+        return Err(Error::new(format!(
+            "expected string at byte {pos}",
+            pos = *pos
+        )));
     }
     *pos += 1;
     let mut out = String::new();
@@ -286,8 +307,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
                             hi as u32
                         };
                         out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?,
                         );
                     }
                     _ => return Err(Error::new("invalid escape")),
@@ -356,7 +376,10 @@ mod tests {
     fn round_trips_scalars_and_containers() {
         let v = Value::Object(vec![
             ("a".into(), Value::Int(-3)),
-            ("b".into(), Value::Array(vec![Value::Float(1.5), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Float(1.5), Value::Null]),
+            ),
             ("c".into(), Value::Str("x\"y\n".into())),
             ("d".into(), Value::Bool(true)),
             ("e".into(), Value::UInt(u64::MAX)),
