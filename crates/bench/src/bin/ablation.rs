@@ -17,7 +17,7 @@
 //! ```
 
 use fedbiad_bench::cli::Cli;
-use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_bench::output::{save_logs_and_export, Table};
 use fedbiad_core::spike_slab::NoiseLevel;
 use fedbiad_core::{FedBiad, FedBiadConfig, PatternSampling};
 use fedbiad_fl::aggregate::ZeroMode;
@@ -148,13 +148,14 @@ fn run_variant(
     rounds: usize,
     seed: u64,
     eval_max: usize,
+    fraction: f32,
 ) -> ExperimentLog {
     let base = FedBiadConfig::paper(bundle.dropout_rate, rounds.saturating_sub(5).max(1));
     let cfg = (v.cfg)(base);
     let algo = FedBiad::new(cfg);
     let ecfg = ExperimentConfig {
         rounds,
-        client_fraction: 0.1,
+        client_fraction: fraction,
         seed,
         train: bundle.train,
         eval_topk: bundle.eval_topk,
@@ -180,7 +181,14 @@ fn main() {
         println!("\n=== Ablation — {} ({} rounds) ===", w.name(), rounds);
         let mut table = Table::new(&["Variant", "Final acc%", "Best acc%", "Mean upload"]);
         for v in variants() {
-            let log = run_variant(&bundle, &v, rounds, cli.seed, cli.eval_max);
+            let log = run_variant(
+                &bundle,
+                &v,
+                rounds,
+                cli.seed,
+                cli.eval_max,
+                cli.fraction.unwrap_or(0.1),
+            );
             table.row(vec![
                 v.name.into(),
                 format!("{:.2}", log.final_accuracy_pct()),
@@ -192,6 +200,6 @@ fn main() {
         }
         println!("{}", table.render());
     }
-    let path = save_logs("ablation", &all_logs);
+    let path = save_logs_and_export("ablation", &all_logs, cli.json_out.as_deref());
     println!("JSON written to {}", path.display());
 }

@@ -9,7 +9,7 @@
 
 use fedbiad_bench::cli::Cli;
 use fedbiad_bench::methods::{run_method, Method, RunOpts};
-use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_bench::output::{save_logs_and_export, Table};
 use fedbiad_fl::workload::{build, Workload};
 
 fn main() {
@@ -23,8 +23,7 @@ fn main() {
 
     let mut logs = Vec::new();
     for m in Method::fig2() {
-        let mut opts = RunOpts::for_rounds(rounds, cli.seed);
-        opts.eval_max_samples = cli.eval_max;
+        let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
         logs.push(run_method(m, &bundle, opts));
         println!("  finished {}", m.name());
     }
@@ -60,6 +59,6 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let path = save_logs("fig2", &logs);
+    let path = save_logs_and_export("fig2", &logs, cli.json_out.as_deref());
     println!("full per-round series in {}", path.display());
 }

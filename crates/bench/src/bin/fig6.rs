@@ -7,7 +7,7 @@
 
 use fedbiad_bench::cli::Cli;
 use fedbiad_bench::methods::{run_method, Method, RunOpts};
-use fedbiad_bench::output::save_logs;
+use fedbiad_bench::output::save_logs_and_export;
 use fedbiad_fl::workload::{build, Workload};
 
 fn main() {
@@ -24,8 +24,7 @@ fn main() {
         println!("\n=== Fig. 6 — {} ({} rounds) ===", w.name(), rounds);
         let mut logs = Vec::new();
         for m in Method::table1() {
-            let mut opts = RunOpts::for_rounds(rounds, cli.seed);
-            opts.eval_max_samples = cli.eval_max;
+            let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
             logs.push(run_method(m, &bundle, opts));
             println!("  finished {}", m.name());
         }
@@ -55,6 +54,6 @@ fn main() {
         all.extend(logs);
     }
 
-    let path = save_logs("fig6", &all);
+    let path = save_logs_and_export("fig6", &all, cli.json_out.as_deref());
     println!("\nfull per-round series in {}", path.display());
 }

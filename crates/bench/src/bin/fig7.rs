@@ -13,7 +13,7 @@
 
 use fedbiad_bench::cli::Cli;
 use fedbiad_bench::methods::{run_method, Method, RunOpts};
-use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_bench::output::{save_logs_and_export, Table};
 use fedbiad_fl::network::NetworkModel;
 use fedbiad_fl::timing;
 use fedbiad_fl::workload::{build, Workload};
@@ -49,8 +49,7 @@ fn main() {
         );
         let mut t = Table::new(&["Method", "LTTR (ms)", "TTA (s)", "final acc%"]);
         for m in methods {
-            let mut opts = RunOpts::for_rounds(rounds, cli.seed);
-            opts.eval_max_samples = cli.eval_max;
+            let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
             let log = run_method(m, &bundle, opts);
             let lttr_ms = log.mean_lttr_seconds() * 1e3;
             let tta = timing::time_to_accuracy(&log.records, bundle.target_acc, &net);
@@ -67,7 +66,7 @@ fn main() {
         println!("{}", t.render());
     }
 
-    let path = save_logs("fig7", &all);
+    let path = save_logs_and_export("fig7", &all, cli.json_out.as_deref());
     println!("JSON written to {}", path.display());
     println!(
         "\nshape targets (paper): FedBIAD has the LARGEST LTTR (adaptive \

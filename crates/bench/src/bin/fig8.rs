@@ -6,7 +6,7 @@
 //! ```
 
 use fedbiad_bench::cli::Cli;
-use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_bench::output::{save_logs_and_export, Table};
 use fedbiad_core::baselines::{Afd, FedAvg, FedDrop};
 use fedbiad_core::{FedBiad, FedBiadConfig};
 use fedbiad_fl::network::NetworkModel;
@@ -26,7 +26,7 @@ fn main() {
 
     let cfg = ExperimentConfig {
         rounds,
-        client_fraction: 0.1,
+        client_fraction: cli.fraction.unwrap_or(0.1),
         seed: cli.seed,
         train: bundle.train,
         eval_topk: bundle.eval_topk,
@@ -87,6 +87,6 @@ fn main() {
     println!("(b) TTA (s) vs dropout rate:");
     println!("{}", tta_table.render());
 
-    let path = save_logs("fig8", &logs);
+    let path = save_logs_and_export("fig8", &logs, cli.json_out.as_deref());
     println!("JSON written to {}", path.display());
 }

@@ -13,7 +13,7 @@
 
 use fedbiad_bench::cli::Cli;
 use fedbiad_bench::methods::{run_method, Method, RunOpts};
-use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_bench::output::{save_logs_and_export, Table};
 use fedbiad_fl::metrics::fmt_bytes;
 use fedbiad_fl::workload::{build, Workload};
 
@@ -112,8 +112,7 @@ fn main() {
         };
         for m in selected {
             let i = Method::table1().iter().position(|x| *x == m).unwrap_or(0);
-            let mut opts = RunOpts::for_rounds(rounds, cli.seed);
-            opts.eval_max_samples = cli.eval_max;
+            let mut opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
             // Evaluate sparsely during the run for speed; final round is
             // always evaluated.
             opts.eval_every = (rounds / 15).max(1);
@@ -138,6 +137,6 @@ fn main() {
         println!("{}", table.render());
     }
 
-    let path = save_logs("table1", &all_logs);
+    let path = save_logs_and_export("table1", &all_logs, cli.json_out.as_deref());
     println!("JSON written to {}", path.display());
 }

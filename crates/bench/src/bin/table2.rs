@@ -9,7 +9,7 @@
 
 use fedbiad_bench::cli::Cli;
 use fedbiad_bench::methods::{run_method, Method, RunOpts};
-use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_bench::output::{save_logs_and_export, Table};
 use fedbiad_fl::metrics::fmt_bytes;
 use fedbiad_fl::workload::{build, Workload};
 
@@ -107,8 +107,7 @@ fn main() {
         };
         for m in selected {
             let i = Method::table2().iter().position(|x| *x == m).unwrap_or(0);
-            let mut opts = RunOpts::for_rounds(rounds, cli.seed);
-            opts.eval_max_samples = cli.eval_max;
+            let mut opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
             opts.eval_every = (rounds / 15).max(1);
             let log = run_method(m, &bundle, opts);
             let up = log.mean_upload_bytes();
@@ -128,6 +127,6 @@ fn main() {
         println!("{}", table.render());
     }
 
-    let path = save_logs("table2", &all_logs);
+    let path = save_logs_and_export("table2", &all_logs, cli.json_out.as_deref());
     println!("JSON written to {}", path.display());
 }

@@ -9,7 +9,7 @@
 
 use fedbiad_bench::cli::Cli;
 use fedbiad_bench::methods::{run_method, Method, RunOpts};
-use fedbiad_bench::output::{save_logs, Table};
+use fedbiad_bench::output::{save_logs_and_export, Table};
 use fedbiad_core::spike_slab::posterior_variance;
 use fedbiad_core::theory::{
     epsilon_bound, generalization_bound, holder_upper_bound, m_r, minimax_rate, TheoryParams,
@@ -32,8 +32,7 @@ fn main() {
     );
 
     // Measured side: run FedBIAD and log train/test loss per round.
-    let mut opts = RunOpts::for_rounds(rounds, cli.seed);
-    opts.eval_max_samples = cli.eval_max;
+    let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
     let log = run_method(Method::FedBiad, &bundle, opts);
 
     let mut t = Table::new(&[
@@ -91,6 +90,6 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let path = save_logs("theory_bound", &[log]);
+    let path = save_logs_and_export("theory_bound", &[log], cli.json_out.as_deref());
     println!("JSON written to {}", path.display());
 }

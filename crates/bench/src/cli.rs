@@ -2,6 +2,7 @@
 //! dependency; flags are `--key value`).
 
 use fedbiad_fl::workload::{Scale, Workload};
+use std::path::PathBuf;
 
 /// Parsed common flags.
 #[derive(Clone, Debug)]
@@ -18,6 +19,17 @@ pub struct Cli {
     pub eval_max: usize,
     /// `--methods a,b` restriction (default: binary-specific set).
     pub methods: Option<Vec<String>>,
+    /// `--json-out PATH`: additionally serialize the full experiment
+    /// logs (round records + invocation) to this path.
+    pub json_out: Option<PathBuf>,
+    /// `--policies sync,deadline,fedbuff` (sim binaries only).
+    pub policies: Option<Vec<String>>,
+    /// `--profiles homogeneous,mixed,stragglers` (sim binaries only).
+    pub profiles: Option<Vec<String>>,
+    /// `--fraction F`: client participation fraction κ (default 0.1).
+    pub fraction: Option<f32>,
+    /// `--target A`: TTA target accuracy override (sim binaries only).
+    pub target: Option<f64>,
 }
 
 impl Cli {
@@ -35,6 +47,11 @@ impl Cli {
             workloads: None,
             eval_max: 2_000,
             methods: None,
+            json_out: None,
+            policies: None,
+            profiles: None,
+            fraction: None,
+            target: None,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -61,6 +78,15 @@ impl Cli {
                 "--methods" => {
                     cli.methods = Some(val().split(',').map(|s| s.to_string()).collect());
                 }
+                "--json-out" => cli.json_out = Some(PathBuf::from(val())),
+                "--policies" => {
+                    cli.policies = Some(val().split(',').map(|s| s.to_string()).collect());
+                }
+                "--profiles" => {
+                    cli.profiles = Some(val().split(',').map(|s| s.to_string()).collect());
+                }
+                "--fraction" => cli.fraction = Some(val().parse().expect("--fraction: float")),
+                "--target" => cli.target = Some(val().parse().expect("--target: float")),
                 "--workloads" => {
                     let list = val();
                     cli.workloads = Some(
@@ -78,7 +104,10 @@ impl Cli {
                     println!(
                         "flags: --rounds N  --seed N  --scale smoke|lab  \
                          --workloads mnist,fmnist,ptb,wikitext2,reddit  \
-                         --methods fedavg,fedbiad,...  --eval-max N"
+                         --methods fedavg,fedbiad,...  --eval-max N  \
+                         --json-out PATH  --policies sync,deadline,fedbuff  \
+                         --profiles homogeneous,mixed,stragglers  \
+                         --fraction F  --target A"
                     );
                     std::process::exit(0);
                 }
@@ -135,6 +164,30 @@ mod tests {
             c.workloads,
             Some(vec![Workload::PtbLike, Workload::RedditLike])
         );
+    }
+
+    #[test]
+    fn json_out_and_sim_flags_parse() {
+        let c = Cli::parse_from(
+            [
+                "--json-out",
+                "/tmp/out.json",
+                "--policies",
+                "sync,fedbuff",
+                "--profiles",
+                "stragglers",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        assert_eq!(c.json_out, Some(PathBuf::from("/tmp/out.json")));
+        assert_eq!(
+            c.policies,
+            Some(vec!["sync".to_string(), "fedbuff".to_string()])
+        );
+        assert_eq!(c.profiles, Some(vec!["stragglers".to_string()]));
+        assert_eq!(Cli::parse_from(vec![]).json_out, None);
     }
 
     #[test]

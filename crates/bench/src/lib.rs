@@ -13,6 +13,7 @@
 //! | `fig8`        | Fig. 8         | accuracy + TTA vs dropout rate (Reddit) |
 //! | `theory_bound`| Thm. 1         | bound vs measured generalization gap |
 //! | `ablation`    | DESIGN.md §4   | design-choice ablations |
+//! | `sim_tta`     | (beyond paper) | discrete-event TTA: policies × heterogeneity × methods |
 //!
 //! Each binary accepts `--rounds`, `--seed`, `--scale smoke|lab` and
 //! writes machine-readable JSON to `target/experiments/`.
@@ -20,5 +21,7 @@
 pub mod cli;
 pub mod methods;
 pub mod output;
+pub mod simrun;
 
 pub use methods::{run_method, Method};
+pub use simrun::{run_sim_method, PolicyChoice};

@@ -140,9 +140,20 @@ pub struct RunOpts {
     pub eval_every: usize,
     /// Cap evaluated test samples (0 = all).
     pub eval_max_samples: usize,
+    /// Client participation fraction κ (paper: 0.1).
+    pub client_fraction: f32,
 }
 
 impl RunOpts {
+    /// Apply the shared CLI overrides (`--eval-max`, `--fraction`).
+    pub fn apply_cli(mut self, cli: &crate::cli::Cli) -> Self {
+        self.eval_max_samples = cli.eval_max;
+        if let Some(f) = cli.fraction {
+            self.client_fraction = f;
+        }
+        self
+    }
+
     /// Paper-style defaults for `rounds` (R_b = R − 5, κ = 0.1).
     pub fn for_rounds(rounds: usize, seed: u64) -> Self {
         Self {
@@ -151,6 +162,7 @@ impl RunOpts {
             seed,
             eval_every: 1,
             eval_max_samples: 2_000,
+            client_fraction: 0.1,
         }
     }
 }
@@ -159,7 +171,7 @@ impl RunOpts {
 pub fn run_method(method: Method, bundle: &WorkloadBundle, opts: RunOpts) -> ExperimentLog {
     let cfg = ExperimentConfig {
         rounds: opts.rounds,
-        client_fraction: 0.1,
+        client_fraction: opts.client_fraction,
         seed: opts.seed,
         train: bundle.train,
         eval_topk: bundle.eval_topk,

@@ -1,9 +1,10 @@
 //! Experiment output: aligned tables on stdout + JSON under
-//! `target/experiments/`.
+//! `target/experiments/`, plus the `--json-out` full-trajectory dump.
 
 use fedbiad_fl::ExperimentLog;
+use serde::Serialize;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Directory for machine-readable results.
 pub fn experiments_dir() -> PathBuf {
@@ -18,6 +19,45 @@ pub fn save_logs(artifact: &str, logs: &[ExperimentLog]) -> PathBuf {
     let body = serde_json::to_string_pretty(logs).expect("serialise logs");
     fs::write(&path, body).expect("write experiment json");
     path
+}
+
+/// What `--json-out` writes: the full per-round trajectories plus the
+/// exact invocation that produced them, so any BENCH_*.json capture is
+/// self-describing.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchDump {
+    /// The artifact name (`fig2`, `table1`, …).
+    pub artifact: String,
+    /// The binary's full argv (the run configuration).
+    pub argv: Vec<String>,
+    /// The complete experiment logs (config ids + round records).
+    pub logs: Vec<ExperimentLog>,
+}
+
+/// Save to the default artifact location and, when `--json-out` was
+/// given, additionally write the full [`BenchDump`] there.
+pub fn save_logs_and_export(
+    artifact: &str,
+    logs: &[ExperimentLog],
+    json_out: Option<&Path>,
+) -> PathBuf {
+    let default_path = save_logs(artifact, logs);
+    if let Some(path) = json_out {
+        export_dump(artifact, logs, path);
+    }
+    default_path
+}
+
+/// Write the full [`BenchDump`] for `logs` to `path`.
+pub fn export_dump(artifact: &str, logs: &[ExperimentLog], path: &Path) {
+    let dump = BenchDump {
+        artifact: artifact.to_string(),
+        argv: std::env::args().collect(),
+        logs: logs.to_vec(),
+    };
+    let body = serde_json::to_string_pretty(&dump).expect("serialise bench dump");
+    fs::write(path, body).expect("write --json-out file");
+    println!("full ExperimentLog JSON written to {}", path.display());
 }
 
 /// Simple fixed-width table printer.

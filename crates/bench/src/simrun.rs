@@ -1,0 +1,208 @@
+//! Discrete-event simulation runner: build + run any registry method
+//! under any server policy × heterogeneity profile (the `sim_tta`
+//! binary's engine).
+
+use crate::methods::{Method, RunOpts};
+use fedbiad_compress::dgc::Dgc;
+use fedbiad_compress::fedpaq::FedPaq;
+use fedbiad_compress::signsgd::SignSgd;
+use fedbiad_compress::stc::Stc;
+use fedbiad_core::baselines::{Afd, FedAvg, FedDrop, FedMp, Fjord, HeteroFl};
+use fedbiad_core::{FedBiad, FedBiadConfig};
+use fedbiad_fl::round::cohort_size;
+use fedbiad_fl::runner::ExperimentConfig;
+use fedbiad_fl::workload::WorkloadBundle;
+use fedbiad_sim::{
+    CostModel, DeadlineOverSelect, FedBuff, HeterogeneityProfile, ServerPolicy, SimConfig,
+    SimReport, Simulator, SyncBarrier,
+};
+use std::sync::Arc;
+
+/// Which server policy to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Synchronous barrier (the lock-step runner).
+    Sync,
+    /// Deadline-based over-selection with straggler dropping.
+    Deadline,
+    /// FedBuff-style buffered asynchronous aggregation.
+    FedBuff,
+}
+
+impl PolicyChoice {
+    /// All three, sweep order.
+    pub fn all() -> [PolicyChoice; 3] {
+        [
+            PolicyChoice::Sync,
+            PolicyChoice::Deadline,
+            PolicyChoice::FedBuff,
+        ]
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<PolicyChoice> {
+        match s.to_ascii_lowercase().as_str() {
+            "sync" | "barrier" => Some(PolicyChoice::Sync),
+            "deadline" | "overselect" => Some(PolicyChoice::Deadline),
+            "fedbuff" | "buffered" | "async" => Some(PolicyChoice::FedBuff),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the policy for a cohort of `cohort` clients and an
+    /// estimated nominal round duration (used to place the deadline).
+    pub fn build(self, cohort: usize, nominal_round_seconds: f64) -> Box<dyn ServerPolicy> {
+        match self {
+            PolicyChoice::Sync => Box::new(SyncBarrier),
+            PolicyChoice::Deadline => {
+                // Over-select 50 %, close the round at 2× the nominal
+                // round time: fast clients make it, hard stragglers miss.
+                Box::new(DeadlineOverSelect::new(1.5, 2.0 * nominal_round_seconds))
+            }
+            PolicyChoice::FedBuff => Box::new(FedBuff::new((cohort / 2).max(1), cohort.max(1))),
+        }
+    }
+}
+
+/// Parse a heterogeneity-profile CLI name.
+pub fn parse_profile(s: &str) -> Option<HeterogeneityProfile> {
+    match s.to_ascii_lowercase().as_str() {
+        "homogeneous" | "homog" => Some(HeterogeneityProfile::homogeneous_5g()),
+        "mixed" | "mixed-mobile" => Some(HeterogeneityProfile::MixedMobile {
+            compute_spread: 6.0,
+            jitter: 0.1,
+        }),
+        "stragglers" | "straggler" => Some(HeterogeneityProfile::Stragglers {
+            fraction: 0.3,
+            slowdown: 15.0,
+            jitter: 0.1,
+        }),
+        _ => None,
+    }
+}
+
+/// A nominal (multiplier-1, 5G) round-duration estimate for deadline
+/// placement: compute + full-model transmission both ways.
+pub fn nominal_round_seconds(bundle: &WorkloadBundle, cost: &CostModel) -> f64 {
+    let weights = bundle.model.arch().total_weights;
+    let net = fedbiad_sim::LinkClass::FiveG.network();
+    let model_bytes = (weights as u64) * 4;
+    cost.local_seconds(weights, bundle.train.local_iters, 1.0)
+        + net.download_message_seconds(model_bytes)
+        + net.upload_message_seconds(model_bytes)
+}
+
+/// Run `method` on `bundle` under `policy` × `profile` and return the
+/// simulation report.
+pub fn run_sim_method(
+    method: Method,
+    bundle: &WorkloadBundle,
+    opts: RunOpts,
+    policy: PolicyChoice,
+    profile: HeterogeneityProfile,
+) -> SimReport {
+    let base = ExperimentConfig {
+        rounds: opts.rounds,
+        client_fraction: opts.client_fraction,
+        seed: opts.seed,
+        train: bundle.train,
+        eval_topk: bundle.eval_topk,
+        eval_every: opts.eval_every,
+        eval_max_samples: opts.eval_max_samples,
+    };
+    let cfg = SimConfig::new(base, profile);
+    let cohort = cohort_size(bundle.data.num_clients(), base.client_fraction);
+    let pol = policy.build(cohort, nominal_round_seconds(bundle, &cfg.cost));
+
+    let p = bundle.dropout_rate;
+    let model = bundle.model.as_ref();
+    let data = &bundle.data;
+    let dgc = || Arc::new(Dgc::paper());
+    match method {
+        Method::FedAvg => Simulator::new(model, data, FedAvg::new(), pol, cfg).run(),
+        Method::FedDrop => Simulator::new(model, data, FedDrop::new(p), pol, cfg).run(),
+        Method::Afd => Simulator::new(model, data, Afd::new(p), pol, cfg).run(),
+        Method::FedMp => Simulator::new(model, data, FedMp::new(p), pol, cfg).run(),
+        Method::Fjord => Simulator::new(model, data, Fjord::new(p), pol, cfg).run(),
+        Method::HeteroFl => Simulator::new(model, data, HeteroFl::new(p), pol, cfg).run(),
+        Method::FedBiad => {
+            let algo = FedBiad::new(FedBiadConfig::paper(p, opts.stage_boundary));
+            Simulator::new(model, data, algo, pol, cfg).run()
+        }
+        Method::FedPaq => Simulator::new(
+            model,
+            data,
+            FedAvg::with_sketch(Arc::new(FedPaq::paper())),
+            pol,
+            cfg,
+        )
+        .run(),
+        Method::SignSgd => Simulator::new(
+            model,
+            data,
+            FedAvg::with_sketch(Arc::new(SignSgd::default())),
+            pol,
+            cfg,
+        )
+        .run(),
+        Method::Stc => Simulator::new(
+            model,
+            data,
+            FedAvg::with_sketch(Arc::new(Stc::paper())),
+            pol,
+            cfg,
+        )
+        .run(),
+        Method::Dgc => Simulator::new(model, data, FedAvg::with_sketch(dgc()), pol, cfg).run(),
+        Method::AfdDgc => Simulator::new(model, data, Afd::with_sketch(p, dgc()), pol, cfg).run(),
+        Method::FjordDgc => {
+            Simulator::new(model, data, Fjord::with_sketch(p, dgc()), pol, cfg).run()
+        }
+        Method::FedBiadDgc => {
+            let algo = FedBiad::with_sketch(FedBiadConfig::paper(p, opts.stage_boundary), dgc());
+            Simulator::new(model, data, algo, pol, cfg).run()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_fl::workload::{build, Scale, Workload};
+
+    #[test]
+    fn policy_choice_parses() {
+        assert_eq!(PolicyChoice::parse("SYNC"), Some(PolicyChoice::Sync));
+        assert_eq!(PolicyChoice::parse("fedbuff"), Some(PolicyChoice::FedBuff));
+        assert_eq!(
+            PolicyChoice::parse("deadline"),
+            Some(PolicyChoice::Deadline)
+        );
+        assert_eq!(PolicyChoice::parse("nope"), None);
+    }
+
+    #[test]
+    fn profile_parses() {
+        assert!(parse_profile("homogeneous").is_some());
+        assert!(parse_profile("mixed").is_some());
+        assert!(parse_profile("stragglers").is_some());
+        assert!(parse_profile("nope").is_none());
+    }
+
+    #[test]
+    fn sim_runs_every_policy_on_smoke_workload() {
+        let bundle = build(Workload::MnistLike, Scale::Smoke, 3);
+        let opts = RunOpts::for_rounds(2, 3);
+        for policy in PolicyChoice::all() {
+            let report = run_sim_method(
+                Method::FedAvg,
+                &bundle,
+                opts,
+                policy,
+                parse_profile("stragglers").unwrap(),
+            );
+            assert_eq!(report.log.records.len(), 2, "{policy:?}");
+            assert!(report.total_virtual_seconds > 0.0, "{policy:?}");
+        }
+    }
+}

@@ -14,8 +14,11 @@
 //!   the average toward zero) and holders-only averaging;
 //! * [`network`] / [`timing`] — the paper's T-Mobile 5G link model
 //!   (14.0 Mbps up / 110.6 Mbps down, §V-C) and LTTR/TTA accounting;
-//! * [`runner`] — the round loop: sample ⌈κK⌉ clients, run local updates in
-//!   parallel (rayon), aggregate, evaluate, record;
+//! * [`round`] — the reusable round-loop ingredients (client selection,
+//!   state checkout, parallel local updates, result statistics,
+//!   evaluation), shared by the lock-step runner and `fedbiad-sim`;
+//! * [`runner`] — the lock-step round loop: sample ⌈κK⌉ clients, run local
+//!   updates in parallel (rayon), aggregate, evaluate, record;
 //! * [`workload`] — assembles the five benchmark workloads (dataset +
 //!   model + per-dataset hyper-parameters) at smoke/lab/paper scales.
 
@@ -24,6 +27,7 @@ pub mod algorithm;
 pub mod client;
 pub mod metrics;
 pub mod network;
+pub mod round;
 pub mod runner;
 pub mod timing;
 pub mod upload;

@@ -17,25 +17,47 @@ pub struct NetworkModel {
     pub uplink_mbps: f64,
     /// Downlink speed in Mbps.
     pub downlink_mbps: f64,
+    /// Per-message round-trip latency in seconds, added once per
+    /// transmitted message on top of the bandwidth term. The default of
+    /// 0.0 keeps all pure-bandwidth numbers identical.
+    pub rtt_seconds: f64,
 }
 
 impl NetworkModel {
-    /// The paper's T-Mobile 5G profile.
+    /// The paper's T-Mobile 5G profile (pure bandwidth, zero latency).
     pub fn t_mobile_5g() -> Self {
         Self {
             uplink_mbps: 14.0,
             downlink_mbps: 110.6,
+            rtt_seconds: 0.0,
         }
     }
 
-    /// Seconds to upload `bytes`.
+    /// Same link with a per-message round-trip latency attached.
+    pub fn with_rtt(mut self, rtt_seconds: f64) -> Self {
+        self.rtt_seconds = rtt_seconds;
+        self
+    }
+
+    /// Seconds to upload `bytes` (bandwidth term only).
     pub fn upload_seconds(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.uplink_mbps * MBPS_TO_BYTES)
     }
 
-    /// Seconds to download `bytes`.
+    /// Seconds to download `bytes` (bandwidth term only).
     pub fn download_seconds(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.downlink_mbps * MBPS_TO_BYTES)
+    }
+
+    /// Wall-clock of one uplink *message*: bandwidth + round-trip latency.
+    pub fn upload_message_seconds(&self, bytes: u64) -> f64 {
+        self.upload_seconds(bytes) + self.rtt_seconds
+    }
+
+    /// Wall-clock of one downlink *message*: bandwidth + round-trip
+    /// latency.
+    pub fn download_message_seconds(&self, bytes: u64) -> f64 {
+        self.download_seconds(bytes) + self.rtt_seconds
     }
 }
 
@@ -70,5 +92,20 @@ mod tests {
         let t1 = n.upload_seconds(1000);
         let t2 = n.upload_seconds(500);
         assert!((t1 - 2.0 * t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rtt_defaults_to_zero_and_only_affects_message_time() {
+        let n = NetworkModel::default();
+        assert_eq!(n.rtt_seconds, 0.0);
+        assert_eq!(n.upload_message_seconds(1000), n.upload_seconds(1000));
+
+        let lagged = n.with_rtt(0.05);
+        // The bandwidth terms are untouched…
+        assert_eq!(lagged.upload_seconds(1000), n.upload_seconds(1000));
+        assert_eq!(lagged.download_seconds(1000), n.download_seconds(1000));
+        // …only per-message times grow, by exactly one RTT each.
+        let d = lagged.upload_message_seconds(1000) - n.upload_message_seconds(1000);
+        assert!((d - 0.05).abs() < 1e-12, "{d}");
     }
 }

@@ -1,0 +1,305 @@
+//! Round-loop ingredients, factored out of [`crate::runner`] so that more
+//! than one *server policy* can drive them.
+//!
+//! The lock-step [`crate::runner::Experiment`] and the discrete-event
+//! simulator (`fedbiad-sim`) share every step of a round — client
+//! selection, checked-out client state, parallel local updates, result
+//! statistics, evaluation with carry-forward — through this module. That
+//! sharing is what makes the simulator's synchronous-barrier policy
+//! reproduce the legacy runner bit-for-bit (see
+//! `tests/sim_equivalence.rs` at the workspace root).
+
+use crate::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
+use crate::metrics::RoundRecord;
+use fedbiad_data::{ClientData, FedDataset};
+use fedbiad_nn::{Batch, EvalAccum, Model, ParamSet};
+use fedbiad_tensor::rng::{stream, StreamTag};
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Number of clients selected per round: `max(⌊κK⌋, 1)` (Algorithm 1).
+pub fn cohort_size(num_clients: usize, fraction: f32) -> usize {
+    ((fraction * num_clients as f32).floor() as usize).max(1)
+}
+
+/// Uniform-without-replacement client selection for `round`, returned in
+/// ascending id order (the deterministic processing order of the runner).
+pub fn sample_clients(seed: u64, round: usize, num_clients: usize, cohort: usize) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..num_clients).collect();
+    let mut srng = stream(seed, StreamTag::ClientSampling, round as u64, 0);
+    ids.shuffle(&mut srng);
+    ids.truncate(cohort);
+    ids.sort_unstable();
+    ids
+}
+
+/// Per-client persistent state table. States are *checked out* for the
+/// duration of a client's local work (so rayon workers — or in-flight
+/// simulated clients — hold disjoint `&mut` access) and restored after.
+pub struct ClientStates<A: FlAlgorithm> {
+    slots: Vec<Option<A::ClientState>>,
+}
+
+impl<A: FlAlgorithm> ClientStates<A> {
+    /// Empty table for `num_clients` clients (states are created lazily).
+    pub fn new(num_clients: usize) -> Self {
+        Self {
+            slots: (0..num_clients).map(|_| None).collect(),
+        }
+    }
+
+    /// Check out the states of `ids`, initialising first-time clients.
+    /// Panics if any id is already checked out.
+    pub fn checkout(
+        &mut self,
+        ids: &[usize],
+        algo: &A,
+        model: &dyn Model,
+        global: &ParamSet,
+    ) -> Vec<(usize, A::ClientState)> {
+        ids.iter()
+            .map(|&id| {
+                let st = self.slots[id]
+                    .take()
+                    .unwrap_or_else(|| algo.init_client_state(id, model, global));
+                (id, st)
+            })
+            .collect()
+    }
+
+    /// Return checked-out states to the table.
+    pub fn restore(&mut self, work: Vec<(usize, A::ClientState)>) {
+        for (id, st) in work {
+            self.slots[id] = Some(st);
+        }
+    }
+}
+
+/// Run the checked-out clients' local updates in parallel (rayon),
+/// stamping measured wall-clock `local_seconds` on each result. Results
+/// come back in `work` order (ascending id order when `work` came from
+/// [`sample_clients`] + [`ClientStates::checkout`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_local_updates<A: FlAlgorithm>(
+    algo: &A,
+    model: &dyn Model,
+    data: &FedDataset,
+    train: &TrainConfig,
+    info: RoundInfo,
+    rctx: &A::RoundCtx,
+    global: &ParamSet,
+    work: &mut [(usize, A::ClientState)],
+) -> Vec<(usize, LocalResult)> {
+    work.par_iter_mut()
+        .map(|(id, st)| {
+            let t0 = Instant::now();
+            let mut res = algo.local_update(
+                info,
+                rctx,
+                *id,
+                st,
+                global,
+                &data.clients[*id],
+                model,
+                train,
+            );
+            // LTTR includes everything the client computed this round
+            // (pattern search, score updates, compression).
+            res.local_seconds = t0.elapsed().as_secs_f64();
+            (*id, res)
+        })
+        .collect()
+}
+
+/// Cross-client statistics of one aggregation's inputs — the
+/// deterministic half of a [`RoundRecord`].
+#[derive(Clone, Copy, Debug)]
+pub struct RoundStats {
+    /// |D_k|-weighted mean of client training losses.
+    pub train_loss: f32,
+    /// Mean uplink bytes over participating clients.
+    pub upload_bytes_mean: u64,
+    /// Max uplink bytes (round critical path).
+    pub upload_bytes_max: u64,
+    /// Mean local-training seconds (LTTR).
+    pub local_seconds_mean: f64,
+    /// Max local-training seconds (round critical path).
+    pub local_seconds_max: f64,
+}
+
+/// Summarise one round's results exactly as the legacy runner did.
+pub fn summarize_results(results: &[(usize, LocalResult)]) -> RoundStats {
+    let total_w: f64 = results.iter().map(|(_, r)| r.num_samples as f64).sum();
+    let train_loss = if total_w > 0.0 {
+        (results
+            .iter()
+            .map(|(_, r)| r.train_loss as f64 * r.num_samples as f64)
+            .sum::<f64>()
+            / total_w) as f32
+    } else {
+        f32::NAN
+    };
+    let upload_bytes: Vec<u64> = results.iter().map(|(_, r)| r.upload.wire_bytes).collect();
+    let upload_bytes_mean =
+        (upload_bytes.iter().sum::<u64>() / upload_bytes.len().max(1) as u64).max(1);
+    let upload_bytes_max = upload_bytes.iter().copied().max().unwrap_or(0);
+    let local_secs: Vec<f64> = results.iter().map(|(_, r)| r.local_seconds).collect();
+    let local_seconds_mean = local_secs.iter().sum::<f64>() / local_secs.len().max(1) as f64;
+    let local_seconds_max = local_secs.iter().copied().fold(0.0, f64::max);
+    RoundStats {
+        train_loss,
+        upload_bytes_mean,
+        upload_bytes_max,
+        local_seconds_mean,
+        local_seconds_max,
+    }
+}
+
+/// Whether `round` is evaluated under `eval_every` (the final round is
+/// always evaluated).
+pub fn eval_due(round: usize, total_rounds: usize, eval_every: usize) -> bool {
+    round.is_multiple_of(eval_every.max(1)) || round + 1 == total_rounds
+}
+
+/// Evaluate the deployable parameters, or carry the previous record's
+/// `(test_loss, test_acc)` forward when evaluation is not due.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_or_carry<A: FlAlgorithm>(
+    algo: &A,
+    model: &dyn Model,
+    global: &ParamSet,
+    test: &ClientData,
+    eval_topk: usize,
+    eval_max_samples: usize,
+    due: bool,
+    prev: Option<&RoundRecord>,
+) -> (f64, f64) {
+    if due {
+        let deploy = algo.eval_params(global);
+        let acc = evaluate_model(model, &deploy, test, eval_topk, eval_max_samples);
+        (acc.mean_loss(), acc.accuracy())
+    } else {
+        prev.map(|r| (r.test_loss, r.test_acc))
+            .unwrap_or((f64::NAN, 0.0))
+    }
+}
+
+/// Evaluate `params` on a dataset, rayon-parallel over chunks.
+/// `max_samples = 0` means the whole set.
+pub fn evaluate_model(
+    model: &dyn Model,
+    params: &ParamSet,
+    data: &ClientData,
+    topk: usize,
+    max_samples: usize,
+) -> EvalAccum {
+    const CHUNK: usize = 64;
+    match data {
+        ClientData::Image(set) => {
+            let n = if max_samples == 0 {
+                set.len()
+            } else {
+                set.len().min(max_samples)
+            };
+            let chunks: Vec<(usize, usize)> = (0..n)
+                .step_by(CHUNK)
+                .map(|s| (s, (s + CHUNK).min(n)))
+                .collect();
+            chunks
+                .par_iter()
+                .map(|&(s, e)| {
+                    let batch = Batch::Dense {
+                        x: &set.x[s * set.dim..e * set.dim],
+                        y: &set.y[s..e],
+                        dim: set.dim,
+                    };
+                    model.evaluate(params, &batch, topk)
+                })
+                .reduce(EvalAccum::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        }
+        ClientData::Text(set) => {
+            let n_windows = set.num_windows();
+            let budget = if max_samples == 0 {
+                n_windows
+            } else {
+                (max_samples / set.seq_len.max(1)).clamp(1, n_windows)
+            };
+            let chunks: Vec<(usize, usize)> = (0..budget)
+                .step_by(CHUNK / 8 + 1)
+                .map(|s| (s, (s + CHUNK / 8 + 1).min(budget)))
+                .collect();
+            chunks
+                .par_iter()
+                .map(|&(s, e)| {
+                    let windows: Vec<&[u32]> = (s..e).map(|i| set.window(i)).collect();
+                    let batch = Batch::Seq { windows: &windows };
+                    model.evaluate(params, &batch, topk)
+                })
+                .reduce(EvalAccum::default, |mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_size_floors_with_min_one() {
+        assert_eq!(cohort_size(100, 0.1), 10);
+        assert_eq!(cohort_size(9, 0.1), 1); // ⌊0.9⌋ = 0 → 1
+        assert_eq!(cohort_size(25, 0.5), 12);
+    }
+
+    #[test]
+    fn sampling_is_sorted_unique_and_deterministic() {
+        let a = sample_clients(7, 3, 50, 10);
+        let b = sample_clients(7, 3, 50, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "{a:?}");
+        let c = sample_clients(7, 4, 50, 10);
+        assert_ne!(a, c, "different rounds should differ");
+    }
+
+    #[test]
+    fn eval_due_includes_final_round() {
+        assert!(eval_due(0, 10, 3));
+        assert!(!eval_due(1, 10, 3));
+        assert!(eval_due(3, 10, 3));
+        assert!(eval_due(9, 10, 3)); // final round always
+        assert!(eval_due(4, 10, 0)); // eval_every 0 treated as 1
+    }
+
+    #[test]
+    fn summarize_matches_hand_calc() {
+        use crate::upload::Upload;
+        use fedbiad_nn::params::{EntryMeta, LayerKind};
+        let mut p = ParamSet::new();
+        p.push_entry(
+            fedbiad_tensor::Matrix::full(2, 2, 1.0),
+            None,
+            EntryMeta::new("w", LayerKind::DenseHidden, false, true),
+        );
+        let mk = |loss: f32, n: usize, secs: f64| LocalResult {
+            upload: Upload::full_weights(p.clone()),
+            train_loss: loss,
+            loss_improvement: 0.0,
+            local_seconds: secs,
+            num_samples: n,
+        };
+        let results = vec![(0, mk(1.0, 1, 2.0)), (1, mk(3.0, 3, 4.0))];
+        let s = summarize_results(&results);
+        assert!((s.train_loss - 2.5).abs() < 1e-6); // (1·1 + 3·3)/4
+        assert!((s.local_seconds_mean - 3.0).abs() < 1e-12);
+        assert!((s.local_seconds_max - 4.0).abs() < 1e-12);
+        assert_eq!(s.upload_bytes_mean, p.total_bytes());
+    }
+}

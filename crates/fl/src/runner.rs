@@ -1,20 +1,28 @@
-//! The experiment runner: the server's round loop.
+//! The experiment runner: the server's lock-step round loop.
 //!
 //! Per round (Algorithm 1, server side): sample `max(⌊κK⌋, 1)` clients,
 //! broadcast the global variational parameters, run the selected clients'
 //! local updates in parallel (rayon), aggregate the uploads, evaluate the
 //! new global model on the held-out test set, and record everything the
 //! tables/figures need.
+//!
+//! The round's ingredients live in [`crate::round`] and are shared with
+//! the discrete-event simulator (`fedbiad-sim`), whose synchronous-barrier
+//! policy reproduces this loop bit-for-bit.
 
-use crate::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
+use crate::algorithm::{FlAlgorithm, RoundInfo, TrainConfig};
 use crate::metrics::{ExperimentLog, RoundRecord};
-use fedbiad_data::{ClientData, FedDataset};
-use fedbiad_nn::{Batch, EvalAccum, Model, ParamSet};
+use crate::round::{
+    cohort_size, eval_due, eval_or_carry, run_local_updates, sample_clients, summarize_results,
+    ClientStates,
+};
+use fedbiad_data::FedDataset;
+use fedbiad_nn::Model;
 use fedbiad_tensor::rng::{stream, StreamTag};
-use rand::seq::SliceRandom;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+pub use crate::round::evaluate_model;
 
 /// Experiment-level configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -77,13 +85,13 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
     pub fn run(mut self) -> ExperimentLog {
         let k = self.data.num_clients();
         assert!(k > 0, "no clients");
-        let c = ((self.cfg.client_fraction * k as f32).floor() as usize).max(1);
+        let c = cohort_size(k, self.cfg.client_fraction);
 
         let mut init_rng = stream(self.cfg.seed, StreamTag::Init, 0, 0);
         let mut global = self.model.init_params(&mut init_rng);
-        let mut states: Vec<Option<A::ClientState>> = (0..k).map(|_| None).collect();
+        let mut states = ClientStates::<A>::new(k);
 
-        let mut records = Vec::with_capacity(self.cfg.rounds);
+        let mut records: Vec<RoundRecord> = Vec::with_capacity(self.cfg.rounds);
         for round in 0..self.cfg.rounds {
             let info = RoundInfo {
                 round,
@@ -92,56 +100,25 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             };
 
             // --- client sampling (uniform without replacement) ---
-            let mut ids: Vec<usize> = (0..k).collect();
-            let mut srng = stream(self.cfg.seed, StreamTag::ClientSampling, round as u64, 0);
-            ids.shuffle(&mut srng);
-            ids.truncate(c);
-            ids.sort_unstable(); // deterministic processing order
+            let ids = sample_clients(self.cfg.seed, round, k, c);
 
             let rctx = self.algo.begin_round(info, &global);
 
             // --- parallel local updates ---
             // Move each selected client's state out of the table so rayon
             // workers get disjoint &mut access.
-            let mut work: Vec<(usize, A::ClientState)> = ids
-                .iter()
-                .map(|&id| {
-                    let st = states[id]
-                        .take()
-                        .unwrap_or_else(|| self.algo.init_client_state(id, self.model, &global));
-                    (id, st)
-                })
-                .collect();
-
-            let algo = &self.algo;
-            let model = self.model;
-            let cfg_train = self.cfg.train;
-            let global_ref = &global;
-            let data = self.data;
-            let results: Vec<(usize, LocalResult)> = work
-                .par_iter_mut()
-                .map(|(id, st)| {
-                    let t0 = Instant::now();
-                    let mut res = algo.local_update(
-                        info,
-                        &rctx,
-                        *id,
-                        st,
-                        global_ref,
-                        &data.clients[*id],
-                        model,
-                        &cfg_train,
-                    );
-                    // LTTR includes everything the client computed this
-                    // round (pattern search, score updates, compression).
-                    res.local_seconds = t0.elapsed().as_secs_f64();
-                    (*id, res)
-                })
-                .collect();
-
-            for (id, st) in work {
-                states[id] = Some(st);
-            }
+            let mut work = states.checkout(&ids, &self.algo, self.model, &global);
+            let results = run_local_updates(
+                &self.algo,
+                self.model,
+                self.data,
+                &self.cfg.train,
+                info,
+                &rctx,
+                &global,
+                &mut work,
+            );
+            states.restore(work);
 
             // --- aggregation ---
             let t_agg = Instant::now();
@@ -149,57 +126,32 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             let agg_seconds = t_agg.elapsed().as_secs_f64();
 
             // --- bookkeeping ---
-            let total_w: f64 = results.iter().map(|(_, r)| r.num_samples as f64).sum();
-            let train_loss = if total_w > 0.0 {
-                (results
-                    .iter()
-                    .map(|(_, r)| r.train_loss as f64 * r.num_samples as f64)
-                    .sum::<f64>()
-                    / total_w) as f32
-            } else {
-                f32::NAN
-            };
-            let upload_bytes: Vec<u64> = results.iter().map(|(_, r)| r.upload.wire_bytes).collect();
-            let upload_bytes_mean =
-                (upload_bytes.iter().sum::<u64>() / upload_bytes.len().max(1) as u64).max(1);
-            let upload_bytes_max = upload_bytes.iter().copied().max().unwrap_or(0);
-            let local_secs: Vec<f64> = results.iter().map(|(_, r)| r.local_seconds).collect();
-            let local_seconds_mean =
-                local_secs.iter().sum::<f64>() / local_secs.len().max(1) as f64;
-            let local_seconds_max = local_secs.iter().copied().fold(0.0, f64::max);
-
-            let eval_now = round % self.cfg.eval_every.max(1) == 0 || round + 1 == self.cfg.rounds;
-            let (test_loss, test_acc) = if eval_now {
-                let deploy = self.algo.eval_params(&global);
-                let acc = evaluate_model(
-                    self.model,
-                    &deploy,
-                    &self.data.test,
-                    self.cfg.eval_topk,
-                    self.cfg.eval_max_samples,
-                );
-                (acc.mean_loss(), acc.accuracy())
-            } else {
-                // Carry forward the last evaluation for continuity.
-                records
-                    .last()
-                    .map(|r: &RoundRecord| (r.test_loss, r.test_acc))
-                    .unwrap_or((f64::NAN, 0.0))
-            };
+            let stats = summarize_results(&results);
+            let due = eval_due(round, self.cfg.rounds, self.cfg.eval_every);
+            let (test_loss, test_acc) = eval_or_carry(
+                &self.algo,
+                self.model,
+                &global,
+                &self.data.test,
+                self.cfg.eval_topk,
+                self.cfg.eval_max_samples,
+                due,
+                records.last(),
+            );
 
             records.push(RoundRecord {
                 round,
-                train_loss,
+                train_loss: stats.train_loss,
                 test_loss,
                 test_acc,
-                upload_bytes_mean,
-                upload_bytes_max,
+                upload_bytes_mean: stats.upload_bytes_mean,
+                upload_bytes_max: stats.upload_bytes_max,
                 // Downlink: the server broadcasts the full global model
                 // (the uplink is the paper's bottleneck; downlink
                 // sub-model optimisations are out of scope, DESIGN.md §3).
                 download_bytes: global.total_bytes(),
-                local_seconds_mean,
-                local_seconds_max,
+                local_seconds_mean: stats.local_seconds_mean,
+                local_seconds_max: stats.local_seconds_max,
                 agg_seconds,
             });
         }
@@ -212,78 +164,18 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
         }
     }
 }
-
-/// Evaluate `params` on a dataset, rayon-parallel over chunks.
-/// `max_samples = 0` means the whole set.
-pub fn evaluate_model(
-    model: &dyn Model,
-    params: &ParamSet,
-    data: &ClientData,
-    topk: usize,
-    max_samples: usize,
-) -> EvalAccum {
-    const CHUNK: usize = 64;
-    match data {
-        ClientData::Image(set) => {
-            let n = if max_samples == 0 {
-                set.len()
-            } else {
-                set.len().min(max_samples)
-            };
-            let chunks: Vec<(usize, usize)> = (0..n)
-                .step_by(CHUNK)
-                .map(|s| (s, (s + CHUNK).min(n)))
-                .collect();
-            chunks
-                .par_iter()
-                .map(|&(s, e)| {
-                    let batch = Batch::Dense {
-                        x: &set.x[s * set.dim..e * set.dim],
-                        y: &set.y[s..e],
-                        dim: set.dim,
-                    };
-                    model.evaluate(params, &batch, topk)
-                })
-                .reduce(EvalAccum::default, |mut a, b| {
-                    a.merge(&b);
-                    a
-                })
-        }
-        ClientData::Text(set) => {
-            let n_windows = set.num_windows();
-            let budget = if max_samples == 0 {
-                n_windows
-            } else {
-                (max_samples / set.seq_len.max(1)).clamp(1, n_windows)
-            };
-            let chunks: Vec<(usize, usize)> = (0..budget)
-                .step_by(CHUNK / 8 + 1)
-                .map(|s| (s, (s + CHUNK / 8 + 1).min(budget)))
-                .collect();
-            chunks
-                .par_iter()
-                .map(|&(s, e)| {
-                    let windows: Vec<&[u32]> = (s..e).map(|i| set.window(i)).collect();
-                    let batch = Batch::Seq { windows: &windows };
-                    model.evaluate(params, &batch, topk)
-                })
-                .reduce(EvalAccum::default, |mut a, b| {
-                    a.merge(&b);
-                    a
-                })
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::aggregate::{aggregate_weights, ZeroMode};
+    use crate::algorithm::LocalResult;
     use crate::upload::Upload;
     use fedbiad_data::dataset::ImageSet;
     use fedbiad_data::partition::{partition_images, ImagePartition};
     use fedbiad_data::synth_image::SyntheticImageSpec;
+    use fedbiad_data::ClientData;
     use fedbiad_nn::mlp::MlpModel;
+    use fedbiad_nn::ParamSet;
 
     /// Minimal FedAvg used to exercise the runner before fedbiad-core
     /// exists (the real baselines live there).

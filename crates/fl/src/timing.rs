@@ -4,6 +4,10 @@
 //! parameter aggregation time": per round the critical path is
 //! `max_k(LTTR_k) + upload_max/uplink + download/downlink + aggregation`,
 //! accumulated until the global model first reaches the target accuracy.
+//! When the link carries a per-message round-trip latency
+//! ([`NetworkModel::rtt_seconds`]), each round additionally pays one RTT
+//! for the downlink broadcast and one for the uplink upload; the default
+//! RTT of 0.0 keeps all historical numbers identical.
 
 use crate::metrics::RoundRecord;
 use crate::network::NetworkModel;
@@ -11,8 +15,8 @@ use crate::network::NetworkModel;
 /// Wall-clock duration of one round's critical path.
 pub fn round_seconds(rec: &RoundRecord, net: &NetworkModel) -> f64 {
     rec.local_seconds_max
-        + net.upload_seconds(rec.upload_bytes_max)
-        + net.download_seconds(rec.download_bytes)
+        + net.upload_message_seconds(rec.upload_bytes_max)
+        + net.download_message_seconds(rec.download_bytes)
         + rec.agg_seconds
 }
 
@@ -56,12 +60,18 @@ mod tests {
         }
     }
 
-    #[test]
-    fn tta_stops_at_first_crossing() {
-        let net = NetworkModel {
+    fn mbps8() -> NetworkModel {
+        // 1 MB/s symmetric, zero latency.
+        NetworkModel {
             uplink_mbps: 8.0,
             downlink_mbps: 8.0,
-        }; // 1 MB/s
+            rtt_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn tta_stops_at_first_crossing() {
+        let net = mbps8();
         let records = vec![
             rec(0.1, 1_000_000, 1.0),
             rec(0.6, 1_000_000, 1.0),
@@ -85,11 +95,54 @@ mod tests {
 
     #[test]
     fn total_time_sums_rounds() {
-        let net = NetworkModel {
-            uplink_mbps: 8.0,
-            downlink_mbps: 8.0,
-        };
+        let net = mbps8();
         let records = vec![rec(0.0, 0, 1.5), rec(0.0, 0, 0.5)];
         assert!((total_seconds(&records, &net) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_adds_two_latencies_per_round() {
+        let records = vec![rec(0.9, 1_000_000, 1.0)];
+        let flat = time_to_accuracy(&records, 0.5, &mbps8()).unwrap();
+        let lagged = time_to_accuracy(&records, 0.5, &mbps8().with_rtt(0.1)).unwrap();
+        // One uplink message + one downlink message ⇒ +2·RTT.
+        assert!((lagged - flat - 0.2).abs() < 1e-12, "{flat} vs {lagged}");
+    }
+
+    #[test]
+    fn target_never_reached_is_none() {
+        let net = mbps8();
+        assert!(time_to_accuracy(&[], 0.1, &net).is_none());
+        let records = vec![rec(0.2, 0, 1.0), rec(0.3, 0, 1.0), rec(0.29, 0, 1.0)];
+        assert!(time_to_accuracy(&records, 0.31, &net).is_none());
+    }
+
+    #[test]
+    fn eval_every_gaps_cross_at_the_carried_record() {
+        // eval_every = 2: round 1 carries round 0's accuracy, round 3
+        // carries round 2's. The crossing lands on the FIRST record whose
+        // (possibly carried) accuracy clears the target — round 2 here —
+        // and its cumulative time includes the skipped round's cost.
+        let net = mbps8();
+        let records = vec![
+            rec(0.10, 0, 1.0), // round 0: evaluated
+            rec(0.10, 0, 1.0), // round 1: carried
+            rec(0.80, 0, 1.0), // round 2: evaluated, crosses
+            rec(0.80, 0, 1.0), // round 3: carried
+        ];
+        let tta = time_to_accuracy(&records, 0.5, &net).unwrap();
+        assert!((tta - 3.0).abs() < 1e-9, "{tta}");
+    }
+
+    #[test]
+    fn target_hit_exactly_on_final_round_counts_full_time() {
+        let net = mbps8();
+        let records = vec![rec(0.1, 0, 1.0), rec(0.2, 0, 1.0), rec(0.5, 0, 1.0)];
+        // `>=` comparison: hitting the target exactly on the last record
+        // still returns Some, with the WHOLE run's time.
+        let tta = time_to_accuracy(&records, 0.5, &net).unwrap();
+        let total = total_seconds(&records, &net);
+        assert!((tta - total).abs() < 1e-12);
+        assert!((tta - 3.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,157 @@
+//! The deterministic discrete-event queue: a binary heap over virtual
+//! time with **stable tie-breaking**.
+//!
+//! Two events scheduled for the same virtual instant pop in the order
+//! they were pushed (a monotone sequence number breaks the tie), so the
+//! event trace is a pure function of the schedule — never of heap
+//! internals or thread scheduling.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time.
+#[derive(Clone, Debug)]
+pub struct Scheduled<T> {
+    /// Virtual time in seconds.
+    pub time: f64,
+    /// Push order — the tie-breaker for simultaneous events.
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time) == Ordering::Equal && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first, and
+        // among equals the LOWEST sequence number (FIFO).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at virtual `time`; returns its sequence number.
+    pub fn push(&mut self, time: f64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+        seq
+    }
+
+    /// Pop the earliest event (FIFO among simultaneous ones).
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// One line of the simulator's event trace — the reproducibility
+/// artifact compared across thread counts in `tests/thread_determinism.rs`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time (seconds) at which the event was processed.
+    pub time: f64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Client id, or `usize::MAX` for server-only events.
+    pub client: usize,
+    /// Round records committed so far when the event fired.
+    pub rounds_done: usize,
+}
+
+/// Trace event kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The server broadcast the global model to a client.
+    Dispatch,
+    /// A client upload arrived and was buffered.
+    Arrival,
+    /// A client upload arrived after its round was closed and was dropped.
+    LateArrival,
+    /// A policy timer fired.
+    Timer,
+    /// An aggregation committed a round record.
+    Aggregate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_ties_and_times_are_stable() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "t2-first");
+        q.push(1.0, "t1");
+        q.push(2.0, "t2-second");
+        q.push(0.5, "t05");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.payload)).collect();
+        assert_eq!(order, ["t05", "t1", "t2-first", "t2-second"]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Client heterogeneity: per-client compute speed and link profiles.
+//!
+//! Each simulated client is an actor with its own compute-speed
+//! multiplier and its own uplink/downlink profile, sampled once per
+//! experiment from a [`HeterogeneityProfile`] via the dedicated
+//! `StreamTag::SimProfile` RNG stream — so heterogeneity is reproducible
+//! and decoupled from every other random component.
+
+use fedbiad_fl::NetworkModel;
+use fedbiad_tensor::rng::{stream, StreamTag};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A wireless link class with representative OpenSignal-style numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// The paper's T-Mobile 5G profile (14.0 up / 110.6 down) + 20 ms RTT.
+    FiveG,
+    /// A mid-band LTE profile: 10 up / 40 down, 50 ms RTT.
+    Lte,
+    /// Home Wi-Fi: 40 up / 90 down, 10 ms RTT.
+    WiFi,
+}
+
+impl LinkClass {
+    /// The link model for this class.
+    pub fn network(self) -> NetworkModel {
+        match self {
+            LinkClass::FiveG => NetworkModel::t_mobile_5g().with_rtt(0.02),
+            LinkClass::Lte => NetworkModel {
+                uplink_mbps: 10.0,
+                downlink_mbps: 40.0,
+                rtt_seconds: 0.05,
+            },
+            LinkClass::WiFi => NetworkModel {
+                uplink_mbps: 40.0,
+                downlink_mbps: 90.0,
+                rtt_seconds: 0.01,
+            },
+        }
+    }
+}
+
+/// One client actor's static characteristics.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientProfile {
+    /// Local-compute slowdown relative to a nominal device (1.0 =
+    /// nominal, 10.0 = ten times slower).
+    pub compute_multiplier: f64,
+    /// The client's own link.
+    pub net: NetworkModel,
+}
+
+/// How a cohort's per-client profiles are generated.
+#[derive(Clone, Copy, Debug)]
+pub enum HeterogeneityProfile {
+    /// Identical clients on one link, zero compute jitter — the reference
+    /// configuration under which the simulator reproduces the lock-step
+    /// runner bit-for-bit.
+    Homogeneous {
+        /// The link every client uses.
+        net: NetworkModel,
+    },
+    /// A mixed mobile cohort: links sampled 40 % 5G / 35 % LTE / 25 %
+    /// Wi-Fi, compute multiplier log-uniform in `[1, compute_spread]`.
+    MixedMobile {
+        /// Upper bound of the log-uniform compute-multiplier draw.
+        compute_spread: f64,
+        /// Relative per-dispatch compute jitter (0.1 = ±10 %).
+        jitter: f64,
+    },
+    /// A mostly-nominal 5G cohort in which a fixed fraction of clients is
+    /// `slowdown`× slower — the classic straggler scenario.
+    Stragglers {
+        /// Probability that a client is a straggler.
+        fraction: f64,
+        /// Compute multiplier of a straggler.
+        slowdown: f64,
+        /// Relative per-dispatch compute jitter.
+        jitter: f64,
+    },
+}
+
+impl HeterogeneityProfile {
+    /// The homogeneous reference on the paper's 5G link (zero RTT).
+    pub fn homogeneous_5g() -> Self {
+        HeterogeneityProfile::Homogeneous {
+            net: NetworkModel::t_mobile_5g(),
+        }
+    }
+
+    /// Short name for tables and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HeterogeneityProfile::Homogeneous { .. } => "homogeneous",
+            HeterogeneityProfile::MixedMobile { .. } => "mixed-mobile",
+            HeterogeneityProfile::Stragglers { .. } => "stragglers",
+        }
+    }
+
+    /// Relative per-dispatch compute jitter.
+    pub fn jitter(&self) -> f64 {
+        match self {
+            HeterogeneityProfile::Homogeneous { .. } => 0.0,
+            HeterogeneityProfile::MixedMobile { jitter, .. } => *jitter,
+            HeterogeneityProfile::Stragglers { jitter, .. } => *jitter,
+        }
+    }
+
+    /// Sample the cohort's static profiles (deterministic in `seed`).
+    pub fn sample(&self, seed: u64, num_clients: usize) -> Vec<ClientProfile> {
+        (0..num_clients)
+            .map(|c| {
+                let mut rng = stream(seed, StreamTag::SimProfile, 0, c as u64);
+                match *self {
+                    HeterogeneityProfile::Homogeneous { net } => ClientProfile {
+                        compute_multiplier: 1.0,
+                        net,
+                    },
+                    HeterogeneityProfile::MixedMobile { compute_spread, .. } => {
+                        let u: f64 = rng.gen();
+                        let link = if u < 0.40 {
+                            LinkClass::FiveG
+                        } else if u < 0.75 {
+                            LinkClass::Lte
+                        } else {
+                            LinkClass::WiFi
+                        };
+                        let v: f64 = rng.gen();
+                        let mult = (v * compute_spread.max(1.0).ln()).exp();
+                        ClientProfile {
+                            compute_multiplier: mult,
+                            net: link.network(),
+                        }
+                    }
+                    HeterogeneityProfile::Stragglers {
+                        fraction, slowdown, ..
+                    } => {
+                        let u: f64 = rng.gen();
+                        ClientProfile {
+                            compute_multiplier: if u < fraction { slowdown } else { 1.0 },
+                            net: LinkClass::FiveG.network(),
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Virtual-time cost model for client compute and server aggregation.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Virtual seconds a *nominal* client spends per model weight per
+    /// local iteration. Default 1 µs — a few ms per smoke-scale round, so
+    /// compute and transmission are the same order of magnitude, as on
+    /// real handsets.
+    pub seconds_per_weight_iter: f64,
+    /// Virtual seconds per server aggregation (default 0: aggregation is
+    /// off the critical path for the cohort sizes simulated here).
+    pub agg_seconds: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            seconds_per_weight_iter: 1e-6,
+            agg_seconds: 0.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Virtual local-training seconds for one dispatch.
+    pub fn local_seconds(
+        &self,
+        total_weights: usize,
+        local_iters: usize,
+        compute_multiplier: f64,
+    ) -> f64 {
+        self.seconds_per_weight_iter
+            * (total_weights as f64)
+            * (local_iters.max(1) as f64)
+            * compute_multiplier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_per_client() {
+        let p = HeterogeneityProfile::Stragglers {
+            fraction: 0.3,
+            slowdown: 10.0,
+            jitter: 0.1,
+        };
+        let a = p.sample(7, 64);
+        let b = p.sample(7, 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.compute_multiplier, y.compute_multiplier);
+        }
+        let n_slow = a.iter().filter(|c| c.compute_multiplier > 1.0).count();
+        assert!(n_slow > 5 && n_slow < 40, "{n_slow} stragglers of 64");
+    }
+
+    #[test]
+    fn homogeneous_is_uniform() {
+        let p = HeterogeneityProfile::homogeneous_5g();
+        let cohort = p.sample(3, 16);
+        assert!(cohort.iter().all(|c| c.compute_multiplier == 1.0));
+        assert_eq!(p.jitter(), 0.0);
+    }
+
+    #[test]
+    fn mixed_mobile_spreads_compute_and_links() {
+        let p = HeterogeneityProfile::MixedMobile {
+            compute_spread: 8.0,
+            jitter: 0.1,
+        };
+        let cohort = p.sample(11, 128);
+        let mults: Vec<f64> = cohort.iter().map(|c| c.compute_multiplier).collect();
+        assert!(mults.iter().cloned().fold(f64::MIN, f64::max) > 2.0);
+        assert!(mults.iter().all(|&m| (1.0..=8.0).contains(&m)));
+        let uplinks: std::collections::BTreeSet<u64> =
+            cohort.iter().map(|c| c.net.uplink_mbps.to_bits()).collect();
+        assert!(uplinks.len() >= 2, "expected a link mix");
+    }
+
+    #[test]
+    fn cost_model_scales_linearly() {
+        let c = CostModel::default();
+        let base = c.local_seconds(1000, 10, 1.0);
+        assert!((c.local_seconds(1000, 10, 10.0) - 10.0 * base).abs() < 1e-12);
+        assert!((c.local_seconds(2000, 10, 1.0) - 2.0 * base).abs() < 1e-15);
+    }
+}

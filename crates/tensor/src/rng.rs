@@ -35,6 +35,14 @@ pub enum StreamTag {
     Baseline = 8,
     /// Compressor-internal randomness (e.g. DGC threshold sampling).
     Compress = 9,
+    /// Static per-client heterogeneity sampling in the discrete-event
+    /// simulator (compute-speed multiplier, link class).
+    SimProfile = 10,
+    /// Server-policy-internal randomness in the simulator (e.g. FedBuff
+    /// replacement-client sampling).
+    SimPolicy = 11,
+    /// Per-dispatch compute-time jitter in the simulator.
+    SimJitter = 12,
 }
 
 /// SplitMix64 finaliser: scrambles a 64-bit state into a well-mixed output.

@@ -59,6 +59,9 @@ pub use fedbiad_fl as fl;
 /// FedBIAD + baselines + theory (re-export of `fedbiad-core`).
 pub use fedbiad_core as core;
 
+/// Discrete-event federation simulator (re-export of `fedbiad-sim`).
+pub use fedbiad_sim as sim;
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use fedbiad_core::baselines::{Afd, FedAvg, FedDrop, FedMp, Fjord, HeteroFl};
@@ -68,4 +71,8 @@ pub mod prelude {
     pub use fedbiad_fl::workload::{build, Scale, Workload};
     pub use fedbiad_fl::{ExperimentLog, NetworkModel};
     pub use fedbiad_nn::{Model, ParamSet};
+    pub use fedbiad_sim::{
+        DeadlineOverSelect, FedBuff, HeterogeneityProfile, SimConfig, SimReport, Simulator,
+        SyncBarrier,
+    };
 }

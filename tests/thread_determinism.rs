@@ -10,6 +10,12 @@
 //! wall-clock and excluded from the comparison.
 
 use fedbiad::prelude::*;
+use std::sync::Mutex;
+
+/// Tests in this binary mutate the process-wide `RAYON_NUM_THREADS`
+/// variable; they must not interleave or a "1 thread" run could silently
+/// execute at the default width.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn run_once(seed: u64) -> ExperimentLog {
     let bundle = build(Workload::MnistLike, Scale::Smoke, seed);
@@ -67,9 +73,10 @@ fn assert_logs_bit_identical(a: &ExperimentLog, b: &ExperimentLog, what: &str) {
 
 #[test]
 fn single_thread_and_default_threading_agree_bitwise() {
-    // One process, one test: flip the env var between runs. The rayon shim
-    // re-reads RAYON_NUM_THREADS on every parallel call, so the setting
-    // takes effect immediately.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Flip the env var between runs. The rayon shim re-reads
+    // RAYON_NUM_THREADS on every parallel call, so the setting takes
+    // effect immediately.
     std::env::set_var("RAYON_NUM_THREADS", "1");
     let single = run_once(2024);
     std::env::remove_var("RAYON_NUM_THREADS");
@@ -81,4 +88,84 @@ fn single_thread_and_default_threading_agree_bitwise() {
     let oversub = run_once(2024);
     std::env::remove_var("RAYON_NUM_THREADS");
     assert_logs_bit_identical(&single, &oversub, "1 thread vs 16 threads");
+}
+
+/// One full discrete-event simulation: FedBuff (the policy with the most
+/// scheduling freedom) on a straggler cohort, FedBIAD as the algorithm
+/// (masked uploads of varying wire size feed back into arrival times).
+fn run_sim_once(seed: u64) -> fedbiad::sim::SimReport {
+    use fedbiad::sim::{FedBuff, HeterogeneityProfile, SimConfig, Simulator};
+    let bundle = build(Workload::MnistLike, Scale::Smoke, seed);
+    let cfg = ExperimentConfig {
+        rounds: 6,
+        client_fraction: 0.5,
+        seed,
+        train: bundle.train,
+        eval_topk: 1,
+        eval_every: 1,
+        eval_max_samples: 0,
+    };
+    let stragglers = HeterogeneityProfile::Stragglers {
+        fraction: 0.3,
+        slowdown: 15.0,
+        jitter: 0.2,
+    };
+    let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 4));
+    Simulator::new(
+        bundle.model.as_ref(),
+        &bundle.data,
+        algo,
+        FedBuff::new(2, 4),
+        SimConfig::new(cfg, stragglers),
+    )
+    .run()
+}
+
+fn assert_traces_bit_identical(
+    a: &fedbiad::sim::SimReport,
+    b: &fedbiad::sim::SimReport,
+    what: &str,
+) {
+    assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace length");
+    for (i, (ea, eb)) in a.trace.iter().zip(&b.trace).enumerate() {
+        assert_eq!(
+            ea.time.to_bits(),
+            eb.time.to_bits(),
+            "{what}: event {i} time {} vs {}",
+            ea.time,
+            eb.time
+        );
+        assert_eq!(ea.kind, eb.kind, "{what}: event {i} kind");
+        assert_eq!(ea.client, eb.client, "{what}: event {i} client");
+        assert_eq!(ea.rounds_done, eb.rounds_done, "{what}: event {i} round");
+    }
+    assert_eq!(
+        a.total_virtual_seconds.to_bits(),
+        b.total_virtual_seconds.to_bits(),
+        "{what}: total virtual time"
+    );
+    assert_logs_bit_identical(&a.log, &b.log, what);
+}
+
+#[test]
+fn sim_event_trace_is_bitwise_thread_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Property over several seeds: the simulator's event trace — times,
+    // kinds, clients, committed rounds — is a pure function of (seed,
+    // config), never of the rayon pool size.
+    for seed in [2024u64, 31, 77] {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let single = run_sim_once(seed);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let parallel = run_sim_once(seed);
+        assert_traces_bit_identical(&single, &parallel, &format!("seed {seed}: 1 vs default"));
+
+        std::env::set_var("RAYON_NUM_THREADS", "16");
+        let oversub = run_sim_once(seed);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_traces_bit_identical(&single, &oversub, &format!("seed {seed}: 1 vs 16"));
+
+        // Same seed, same config ⇒ same trace; the trace is non-trivial.
+        assert!(single.trace.len() > 20, "trace unexpectedly small");
+    }
 }
