@@ -3,29 +3,49 @@
 //! FedBIAD. The paper's point: FedDrop/AFD/Fjord fall *below* FedAvg on
 //! RNN models, FedBIAD does not.
 //!
+//! Since PR 3 this binary is a thin wrapper: it loads the bundled
+//! `scenarios/fig2.toml` spec, applies any CLI overrides, and lets the
+//! `fedbiad-scenario` engine execute the grid
+//! (`tests/scenario_equivalence.rs` proves the engine reproduces the old
+//! hard-coded loop bit-for-bit). Only the table formatting lives here.
+//!
 //! ```text
 //! cargo run -p fedbiad-bench --release --bin fig2 -- [--rounds 60] [--seed 42]
 //! ```
 
 use fedbiad_bench::cli::Cli;
-use fedbiad_bench::methods::{run_method, Method, RunOpts};
 use fedbiad_bench::output::{save_logs_and_export, Table};
-use fedbiad_fl::workload::{build, Workload};
+use fedbiad_fl::ExperimentLog;
+use fedbiad_scenario::{execute, ScenarioSpec};
+
+/// The bundled spec this binary wraps.
+const SPEC: &str = include_str!("../../../../scenarios/fig2.toml");
 
 fn main() {
     let cli = Cli::parse();
-    let rounds = cli.rounds.unwrap_or(60);
-    let bundle = build(Workload::PtbLike, cli.scale, cli.seed);
+    let mut spec = ScenarioSpec::from_toml_str(SPEC).expect("bundled fig2 spec is valid");
+    let overrides = cli.scenario_overrides().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    spec.apply_overrides(&overrides).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let rounds = spec.run.rounds;
     println!(
         "=== Fig. 2 — {} (LSTM next-word prediction, {} rounds) ===",
-        bundle.data.name, rounds
+        spec.sweep.workloads[0].name(),
+        rounds
     );
 
-    let mut logs = Vec::new();
-    for m in Method::fig2() {
-        let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
-        logs.push(run_method(m, &bundle, opts));
-        println!("  finished {}", m.name());
+    let outcomes = execute(&spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let logs: Vec<ExperimentLog> = outcomes.into_iter().map(|o| o.log).collect();
+    for log in &logs {
+        println!("  finished {}", log.method);
     }
 
     // The paper's figure shows rounds 10–20; print that window plus the

@@ -24,7 +24,7 @@ fn main() {
         println!("\n=== Fig. 6 — {} ({} rounds) ===", w.name(), rounds);
         let mut logs = Vec::new();
         for m in Method::table1() {
-            let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
+            let opts = cli.apply(RunOpts::for_rounds(rounds, cli.seed));
             logs.push(run_method(m, &bundle, opts));
             println!("  finished {}", m.name());
         }

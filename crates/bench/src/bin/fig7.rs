@@ -49,7 +49,7 @@ fn main() {
         );
         let mut t = Table::new(&["Method", "LTTR (ms)", "TTA (s)", "final acc%"]);
         for m in methods {
-            let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
+            let opts = cli.apply(RunOpts::for_rounds(rounds, cli.seed));
             let log = run_method(m, &bundle, opts);
             let lttr_ms = log.mean_lttr_seconds() * 1e3;
             let tta = timing::time_to_accuracy(&log.records, bundle.target_acc, &net);

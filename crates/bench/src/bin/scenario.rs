@@ -1,0 +1,161 @@
+//! Run declarative scenario specs: expand the sweep grid, execute every
+//! run in parallel, and emit one `ExperimentLog` JSON per run plus a
+//! roll-up summary table.
+//!
+//! ```text
+//! cargo run --release --bin scenario -- scenarios/fig2.toml \
+//!     [scenarios/more.toml ...] \
+//!     [--rounds N --seed N --scale smoke|lab --eval-max N --fraction F \
+//!      --workloads a,b --methods a,b --policies a,b --profiles a,b --target A]
+//! ```
+//!
+//! CLI flags override the corresponding spec fields (see
+//! `scenarios/README.md` for the schema). Outputs land in
+//! `target/experiments/scenario/<name>/`.
+
+use fedbiad_bench::cli::Cli;
+use fedbiad_bench::output::{experiments_dir, Table};
+use fedbiad_fl::metrics::fmt_bytes;
+use fedbiad_scenario::{execute, RunOutcome, ScenarioSpec};
+use serde::Serialize;
+use std::path::Path;
+
+/// One `summary.json` row.
+#[derive(Clone, Debug, Serialize)]
+struct SummaryRow {
+    index: usize,
+    label: String,
+    seed: u64,
+    rounds: usize,
+    final_acc_pct: f64,
+    best_acc_pct: f64,
+    mean_upload_bytes: u64,
+    /// Virtual seconds to the TTA target (sim runs only).
+    tta_virtual_seconds: Option<f64>,
+    /// Total virtual seconds (sim runs only).
+    total_virtual_seconds: Option<f64>,
+    /// Per-run log file, relative to the summary.
+    log_file: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Leading non-flag arguments are spec paths; the rest is shared flags.
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (paths, flags) = args.split_at(split);
+    if paths.is_empty() {
+        eprintln!(
+            "usage: scenario SPEC.toml [SPEC.toml ...] [--rounds N --seed N \
+             --scale smoke|lab --eval-max N --fraction F --workloads a,b \
+             --methods a,b --policies a,b --profiles a,b --target A]"
+        );
+        std::process::exit(2);
+    }
+    let cli = Cli::parse_from(flags.to_vec());
+    let overrides = cli.scenario_overrides().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    for path in paths {
+        let mut spec = ScenarioSpec::from_path(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        spec.apply_overrides(&overrides).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        run_spec(&spec);
+    }
+}
+
+fn run_spec(spec: &ScenarioSpec) {
+    let n_runs = fedbiad_scenario::expand(spec).map(|r| r.len()).unwrap_or(0);
+    println!(
+        "=== scenario `{}` — {} run(s), mode {}, {} round(s) ===",
+        spec.name,
+        n_runs,
+        spec.mode.name(),
+        spec.run.rounds
+    );
+    let outcomes = execute(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let dir = experiments_dir().join("scenario").join(&spec.name);
+    std::fs::create_dir_all(&dir).expect("create scenario output dir");
+    let mut rows = Vec::new();
+    for o in &outcomes {
+        let log_file = format!("run_{:03}.json", o.run.index);
+        let body = serde_json::to_string_pretty(&o.log).expect("serialise run log");
+        std::fs::write(dir.join(&log_file), body).expect("write run log");
+        rows.push(summary_row(o, log_file));
+    }
+    let body = serde_json::to_string_pretty(&rows).expect("serialise summary");
+    std::fs::write(dir.join("summary.json"), body).expect("write summary");
+
+    print_rollup(&outcomes);
+    println!(
+        "{} per-run log(s) + summary.json written to {}",
+        outcomes.len(),
+        dir.display()
+    );
+}
+
+fn summary_row(o: &RunOutcome, log_file: String) -> SummaryRow {
+    SummaryRow {
+        index: o.run.index,
+        label: o.run.label.clone(),
+        seed: o.run.opts.seed,
+        rounds: o.log.records.len(),
+        final_acc_pct: o.log.final_accuracy_pct(),
+        best_acc_pct: o.log.best_accuracy_pct(),
+        mean_upload_bytes: o.log.mean_upload_bytes(),
+        tta_virtual_seconds: o.sim.as_ref().and_then(|s| s.tta_virtual_seconds),
+        total_virtual_seconds: o.sim.as_ref().map(|s| s.total_virtual_seconds),
+        log_file,
+    }
+}
+
+fn print_rollup(outcomes: &[RunOutcome]) {
+    let any_sim = outcomes.iter().any(|o| o.sim.is_some());
+    let mut headers = vec!["#", "Run", "Seed", "final acc%", "best acc%", "mean upload"];
+    if any_sim {
+        headers.push("TTA (virt s)");
+        headers.push("total (virt s)");
+    }
+    let mut t = Table::new(&headers);
+    for o in outcomes {
+        let mut row = vec![
+            o.run.index.to_string(),
+            o.run.label.clone(),
+            o.run.opts.seed.to_string(),
+            format!("{:.2}", o.log.final_accuracy_pct()),
+            format!("{:.2}", o.log.best_accuracy_pct()),
+            fmt_bytes(o.log.mean_upload_bytes()),
+        ];
+        if any_sim {
+            match &o.sim {
+                Some(s) => {
+                    row.push(
+                        s.tta_virtual_seconds
+                            .map(|x| format!("{x:.2}"))
+                            .unwrap_or_else(|| "not reached".into()),
+                    );
+                    row.push(format!("{:.2}", s.total_virtual_seconds));
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

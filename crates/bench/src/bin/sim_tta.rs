@@ -6,6 +6,11 @@
 //! own download, compute, and upload — so straggler effects, deadline
 //! drops, and buffered-async staleness are first-class.
 //!
+//! Since PR 3 this binary is a thin wrapper: it loads the bundled
+//! `scenarios/sim_tta.toml` spec, applies any CLI overrides, and lets
+//! the `fedbiad-scenario` engine execute the grid. Only the TTA-curve
+//! JSON shape and table formatting live here.
+//!
 //! ```text
 //! cargo run -p fedbiad-bench --release --bin sim_tta -- \
 //!     [--rounds 15] [--seed 42] [--scale smoke|lab] \
@@ -16,11 +21,12 @@
 //! ```
 
 use fedbiad_bench::cli::Cli;
-use fedbiad_bench::methods::{Method, RunOpts};
 use fedbiad_bench::output::{experiments_dir, export_dump, Table};
-use fedbiad_bench::simrun::{parse_profile, run_sim_method, PolicyChoice};
-use fedbiad_fl::workload::{build, Workload};
+use fedbiad_scenario::{execute, RunOutcome, ScenarioSpec};
 use serde::Serialize;
+
+/// The bundled spec this binary wraps.
+const SPEC: &str = include_str!("../../../../scenarios/sim_tta.toml");
 
 /// One point of a virtual-clock accuracy trajectory.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -48,115 +54,94 @@ struct SimTtaRow {
     curve: Vec<TtaPoint>,
 }
 
+fn row_of(o: &RunOutcome) -> SimTtaRow {
+    let sim = o.sim.as_ref().expect("sim_tta outcomes carry sim meta");
+    SimTtaRow {
+        workload: o.run.workload.name().into(),
+        method: o.run.method.name().into(),
+        policy: sim.policy.clone(),
+        profile: sim.profile.clone(),
+        target_acc: sim.target_acc,
+        tta_virtual_seconds: sim.tta_virtual_seconds,
+        final_acc: o.log.records.last().map(|r| r.test_acc).unwrap_or(0.0),
+        total_virtual_seconds: sim.total_virtual_seconds,
+        rounds: o.log.records.len(),
+        curve: o
+            .log
+            .records
+            .iter()
+            .zip(&sim.round_end_seconds)
+            .map(|(r, &s)| TtaPoint {
+                seconds: s,
+                test_acc: r.test_acc,
+            })
+            .collect(),
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
-    let rounds = cli.rounds.unwrap_or(15);
-    let workloads = cli
-        .workloads
-        .clone()
-        .unwrap_or_else(|| vec![Workload::MnistLike]);
-    let methods: Vec<Method> = match &cli.methods {
-        Some(names) => names
-            .iter()
-            .map(|n| {
-                Method::parse(n).unwrap_or_else(|| {
-                    eprintln!("unknown method {n}");
-                    std::process::exit(2);
-                })
-            })
-            .collect(),
-        None => vec![Method::FedAvg, Method::FedPaq, Method::FedBiad],
-    };
-    let policies: Vec<PolicyChoice> = match &cli.policies {
-        Some(names) => names
-            .iter()
-            .map(|n| {
-                PolicyChoice::parse(n).unwrap_or_else(|| {
-                    eprintln!("unknown policy {n} (sync|deadline|fedbuff)");
-                    std::process::exit(2);
-                })
-            })
-            .collect(),
-        None => PolicyChoice::all().to_vec(),
-    };
-    // Validate profiles up-front, like methods/policies: a typo must
-    // abort before any simulation time is spent.
-    let profile_names: Vec<String> = cli
-        .profiles
-        .clone()
-        .unwrap_or_else(|| vec!["homogeneous".into(), "stragglers".into()]);
-    let profiles: Vec<fedbiad_sim::HeterogeneityProfile> = profile_names
-        .iter()
-        .map(|n| {
-            parse_profile(n).unwrap_or_else(|| {
-                eprintln!("unknown profile {n} (homogeneous|mixed|stragglers)");
-                std::process::exit(2);
-            })
-        })
-        .collect();
+    let mut spec = ScenarioSpec::from_toml_str(SPEC).expect("bundled sim_tta spec is valid");
+    let overrides = cli.scenario_overrides().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    spec.apply_overrides(&overrides).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let outcomes = execute(&spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
 
     let mut rows: Vec<SimTtaRow> = Vec::new();
     let mut all_logs: Vec<fedbiad_fl::ExperimentLog> = Vec::new();
-    for w in workloads {
-        let bundle = build(w, cli.scale, cli.seed);
-        println!(
-            "\n=== sim_tta — {} (target acc {:.0} %, {} rounds) ===",
-            w.name(),
-            cli.target.unwrap_or(bundle.target_acc) * 100.0,
-            rounds
-        );
-        let mut t = Table::new(&[
-            "Method",
-            "Policy",
-            "Profile",
-            "TTA (virt s)",
-            "final acc%",
-            "total (virt s)",
-        ]);
-        for &m in &methods {
-            for &pc in &policies {
-                for profile in &profiles {
-                    let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
-                    let report = run_sim_method(m, &bundle, opts, pc, *profile);
-                    let target_acc = cli.target.unwrap_or(bundle.target_acc);
-                    let tta = report.time_to_accuracy(target_acc);
-                    let final_acc = report.log.records.last().map(|r| r.test_acc).unwrap_or(0.0);
-                    let mut log = report.log.clone();
-                    log.method = format!("{} @{} [{}]", m.name(), report.policy, report.profile);
-                    all_logs.push(log);
-                    t.row(vec![
-                        m.name().into(),
-                        report.policy.clone(),
-                        report.profile.clone(),
-                        tta.map(|x| format!("{x:.2}"))
-                            .unwrap_or_else(|| "not reached".into()),
-                        format!("{:.2}", final_acc * 100.0),
-                        format!("{:.2}", report.total_virtual_seconds),
-                    ]);
-                    rows.push(SimTtaRow {
-                        workload: w.name().into(),
-                        method: m.name().into(),
-                        policy: report.policy.clone(),
-                        profile: report.profile.clone(),
-                        target_acc,
-                        tta_virtual_seconds: tta,
-                        final_acc,
-                        total_virtual_seconds: report.total_virtual_seconds,
-                        rounds: report.log.records.len(),
-                        curve: report
-                            .log
-                            .records
-                            .iter()
-                            .zip(&report.round_end_seconds)
-                            .map(|(r, &s)| TtaPoint {
-                                seconds: s,
-                                test_acc: r.test_acc,
-                            })
-                            .collect(),
-                    });
-                }
+    // Outcomes arrive in grid order (workload-major), so one table per
+    // workload is a contiguous slice.
+    let mut current_workload: Option<&str> = None;
+    let mut table: Option<Table> = None;
+    let headers = [
+        "Method",
+        "Policy",
+        "Profile",
+        "TTA (virt s)",
+        "final acc%",
+        "total (virt s)",
+    ];
+    for o in &outcomes {
+        let row = row_of(o);
+        if current_workload != Some(o.run.workload.name()) {
+            if let Some(t) = table.take() {
+                println!("{}", t.render());
             }
+            current_workload = Some(o.run.workload.name());
+            println!(
+                "\n=== sim_tta — {} (target acc {:.0} %, {} rounds) ===",
+                row.workload,
+                row.target_acc * 100.0,
+                spec.run.rounds
+            );
+            table = Some(Table::new(&headers));
         }
+        let t = table.as_mut().expect("table open");
+        t.row(vec![
+            row.method.clone(),
+            row.policy.clone(),
+            row.profile.clone(),
+            row.tta_virtual_seconds
+                .map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "not reached".into()),
+            format!("{:.2}", row.final_acc * 100.0),
+            format!("{:.2}", row.total_virtual_seconds),
+        ]);
+        let mut log = o.log.clone();
+        log.method = format!("{} @{} [{}]", row.method, row.policy, row.profile);
+        all_logs.push(log);
+        rows.push(row);
+    }
+    if let Some(t) = table.take() {
         println!("{}", t.render());
     }
 

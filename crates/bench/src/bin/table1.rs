@@ -112,7 +112,7 @@ fn main() {
         };
         for m in selected {
             let i = Method::table1().iter().position(|x| *x == m).unwrap_or(0);
-            let mut opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
+            let mut opts = cli.apply(RunOpts::for_rounds(rounds, cli.seed));
             // Evaluate sparsely during the run for speed; final round is
             // always evaluated.
             opts.eval_every = (rounds / 15).max(1);

@@ -107,7 +107,7 @@ fn main() {
         };
         for m in selected {
             let i = Method::table2().iter().position(|x| *x == m).unwrap_or(0);
-            let mut opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
+            let mut opts = cli.apply(RunOpts::for_rounds(rounds, cli.seed));
             opts.eval_every = (rounds / 15).max(1);
             let log = run_method(m, &bundle, opts);
             let up = log.mean_upload_bytes();

@@ -32,7 +32,7 @@ fn main() {
     );
 
     // Measured side: run FedBIAD and log train/test loss per round.
-    let opts = RunOpts::for_rounds(rounds, cli.seed).apply_cli(&cli);
+    let opts = cli.apply(RunOpts::for_rounds(rounds, cli.seed));
     let log = run_method(Method::FedBiad, &bundle, opts);
 
     let mut t = Table::new(&[

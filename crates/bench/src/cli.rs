@@ -1,6 +1,7 @@
 //! Minimal CLI flag parsing shared by the harness binaries (no external
 //! dependency; flags are `--key value`).
 
+use crate::methods::RunOpts;
 use fedbiad_fl::workload::{Scale, Workload};
 use std::path::PathBuf;
 
@@ -11,12 +12,18 @@ pub struct Cli {
     pub rounds: Option<usize>,
     /// `--seed N` (default 42).
     pub seed: u64,
+    /// Whether `--seed` was given explicitly (spec-override plumbing).
+    pub seed_explicit: bool,
     /// `--scale smoke|lab` (default lab).
     pub scale: Scale,
+    /// Whether `--scale` was given explicitly (spec-override plumbing).
+    pub scale_explicit: bool,
     /// `--workloads a,b,c` (default: binary-specific).
     pub workloads: Option<Vec<Workload>>,
     /// `--eval-max N` test-sample cap (default 2000).
     pub eval_max: usize,
+    /// Whether `--eval-max` was given explicitly (spec-override plumbing).
+    pub eval_max_explicit: bool,
     /// `--methods a,b` restriction (default: binary-specific set).
     pub methods: Option<Vec<String>>,
     /// `--json-out PATH`: additionally serialize the full experiment
@@ -33,6 +40,72 @@ pub struct Cli {
 }
 
 impl Cli {
+    /// Apply the shared overrides (`--eval-max`, `--fraction`) to a set
+    /// of run options.
+    pub fn apply(&self, mut opts: RunOpts) -> RunOpts {
+        opts.eval_max_samples = self.eval_max;
+        if let Some(f) = self.fraction {
+            opts.client_fraction = f;
+        }
+        opts
+    }
+
+    /// Map the explicitly given flags onto scenario-spec overrides, so
+    /// the thin wrapper binaries (and `scenario` itself) can tweak a
+    /// bundled spec from the command line. Name-resolution failures
+    /// return the same actionable messages the spec loader uses.
+    pub fn scenario_overrides(&self) -> Result<fedbiad_scenario::Overrides, String> {
+        let methods = match &self.methods {
+            None => None,
+            Some(names) => Some(
+                names
+                    .iter()
+                    .map(|n| {
+                        fedbiad_scenario::Method::parse(n)
+                            .ok_or_else(|| format!("unknown method {n}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        let policies = match &self.policies {
+            None => None,
+            Some(names) => Some(
+                names
+                    .iter()
+                    .map(|n| {
+                        fedbiad_scenario::PolicyChoice::parse(n)
+                            .ok_or_else(|| format!("unknown policy {n} (sync|deadline|fedbuff)"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        let profiles = match &self.profiles {
+            None => None,
+            Some(names) => Some(
+                names
+                    .iter()
+                    .map(|n| {
+                        fedbiad_scenario::ProfileChoice::parse(n).ok_or_else(|| {
+                            format!("unknown profile {n} (homogeneous|mixed|stragglers)")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        Ok(fedbiad_scenario::Overrides {
+            rounds: self.rounds,
+            seed: self.seed_explicit.then_some(self.seed),
+            scale: self.scale_explicit.then_some(self.scale),
+            eval_max: self.eval_max_explicit.then_some(self.eval_max),
+            fraction: self.fraction,
+            workloads: self.workloads.clone(),
+            methods,
+            policies,
+            profiles,
+            target: self.target,
+        })
+    }
+
     /// Parse from `std::env::args`. Unknown flags abort with a message.
     pub fn parse() -> Cli {
         Self::parse_from(std::env::args().skip(1).collect())
@@ -43,9 +116,12 @@ impl Cli {
         let mut cli = Cli {
             rounds: None,
             seed: 42,
+            seed_explicit: false,
             scale: Scale::Lab,
+            scale_explicit: false,
             workloads: None,
             eval_max: 2_000,
+            eval_max_explicit: false,
             methods: None,
             json_out: None,
             policies: None,
@@ -63,9 +139,16 @@ impl Cli {
             };
             match flag.as_str() {
                 "--rounds" => cli.rounds = Some(val().parse().expect("--rounds: integer")),
-                "--seed" => cli.seed = val().parse().expect("--seed: integer"),
-                "--eval-max" => cli.eval_max = val().parse().expect("--eval-max: integer"),
+                "--seed" => {
+                    cli.seed = val().parse().expect("--seed: integer");
+                    cli.seed_explicit = true;
+                }
+                "--eval-max" => {
+                    cli.eval_max = val().parse().expect("--eval-max: integer");
+                    cli.eval_max_explicit = true;
+                }
                 "--scale" => {
+                    cli.scale_explicit = true;
                     cli.scale = match val().as_str() {
                         "smoke" => Scale::Smoke,
                         "lab" => Scale::Lab,
@@ -121,16 +204,9 @@ impl Cli {
     }
 }
 
-/// Parse a workload name (short forms accepted).
+/// Parse a workload name (short forms accepted); see [`Workload::parse`].
 pub fn parse_workload(s: &str) -> Option<Workload> {
-    match s.to_ascii_lowercase().as_str() {
-        "mnist" | "mnist-like" => Some(Workload::MnistLike),
-        "fmnist" | "fmnist-like" => Some(Workload::FmnistLike),
-        "ptb" | "ptb-like" => Some(Workload::PtbLike),
-        "wikitext2" | "wikitext-2" | "wikitext2-like" | "wt2" => Some(Workload::WikiText2Like),
-        "reddit" | "reddit-like" => Some(Workload::RedditLike),
-        _ => None,
-    }
+    Workload::parse(s)
 }
 
 #[cfg(test)]

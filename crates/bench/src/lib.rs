@@ -14,14 +14,20 @@
 //! | `theory_bound`| Thm. 1         | bound vs measured generalization gap |
 //! | `ablation`    | DESIGN.md §4   | design-choice ablations |
 //! | `sim_tta`     | (beyond paper) | discrete-event TTA: policies × heterogeneity × methods |
+//! | `scenario`    | (beyond paper) | run any declarative spec from `scenarios/` |
 //!
 //! Each binary accepts `--rounds`, `--seed`, `--scale smoke|lab` and
-//! writes machine-readable JSON to `target/experiments/`.
+//! writes machine-readable JSON to `target/experiments/`. The `fig2` and
+//! `sim_tta` binaries are thin wrappers over bundled scenario specs
+//! (`scenarios/fig2.toml`, `scenarios/sim_tta.toml`) executed by the
+//! `fedbiad-scenario` engine; the method registry and simulation runner
+//! live there too and are re-exported here under their old paths.
 
 pub mod cli;
-pub mod methods;
 pub mod output;
-pub mod simrun;
+
+pub use fedbiad_scenario::methods;
+pub use fedbiad_scenario::simrun;
 
 pub use methods::{run_method, Method};
 pub use simrun::{run_sim_method, PolicyChoice};

@@ -25,6 +25,8 @@
 //! discusses (§I) is faithfully reproduced — and mitigated by error
 //! feedback exactly as in the original methods.
 
+#![warn(missing_docs)]
+
 pub mod bytes;
 pub mod dgc;
 pub mod fedpaq;
@@ -70,7 +72,23 @@ impl ClientState {
     }
 }
 
-/// A sketched uplink compressor over flat parameter deltas.
+/// A sketched uplink compressor over flat parameter deltas: compress,
+/// report exact wire bytes, and keep per-client residual state for
+/// error feedback.
+///
+/// ```
+/// use fedbiad_compress::fedpaq::FedPaq;
+/// use fedbiad_compress::{ClientState, Compressor};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let q = FedPaq::paper(); // 8-bit uniform quantisation
+/// let mut state = ClientState::default();
+/// let delta = vec![0.5_f32, -1.0, 0.25, 0.125];
+/// let out = q.compress(&mut state, &delta, 0, &mut StdRng::seed_from_u64(1));
+/// assert_eq!(out.decoded.len(), delta.len()); // server-side reconstruction
+/// assert!(out.wire_bytes < 4 * delta.len() as u64); // beats raw f32
+/// ```
 pub trait Compressor: Send + Sync {
     /// Method name for logs/tables.
     fn name(&self) -> &str;

@@ -33,6 +33,20 @@ pub enum ImagePartition {
 }
 
 /// Split an image set into `clients` shards.
+///
+/// ```
+/// use fedbiad_data::partition::{partition_images, ImagePartition};
+/// use fedbiad_data::synth_image::SyntheticImageSpec;
+///
+/// let mut spec = SyntheticImageSpec::mnist_like();
+/// spec.side = 8;
+/// spec.train_n = 64;
+/// spec.test_n = 16;
+/// let (train, _test) = spec.generate(42);
+/// let shards = partition_images(&train, 4, &ImagePartition::Dirichlet { alpha: 0.3 }, 42);
+/// assert_eq!(shards.len(), 4);
+/// assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), 64);
+/// ```
 pub fn partition_images(
     set: &ImageSet,
     clients: usize,

@@ -11,6 +11,17 @@ use serde::{Deserialize, Serialize};
 const MBPS_TO_BYTES: f64 = 1_000_000.0 / 8.0;
 
 /// Link-speed model for transmission-time accounting.
+///
+/// ```
+/// use fedbiad_fl::NetworkModel;
+///
+/// let net = NetworkModel::t_mobile_5g();
+/// // 14 Mbps uplink = 1.75 MB/s, so 1.75 MB uploads in one second…
+/// assert!((net.upload_seconds(1_750_000) - 1.0).abs() < 1e-9);
+/// // …and a 50 ms RTT is paid once per message, not per byte.
+/// let lagged = net.with_rtt(0.05);
+/// assert_eq!(lagged.upload_message_seconds(0), 0.05);
+/// ```
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct NetworkModel {
     /// Uplink speed in Mbps.

@@ -59,6 +59,25 @@ impl Default for ExperimentConfig {
 }
 
 /// An experiment: one (model, dataset, algorithm) triple.
+///
+/// ```
+/// use fedbiad_core::baselines::FedAvg;
+/// use fedbiad_fl::runner::{Experiment, ExperimentConfig};
+/// use fedbiad_fl::workload::{build, Scale, Workload};
+///
+/// let bundle = build(Workload::MnistLike, Scale::Smoke, 42);
+/// let cfg = ExperimentConfig {
+///     rounds: 2,
+///     client_fraction: 0.5,
+///     train: bundle.train,
+///     eval_topk: bundle.eval_topk,
+///     eval_max_samples: 200,
+///     ..Default::default()
+/// };
+/// let log = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
+/// assert_eq!(log.records.len(), 2);
+/// assert!(log.records[0].upload_bytes_mean > 0);
+/// ```
 pub struct Experiment<'a, A: FlAlgorithm> {
     /// The model architecture.
     pub model: &'a dyn Model,

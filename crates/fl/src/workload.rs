@@ -57,6 +57,25 @@ impl Workload {
         }
     }
 
+    /// Parse a CLI/spec name (short forms accepted, case-insensitive).
+    ///
+    /// ```
+    /// use fedbiad_fl::workload::Workload;
+    /// assert_eq!(Workload::parse("wt2"), Some(Workload::WikiText2Like));
+    /// assert_eq!(Workload::parse("MNIST"), Some(Workload::MnistLike));
+    /// assert_eq!(Workload::parse("bogus"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<Workload> {
+        match s.to_ascii_lowercase().as_str() {
+            "mnist" | "mnist-like" => Some(Workload::MnistLike),
+            "fmnist" | "fmnist-like" => Some(Workload::FmnistLike),
+            "ptb" | "ptb-like" => Some(Workload::PtbLike),
+            "wikitext2" | "wikitext-2" | "wikitext2-like" | "wt2" => Some(Workload::WikiText2Like),
+            "reddit" | "reddit-like" => Some(Workload::RedditLike),
+            _ => None,
+        }
+    }
+
     /// Is this a next-word-prediction workload (LSTM model, top-3 eval)?
     pub fn is_text(self) -> bool {
         matches!(
@@ -117,15 +136,47 @@ pub struct WorkloadBundle {
     pub target_acc: f64,
 }
 
+/// Assembly overrides for [`build_with`] (the scenario engine's knobs);
+/// `Default` reproduces [`build`] exactly.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadOverrides {
+    /// Replace the paper's Dirichlet(0.3) image partitioner (ignored by
+    /// text workloads, whose partitioning is part of the data model).
+    pub image_partition: Option<ImagePartition>,
+}
+
 /// Build a workload at the given scale, deterministically from `seed`.
+///
+/// ```
+/// use fedbiad_fl::workload::{build, Scale, Workload};
+///
+/// let bundle = build(Workload::PtbLike, Scale::Smoke, 42);
+/// assert!(bundle.data.num_clients() > 0);
+/// assert_eq!(bundle.eval_topk, 3); // top-3 accuracy for next-word prediction
+/// ```
 pub fn build(workload: Workload, scale: Scale, seed: u64) -> WorkloadBundle {
+    build_with(workload, scale, seed, &WorkloadOverrides::default())
+}
+
+/// [`build`] with assembly overrides (e.g. an extreme-non-IID partition).
+pub fn build_with(
+    workload: Workload,
+    scale: Scale,
+    seed: u64,
+    overrides: &WorkloadOverrides,
+) -> WorkloadBundle {
     match workload {
-        Workload::MnistLike | Workload::FmnistLike => build_image(workload, scale, seed),
+        Workload::MnistLike | Workload::FmnistLike => build_image(workload, scale, seed, overrides),
         _ => build_text(workload, scale, seed),
     }
 }
 
-fn build_image(workload: Workload, scale: Scale, seed: u64) -> WorkloadBundle {
+fn build_image(
+    workload: Workload,
+    scale: Scale,
+    seed: u64,
+    overrides: &WorkloadOverrides,
+) -> WorkloadBundle {
     let hard = workload == Workload::FmnistLike;
     let (spec, clients, hidden) = match scale {
         Scale::Smoke => {
@@ -161,13 +212,12 @@ fn build_image(workload: Workload, scale: Scale, seed: u64) -> WorkloadBundle {
     };
     let (train, test) = spec.generate(seed);
     // Paper §V-A: non-IID partitioning strategy of [28] (Dirichlet, with a
-    // small α for pronounced label skew).
-    let shards = partition_images(
-        &train,
-        clients,
-        &ImagePartition::Dirichlet { alpha: 0.3 },
-        seed,
-    );
+    // small α for pronounced label skew) — unless a scenario overrides it.
+    let partition = overrides
+        .image_partition
+        .clone()
+        .unwrap_or(ImagePartition::Dirichlet { alpha: 0.3 });
+    let shards = partition_images(&train, clients, &partition, seed);
     let data = FedDataset {
         name: workload.name().into(),
         clients: shards.into_iter().map(ClientData::Image).collect(),
@@ -318,6 +368,34 @@ mod tests {
         assert!((mb(Workload::PtbLike.paper_full_upload_bytes()) - 29.8).abs() < 0.1);
         assert!((mb(Workload::WikiText2Like.paper_full_upload_bytes()) - 75.3).abs() < 0.1);
         assert_eq!(Workload::MnistLike.paper_full_upload_bytes(), 531 * 1024);
+    }
+
+    #[test]
+    fn partition_override_changes_skew_only() {
+        let base = build(Workload::MnistLike, Scale::Smoke, 5);
+        let iid = build_with(
+            Workload::MnistLike,
+            Scale::Smoke,
+            5,
+            &WorkloadOverrides {
+                image_partition: Some(ImagePartition::Iid),
+            },
+        );
+        // Same total data, same test set, different per-client shards.
+        assert_eq!(base.data.num_clients(), iid.data.num_clients());
+        assert_eq!(base.data.test.num_samples(), iid.data.test.num_samples());
+        let sizes = |b: &WorkloadBundle| -> Vec<usize> {
+            b.data.clients.iter().map(ClientData::num_samples).collect()
+        };
+        assert_ne!(sizes(&base), sizes(&iid));
+        // Default overrides reproduce `build` exactly.
+        let same = build_with(
+            Workload::MnistLike,
+            Scale::Smoke,
+            5,
+            &WorkloadOverrides::default(),
+        );
+        assert_eq!(sizes(&base), sizes(&same));
     }
 
     #[test]

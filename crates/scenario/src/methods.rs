@@ -1,0 +1,419 @@
+//! Method registry: build + run any algorithm of Tables I/II against a
+//! workload, optionally composed with a sketched compressor.
+//!
+//! Moved here from `fedbiad-bench` so the declarative scenario engine and
+//! the legacy harness binaries share one registry (`fedbiad-bench`
+//! re-exports this module unchanged).
+
+use fedbiad_compress::dgc::Dgc;
+use fedbiad_compress::fedpaq::FedPaq;
+use fedbiad_compress::signsgd::SignSgd;
+use fedbiad_compress::stc::Stc;
+use fedbiad_compress::Compressor;
+use fedbiad_core::baselines::{Afd, FedAvg, FedDrop, FedMp, Fjord, HeteroFl};
+use fedbiad_core::{FedBiad, FedBiadConfig};
+use fedbiad_data::FedDataset;
+use fedbiad_fl::runner::{Experiment, ExperimentConfig};
+use fedbiad_fl::workload::WorkloadBundle;
+use fedbiad_fl::{ExperimentLog, FlAlgorithm};
+use fedbiad_nn::Model;
+use std::sync::Arc;
+
+/// Every method appearing in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// FedAvg \[1\].
+    FedAvg,
+    /// FedDrop \[12\].
+    FedDrop,
+    /// AFD \[15\].
+    Afd,
+    /// FedMP \[27\].
+    FedMp,
+    /// FjORD \[14\].
+    Fjord,
+    /// HeteroFL \[43\].
+    HeteroFl,
+    /// FedBIAD (this paper).
+    FedBiad,
+    /// FedPAQ \[9\] (8-bit quantisation).
+    FedPaq,
+    /// signSGD \[11\] (1-bit).
+    SignSgd,
+    /// STC \[5\] (sparse ternary).
+    Stc,
+    /// DGC \[4\] (deep gradient compression).
+    Dgc,
+    /// AFD combined with DGC.
+    AfdDgc,
+    /// FjORD combined with DGC.
+    FjordDgc,
+    /// FedBIAD combined with DGC.
+    FedBiadDgc,
+}
+
+impl Method {
+    /// Table I row order.
+    pub fn table1() -> [Method; 7] {
+        [
+            Method::FedAvg,
+            Method::FedDrop,
+            Method::Afd,
+            Method::FedMp,
+            Method::Fjord,
+            Method::HeteroFl,
+            Method::FedBiad,
+        ]
+    }
+
+    /// Table II column order.
+    pub fn table2() -> [Method; 7] {
+        [
+            Method::FedPaq,
+            Method::SignSgd,
+            Method::Stc,
+            Method::Dgc,
+            Method::AfdDgc,
+            Method::FjordDgc,
+            Method::FedBiadDgc,
+        ]
+    }
+
+    /// Fig. 2 methods (the motivation experiment).
+    pub fn fig2() -> [Method; 5] {
+        [
+            Method::FedAvg,
+            Method::FedDrop,
+            Method::Afd,
+            Method::Fjord,
+            Method::FedBiad,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::FedAvg => "FedAvg",
+            Method::FedDrop => "FedDrop",
+            Method::Afd => "AFD",
+            Method::FedMp => "FedMP",
+            Method::Fjord => "FjORD",
+            Method::HeteroFl => "HeteroFL",
+            Method::FedBiad => "FedBIAD",
+            Method::FedPaq => "FedPAQ",
+            Method::SignSgd => "SignSGD",
+            Method::Stc => "STC",
+            Method::Dgc => "DGC",
+            Method::AfdDgc => "AFD+DGC",
+            Method::FjordDgc => "Fjord+DGC",
+            Method::FedBiadDgc => "FedBIAD+DGC",
+        }
+    }
+
+    /// Does this registry entry already bundle a sketched compressor
+    /// (Table II combos)? Such methods reject a further `compressor` axis.
+    pub fn embeds_compressor(self) -> bool {
+        matches!(
+            self,
+            Method::FedPaq
+                | Method::SignSgd
+                | Method::Stc
+                | Method::Dgc
+                | Method::AfdDgc
+                | Method::FjordDgc
+                | Method::FedBiadDgc
+        )
+    }
+
+    /// Parse a CLI name (case-insensitive).
+    ///
+    /// ```
+    /// use fedbiad_scenario::methods::Method;
+    /// assert_eq!(Method::parse("fedbiad+dgc"), Some(Method::FedBiadDgc));
+    /// assert_eq!(Method::parse("FedAvg"), Some(Method::FedAvg));
+    /// assert_eq!(Method::parse("nope"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<Method> {
+        let all = [
+            Method::FedAvg,
+            Method::FedDrop,
+            Method::Afd,
+            Method::FedMp,
+            Method::Fjord,
+            Method::HeteroFl,
+            Method::FedBiad,
+            Method::FedPaq,
+            Method::SignSgd,
+            Method::Stc,
+            Method::Dgc,
+            Method::AfdDgc,
+            Method::FjordDgc,
+            Method::FedBiadDgc,
+        ];
+        let needle = s.to_ascii_lowercase().replace(['-', '_', '+'], "");
+        all.into_iter()
+            .find(|m| m.name().to_ascii_lowercase().replace('+', "") == needle)
+    }
+}
+
+/// A sketched compressor that a scenario can compose onto any *base*
+/// method (one without an embedded compressor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompressorChoice {
+    /// Deep gradient compression (paper settings).
+    Dgc,
+    /// 1-bit sign compression with error feedback.
+    SignSgd,
+    /// 8-bit uniform quantisation.
+    FedPaq,
+    /// Sparse ternary compression.
+    Stc,
+}
+
+impl CompressorChoice {
+    /// Parse a spec/CLI name (case-insensitive); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<CompressorChoice> {
+        match s.to_ascii_lowercase().as_str() {
+            "dgc" => Some(CompressorChoice::Dgc),
+            "signsgd" | "sign-sgd" => Some(CompressorChoice::SignSgd),
+            "fedpaq" => Some(CompressorChoice::FedPaq),
+            "stc" => Some(CompressorChoice::Stc),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressorChoice::Dgc => "DGC",
+            CompressorChoice::SignSgd => "SignSGD",
+            CompressorChoice::FedPaq => "FedPAQ",
+            CompressorChoice::Stc => "STC",
+        }
+    }
+
+    /// Instantiate the compressor at its paper settings.
+    pub fn build(self) -> Arc<dyn Compressor> {
+        match self {
+            CompressorChoice::Dgc => Arc::new(Dgc::paper()),
+            CompressorChoice::SignSgd => Arc::new(SignSgd::default()),
+            CompressorChoice::FedPaq => Arc::new(FedPaq::paper()),
+            CompressorChoice::Stc => Arc::new(Stc::paper()),
+        }
+    }
+}
+
+/// Options shared by all harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Global rounds R.
+    pub rounds: usize,
+    /// Stage boundary R_b for FedBIAD (paper: R−5).
+    pub stage_boundary: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Evaluate every k rounds.
+    pub eval_every: usize,
+    /// Cap evaluated test samples (0 = all).
+    pub eval_max_samples: usize,
+    /// Client participation fraction κ (paper: 0.1).
+    pub client_fraction: f32,
+    /// Override the workload's dropout rate p (scenario `[fedbiad]`
+    /// section); `None` keeps the per-dataset paper rate.
+    pub dropout_override: Option<f32>,
+}
+
+impl RunOpts {
+    /// Paper-style defaults for `rounds` (R_b = R − 5, κ = 0.1).
+    pub fn for_rounds(rounds: usize, seed: u64) -> Self {
+        Self {
+            rounds,
+            stage_boundary: rounds.saturating_sub(5).max(1),
+            seed,
+            eval_every: 1,
+            eval_max_samples: 2_000,
+            client_fraction: 0.1,
+            dropout_override: None,
+        }
+    }
+}
+
+/// Run `method` on `bundle` and return the log.
+pub fn run_method(method: Method, bundle: &WorkloadBundle, opts: RunOpts) -> ExperimentLog {
+    run_method_composed(method, bundle, opts, None)
+}
+
+/// Run `method`, optionally composed with an `extra` sketched compressor
+/// (only valid on base methods — Table II combos already embed theirs).
+pub fn run_method_composed(
+    method: Method,
+    bundle: &WorkloadBundle,
+    opts: RunOpts,
+    extra: Option<CompressorChoice>,
+) -> ExperimentLog {
+    let cfg = ExperimentConfig {
+        rounds: opts.rounds,
+        client_fraction: opts.client_fraction,
+        seed: opts.seed,
+        train: bundle.train,
+        eval_topk: bundle.eval_topk,
+        eval_every: opts.eval_every,
+        eval_max_samples: opts.eval_max_samples,
+    };
+    let p = opts.dropout_override.unwrap_or(bundle.dropout_rate);
+    let driver = LockstepDriver {
+        model: bundle.model.as_ref(),
+        data: &bundle.data,
+        cfg,
+    };
+    with_algorithm(method, p, opts.stage_boundary, extra, driver)
+}
+
+struct LockstepDriver<'a> {
+    model: &'a dyn Model,
+    data: &'a FedDataset,
+    cfg: ExperimentConfig,
+}
+
+impl AlgorithmVisitor for LockstepDriver<'_> {
+    type Out = ExperimentLog;
+
+    fn visit<A: FlAlgorithm>(self, algo: A) -> ExperimentLog {
+        Experiment::new(self.model, self.data, algo, self.cfg).run()
+    }
+}
+
+/// A generic consumer of a constructed algorithm. The registry method →
+/// algorithm mapping lives in **one** place ([`with_algorithm`]); the
+/// lock-step driver (here) and the simulator driver (`simrun`) each
+/// implement this trait to receive the concrete `FlAlgorithm` type and
+/// run it — so the two drivers can never diverge on construction.
+pub trait AlgorithmVisitor {
+    /// What driving the algorithm produces.
+    type Out;
+
+    /// Consume the constructed algorithm.
+    fn visit<A: FlAlgorithm>(self, algo: A) -> Self::Out;
+}
+
+/// Construct the algorithm for `method` — at dropout rate `p`, FedBIAD
+/// stage boundary `stage_boundary`, optionally composed with an `extra`
+/// sketch — and hand it to `visitor`.
+pub fn with_algorithm<V: AlgorithmVisitor>(
+    method: Method,
+    p: f32,
+    stage_boundary: usize,
+    extra: Option<CompressorChoice>,
+    visitor: V,
+) -> V::Out {
+    assert!(
+        extra.is_none() || !method.embeds_compressor(),
+        "method {} already embeds a compressor",
+        method.name()
+    );
+    let v = visitor;
+    let sketch = extra.map(CompressorChoice::build);
+    let dgc = || Arc::new(Dgc::paper());
+    match method {
+        Method::FedAvg => match sketch {
+            None => v.visit(FedAvg::new()),
+            Some(c) => v.visit(FedAvg::with_sketch(c)),
+        },
+        Method::FedDrop => match sketch {
+            None => v.visit(FedDrop::new(p)),
+            Some(c) => v.visit(FedDrop::with_sketch(p, c)),
+        },
+        Method::Afd => match sketch {
+            None => v.visit(Afd::new(p)),
+            Some(c) => v.visit(Afd::with_sketch(p, c)),
+        },
+        Method::FedMp => match sketch {
+            None => v.visit(FedMp::new(p)),
+            Some(c) => v.visit(FedMp::with_sketch(p, c)),
+        },
+        Method::Fjord => match sketch {
+            None => v.visit(Fjord::new(p)),
+            Some(c) => v.visit(Fjord::with_sketch(p, c)),
+        },
+        Method::HeteroFl => match sketch {
+            None => v.visit(HeteroFl::new(p)),
+            Some(c) => v.visit(HeteroFl::with_sketch(p, c)),
+        },
+        Method::FedBiad => {
+            let fb = FedBiadConfig::paper(p, stage_boundary);
+            match sketch {
+                None => v.visit(FedBiad::new(fb)),
+                Some(c) => v.visit(FedBiad::with_sketch(fb, c)),
+            }
+        }
+        Method::FedPaq => v.visit(FedAvg::with_sketch(Arc::new(FedPaq::paper()))),
+        Method::SignSgd => v.visit(FedAvg::with_sketch(Arc::new(SignSgd::default()))),
+        Method::Stc => v.visit(FedAvg::with_sketch(Arc::new(Stc::paper()))),
+        Method::Dgc => v.visit(FedAvg::with_sketch(dgc())),
+        Method::AfdDgc => v.visit(Afd::with_sketch(p, dgc())),
+        Method::FjordDgc => v.visit(Fjord::with_sketch(p, dgc())),
+        Method::FedBiadDgc => v.visit(FedBiad::with_sketch(
+            FedBiadConfig::paper(p, stage_boundary),
+            dgc(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_fl::workload::{build, Scale, Workload};
+
+    #[test]
+    fn parse_round_trips_names() {
+        for m in Method::table1().into_iter().chain(Method::table2()) {
+            assert_eq!(Method::parse(m.name()), Some(m), "{}", m.name());
+        }
+        assert_eq!(Method::parse("fedbiad+dgc"), Some(Method::FedBiadDgc));
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn run_opts_sets_paper_stage_boundary() {
+        let o = RunOpts::for_rounds(60, 1);
+        assert_eq!(o.stage_boundary, 55);
+        let tiny = RunOpts::for_rounds(3, 1);
+        assert!(tiny.stage_boundary >= 1);
+    }
+
+    #[test]
+    fn compressor_choice_parses_and_builds() {
+        for (name, c) in [
+            ("dgc", CompressorChoice::Dgc),
+            ("SignSGD", CompressorChoice::SignSgd),
+            ("fedpaq", CompressorChoice::FedPaq),
+            ("stc", CompressorChoice::Stc),
+        ] {
+            assert_eq!(CompressorChoice::parse(name), Some(c));
+            let _ = c.build(); // constructible at paper settings
+        }
+        assert_eq!(CompressorChoice::parse("none"), None);
+        assert!(Method::Dgc.embeds_compressor());
+        assert!(!Method::FedBiad.embeds_compressor());
+    }
+
+    #[test]
+    fn composed_method_compresses_uploads() {
+        // FedDrop+STC was previously unreachable through the registry:
+        // composition must shrink the wire bytes below the plain method's.
+        let bundle = build(Workload::MnistLike, Scale::Smoke, 3);
+        let opts = RunOpts::for_rounds(2, 3);
+        let plain = run_method(Method::FedDrop, &bundle, opts);
+        let sketched =
+            run_method_composed(Method::FedDrop, &bundle, opts, Some(CompressorChoice::Stc));
+        assert!(sketched.mean_upload_bytes() < plain.mean_upload_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "already embeds a compressor")]
+    fn composing_onto_combo_method_panics() {
+        let bundle = build(Workload::MnistLike, Scale::Smoke, 3);
+        let opts = RunOpts::for_rounds(1, 3);
+        let _ = run_method_composed(Method::Dgc, &bundle, opts, Some(CompressorChoice::Stc));
+    }
+}

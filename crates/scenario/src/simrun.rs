@@ -1,22 +1,22 @@
 //! Discrete-event simulation runner: build + run any registry method
-//! under any server policy × heterogeneity profile (the `sim_tta`
-//! binary's engine).
+//! under any server policy × heterogeneity profile (the engine behind the
+//! `sim_tta` binary and every `mode = "sim"` scenario).
+//!
+//! Moved here from `fedbiad-bench` so the declarative scenario engine and
+//! the legacy harness binaries share one runner (`fedbiad-bench`
+//! re-exports this module unchanged).
 
-use crate::methods::{Method, RunOpts};
-use fedbiad_compress::dgc::Dgc;
-use fedbiad_compress::fedpaq::FedPaq;
-use fedbiad_compress::signsgd::SignSgd;
-use fedbiad_compress::stc::Stc;
-use fedbiad_core::baselines::{Afd, FedAvg, FedDrop, FedMp, Fjord, HeteroFl};
-use fedbiad_core::{FedBiad, FedBiadConfig};
+use crate::methods::{with_algorithm, AlgorithmVisitor, CompressorChoice, Method, RunOpts};
+use fedbiad_data::FedDataset;
 use fedbiad_fl::round::cohort_size;
 use fedbiad_fl::runner::ExperimentConfig;
 use fedbiad_fl::workload::WorkloadBundle;
+use fedbiad_fl::FlAlgorithm;
+use fedbiad_nn::Model;
 use fedbiad_sim::{
     CostModel, DeadlineOverSelect, FedBuff, HeterogeneityProfile, ServerPolicy, SimConfig,
     SimReport, Simulator, SyncBarrier,
 };
-use std::sync::Arc;
 
 /// Which server policy to simulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +49,15 @@ impl PolicyChoice {
         }
     }
 
+    /// Canonical spec/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyChoice::Sync => "sync",
+            PolicyChoice::Deadline => "deadline",
+            PolicyChoice::FedBuff => "fedbuff",
+        }
+    }
+
     /// Instantiate the policy for a cohort of `cohort` clients and an
     /// estimated nominal round duration (used to place the deadline).
     pub fn build(self, cohort: usize, nominal_round_seconds: f64) -> Box<dyn ServerPolicy> {
@@ -64,21 +73,11 @@ impl PolicyChoice {
     }
 }
 
-/// Parse a heterogeneity-profile CLI name.
+/// Parse a heterogeneity-profile CLI name. Delegates to
+/// [`ProfileChoice`](crate::spec::ProfileChoice) so the name → cohort
+/// mapping exists in exactly one place.
 pub fn parse_profile(s: &str) -> Option<HeterogeneityProfile> {
-    match s.to_ascii_lowercase().as_str() {
-        "homogeneous" | "homog" => Some(HeterogeneityProfile::homogeneous_5g()),
-        "mixed" | "mixed-mobile" => Some(HeterogeneityProfile::MixedMobile {
-            compute_spread: 6.0,
-            jitter: 0.1,
-        }),
-        "stragglers" | "straggler" => Some(HeterogeneityProfile::Stragglers {
-            fraction: 0.3,
-            slowdown: 15.0,
-            jitter: 0.1,
-        }),
-        _ => None,
-    }
+    crate::spec::ProfileChoice::parse(s).map(|p| p.resolve(None))
 }
 
 /// A nominal (multiplier-1, 5G) round-duration estimate for deadline
@@ -101,6 +100,21 @@ pub fn run_sim_method(
     policy: PolicyChoice,
     profile: HeterogeneityProfile,
 ) -> SimReport {
+    run_sim_method_composed(method, bundle, opts, policy, profile, None)
+}
+
+/// Run `method` under `policy` × `profile`, optionally composed with an
+/// `extra` sketched compressor (only valid on base methods). Algorithm
+/// construction is shared with the lock-step driver through
+/// [`with_algorithm`], so the two can never diverge per method.
+pub fn run_sim_method_composed(
+    method: Method,
+    bundle: &WorkloadBundle,
+    opts: RunOpts,
+    policy: PolicyChoice,
+    profile: HeterogeneityProfile,
+    extra: Option<CompressorChoice>,
+) -> SimReport {
     let base = ExperimentConfig {
         rounds: opts.rounds,
         client_fraction: opts.client_fraction,
@@ -114,54 +128,28 @@ pub fn run_sim_method(
     let cohort = cohort_size(bundle.data.num_clients(), base.client_fraction);
     let pol = policy.build(cohort, nominal_round_seconds(bundle, &cfg.cost));
 
-    let p = bundle.dropout_rate;
-    let model = bundle.model.as_ref();
-    let data = &bundle.data;
-    let dgc = || Arc::new(Dgc::paper());
-    match method {
-        Method::FedAvg => Simulator::new(model, data, FedAvg::new(), pol, cfg).run(),
-        Method::FedDrop => Simulator::new(model, data, FedDrop::new(p), pol, cfg).run(),
-        Method::Afd => Simulator::new(model, data, Afd::new(p), pol, cfg).run(),
-        Method::FedMp => Simulator::new(model, data, FedMp::new(p), pol, cfg).run(),
-        Method::Fjord => Simulator::new(model, data, Fjord::new(p), pol, cfg).run(),
-        Method::HeteroFl => Simulator::new(model, data, HeteroFl::new(p), pol, cfg).run(),
-        Method::FedBiad => {
-            let algo = FedBiad::new(FedBiadConfig::paper(p, opts.stage_boundary));
-            Simulator::new(model, data, algo, pol, cfg).run()
-        }
-        Method::FedPaq => Simulator::new(
-            model,
-            data,
-            FedAvg::with_sketch(Arc::new(FedPaq::paper())),
-            pol,
-            cfg,
-        )
-        .run(),
-        Method::SignSgd => Simulator::new(
-            model,
-            data,
-            FedAvg::with_sketch(Arc::new(SignSgd::default())),
-            pol,
-            cfg,
-        )
-        .run(),
-        Method::Stc => Simulator::new(
-            model,
-            data,
-            FedAvg::with_sketch(Arc::new(Stc::paper())),
-            pol,
-            cfg,
-        )
-        .run(),
-        Method::Dgc => Simulator::new(model, data, FedAvg::with_sketch(dgc()), pol, cfg).run(),
-        Method::AfdDgc => Simulator::new(model, data, Afd::with_sketch(p, dgc()), pol, cfg).run(),
-        Method::FjordDgc => {
-            Simulator::new(model, data, Fjord::with_sketch(p, dgc()), pol, cfg).run()
-        }
-        Method::FedBiadDgc => {
-            let algo = FedBiad::with_sketch(FedBiadConfig::paper(p, opts.stage_boundary), dgc());
-            Simulator::new(model, data, algo, pol, cfg).run()
-        }
+    let p = opts.dropout_override.unwrap_or(bundle.dropout_rate);
+    let driver = SimDriver {
+        model: bundle.model.as_ref(),
+        data: &bundle.data,
+        pol,
+        cfg,
+    };
+    with_algorithm(method, p, opts.stage_boundary, extra, driver)
+}
+
+struct SimDriver<'a> {
+    model: &'a dyn Model,
+    data: &'a FedDataset,
+    pol: Box<dyn ServerPolicy>,
+    cfg: SimConfig,
+}
+
+impl AlgorithmVisitor for SimDriver<'_> {
+    type Out = SimReport;
+
+    fn visit<A: FlAlgorithm>(self, algo: A) -> SimReport {
+        Simulator::new(self.model, self.data, algo, self.pol, self.cfg).run()
     }
 }
 
@@ -179,6 +167,9 @@ mod tests {
             Some(PolicyChoice::Deadline)
         );
         assert_eq!(PolicyChoice::parse("nope"), None);
+        for pc in PolicyChoice::all() {
+            assert_eq!(PolicyChoice::parse(pc.name()), Some(pc));
+        }
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! A minimal TOML reader for scenario specs.
+//!
+//! Parses the subset of TOML the spec schema uses — `[table]` headers
+//! (dotted paths allowed), `key = value` pairs with basic/literal
+//! strings, integers, floats, booleans, (multi-line) arrays and inline
+//! tables, plus `#` comments — into the vendored serde shim's
+//! [`Value`] tree, so TOML and JSON specs share one decoding path.
+//!
+//! Errors carry the 1-based line number and a message naming what was
+//! expected:
+//!
+//! ```
+//! use fedbiad_scenario::toml::parse_toml;
+//! let v = parse_toml("x = 3\n[t]\ny = [1, 2]\n").unwrap();
+//! assert!(parse_toml("x = \n").unwrap_err().to_string().contains("line 1"));
+//! ```
+//!
+//! Unsupported TOML (array-of-tables, dates, multi-line strings) is
+//! rejected with an explicit message rather than misparsed.
+
+use serde::Value;
+
+/// A TOML parse failure at a specific line.
+#[derive(Clone, Debug)]
+pub struct TomlError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong / what was expected.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TOML parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Parse TOML text into a [`Value::Object`] tree.
+pub fn parse_toml(text: &str) -> Result<Value, TomlError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table currently being filled ([] = root).
+    let mut current: Vec<String> = Vec::new();
+    loop {
+        p.skip_trivia(true);
+        let Some(&c) = p.bytes.get(p.pos) else { break };
+        if c == b'[' {
+            if p.bytes.get(p.pos + 1) == Some(&b'[') {
+                return Err(p.err("array-of-tables `[[...]]` is not supported in scenario specs"));
+            }
+            p.pos += 1;
+            let path = p.parse_header_path()?;
+            p.expect(b']')?;
+            p.expect_eol()?;
+            // Create the table now so empty sections still appear.
+            insert_table(&mut root, &path).map_err(|msg| p.err(msg))?;
+            current = path;
+        } else {
+            let key = p.parse_key()?;
+            p.skip_inline_ws();
+            if p.bytes.get(p.pos) == Some(&b'.') {
+                return Err(p.err(format!(
+                    "dotted key `{key}.…` is not supported; use a [table] header instead"
+                )));
+            }
+            p.expect(b'=')?;
+            let value = p.parse_value()?;
+            p.expect_eol()?;
+            let table = lookup_table(&mut root, &current).expect("current table exists");
+            if table.iter().any(|(k, _)| *k == key) {
+                return Err(p.err(format!("duplicate key `{key}`")));
+            }
+            table.push((key, value));
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+/// Create (or re-enter) the nested object at `path`, erroring on a
+/// redefined leaf table or a path through a non-table value.
+fn insert_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), String> {
+    let mut cur = root;
+    for (depth, seg) in path.iter().enumerate() {
+        let leaf = depth + 1 == path.len();
+        let idx = cur.iter().position(|(k, _)| k == seg);
+        match idx {
+            Some(i) => {
+                if leaf {
+                    return Err(format!("table `[{}]` defined twice", path.join(".")));
+                }
+                match &mut cur[i].1 {
+                    Value::Object(_) => {}
+                    _ => return Err(format!("`{seg}` is not a table")),
+                }
+                let Value::Object(inner) = &mut cur[i].1 else {
+                    unreachable!()
+                };
+                cur = inner;
+            }
+            None => {
+                cur.push((seg.clone(), Value::Object(Vec::new())));
+                let last = cur.len() - 1;
+                let Value::Object(inner) = &mut cur[last].1 else {
+                    unreachable!()
+                };
+                cur = inner;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Borrow the table at `path` (must already exist).
+fn lookup_table<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> Option<&'a mut Vec<(String, Value)>> {
+    let mut cur = root;
+    for seg in path {
+        let i = cur.iter().position(|(k, _)| k == seg)?;
+        match &mut cur[i].1 {
+            Value::Object(inner) => cur = inner,
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn line(&self) -> usize {
+        1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> TomlError {
+        TomlError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip spaces/tabs, comments and (when `newlines`) line breaks.
+    fn skip_trivia(&mut self, newlines: bool) {
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b' ' | b'\t' | b'\r') => self.pos += 1,
+                Some(b'\n') if newlines => self.pos += 1,
+                Some(b'#') => {
+                    while !matches!(self.bytes.get(self.pos), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), TomlError> {
+        self.skip_inline_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}`, found {}",
+                c as char,
+                self.describe_here()
+            )))
+        }
+    }
+
+    /// Only whitespace / a comment may remain before the line break.
+    fn expect_eol(&mut self) -> Result<(), TomlError> {
+        self.skip_inline_ws();
+        if self.bytes.get(self.pos) == Some(&b'#') {
+            while !matches!(self.bytes.get(self.pos), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+        }
+        match self.bytes.get(self.pos) {
+            None => Ok(()),
+            Some(b'\n') | Some(b'\r') => Ok(()),
+            _ => Err(self.err(format!(
+                "unexpected trailing content: {}",
+                self.describe_here()
+            ))),
+        }
+    }
+
+    fn describe_here(&self) -> String {
+        match self.bytes.get(self.pos) {
+            None => "end of file".to_string(),
+            Some(b'\n') => "end of line".to_string(),
+            Some(&c) => format!("`{}`", c as char),
+        }
+    }
+
+    fn parse_header_path(&mut self) -> Result<Vec<String>, TomlError> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            path.push(self.parse_key()?);
+            self.skip_inline_ws();
+            if self.bytes.get(self.pos) == Some(&b'.') {
+                self.pos += 1;
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    /// A bare (`A-Za-z0-9_-`) or quoted key.
+    fn parse_key(&mut self) -> Result<String, TomlError> {
+        self.skip_inline_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => self.parse_basic_string(),
+            Some(b'\'') => self.parse_literal_string(),
+            Some(&c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = self.pos;
+                while matches!(self.bytes.get(self.pos),
+                    Some(&c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                {
+                    self.pos += 1;
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ascii key")
+                    .to_string())
+            }
+            _ => Err(self.err(format!("expected a key, found {}", self.describe_here()))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, TomlError> {
+        self.skip_inline_ws();
+        match self.bytes.get(self.pos) {
+            None | Some(b'\n') => Err(self.err("expected a value, found end of line")),
+            Some(b'"') => {
+                if self.bytes[self.pos..].starts_with(b"\"\"\"") {
+                    return Err(self.err("multi-line strings are not supported"));
+                }
+                Ok(Value::Str(self.parse_basic_string()?))
+            }
+            Some(b'\'') => Ok(Value::Str(self.parse_literal_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_inline_table(),
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(Value::Bool(false))
+            }
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, TomlError> {
+        debug_assert_eq!(self.bytes.get(self.pos), Some(&b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos]).expect("valid utf-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, TomlError> {
+        debug_assert_eq!(self.bytes.get(self.pos), Some(&b'\''));
+        self.pos += 1;
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b'\'') => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("valid utf-8")
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Arrays may span lines and carry comments between elements.
+    fn parse_array(&mut self) -> Result<Value, TomlError> {
+        debug_assert_eq!(self.bytes.get(self.pos), Some(&b'['));
+        self.pos += 1;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia(true);
+            if self.bytes.get(self.pos) == Some(&b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia(true);
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected `,` or `]` in array, found {}",
+                        self.describe_here()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// A single-line `{ k = v, ... }` table.
+    fn parse_inline_table(&mut self) -> Result<Value, TomlError> {
+        debug_assert_eq!(self.bytes.get(self.pos), Some(&b'{'));
+        self.pos += 1;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        self.skip_inline_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            let key = self.parse_key()?;
+            self.expect(b'=')?;
+            let value = self.parse_value()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate key `{key}`")));
+            }
+            pairs.push((key, value));
+            self.skip_inline_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected `,` or `}}` in inline table, found {}",
+                        self.describe_here()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, TomlError> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos),
+            Some(&c) if c.is_ascii_digit() || matches!(c, b'+' | b'-' | b'.' | b'_' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if raw.is_empty() {
+            return Err(self.err(format!("expected a value, found {}", self.describe_here())));
+        }
+        let text: String = raw.chars().filter(|&c| c != '_').collect();
+        let is_float = text.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(format!("malformed number `{raw}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(v: &Value) -> &Vec<(String, Value)> {
+        v.as_object().expect("object")
+    }
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let v = parse_toml(
+            "# a comment\nname = \"demo\"   # trailing\ncount = 1_000\nratio = 0.5\nok = true\n\
+             lit = 'raw\\n'\n[run]\nrounds = 3\nseeds = [1, 2,\n  3]  # multi-line\n[a.b]\nx = -2\n",
+        )
+        .unwrap();
+        let root = obj(&v);
+        assert_eq!(root[0], ("name".into(), Value::Str("demo".into())));
+        assert_eq!(root[1], ("count".into(), Value::Int(1000)));
+        assert_eq!(root[2], ("ratio".into(), Value::Float(0.5)));
+        assert_eq!(root[3], ("ok".into(), Value::Bool(true)));
+        assert_eq!(root[4], ("lit".into(), Value::Str("raw\\n".into())));
+        let run = obj(&root[5].1);
+        assert_eq!(run[0], ("rounds".into(), Value::Int(3)));
+        assert_eq!(
+            run[1].1,
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        let a = obj(&root[6].1);
+        assert_eq!(obj(&a[0].1)[0], ("x".into(), Value::Int(-2)));
+    }
+
+    #[test]
+    fn inline_tables_and_quoted_keys() {
+        let v = parse_toml("net = { up = 14.0, down = 110.6 }\n\"k ey\" = 1\n").unwrap();
+        let root = obj(&v);
+        assert_eq!(obj(&root[0].1)[1], ("down".into(), Value::Float(110.6)));
+        assert_eq!(root[1].0, "k ey");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_toml("a = 1\nb = \n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = parse_toml("a = 1\na = 2\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate key `a`"), "{e}");
+        let e = parse_toml("[t]\n[t]\n").unwrap_err();
+        assert!(e.to_string().contains("defined twice"), "{e}");
+        let e = parse_toml("x = 3 4\n").unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn unsupported_toml_is_rejected_not_misparsed() {
+        assert!(parse_toml("[[runs]]\n")
+            .unwrap_err()
+            .to_string()
+            .contains("array-of-tables"));
+        assert!(parse_toml("a.b = 1\n")
+            .unwrap_err()
+            .to_string()
+            .contains("dotted key"));
+        assert!(parse_toml("s = \"\"\"x\"\"\"\n")
+            .unwrap_err()
+            .to_string()
+            .contains("multi-line"));
+    }
+}

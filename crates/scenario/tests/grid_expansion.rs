@@ -1,0 +1,70 @@
+//! Acceptance test for grid expansion: a 2×2×2 sweep materializes
+//! exactly 8 runs with distinct, deterministic seeds, stable across
+//! thread counts (expansion is a pure function of the spec; the thread
+//! toggling guards against anyone threading it later and breaking
+//! that).
+
+use fedbiad_scenario::{expand, ScenarioSpec};
+use std::sync::Mutex;
+
+/// Serialises `RAYON_NUM_THREADS` mutation within this test binary.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+const SWEEP_2X2X2: &str = "name = \"grid\"\nmode = \"sim\"\n\
+[run]\nseed = 42\nseed_mode = \"per-run\"\n\
+[sweep]\nworkload = [\"mnist\", \"fmnist\"]\nmethod = [\"fedavg\", \"fedbiad\"]\n\
+policy = [\"sync\", \"fedbuff\"]\n";
+
+fn expanded_seeds() -> Vec<u64> {
+    let spec = ScenarioSpec::from_toml_str(SWEEP_2X2X2).unwrap();
+    expand(&spec).unwrap().iter().map(|r| r.opts.seed).collect()
+}
+
+#[test]
+fn two_by_two_by_two_makes_eight_distinct_deterministic_seeds() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let seeds = expanded_seeds();
+    assert_eq!(seeds.len(), 8, "2×2×2 grid must materialize 8 runs");
+
+    let mut unique = seeds.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), 8, "per-run seeds must be distinct: {seeds:?}");
+
+    // Deterministic: same spec, same seeds — at any thread count.
+    let orig = std::env::var("RAYON_NUM_THREADS").ok();
+    for threads in ["1", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        assert_eq!(expanded_seeds(), seeds, "thread count {threads}");
+    }
+    match orig {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}
+
+#[test]
+fn seeds_change_with_the_spec_content_not_its_formatting() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let reformatted = SWEEP_2X2X2.replace(
+        "workload = [\"mnist\", \"fmnist\"]",
+        "# same axes\nworkload = [\n  \"mnist\",\n  \"fmnist\",\n]",
+    );
+    let a = expanded_seeds();
+    let spec_b = ScenarioSpec::from_toml_str(&reformatted).unwrap();
+    let b: Vec<u64> = expand(&spec_b)
+        .unwrap()
+        .iter()
+        .map(|r| r.opts.seed)
+        .collect();
+    assert_eq!(a, b, "formatting must not move seeds");
+
+    let spec_c =
+        ScenarioSpec::from_toml_str(&SWEEP_2X2X2.replace("seed = 42", "seed = 43")).unwrap();
+    let c: Vec<u64> = expand(&spec_c)
+        .unwrap()
+        .iter()
+        .map(|r| r.opts.seed)
+        .collect();
+    assert_ne!(a, c, "a different base seed must move every derived seed");
+}

@@ -16,6 +16,8 @@
 //! The crate has no opinion about neural networks; that lives in
 //! `fedbiad-nn`.
 
+#![warn(missing_docs)]
+
 pub mod init;
 pub mod matrix;
 pub mod ops;

@@ -97,6 +97,17 @@ const GEMM_PAR_THRESHOLD: usize = 64 * 64;
 /// Shapes: `A: m×k`, `B: k×n`, `C: m×n`. The kernel iterates `k` in the
 /// outer position and accumulates AXPYs into each output row, which walks
 /// both `B` and `C` row-major — cache-friendly without an explicit pack.
+///
+/// ```
+/// use fedbiad_tensor::ops::gemm;
+/// use fedbiad_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+/// let mut c = Matrix::zeros(2, 2);
+/// gemm(&a, &b, &mut c);
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
 pub fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "gemm: inner dims differ");
     assert_eq!(a.rows(), c.rows(), "gemm: C rows");

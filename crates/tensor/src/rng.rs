@@ -43,6 +43,10 @@ pub enum StreamTag {
     SimPolicy = 11,
     /// Per-dispatch compute-time jitter in the simulator.
     SimJitter = 12,
+    /// Per-run seed derivation in the declarative scenario engine
+    /// (`fedbiad-scenario`): `round` carries the run index, `client` the
+    /// replicate index.
+    Scenario = 13,
 }
 
 /// SplitMix64 finaliser: scrambles a 64-bit state into a well-mixed output.
@@ -60,6 +64,18 @@ fn splitmix64(mut z: u64) -> u64 {
 ///
 /// `round`/`client` may be 0 for components that are not per-round or
 /// per-client.
+///
+/// ```
+/// use fedbiad_tensor::rng::{stream, StreamTag};
+/// use rand::Rng;
+///
+/// // Same tuple ⇒ same stream (bit-reproducible anywhere)…
+/// let a: u64 = stream(42, StreamTag::Pattern, 3, 7).gen();
+/// assert_eq!(a, stream(42, StreamTag::Pattern, 3, 7).gen());
+/// // …different component ⇒ decoupled stream.
+/// let b: u64 = stream(42, StreamTag::Batch, 3, 7).gen();
+/// assert_ne!(a, b);
+/// ```
 pub fn stream(seed: u64, tag: StreamTag, round: u64, client: u64) -> StdRng {
     let mut s = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
     s = splitmix64(s ^ (tag as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));

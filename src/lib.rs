@@ -59,6 +59,9 @@ pub use fedbiad_fl as fl;
 /// FedBIAD + baselines + theory (re-export of `fedbiad-core`).
 pub use fedbiad_core as core;
 
+/// Declarative scenario engine (re-export of `fedbiad-scenario`).
+pub use fedbiad_scenario as scenario;
+
 /// Discrete-event federation simulator (re-export of `fedbiad-sim`).
 pub use fedbiad_sim as sim;
 

@@ -1,0 +1,117 @@
+//! Acceptance regression for the scenario engine: executing the bundled
+//! `scenarios/fig2.toml` spec must reproduce the legacy `fig2` code path
+//! — `build()` once, then `run_method()` per method with shared seed —
+//! **byte-for-byte** in the serialized `ExperimentLog` JSON.
+//!
+//! Wall-clock caveat: the lock-step runner measures `local_seconds_*`
+//! and `agg_seconds` with `Instant::now()`, and the repository's
+//! reproducibility contract (README) explicitly excludes those fields.
+//! They are zeroed on both sides before comparing; every other byte —
+//! losses, accuracies, upload/download bytes, round indices, config ids
+//! — must match exactly. The sim-mode comparison (`sim_tta.toml`) has a
+//! fully virtual clock, so there the JSON must match with **no**
+//! exclusions at all.
+
+use fedbiad::fl::workload::build;
+use fedbiad::fl::ExperimentLog;
+use fedbiad::scenario::{execute, run_method, run_sim_method, Overrides, RunOpts, ScenarioSpec};
+use std::path::Path;
+
+fn bundled(name: &str) -> ScenarioSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(name);
+    ScenarioSpec::from_path(&path).expect("bundled spec is valid")
+}
+
+/// Zero the wall-clock-only fields (see module docs).
+fn strip_wall_clock(log: &mut ExperimentLog) {
+    for r in &mut log.records {
+        r.local_seconds_mean = 0.0;
+        r.local_seconds_max = 0.0;
+        r.agg_seconds = 0.0;
+    }
+}
+
+#[test]
+fn fig2_spec_reproduces_the_legacy_binary_byte_for_byte() {
+    // Shrink to test scale exactly the way the binary's flags would.
+    let mut spec = bundled("fig2.toml");
+    spec.apply_overrides(&Overrides {
+        rounds: Some(3),
+        scale: Some(fedbiad::fl::workload::Scale::Smoke),
+        eval_max: Some(500),
+        ..Default::default()
+    })
+    .unwrap();
+
+    let engine_logs: Vec<ExperimentLog> =
+        execute(&spec).unwrap().into_iter().map(|o| o.log).collect();
+
+    // The legacy fig2 main(): one bundle for the run seed, every method
+    // on the same seed and options.
+    let bundle = build(spec.sweep.workloads[0], spec.run.scale, spec.run.seed);
+    let legacy_logs: Vec<ExperimentLog> = spec
+        .sweep
+        .methods
+        .iter()
+        .map(|&m| {
+            let mut opts = RunOpts::for_rounds(spec.run.rounds, spec.run.seed);
+            opts.eval_max_samples = spec.run.eval_max;
+            run_method(m, &bundle, opts)
+        })
+        .collect();
+
+    assert_eq!(engine_logs.len(), legacy_logs.len());
+    assert_eq!(engine_logs.len(), 5, "fig2 sweeps five methods");
+    for (mut a, mut b) in engine_logs.into_iter().zip(legacy_logs) {
+        strip_wall_clock(&mut a);
+        strip_wall_clock(&mut b);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "engine and legacy logs diverge for {}", a.method);
+    }
+}
+
+#[test]
+fn sim_tta_spec_reproduces_the_legacy_sim_runner_with_no_exclusions() {
+    let mut spec = bundled("sim_tta.toml");
+    spec.apply_overrides(&Overrides {
+        rounds: Some(2),
+        scale: Some(fedbiad::fl::workload::Scale::Smoke),
+        eval_max: Some(500),
+        fraction: Some(0.5),
+        methods: Some(vec![fedbiad::scenario::Method::FedAvg]),
+        profiles: Some(vec![fedbiad::scenario::ProfileChoice::Stragglers]),
+        ..Default::default()
+    })
+    .unwrap();
+
+    let outcomes = execute(&spec).unwrap();
+    assert_eq!(outcomes.len(), 3, "one run per policy");
+
+    let bundle = build(spec.sweep.workloads[0], spec.run.scale, spec.run.seed);
+    for o in outcomes {
+        let mut opts = RunOpts::for_rounds(spec.run.rounds, spec.run.seed);
+        opts.eval_max_samples = spec.run.eval_max;
+        opts.client_fraction = spec.run.fraction;
+        let report = run_sim_method(
+            o.run.method,
+            &bundle,
+            opts,
+            o.run.policy.unwrap(),
+            o.run.profile.unwrap().resolve(None),
+        );
+        // Virtual clock ⇒ the whole log (timing fields included) must be
+        // byte-identical.
+        assert_eq!(
+            serde_json::to_string(&o.log).unwrap(),
+            serde_json::to_string(&report.log).unwrap(),
+            "sim engine diverges under policy {}",
+            report.policy
+        );
+        let sim = o.sim.expect("sim meta");
+        assert_eq!(sim.round_end_seconds, report.round_end_seconds);
+        assert_eq!(sim.total_virtual_seconds, report.total_virtual_seconds);
+    }
+}
