@@ -1,0 +1,225 @@
+//! `bench_perf` — the machine-readable perf harness behind
+//! `BENCH_kernels.json`.
+//!
+//! Measures the batched execution engine against the per-sample
+//! reference path on the hot loops the ROADMAP cares about — the batch-32
+//! MLP local update first among them — plus the underlying GEMM kernels,
+//! and writes one JSON report so every future PR can be diffed against
+//! the committed baseline (see BENCHMARKS.md).
+//!
+//! ```text
+//! cargo run --release -p fedbiad-bench --bin bench_perf -- [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks repetitions for CI; `--out` defaults to
+//! `BENCH_kernels.json` in the current directory.
+
+use fedbiad_fl::algorithm::TrainConfig;
+use fedbiad_fl::client::{run_local_training, LocalRunId, NoHooks};
+use fedbiad_fl::round::evaluate_model;
+use fedbiad_fl::workload::{build, Scale, Workload};
+use fedbiad_nn::model::ReferencePath;
+use fedbiad_tensor::rng::{stream, StreamTag};
+use fedbiad_tensor::{ops, Matrix};
+use rand::Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One reference-vs-batched measurement.
+#[derive(Serialize)]
+struct BenchEntry {
+    /// What was measured.
+    name: String,
+    /// Per-sample reference path, nanoseconds per call (median).
+    reference_ns: f64,
+    /// Batched engine, nanoseconds per call (median).
+    batched_ns: f64,
+    /// `reference_ns / batched_ns`.
+    speedup: f64,
+}
+
+/// The `BENCH_kernels.json` document.
+#[derive(Serialize)]
+struct BenchReport {
+    /// Schema tag for forward compatibility.
+    schema: String,
+    /// Whether this was a `--smoke` (CI) run.
+    smoke: bool,
+    /// Rayon worker threads available during the run.
+    threads: usize,
+    /// All measurements.
+    entries: Vec<BenchEntry>,
+}
+
+/// Median of `samples` timed runs of `f` (after one warm-up), in ns.
+fn time_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn entry(name: &str, reference_ns: f64, batched_ns: f64) -> BenchEntry {
+    let e = BenchEntry {
+        name: name.to_string(),
+        reference_ns,
+        batched_ns,
+        speedup: reference_ns / batched_ns,
+    };
+    println!(
+        "{:<34} reference {:>12.0} ns  batched {:>12.0} ns  speedup {:.2}x",
+        e.name, e.reference_ns, e.batched_ns, e.speedup
+    );
+    e
+}
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = stream(seed, StreamTag::Init, 0, 0);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-1.0f32..1.0);
+    }
+    m
+}
+
+fn kernel_entries(samples: usize, out: &mut Vec<BenchEntry>) {
+    // Lab-scale MLP hot-loop shapes: batch 32, 784 → 128.
+    const M: usize = 32;
+    const N: usize = 128;
+    const K: usize = 784;
+    let w_nt = filled(N, K, 1);
+    let w_nn = filled(N, K, 2); // used as N×K for gemv_t/gemm_nn (k=N rows)
+    let x = filled(M, K, 3);
+    let delta = filled(M, N, 4);
+    let mut c = vec![0.0f32; M * N];
+    let r = time_ns(samples, || {
+        for i in 0..M {
+            ops::gemv(&w_nt, x.row(i), &[], &mut c[i * N..(i + 1) * N]);
+        }
+    });
+    let b = time_ns(samples, || ops::gemm_nt(x.as_slice(), &w_nt, M, &mut c));
+    out.push(entry("kernel/forward_32x128x784", r, b));
+
+    let mut gw = Matrix::zeros(N, K);
+    let r = time_ns(samples, || {
+        gw.zero();
+        for s in 0..M {
+            ops::ger(&mut gw, 1.0, delta.row(s), x.row(s));
+        }
+    });
+    let b = time_ns(samples, || {
+        gw.zero();
+        ops::gemm_tn_acc(delta.as_slice(), x.as_slice(), M, &mut gw);
+    });
+    out.push(entry("kernel/grad_acc_32x128x784", r, b));
+
+    let mut dx = vec![0.0f32; M * K];
+    let r = time_ns(samples, || {
+        for s in 0..M {
+            ops::gemv_t(&w_nn, delta.row(s), &mut dx[s * K..(s + 1) * K]);
+        }
+    });
+    let b = time_ns(samples, || {
+        ops::gemm_nn(delta.as_slice(), &w_nn, M, &mut dx)
+    });
+    out.push(entry("kernel/backprop_32x128x784", r, b));
+}
+
+fn local_update_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) {
+    // The acceptance bench: one batch-32 MLP local update (the client's
+    // full per-round work at lab scale), per-sample path vs batched.
+    let scale = if smoke { Scale::Smoke } else { Scale::Lab };
+    for (workload, label) in [
+        (Workload::MnistLike, "local_update/mlp_batch32"),
+        (Workload::PtbLike, "local_update/lstm_batch16"),
+    ] {
+        let bundle = build(workload, scale, 7);
+        let model = bundle.model.as_ref();
+        let reference = ReferencePath(model);
+        let global = model.init_params(&mut stream(7, StreamTag::Init, 0, 0));
+        let cfg = TrainConfig {
+            local_iters: if smoke { 2 } else { 8 },
+            batch_size: if workload == Workload::MnistLike {
+                32
+            } else {
+                16
+            },
+            ..bundle.train
+        };
+        let data = &bundle.data.clients[0];
+        let id = LocalRunId {
+            seed: 7,
+            round: 0,
+            client: 0,
+        };
+        let r = time_ns(samples, || {
+            let mut u = global.clone();
+            run_local_training(id, &reference, data, &cfg, &mut u, &mut NoHooks);
+        });
+        let b = time_ns(samples, || {
+            let mut u = global.clone();
+            run_local_training(id, model, data, &cfg, &mut u, &mut NoHooks);
+        });
+        out.push(entry(label, r, b));
+
+        let r = time_ns(samples, || {
+            evaluate_model(
+                &reference,
+                &global,
+                &bundle.data.test,
+                bundle.eval_topk,
+                512,
+            );
+        });
+        let b = time_ns(samples, || {
+            evaluate_model(model, &global, &bundle.data.test, bundle.eval_topk, 512);
+        });
+        out.push(entry(&label.replace("local_update", "evaluate"), r, b));
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bench_perf [--smoke] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (expected --smoke / --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let samples = if smoke { 5 } else { 15 };
+    let mut entries = Vec::new();
+    kernel_entries(samples, &mut entries);
+    local_update_entries(smoke, samples, &mut entries);
+
+    let report = BenchReport {
+        schema: "fedbiad-bench-kernels/v1".to_string(),
+        smoke,
+        threads: rayon::current_num_threads(),
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+}

@@ -12,6 +12,7 @@ use fedbiad_data::ClientData;
 use fedbiad_nn::optimizer::Sgd;
 use fedbiad_nn::{Batch, Model, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
+use fedbiad_tensor::Workspace;
 use rand::Rng;
 use std::time::Instant;
 
@@ -73,6 +74,15 @@ impl LocalRunStats {
 /// Run `cfg.local_iters` masked-SGD iterations on `u`, mutating it in
 /// place. Batches are drawn i.i.d. with replacement from the client's data
 /// using a deterministic per-(seed, round, client) stream.
+///
+/// Each iteration's forward/backward runs through the model's **batched
+/// engine** (`Model::loss_grad_batched`): one GEMM per layer over the
+/// whole mini-batch instead of per-sample GEMV chains, with every scratch
+/// buffer checked out of this run's [`Workspace`] arena — after the first
+/// (warm-up) iteration the loop performs no data-sized allocations. The
+/// batched engine is bit-identical to the per-sample reference
+/// (`tests/batched_equivalence.rs`), so this changes throughput, not
+/// results.
 pub fn run_local_training(
     id: LocalRunId,
     model: &dyn Model,
@@ -89,10 +99,15 @@ pub fn run_local_training(
     };
     let mut grads = u.zeros_like();
 
+    // Per-client arena: owned by this local run, reused across its
+    // iterations (rayon workers each hold their own, so no sharing).
+    let mut ws = Workspace::new();
+
     // Reusable batch buffers.
     let mut bx: Vec<f32> = Vec::new();
     let mut by: Vec<u32> = Vec::new();
     let mut idx: Vec<usize> = Vec::with_capacity(cfg.batch_size);
+    let mut windows: Vec<&[u32]> = Vec::new();
 
     let mut loss_sum = 0.0f32;
     let mut first_loss = f32::NAN;
@@ -115,7 +130,7 @@ pub fn run_local_training(
                     y: &by,
                     dim: set.dim,
                 };
-                model.loss_grad(theta, &batch, &mut grads)
+                model.loss_grad_batched(theta, &batch, &mut grads, &mut ws)
             }
             ClientData::Text(set) => {
                 let n = set.num_windows();
@@ -124,9 +139,10 @@ pub fn run_local_training(
                 for _ in 0..cfg.batch_size.min(n) {
                     idx.push(rng.gen_range(0..n));
                 }
-                let windows: Vec<&[u32]> = idx.iter().map(|&i| set.window(i)).collect();
+                windows.clear();
+                windows.extend(idx.iter().map(|&i| set.window(i)));
                 let batch = Batch::Seq { windows: &windows };
-                model.loss_grad(theta, &batch, &mut grads)
+                model.loss_grad_batched(theta, &batch, &mut grads, &mut ws)
             }
         };
 

@@ -187,6 +187,11 @@ pub fn eval_or_carry<A: FlAlgorithm>(
 
 /// Evaluate `params` on a dataset, rayon-parallel over chunks.
 /// `max_samples = 0` means the whole set.
+///
+/// Each chunk runs through the model's batched engine
+/// (`Model::evaluate_batched`) with a chunk-local workspace arena; chunk
+/// boundaries and the in-order merge are unchanged, so results are
+/// bit-identical to the per-sample path.
 pub fn evaluate_model(
     model: &dyn Model,
     params: &ParamSet,
@@ -214,7 +219,8 @@ pub fn evaluate_model(
                         y: &set.y[s..e],
                         dim: set.dim,
                     };
-                    model.evaluate(params, &batch, topk)
+                    let mut ws = fedbiad_tensor::Workspace::new();
+                    model.evaluate_batched(params, &batch, topk, &mut ws)
                 })
                 .reduce(EvalAccum::default, |mut a, b| {
                     a.merge(&b);
@@ -237,7 +243,8 @@ pub fn evaluate_model(
                 .map(|&(s, e)| {
                     let windows: Vec<&[u32]> = (s..e).map(|i| set.window(i)).collect();
                     let batch = Batch::Seq { windows: &windows };
-                    model.evaluate(params, &batch, topk)
+                    let mut ws = fedbiad_tensor::Workspace::new();
+                    model.evaluate_batched(params, &batch, topk, &mut ws)
                 })
                 .reduce(EvalAccum::default, |mut a, b| {
                     a.merge(&b);

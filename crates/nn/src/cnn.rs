@@ -9,13 +9,14 @@
 
 use crate::activation::Activation;
 use crate::conv::{
-    conv2d_backward, conv2d_forward, maxpool2_backward, maxpool2_forward, ConvShape,
+    conv2d_backward, conv2d_backward_patches, conv2d_forward, conv2d_forward_patches,
+    maxpool2_backward, maxpool2_forward, ConvShape,
 };
 use crate::dense;
 use crate::model::{Batch, EvalAccum, Model};
 use crate::params::{ArchInfo, EntryMeta, LayerKind, ParamSet};
 use crate::softmax;
-use fedbiad_tensor::{init, ops, stats, Matrix};
+use fedbiad_tensor::{init, ops, stats, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 /// Conv + pool + 2-layer MLP head.
@@ -237,6 +238,196 @@ impl Model for CnnModel {
         }
         acc
     }
+
+    fn loss_grad_batched(
+        &self,
+        params: &ParamSet,
+        batch: &Batch<'_>,
+        grads: &mut ParamSet,
+        ws: &mut Workspace,
+    ) -> f32 {
+        let (x, y, dim) = match batch {
+            Batch::Dense { x, y, dim } => (*x, *y, *dim),
+            Batch::Seq { .. } => panic!("CnnModel expects Batch::Dense"),
+        };
+        assert_eq!(dim, self.side * self.side, "input must be side²");
+        let n = y.len();
+        assert!(n > 0);
+        let inv_n = 1.0 / n as f32;
+        let mut fwd = self.forward_batched(params, x, n, ws);
+
+        let mut loss_sum = 0.0f32;
+        for (s, &label) in y.iter().enumerate() {
+            let row = &mut fwd.logits[s * self.classes..(s + 1) * self.classes];
+            loss_sum += softmax::softmax_xent_grad(row, label as usize);
+            for g in row.iter_mut() {
+                *g *= inv_n;
+            }
+        }
+
+        {
+            let (w2g, b2g) = grads.mat_bias_mut(2);
+            ops::gemm_tn_acc(&fwd.logits, &fwd.hidden, n, w2g);
+            ops::add_row_sums(&fwd.logits, n, b2g);
+        }
+        let mut dh = ws.take(n * self.hidden);
+        ops::gemm_nn(&fwd.logits, params.mat(2), n, &mut dh);
+        let flat = self.flat_len();
+        let mut dpool = ws.take(n * flat);
+        {
+            let (w1g, b1g) = grads.mat_bias_mut(1);
+            dense::backward_batch(
+                params.mat(1),
+                &fwd.pooled,
+                &fwd.hidden,
+                n,
+                Activation::Relu,
+                &mut dh,
+                w1g,
+                b1g,
+                Some(&mut dpool),
+            );
+        }
+        // Conv backward per sample (im2col GEMM), sample-ascending like
+        // the reference.
+        let conv_len = self.conv_shape().len();
+        let mut dconv = ws.take(conv_len);
+        let (cg, cbg) = grads.mat_bias_mut(0);
+        for s in 0..n {
+            maxpool2_backward(
+                &dpool[s * flat..(s + 1) * flat],
+                &fwd.argmax[s * flat..(s + 1) * flat],
+                &mut dconv,
+            );
+            Activation::Relu
+                .backward_from_output(&fwd.conv[s * conv_len..(s + 1) * conv_len], &mut dconv);
+            ops::im2col(
+                &x[s * dim..(s + 1) * dim],
+                1,
+                self.side,
+                self.side,
+                self.kernel,
+                &mut fwd.patches,
+            );
+            conv2d_backward_patches(params.mat(0), &fwd.patches, &dconv, cg, cbg, None);
+        }
+
+        ws.give(dconv);
+        ws.give(dpool);
+        ws.give(dh);
+        fwd.release(ws);
+        loss_sum * inv_n
+    }
+
+    fn evaluate_batched(
+        &self,
+        params: &ParamSet,
+        batch: &Batch<'_>,
+        k: usize,
+        ws: &mut Workspace,
+    ) -> EvalAccum {
+        let (x, y, dim) = match batch {
+            Batch::Dense { x, y, dim } => (*x, *y, *dim),
+            Batch::Seq { .. } => panic!("CnnModel expects Batch::Dense"),
+        };
+        assert_eq!(dim, self.side * self.side, "input must be side²");
+        let n = y.len();
+        let mut fwd = self.forward_batched(params, x, n, ws);
+        let mut acc = EvalAccum::default();
+        for (s, &label) in y.iter().enumerate() {
+            let row = &mut fwd.logits[s * self.classes..(s + 1) * self.classes];
+            if stats::in_top_k(row, label as usize, k) {
+                acc.correct += 1;
+            }
+            acc.loss_sum += softmax::softmax_xent_loss(row, label as usize) as f64;
+            acc.count += 1;
+        }
+        fwd.release(ws);
+        acc
+    }
+}
+
+/// Workspace-backed buffers of a batched CNN forward pass (`n` samples
+/// stacked row-major; `patches` is the per-sample im2col scratch).
+struct CnnBatchedForward {
+    conv: Vec<f32>,
+    pooled: Vec<f32>,
+    argmax: Vec<usize>,
+    hidden: Vec<f32>,
+    logits: Vec<f32>,
+    patches: Vec<f32>,
+}
+
+impl CnnBatchedForward {
+    fn release(self, ws: &mut Workspace) {
+        ws.give(self.conv);
+        ws.give(self.pooled);
+        ws.give_usize(self.argmax);
+        ws.give(self.hidden);
+        ws.give(self.logits);
+        ws.give(self.patches);
+    }
+}
+
+impl CnnModel {
+    /// Batched forward: conv per sample via im2col patches, FC head as
+    /// whole-batch GEMMs. Bit-identical per sample to `forward`.
+    fn forward_batched(
+        &self,
+        params: &ParamSet,
+        x: &[f32],
+        n: usize,
+        ws: &mut Workspace,
+    ) -> CnnBatchedForward {
+        let dim = self.side * self.side;
+        let conv_shape = self.conv_shape();
+        let conv_len = conv_shape.len();
+        let flat = self.flat_len();
+        let mut fwd = CnnBatchedForward {
+            conv: ws.take(n * conv_len),
+            pooled: ws.take(n * flat),
+            argmax: ws.take_usize(n * flat),
+            hidden: ws.take(n * self.hidden),
+            logits: ws.take(n * self.classes),
+            patches: ws.take(conv_shape.h * conv_shape.w * self.kernel * self.kernel),
+        };
+        for s in 0..n {
+            ops::im2col(
+                &x[s * dim..(s + 1) * dim],
+                1,
+                self.side,
+                self.side,
+                self.kernel,
+                &mut fwd.patches,
+            );
+            let conv_s = &mut fwd.conv[s * conv_len..(s + 1) * conv_len];
+            conv2d_forward_patches(params.mat(0), params.bias(0), &fwd.patches, conv_s);
+            Activation::Relu.forward(conv_s);
+            maxpool2_forward(
+                conv_s,
+                conv_shape,
+                &mut fwd.pooled[s * flat..(s + 1) * flat],
+                &mut fwd.argmax[s * flat..(s + 1) * flat],
+            );
+        }
+        dense::forward_batch(
+            params.mat(1),
+            params.bias(1),
+            &fwd.pooled,
+            n,
+            Activation::Relu,
+            &mut fwd.hidden,
+        );
+        dense::forward_batch(
+            params.mat(2),
+            params.bias(2),
+            &fwd.hidden,
+            n,
+            Activation::Linear,
+            &mut fwd.logits,
+        );
+        fwd
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +479,31 @@ mod tests {
                 "entry {e} [{r},{c}]: {got} vs {fd}"
             );
         }
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_to_reference() {
+        let (m, p) = toy();
+        let dim = 64;
+        let n = 5;
+        let x: Vec<f32> = (0..n * dim)
+            .map(|i| ((i * 17) % 11) as f32 * 0.14 - 0.6)
+            .collect();
+        let y: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let batch = Batch::Dense { x: &x, y: &y, dim };
+        let mut gr = p.zeros_like();
+        let lr = m.loss_grad(&p, &batch, &mut gr);
+        let mut ws = Workspace::new();
+        let mut gb = p.zeros_like();
+        let lb = m.loss_grad_batched(&p, &batch, &mut gb, &mut ws);
+        assert_eq!(lr.to_bits(), lb.to_bits(), "loss: {lr} vs {lb}");
+        for (i, (a, b)) in gr.flatten().iter().zip(gb.flatten().iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "grad[{i}]: {a} vs {b}");
+        }
+        let er = m.evaluate(&p, &batch, 2);
+        let eb = m.evaluate_batched(&p, &batch, 2, &mut ws);
+        assert_eq!(er.loss_sum.to_bits(), eb.loss_sum.to_bits());
+        assert_eq!((er.correct, er.count), (eb.correct, eb.count));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! existing row-unit registry expresses filter dropout with no special
 //! cases.
 
-use fedbiad_tensor::Matrix;
+use fedbiad_tensor::{ops, Matrix};
 
 /// Shape of a conv layer's input feature map.
 #[derive(Clone, Copy, Debug)]
@@ -53,8 +53,80 @@ impl ConvShape {
     }
 }
 
+/// Forward over pre-extracted im2col patches: `y[f, pos] = b[f] +
+/// dot(filter_f, patch_pos)` — the GEMM formulation of the convolution.
+/// `patches` has one `in_ch·k·k` row per output position
+/// ([`fedbiad_tensor::ops::im2col`] layout), `y` is filter-major.
+pub fn conv2d_forward_patches(w: &Matrix, bias: &[f32], patches: &[f32], y: &mut [f32]) {
+    let ckk = w.cols();
+    let pos = patches.len().checked_div(ckk).unwrap_or(0);
+    debug_assert_eq!(patches.len(), pos * ckk);
+    debug_assert_eq!(y.len(), w.rows() * pos);
+    for (f, yrow) in y.chunks_exact_mut(pos.max(1)).enumerate() {
+        let filt = w.row(f);
+        let b = if bias.is_empty() { 0.0 } else { bias[f] };
+        for (p, yv) in yrow.iter_mut().enumerate() {
+            *yv = b + ops::dot(filt, &patches[p * ckk..(p + 1) * ckk]);
+        }
+    }
+}
+
+/// Backward over patches: accumulates `dw[f] += Σ_pos dy[f,pos] ·
+/// patch_pos` (position-ascending AXPYs, zero-skipped) and `db[f] +=
+/// Σ_pos dy[f,pos]`; optionally writes patch-space input gradients
+/// `dpatches[pos] = Σ_f dy[f,pos] · filter_f` (zero-filled first) for the
+/// caller to [`fedbiad_tensor::ops::col2im_acc`] back onto the image.
+pub fn conv2d_backward_patches(
+    w: &Matrix,
+    patches: &[f32],
+    dy: &[f32],
+    dw: &mut Matrix,
+    db: &mut [f32],
+    dpatches: Option<&mut [f32]>,
+) {
+    let ckk = w.cols();
+    let pos = patches.len().checked_div(ckk).unwrap_or(0);
+    debug_assert_eq!(dy.len(), w.rows() * pos);
+    for f in 0..w.rows() {
+        let grow = &dy[f * pos..(f + 1) * pos];
+        if !db.is_empty() {
+            for &g in grow {
+                db[f] += g;
+            }
+        }
+        let drow = dw.row_mut(f);
+        for (p, &g) in grow.iter().enumerate() {
+            if g != 0.0 {
+                ops::axpy(g, &patches[p * ckk..(p + 1) * ckk], drow);
+            }
+        }
+    }
+    if let Some(dp) = dpatches {
+        dp.fill(0.0);
+        for f in 0..w.rows() {
+            let grow = &dy[f * pos..(f + 1) * pos];
+            let filt = w.row(f);
+            for (p, &g) in grow.iter().enumerate() {
+                if g != 0.0 {
+                    ops::axpy(g, filt, &mut dp[p * ckk..(p + 1) * ckk]);
+                }
+            }
+        }
+    }
+}
+
 /// Valid convolution forward: `y[f, oy, ox] = b[f] + Σ_c,ky,kx
 /// w[f, c, ky, kx] · x[c, oy+ky, ox+kx]`. `w` has one row per filter.
+///
+/// Implemented as im2col + [`conv2d_forward_patches`], so the per-sample
+/// reference and the batched engine share one association order (each
+/// output is one 4-lane `dot` over the flattened patch).
+///
+/// This convenience wrapper allocates its patch buffer per call: it is
+/// the *reference path* (and the standalone-kernel API), kept simple on
+/// purpose. The steady-state training loop goes through the CNN's
+/// batched engine, which feeds [`conv2d_forward_patches`] from the
+/// per-client workspace arena instead.
 pub fn conv2d_forward(
     w: &Matrix,
     bias: &[f32],
@@ -67,32 +139,13 @@ pub fn conv2d_forward(
     debug_assert_eq!(w.cols(), shape.in_ch * k * k, "filter width");
     debug_assert_eq!(x.len(), shape.len());
     debug_assert_eq!(y.len(), out.len());
-    let (oh, ow) = (out.h, out.w);
-    for f in 0..w.rows() {
-        let filt = w.row(f);
-        let b = if bias.is_empty() { 0.0 } else { bias[f] };
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = b;
-                let mut wi = 0;
-                for c in 0..shape.in_ch {
-                    let plane = &x[c * shape.h * shape.w..(c + 1) * shape.h * shape.w];
-                    for ky in 0..k {
-                        let row = &plane[(oy + ky) * shape.w + ox..][..k];
-                        for &xv in row {
-                            acc += filt[wi] * xv;
-                            wi += 1;
-                        }
-                    }
-                }
-                y[(f * oh + oy) * ow + ox] = acc;
-            }
-        }
-    }
+    let mut patches = vec![0.0f32; out.h * out.w * w.cols()];
+    ops::im2col(x, shape.in_ch, shape.h, shape.w, k, &mut patches);
+    conv2d_forward_patches(w, bias, &patches, y);
 }
 
 /// Backward through [`conv2d_forward`]: accumulates `dw`, `db`, and
-/// (optionally) writes `dx`.
+/// (optionally) writes `dx` (im2col + patch-space backward + col2im).
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_backward(
     w: &Matrix,
@@ -105,41 +158,17 @@ pub fn conv2d_backward(
     dx: Option<&mut [f32]>,
 ) {
     let out = shape.conv_out(w.rows(), k);
-    let (oh, ow) = (out.h, out.w);
-    if let Some(dx) = &dx {
-        debug_assert_eq!(dx.len(), shape.len());
-    }
-    let mut dx = dx;
-    if let Some(dx) = dx.as_deref_mut() {
-        dx.fill(0.0);
-    }
-    for f in 0..w.rows() {
-        let filt = w.row(f);
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let g = dy[(f * oh + oy) * ow + ox];
-                if g == 0.0 {
-                    continue;
-                }
-                if !db.is_empty() {
-                    db[f] += g;
-                }
-                let drow = dw.row_mut(f);
-                let mut wi = 0;
-                for c in 0..shape.in_ch {
-                    let base = c * shape.h * shape.w;
-                    for ky in 0..k {
-                        let xoff = base + (oy + ky) * shape.w + ox;
-                        for kx in 0..k {
-                            drow[wi] += g * x[xoff + kx];
-                            if let Some(dx) = dx.as_deref_mut() {
-                                dx[xoff + kx] += g * filt[wi];
-                            }
-                            wi += 1;
-                        }
-                    }
-                }
-            }
+    debug_assert_eq!(dy.len(), out.len());
+    let mut patches = vec![0.0f32; out.h * out.w * w.cols()];
+    ops::im2col(x, shape.in_ch, shape.h, shape.w, k, &mut patches);
+    match dx {
+        None => conv2d_backward_patches(w, &patches, dy, dw, db, None),
+        Some(dx) => {
+            debug_assert_eq!(dx.len(), shape.len());
+            let mut dp = vec![0.0f32; patches.len()];
+            conv2d_backward_patches(w, &patches, dy, dw, db, Some(&mut dp));
+            dx.fill(0.0);
+            ops::col2im_acc(&dp, shape.in_ch, shape.h, shape.w, k, dx);
         }
     }
 }

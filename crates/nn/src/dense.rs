@@ -13,6 +13,46 @@ pub fn forward(w: &Matrix, b: &[f32], x: &[f32], act: Activation, y: &mut [f32])
     act.forward(y);
 }
 
+/// Batched `Y = act(X·Wᵀ + b)`: `x: n×in` (row per sample, row-major),
+/// `y: n×out`. Row `i` is bit-identical to [`forward`] on sample `i`
+/// (same dots, commutative bias add, same element-wise activation).
+pub fn forward_batch(w: &Matrix, b: &[f32], x: &[f32], n: usize, act: Activation, y: &mut [f32]) {
+    ops::gemm_nt(x, w, n, y);
+    ops::add_bias_cols(y, b);
+    act.forward(y);
+}
+
+/// Batched backward through `Y = act(X·Wᵀ + b)` for a whole mini-batch.
+///
+/// * `dy` holds ∂L/∂Y (post-activation, `n×out`); consumed in place.
+/// * `y` is the batched forward output.
+/// * Accumulates `dw += Σ_s δ_s ⊗ x_s` **in sample-ascending order** (the
+///   per-sample [`backward`]'s GER sequence), `db += Σ_s δ_s`, and
+///   optionally writes `dx = δ·W` (`n×in`).
+///
+/// Same BLAS-style argument shape as the per-sample [`backward`].
+#[allow(clippy::too_many_arguments)]
+pub fn backward_batch(
+    w: &Matrix,
+    x: &[f32],
+    y: &[f32],
+    n: usize,
+    act: Activation,
+    dy: &mut [f32],
+    dw: &mut Matrix,
+    db: &mut [f32],
+    dx: Option<&mut [f32]>,
+) {
+    act.backward_from_output(y, dy);
+    ops::gemm_tn_acc(dy, x, n, dw);
+    if !db.is_empty() {
+        ops::add_row_sums(dy, n, db);
+    }
+    if let Some(dx) = dx {
+        ops::gemm_nn(dy, w, n, dx);
+    }
+}
+
 /// Backward through `y = act(W x + b)`.
 ///
 /// * `dy` on entry holds ∂L/∂y (post-activation); it is consumed (turned

@@ -35,5 +35,5 @@ pub mod params;
 pub mod softmax;
 
 pub use mask::{CoverageMask, ModelMask};
-pub use model::{Batch, EvalAccum, Model};
+pub use model::{Batch, EvalAccum, Model, ReferencePath};
 pub use params::{ArchInfo, LayerKind, ParamSet};

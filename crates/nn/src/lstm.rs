@@ -151,6 +151,109 @@ pub fn cell_backward(
     ops::gemv_t(wh, &dz, dh_prev);
 }
 
+/// Batched gate fusion: nonlinearities + state update for `nb` stacked
+/// windows at one timestep.
+///
+/// `gates` holds `nb` rows of 4H pre-activations `[i, f, g, o]` (already
+/// `Wx·x + b + Wh·h_prev`); `c_prev` holds `nb` rows of H. Writes the new
+/// cell state, its tanh and the hidden state row-aligned. Every element
+/// runs the exact computation of [`cell_forward`], so a row is
+/// bit-identical to the per-window step.
+pub fn cell_forward_block(
+    gates: &mut [f32],
+    c_prev: &[f32],
+    c: &mut [f32],
+    tanh_c: &mut [f32],
+    h_out: &mut [f32],
+    nb: usize,
+    hd: usize,
+) {
+    debug_assert_eq!(gates.len(), nb * 4 * hd);
+    debug_assert_eq!(c_prev.len(), nb * hd);
+    debug_assert_eq!(c.len(), nb * hd);
+    debug_assert_eq!(tanh_c.len(), nb * hd);
+    debug_assert_eq!(h_out.len(), nb * hd);
+    for w in 0..nb {
+        let grow = &mut gates[w * 4 * hd..(w + 1) * 4 * hd];
+        let (ifg, o) = grow.split_at_mut(3 * hd);
+        let (i_f, g) = ifg.split_at_mut(2 * hd);
+        for v in i_f.iter_mut() {
+            *v = sigmoid(*v);
+        }
+        for v in g.iter_mut() {
+            *v = v.tanh();
+        }
+        for v in o.iter_mut() {
+            *v = sigmoid(*v);
+        }
+        let grow = &gates[w * 4 * hd..(w + 1) * 4 * hd];
+        let cp = &c_prev[w * hd..(w + 1) * hd];
+        let cw = &mut c[w * hd..(w + 1) * hd];
+        let tw = &mut tanh_c[w * hd..(w + 1) * hd];
+        let hw = &mut h_out[w * hd..(w + 1) * hd];
+        for (k, &cpk) in cp.iter().enumerate() {
+            let i = grow[k];
+            let f = grow[hd + k];
+            let g = grow[2 * hd + k];
+            let o = grow[3 * hd + k];
+            let cv = f * cpk + i * g;
+            cw[k] = cv;
+            let tc = cv.tanh();
+            tw[k] = tc;
+            hw[k] = o * tc;
+        }
+    }
+}
+
+/// Batched adjoint of [`cell_forward_block`]: computes the gate
+/// pre-activation deltas `dz` (`nb×4H`) and overwrites `dc_prev`
+/// (`nb×hd`) from the cached post-activation gates, `tanh(c)`, `c_prev`,
+/// the incoming `dh` and the next step's `dc`. Element math is exactly
+/// [`cell_backward`]'s dz computation; the matrix products
+/// (`dwx`/`dwh`/`dx`/`dh_prev`) are the caller's GEMMs.
+#[allow(clippy::too_many_arguments)]
+pub fn cell_backward_block(
+    gates: &[f32],
+    tanh_c: &[f32],
+    c_prev: &[f32],
+    dh: &[f32],
+    dc_next: &[f32],
+    dz: &mut [f32],
+    dc_prev: &mut [f32],
+    nb: usize,
+    hd: usize,
+) {
+    debug_assert_eq!(gates.len(), nb * 4 * hd);
+    debug_assert_eq!(dz.len(), nb * 4 * hd);
+    debug_assert_eq!(dh.len(), nb * hd);
+    debug_assert_eq!(dc_next.len(), nb * hd);
+    debug_assert_eq!(dc_prev.len(), nb * hd);
+    for w in 0..nb {
+        let grow = &gates[w * 4 * hd..(w + 1) * 4 * hd];
+        let dzrow = &mut dz[w * 4 * hd..(w + 1) * 4 * hd];
+        for k in 0..hd {
+            let i = grow[k];
+            let f = grow[hd + k];
+            let g = grow[2 * hd + k];
+            let o = grow[3 * hd + k];
+            let tc = tanh_c[w * hd + k];
+
+            let do_ = dh[w * hd + k] * tc;
+            let dc = dc_next[w * hd + k] + dh[w * hd + k] * o * (1.0 - tc * tc);
+
+            let di = dc * g;
+            let df = dc * c_prev[w * hd + k];
+            let dg = dc * i;
+            dc_prev[w * hd + k] = dc * f;
+
+            dzrow[k] = di * i * (1.0 - i);
+            dzrow[hd + k] = df * f * (1.0 - f);
+            dzrow[2 * hd + k] = dg * (1.0 - g * g);
+            dzrow[3 * hd + k] = do_ * o * (1.0 - o);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

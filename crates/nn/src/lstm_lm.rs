@@ -4,11 +4,11 @@
 //! units; with a 10k vocabulary this is exactly the 29.8 MB PTB/Reddit
 //! model of Table I.
 
-use crate::lstm::{cell_backward, cell_forward, StepCache};
+use crate::lstm::{self, cell_backward, cell_forward, StepCache};
 use crate::model::{Batch, EvalAccum, Model};
 use crate::params::{ArchInfo, EntryMeta, LayerKind, ParamSet};
 use crate::softmax;
-use fedbiad_tensor::{init, ops, stats, Matrix};
+use fedbiad_tensor::{init, ops, stats, Matrix, Workspace};
 use rand::rngs::StdRng;
 
 /// Embedding + stacked-LSTM + FC-head language model.
@@ -305,6 +305,339 @@ impl Model for LstmLmModel {
         }
         acc
     }
+
+    fn loss_grad_batched(
+        &self,
+        params: &ParamSet,
+        batch: &Batch<'_>,
+        grads: &mut ParamSet,
+        ws: &mut Workspace,
+    ) -> f32 {
+        let windows = match batch {
+            Batch::Seq { windows } => *windows,
+            Batch::Dense { .. } => panic!("LstmLmModel expects Batch::Seq"),
+        };
+        assert!(!windows.is_empty(), "empty batch");
+        let Some(fwd) = BatchedForward::run(self, params, windows, ws) else {
+            // Ragged window lengths: the batched time loop needs one
+            // uniform step count; fall back to the per-window reference.
+            return self.loss_grad(params, batch, grads);
+        };
+        let (n, s) = (fwd.n, fwd.s);
+        let (h, e) = (self.hidden, self.embed);
+        let inv = 1.0 / (n * s) as f32;
+
+        // Per-row softmax + mean-reduce scaling. Individual losses are
+        // staged so the final fold can replay the reference's running-sum
+        // order (window-major, step-ascending).
+        let mut fwd = fwd;
+        let mut loss_buf = ws.take(s * n);
+        for t in 0..s {
+            for (wi, win) in windows.iter().enumerate() {
+                let row = &mut fwd.logits.row_mut(t * n + wi)[..];
+                loss_buf[t * n + wi] = softmax::softmax_xent_grad(row, win[t + 1] as usize);
+                for g in row.iter_mut() {
+                    *g *= inv;
+                }
+            }
+        }
+        let mut loss_sum = 0.0f32;
+        for wi in 0..n {
+            for t in 0..s {
+                loss_sum += loss_buf[t * n + wi];
+            }
+        }
+        ws.give(loss_buf);
+
+        // BPTT over step blocks: carries flow t+1 → t per layer exactly as
+        // in the reference; gate deltas land in dz_all for the ordered
+        // accumulation below.
+        let mut dz_all = ws.take_shell();
+        for _ in 0..self.layers {
+            dz_all.push(ws.take_matrix(s * n, 4 * h));
+        }
+        let mut dx0 = ws.take_matrix(s * n, e);
+        let mut dh_carry = ws.take_shell();
+        let mut dc_carry = ws.take_shell();
+        for _ in 0..self.layers {
+            dh_carry.push(ws.take_matrix(n, h));
+            dc_carry.push(ws.take_matrix(n, h));
+        }
+        let mut dh_mat = ws.take(n * h);
+        let mut prev_tmp = ws.take_matrix(n, h);
+        let head = params.mat(self.head_entry());
+        for t in (0..s).rev() {
+            let dlog = &fwd.logits.as_slice()[t * n * self.vocab..(t + 1) * n * self.vocab];
+            ops::gemm_nn(dlog, head, n, &mut dh_mat);
+            for l in (0..self.layers).rev() {
+                ops::axpy(1.0, dh_carry[l].as_slice(), &mut dh_mat);
+                let gates_t = &fwd.gates[l].as_slice()[t * n * 4 * h..(t + 1) * n * 4 * h];
+                let tanh_t = &fwd.tanh_c[l].as_slice()[t * n * h..(t + 1) * n * h];
+                let c_prev_t = &fwd.c_all[l].as_slice()[t * n * h..(t + 1) * n * h];
+                let dz_t = &mut dz_all[l].as_mut_slice()[t * n * 4 * h..(t + 1) * n * 4 * h];
+                lstm::cell_backward_block(
+                    gates_t,
+                    tanh_t,
+                    c_prev_t,
+                    &dh_mat,
+                    dc_carry[l].as_slice(),
+                    dz_t,
+                    prev_tmp.as_mut_slice(),
+                    n,
+                    h,
+                );
+                std::mem::swap(&mut dc_carry[l], &mut prev_tmp);
+                let dz_t = &dz_all[l].as_slice()[t * n * 4 * h..(t + 1) * n * 4 * h];
+                ops::gemm_nn(
+                    dz_t,
+                    params.mat(self.wh_entry(l)),
+                    n,
+                    prev_tmp.as_mut_slice(),
+                );
+                std::mem::swap(&mut dh_carry[l], &mut prev_tmp);
+                if l > 0 {
+                    ops::gemm_nn(dz_t, params.mat(self.wx_entry(l)), n, &mut dh_mat);
+                } else {
+                    let dx0_t = &mut dx0.as_mut_slice()[t * n * e..(t + 1) * n * e];
+                    ops::gemm_nn(dz_t, params.mat(self.wx_entry(0)), n, dx0_t);
+                }
+            }
+        }
+
+        // Gradient accumulation replaying the sequential reference's
+        // association order: window-major, step-descending.
+        let mut order = ws.take_usize(s * n);
+        {
+            let mut i = 0;
+            for wi in 0..n {
+                for t in (0..s).rev() {
+                    order[i] = t * n + wi;
+                    i += 1;
+                }
+            }
+        }
+        {
+            let (hw, hb) = grads.mat_bias_mut(self.head_entry());
+            // h_top of step t lives in block t+1 of h_all ⇒ row offset n.
+            ops::gemm_tn_acc_ord(
+                fwd.logits.as_slice(),
+                fwd.h_all[self.layers - 1].as_slice(),
+                &order,
+                n,
+                hw,
+            );
+            ops::add_row_sums_ord(fwd.logits.as_slice(), &order, hb);
+        }
+        // Indexing by layer is the natural shape here: `l` addresses four
+        // parallel per-layer buffer vectors plus the entry registry.
+        #[allow(clippy::needless_range_loop)]
+        for l in 0..self.layers {
+            let (x_buf, x_off) = if l == 0 {
+                (fwd.emb_x.as_slice(), 0)
+            } else {
+                (fwd.h_all[l - 1].as_slice(), n)
+            };
+            let ((dwx, dbias), (dwh, _)) = grads.entries_mut2(self.wx_entry(l), self.wh_entry(l));
+            ops::gemm_tn_acc_ord(dz_all[l].as_slice(), x_buf, &order, x_off, dwx);
+            ops::add_row_sums_ord(dz_all[l].as_slice(), &order, dbias);
+            ops::gemm_tn_acc_ord(
+                dz_all[l].as_slice(),
+                fwd.h_all[l].as_slice(),
+                &order,
+                0,
+                dwh,
+            );
+        }
+        // Embedding rows can collide across (window, step); scatter in the
+        // same window-major, step-descending order.
+        let emb_g = grads.mat_mut(self.emb_entry());
+        for (wi, win) in windows.iter().enumerate() {
+            for t in (0..s).rev() {
+                let tok = win[t] as usize;
+                ops::axpy(1.0, dx0.row(t * n + wi), emb_g.row_mut(tok));
+            }
+        }
+
+        ws.give_usize(order);
+        ws.give_matrix(prev_tmp);
+        ws.give(dh_mat);
+        ws.give_shell(dh_carry);
+        ws.give_shell(dc_carry);
+        ws.give_matrix(dx0);
+        ws.give_shell(dz_all);
+        fwd.release(ws);
+        loss_sum * inv
+    }
+
+    fn evaluate_batched(
+        &self,
+        params: &ParamSet,
+        batch: &Batch<'_>,
+        k: usize,
+        ws: &mut Workspace,
+    ) -> EvalAccum {
+        let windows = match batch {
+            Batch::Seq { windows } => *windows,
+            Batch::Dense { .. } => panic!("LstmLmModel expects Batch::Seq"),
+        };
+        if windows.is_empty() {
+            return EvalAccum::default();
+        }
+        let Some(mut fwd) = BatchedForward::run(self, params, windows, ws) else {
+            return self.evaluate(params, batch, k);
+        };
+        let (n, s) = (fwd.n, fwd.s);
+        // The reference folds loss window-major, step-ascending; stage
+        // per-row losses and replay that order.
+        let mut loss_buf = ws.take(s * n);
+        let mut correct = 0u64;
+        for t in 0..s {
+            for (wi, win) in windows.iter().enumerate() {
+                let row = &mut fwd.logits.row_mut(t * n + wi)[..];
+                let target = win[t + 1] as usize;
+                if stats::in_top_k(row, target, k) {
+                    correct += 1;
+                }
+                loss_buf[t * n + wi] = softmax::softmax_xent_loss(row, target);
+            }
+        }
+        let mut acc = EvalAccum {
+            correct,
+            count: (n * s) as u64,
+            ..EvalAccum::default()
+        };
+        for wi in 0..n {
+            for t in 0..s {
+                acc.loss_sum += loss_buf[t * n + wi] as f64;
+            }
+        }
+        ws.give(loss_buf);
+        fwd.release(ws);
+        acc
+    }
+}
+
+/// Workspace-backed state of a batched LSTM forward pass: one matrix per
+/// (layer, quantity), with step `t`'s rows in block `t` (state buffers
+/// carry an extra leading zero block, so step `t` reads block `t` and
+/// writes block `t+1`).
+struct BatchedForward {
+    /// Windows in the batch.
+    n: usize,
+    /// Uniform step count.
+    s: usize,
+    /// Layer-0 inputs: `s·n × embed` gathered embedding rows.
+    emb_x: Matrix,
+    /// Per layer: post-activation gates, `s·n × 4H`.
+    gates: Vec<Matrix>,
+    /// Per layer: `tanh(c)`, `s·n × H`.
+    tanh_c: Vec<Matrix>,
+    /// Per layer: hidden states, `(s+1)·n × H`.
+    h_all: Vec<Matrix>,
+    /// Per layer: cell states, `(s+1)·n × H`.
+    c_all: Vec<Matrix>,
+    /// Head outputs, `s·n × vocab` (raw logits; the backward turns them
+    /// into deltas in place).
+    logits: Matrix,
+}
+
+impl BatchedForward {
+    /// Run the forward pass; `None` when the windows are ragged (the
+    /// batched time loop needs one uniform step count).
+    fn run(
+        model: &LstmLmModel,
+        params: &ParamSet,
+        windows: &[&[u32]],
+        ws: &mut Workspace,
+    ) -> Option<BatchedForward> {
+        let n = windows.len();
+        let s = windows[0].len().checked_sub(1)?;
+        if s == 0 || windows.iter().any(|w| w.len() != s + 1) {
+            return None;
+        }
+        let (h, e, v) = (model.hidden, model.embed, model.vocab);
+        let mut emb_x = ws.take_matrix(s * n, e);
+        let emb = params.mat(model.emb_entry());
+        for (wi, win) in windows.iter().enumerate() {
+            for (t, &tok) in win[..s].iter().enumerate() {
+                debug_assert!((tok as usize) < v, "token out of vocabulary");
+                emb_x
+                    .row_mut(t * n + wi)
+                    .copy_from_slice(emb.row(tok as usize));
+            }
+        }
+        let (mut gates, mut tanh_c) = (ws.take_shell(), ws.take_shell());
+        let (mut h_all, mut c_all) = (ws.take_shell(), ws.take_shell());
+        for _ in 0..model.layers {
+            gates.push(ws.take_matrix(s * n, 4 * h));
+            tanh_c.push(ws.take_matrix(s * n, h));
+            h_all.push(ws.take_matrix((s + 1) * n, h));
+            c_all.push(ws.take_matrix((s + 1) * n, h));
+        }
+        let mut logits = ws.take_matrix(s * n, v);
+        let mut rec = ws.take(n * 4 * h);
+
+        for t in 0..s {
+            for l in 0..model.layers {
+                let wx = params.mat(model.wx_entry(l));
+                let bias = params.bias(model.wx_entry(l));
+                let wh = params.mat(model.wh_entry(l));
+                // Split h_all so layer l's state is writable while layer
+                // l−1's output block stays readable.
+                let (below, cur) = h_all.split_at_mut(l);
+                let x_t = if l == 0 {
+                    &emb_x.as_slice()[t * n * e..(t + 1) * n * e]
+                } else {
+                    &below[l - 1].as_slice()[(t + 1) * n * h..(t + 2) * n * h]
+                };
+                let gates_t = &mut gates[l].as_mut_slice()[t * n * 4 * h..(t + 1) * n * 4 * h];
+                // Gate fusion across the batch: z = X·Wxᵀ + b + H_prev·Whᵀ,
+                // each term in the reference's association order.
+                ops::gemm_nt(x_t, wx, n, gates_t);
+                ops::add_bias_cols(gates_t, bias);
+                let hl = &mut cur[0];
+                ops::gemm_nt(&hl.as_slice()[t * n * h..(t + 1) * n * h], wh, n, &mut rec);
+                ops::axpy(1.0, &rec, gates_t);
+                let (_, h_next_part) = hl.as_mut_slice().split_at_mut((t + 1) * n * h);
+                let (c_prev_part, c_next_part) =
+                    c_all[l].as_mut_slice().split_at_mut((t + 1) * n * h);
+                lstm::cell_forward_block(
+                    gates_t,
+                    &c_prev_part[t * n * h..],
+                    &mut c_next_part[..n * h],
+                    &mut tanh_c[l].as_mut_slice()[t * n * h..(t + 1) * n * h],
+                    &mut h_next_part[..n * h],
+                    n,
+                    h,
+                );
+            }
+            let top = &h_all[model.layers - 1].as_slice()[(t + 1) * n * h..(t + 2) * n * h];
+            let logits_t = &mut logits.as_mut_slice()[t * n * v..(t + 1) * n * v];
+            ops::gemm_nt(top, params.mat(model.head_entry()), n, logits_t);
+            ops::add_bias_cols(logits_t, params.bias(model.head_entry()));
+        }
+        ws.give(rec);
+        Some(BatchedForward {
+            n,
+            s,
+            emb_x,
+            gates,
+            tanh_c,
+            h_all,
+            c_all,
+            logits,
+        })
+    }
+
+    /// Return every buffer to the arena.
+    fn release(self, ws: &mut Workspace) {
+        ws.give_matrix(self.emb_x);
+        ws.give_matrix(self.logits);
+        ws.give_shell(self.gates);
+        ws.give_shell(self.tanh_c);
+        ws.give_shell(self.h_all);
+        ws.give_shell(self.c_all);
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +756,58 @@ mod tests {
         assert!(last < first * 0.3, "no learning: {first} -> {last}");
         let acc = m.evaluate(&p, &batch, 1);
         assert!(acc.accuracy() > 0.9, "accuracy {}", acc.accuracy());
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_to_reference() {
+        let (m, p) = toy();
+        // 3 windows (odd, exercising the dot4 remainder), 2 layers, 6 steps.
+        let w1 = [0u32, 2, 4, 1, 3, 0, 2];
+        let w2 = [1u32, 1, 0, 2, 2, 4, 3];
+        let w3 = [4u32, 0, 1, 1, 2, 3, 4];
+        let windows: Vec<&[u32]> = vec![&w1, &w2, &w3];
+        let batch = Batch::Seq { windows: &windows };
+
+        let mut gr = p.zeros_like();
+        let lr = m.loss_grad(&p, &batch, &mut gr);
+        let mut ws = Workspace::new();
+        let mut gb = p.zeros_like();
+        let lb = m.loss_grad_batched(&p, &batch, &mut gb, &mut ws);
+        assert_eq!(lr.to_bits(), lb.to_bits(), "loss: {lr} vs {lb}");
+        for (e, (a, b)) in gr.flatten().iter().zip(gb.flatten().iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "grad[{e}]: {a} vs {b}");
+        }
+
+        let er = m.evaluate(&p, &batch, 3);
+        let eb = m.evaluate_batched(&p, &batch, 3, &mut ws);
+        assert_eq!(er.loss_sum.to_bits(), eb.loss_sum.to_bits());
+        assert_eq!((er.correct, er.count), (eb.correct, eb.count));
+
+        // Second call reuses the warm arena without allocating.
+        let churn = ws.churn();
+        gb.zero();
+        let _ = m.loss_grad_batched(&p, &batch, &mut gb, &mut ws);
+        let _ = m.evaluate_batched(&p, &batch, 3, &mut ws);
+        assert_eq!(ws.churn(), churn, "steady-state arena must not allocate");
+    }
+
+    #[test]
+    fn batched_engine_falls_back_on_ragged_windows() {
+        let (m, p) = toy();
+        let w1 = [0u32, 2, 4, 1];
+        let w2 = [1u32, 1, 0];
+        let windows: Vec<&[u32]> = vec![&w1, &w2];
+        let batch = Batch::Seq { windows: &windows };
+        let mut gr = p.zeros_like();
+        let lr = m.loss_grad(&p, &batch, &mut gr);
+        let mut ws = Workspace::new();
+        let mut gb = p.zeros_like();
+        let lb = m.loss_grad_batched(&p, &batch, &mut gb, &mut ws);
+        assert_eq!(lr.to_bits(), lb.to_bits());
+        assert_eq!(gr.flatten(), gb.flatten());
+        let er = m.evaluate(&p, &batch, 2);
+        let eb = m.evaluate_batched(&p, &batch, 2, &mut ws);
+        assert_eq!(er.loss_sum.to_bits(), eb.loss_sum.to_bits());
     }
 
     #[test]

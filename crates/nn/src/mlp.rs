@@ -140,6 +140,127 @@ impl Model for MlpModel {
         }
         acc
     }
+
+    fn loss_grad_batched(
+        &self,
+        params: &ParamSet,
+        batch: &Batch<'_>,
+        grads: &mut ParamSet,
+        ws: &mut fedbiad_tensor::Workspace,
+    ) -> f32 {
+        let (x, y, dim) = match batch {
+            Batch::Dense { x, y, dim } => (*x, *y, *dim),
+            Batch::Seq { .. } => panic!("MlpModel expects Batch::Dense"),
+        };
+        assert_eq!(dim, self.input_dim, "feature dim mismatch");
+        let n = y.len();
+        assert!(n > 0, "empty batch");
+        let inv_n = 1.0 / n as f32;
+
+        // Whole-batch forward: two GEMMs instead of 2n GEMVs.
+        let mut h = ws.take(n * self.hidden);
+        let mut logits = ws.take(n * self.classes);
+        dense::forward_batch(
+            params.mat(0),
+            params.bias(0),
+            x,
+            n,
+            Activation::Relu,
+            &mut h,
+        );
+        dense::forward_batch(
+            params.mat(1),
+            params.bias(1),
+            &h,
+            n,
+            Activation::Linear,
+            &mut logits,
+        );
+
+        // Per-row softmax + mean-reduce scaling; loss accumulates in
+        // sample order, matching the reference's running sum bit for bit.
+        let mut loss_sum = 0.0f32;
+        for (s, &label) in y.iter().enumerate() {
+            let row = &mut logits[s * self.classes..(s + 1) * self.classes];
+            loss_sum += softmax::softmax_xent_grad(row, label as usize);
+            for g in row.iter_mut() {
+                *g *= inv_n;
+            }
+        }
+
+        {
+            // Output layer (Linear): delta is `logits` itself.
+            let (w2g, b2g) = grads.mat_bias_mut(1);
+            fedbiad_tensor::ops::gemm_tn_acc(&logits, &h, n, w2g);
+            fedbiad_tensor::ops::add_row_sums(&logits, n, b2g);
+        }
+        let mut dh = ws.take(n * self.hidden);
+        fedbiad_tensor::ops::gemm_nn(&logits, params.mat(1), n, &mut dh);
+        {
+            let (w1g, b1g) = grads.mat_bias_mut(0);
+            dense::backward_batch(
+                params.mat(0),
+                x,
+                &h,
+                n,
+                Activation::Relu,
+                &mut dh,
+                w1g,
+                b1g,
+                None,
+            );
+        }
+
+        ws.give(dh);
+        ws.give(logits);
+        ws.give(h);
+        loss_sum * inv_n
+    }
+
+    fn evaluate_batched(
+        &self,
+        params: &ParamSet,
+        batch: &Batch<'_>,
+        k: usize,
+        ws: &mut fedbiad_tensor::Workspace,
+    ) -> EvalAccum {
+        let (x, y, dim) = match batch {
+            Batch::Dense { x, y, dim } => (*x, *y, *dim),
+            Batch::Seq { .. } => panic!("MlpModel expects Batch::Dense"),
+        };
+        assert_eq!(dim, self.input_dim, "feature dim mismatch");
+        let n = y.len();
+        let mut h = ws.take(n * self.hidden);
+        let mut logits = ws.take(n * self.classes);
+        dense::forward_batch(
+            params.mat(0),
+            params.bias(0),
+            x,
+            n,
+            Activation::Relu,
+            &mut h,
+        );
+        dense::forward_batch(
+            params.mat(1),
+            params.bias(1),
+            &h,
+            n,
+            Activation::Linear,
+            &mut logits,
+        );
+        let mut acc = EvalAccum::default();
+        for (s, &label) in y.iter().enumerate() {
+            let row = &mut logits[s * self.classes..(s + 1) * self.classes];
+            if stats::in_top_k(row, label as usize, k) {
+                acc.correct += 1;
+            }
+            acc.loss_sum += softmax::softmax_xent_loss(row, label as usize) as f64;
+            acc.count += 1;
+        }
+        ws.give(logits);
+        ws.give(h);
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +359,37 @@ mod tests {
         assert!(last < first * 0.2, "no learning: {first} -> {last}");
         let acc = m.evaluate(&p, &batch, 1);
         assert_eq!(acc.correct, 4);
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_to_reference() {
+        use fedbiad_tensor::Workspace;
+        let (m, p) = toy();
+        // 7 samples: exercises the 4-row dot4 blocks *and* the remainder.
+        let n = 7;
+        let x: Vec<f32> = (0..n * 4)
+            .map(|i| ((i * 13) % 9) as f32 * 0.23 - 1.0)
+            .collect();
+        let y: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let batch = Batch::Dense {
+            x: &x,
+            y: &y,
+            dim: 4,
+        };
+        let mut gr = p.zeros_like();
+        let lr = m.loss_grad(&p, &batch, &mut gr);
+        let mut ws = Workspace::new();
+        let mut gb = p.zeros_like();
+        let lb = m.loss_grad_batched(&p, &batch, &mut gb, &mut ws);
+        assert_eq!(lr.to_bits(), lb.to_bits(), "loss must match bitwise");
+        let (fr, fb) = (gr.flatten(), gb.flatten());
+        for (i, (a, b)) in fr.iter().zip(&fb).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "grad[{i}]: {a} vs {b}");
+        }
+        let er = m.evaluate(&p, &batch, 2);
+        let eb = m.evaluate_batched(&p, &batch, 2, &mut ws);
+        assert_eq!(er.loss_sum.to_bits(), eb.loss_sum.to_bits());
+        assert_eq!((er.correct, er.count), (eb.correct, eb.count));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! variational parameters `U` (§IV-A).
 
 use crate::params::{ArchInfo, ParamSet};
+use fedbiad_tensor::Workspace;
 use rand::rngs::StdRng;
 
 /// A mini-batch view. Image models consume [`Batch::Dense`]; language
@@ -99,10 +100,72 @@ pub trait Model: Send + Sync {
 
     /// Mean loss over `batch`; accumulates parameter gradients into `grads`
     /// (caller zeroes `grads` beforehand when starting a new step).
+    ///
+    /// This is the **per-sample reference path**: each sample's forward
+    /// and backward pass runs as a chain of GEMV/GER calls. The batched
+    /// engine ([`Model::loss_grad_batched`]) must reproduce it bit for
+    /// bit; `tests/batched_equivalence.rs` pins that contract.
     fn loss_grad(&self, params: &ParamSet, batch: &Batch<'_>, grads: &mut ParamSet) -> f32;
 
-    /// Forward-only evaluation with top-`k` accuracy.
+    /// Forward-only evaluation with top-`k` accuracy (per-sample
+    /// reference path).
     fn evaluate(&self, params: &ParamSet, batch: &Batch<'_>, k: usize) -> EvalAccum;
+
+    /// Batched-engine [`Model::loss_grad`]: processes the whole
+    /// mini-batch per GEMM, with all scratch buffers checked out of the
+    /// caller's per-client [`Workspace`] arena (zero allocations once the
+    /// arena is warm). Results are bit-identical to [`Model::loss_grad`];
+    /// the default implementation simply *is* the reference path, so
+    /// architectures without a batched engine stay correct.
+    fn loss_grad_batched(
+        &self,
+        params: &ParamSet,
+        batch: &Batch<'_>,
+        grads: &mut ParamSet,
+        _ws: &mut Workspace,
+    ) -> f32 {
+        self.loss_grad(params, batch, grads)
+    }
+
+    /// Batched-engine [`Model::evaluate`]; same contract as
+    /// [`Model::loss_grad_batched`].
+    fn evaluate_batched(
+        &self,
+        params: &ParamSet,
+        batch: &Batch<'_>,
+        k: usize,
+        _ws: &mut Workspace,
+    ) -> EvalAccum {
+        self.evaluate(params, batch, k)
+    }
+}
+
+/// Forces the per-sample reference path of a wrapped model: the batched
+/// entry points fall back to their defaults (which call the reference
+/// implementations). The differential tests and the perf harness use this
+/// to run the exact same architecture down both code paths.
+pub struct ReferencePath<'a>(pub &'a dyn Model);
+
+impl Model for ReferencePath<'_> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn arch(&self) -> ArchInfo {
+        self.0.arch()
+    }
+
+    fn init_params(&self, rng: &mut StdRng) -> ParamSet {
+        self.0.init_params(rng)
+    }
+
+    fn loss_grad(&self, params: &ParamSet, batch: &Batch<'_>, grads: &mut ParamSet) -> f32 {
+        self.0.loss_grad(params, batch, grads)
+    }
+
+    fn evaluate(&self, params: &ParamSet, batch: &Batch<'_>, k: usize) -> EvalAccum {
+        self.0.evaluate(params, batch, k)
+    }
 }
 
 #[cfg(test)]

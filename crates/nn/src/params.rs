@@ -368,9 +368,19 @@ impl ParamSet {
     }
 
     /// Scale all parameters so the global norm is ≤ `max_norm`; returns the
-    /// applied scale. Used for clipped-gradient-norm SGD (§V-A).
+    /// applied scale (0.0 when a non-finite gradient was dropped). Used
+    /// for clipped-gradient-norm SGD (§V-A).
+    ///
+    /// Mirrors `fedbiad_tensor::ops::clip_norm`: a NaN/Inf norm fails
+    /// every `>` comparison, so the old code silently skipped clipping
+    /// and let the optimiser step on a poisoned gradient. Non-finite
+    /// norms now zero the set (the step becomes a no-op).
     pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
         let norm = self.l2_norm();
+        if !norm.is_finite() {
+            self.zero();
+            return 0.0;
+        }
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
             self.scale(s);
@@ -513,6 +523,21 @@ mod tests {
         let s = p.clip_global_norm(1.0);
         assert!(s < 1.0);
         assert!((p.l2_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_global_norm_drops_non_finite_gradients() {
+        // Regression: NaN/Inf norms used to fall through the clip branch
+        // and return 1.0, letting SGD apply a poisoned gradient.
+        let mut p = sample_set();
+        p.mat_mut(0).set(0, 0, f32::NAN);
+        assert_eq!(p.clip_global_norm(1.0), 0.0);
+        assert!(p.flatten().iter().all(|&v| v == 0.0));
+
+        let mut p = sample_set();
+        p.bias_mut(0)[1] = f32::INFINITY;
+        assert_eq!(p.clip_global_norm(1.0), 0.0);
+        assert!(p.flatten().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -111,6 +111,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<MaterializedRun>, SpecError> {
                                 eval_max_samples: spec.run.eval_max,
                                 client_fraction: spec.run.fraction,
                                 dropout_override: spec.fedbiad.dropout_rate,
+                                batch_size: spec.training.batch_size,
                             };
                             let mut label = format!("{}/{}", workload.name(), method.name());
                             if let Some(c) = compressor {

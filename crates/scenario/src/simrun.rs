@@ -119,7 +119,7 @@ pub fn run_sim_method_composed(
         rounds: opts.rounds,
         client_fraction: opts.client_fraction,
         seed: opts.seed,
-        train: bundle.train,
+        train: crate::methods::train_config(bundle, &opts),
         eval_topk: bundle.eval_topk,
         eval_every: opts.eval_every,
         eval_max_samples: opts.eval_max_samples,

@@ -189,6 +189,20 @@ pub struct FedBiadSection {
     pub dropout_rate: Option<f32>,
 }
 
+/// The `[training]` section: local-training overrides applied on top of
+/// the workload's paper hyper-parameters.
+///
+/// Batched and sequential SGD genuinely differ once the batch size moves
+/// (a different number of gradient terms is averaged per step), so the
+/// batch size is an **explicit opt-in knob** — omitted, every workload
+/// trains at its paper batch size and reproduces the per-sample
+/// reference bit for bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrainingSection {
+    /// Mini-batch size override (images: samples; text: windows).
+    pub batch_size: Option<usize>,
+}
+
 /// A fully validated scenario specification.
 #[derive(Clone, Debug)]
 pub struct ScenarioSpec {
@@ -206,6 +220,8 @@ pub struct ScenarioSpec {
     pub network: Option<NetworkModel>,
     /// FedBIAD hyper-parameter overrides.
     pub fedbiad: FedBiadSection,
+    /// Local-training overrides (`[training]`).
+    pub training: TrainingSection,
     /// TTA target-accuracy override (`[sim] target_acc`).
     pub target_acc: Option<f64>,
 }
@@ -286,6 +302,7 @@ impl ScenarioSpec {
                 "partition",
                 "network",
                 "fedbiad",
+                "training",
                 "sim",
             ],
         )?;
@@ -322,6 +339,7 @@ impl ScenarioSpec {
             Some(v) => Some(decode_network(v)?),
         };
         let fedbiad = decode_fedbiad(get(root, "fedbiad"))?;
+        let training = decode_training(get(root, "training"))?;
         let target_acc = match get(root, "sim") {
             None => None,
             Some(v) => decode_sim(v)?,
@@ -340,6 +358,7 @@ impl ScenarioSpec {
             partition,
             network,
             fedbiad,
+            training,
             target_acc,
         };
         spec.validate()?;
@@ -348,8 +367,23 @@ impl ScenarioSpec {
 
     /// Apply CLI-flag overrides (thin-wrapper binaries). Re-validates, so
     /// an override cannot smuggle an inconsistent combination past the
-    /// spec checks.
+    /// spec checks — including sim-only overrides on a lock-step spec,
+    /// which would otherwise be silently discarded by grid expansion.
     pub fn apply_overrides(&mut self, ov: &Overrides) -> Result<(), SpecError> {
+        if self.mode == Mode::Lockstep {
+            if ov.policies.is_some() || ov.profiles.is_some() {
+                return Err(SpecError::new(
+                    "--policies/--profiles require mode = \"sim\" (this spec runs the \
+                     lock-step runner)",
+                ));
+            }
+            if ov.target.is_some() {
+                return Err(SpecError::new(
+                    "--target requires mode = \"sim\"; the lock-step runner has no \
+                     virtual clock",
+                ));
+            }
+        }
         if let Some(r) = ov.rounds {
             self.run.rounds = r;
         }
@@ -482,9 +516,13 @@ impl ScenarioSpec {
     /// A canonical, field-order-stable string of everything that defines
     /// the grid — the input to the per-run seed hash. Changing any knob
     /// changes every derived seed; formatting of the spec file does not.
+    ///
+    /// Sections added after the format was frozen (`[training]`) only
+    /// append when actually set, so specs that do not use them keep the
+    /// exact derived seeds they had before the section existed.
     pub fn canonical_string(&self) -> String {
         let names = |v: &[String]| v.join(",");
-        format!(
+        let mut s = format!(
             "name={};mode={};rounds={};seed={};seed_mode={:?};scale={:?};eval_every={};\
              eval_max={};fraction={};replicates={};workloads=[{}];methods=[{}];\
              compressors=[{}];policies=[{}];profiles=[{}];partition={:?};network={:?};\
@@ -544,7 +582,11 @@ impl ScenarioSpec {
                 .map(|n| (n.uplink_mbps, n.downlink_mbps, n.rtt_seconds)),
             (self.fedbiad.stage_boundary, self.fedbiad.dropout_rate),
             self.target_acc,
-        )
+        );
+        if let Some(bs) = self.training.batch_size {
+            s.push_str(&format!(";training={bs}"));
+        }
+        s
     }
 }
 
@@ -969,6 +1011,17 @@ fn decode_fedbiad(v: Option<&Value>) -> Result<FedBiadSection, SpecError> {
     Ok(fb)
 }
 
+fn decode_training(v: Option<&Value>) -> Result<TrainingSection, SpecError> {
+    let mut tr = TrainingSection::default();
+    let Some(v) = v else { return Ok(tr) };
+    let t = table_of(v, "training")?;
+    check_fields(t, "training", &["batch_size"])?;
+    if let Some(x) = get(t, "batch_size") {
+        tr.batch_size = Some(usize_of(x, "training", "batch_size", 1)?);
+    }
+    Ok(tr)
+}
+
 fn decode_sim(v: &Value) -> Result<Option<f64>, SpecError> {
     let t = table_of(v, "sim")?;
     check_fields(t, "sim", &["target_acc"])?;
@@ -1031,6 +1084,53 @@ mod tests {
             ..Default::default()
         });
         assert!(bad.unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn sim_only_overrides_are_rejected_on_lockstep_specs() {
+        // Previously these flags were silently discarded by expansion;
+        // the file-based equivalents were already rejected at load time.
+        let mut s = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        let err = s
+            .apply_overrides(&Overrides {
+                policies: Some(vec![crate::simrun::PolicyChoice::FedBuff]),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("require mode = \"sim\""), "{err}");
+        let err = s
+            .apply_overrides(&Overrides {
+                target: Some(0.9),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("virtual clock"), "{err}");
+    }
+
+    #[test]
+    fn training_batch_size_is_an_explicit_opt_in() {
+        // Omitted: the paper batch size stays in force.
+        let s = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        assert_eq!(s.training.batch_size, None);
+        // Set: decoded and range-checked.
+        let s = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[training]\nbatch_size = 64\n"))
+            .unwrap();
+        assert_eq!(s.training.batch_size, Some(64));
+        let err = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[training]\nbatch_size = 0\n"))
+            .unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+        let err = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[training]\nbatchsize = 8\n"))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("expected one of: batch_size"),
+            "{err}"
+        );
+        // The knob feeds the canonical string (and therefore derived
+        // per-run seeds): changing it must move the hash.
+        let base = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        let with = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[training]\nbatch_size = 64\n"))
+            .unwrap();
+        assert_ne!(base.canonical_string(), with.canonical_string());
     }
 
     #[test]

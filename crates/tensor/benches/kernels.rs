@@ -1,0 +1,91 @@
+//! Criterion micro-benches for the tensor kernels: the batched GEMM
+//! family against the per-sample GEMV/GER chains they replace. Shapes
+//! mirror the lab-scale MLP hot loop (batch 32, 784 → 128).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedbiad_tensor::ops;
+use fedbiad_tensor::rng::{stream, StreamTag};
+use fedbiad_tensor::Matrix;
+use rand::Rng;
+
+const M: usize = 32; // batch
+const N: usize = 128; // output units
+const K: usize = 784; // input features
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = stream(seed, StreamTag::Init, 0, 0);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-1.0f32..1.0);
+    }
+    m
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let w = filled(N, K, 1);
+    let x = filled(M, K, 2);
+    let mut group = c.benchmark_group("forward");
+    group.throughput(Throughput::Elements((M * N * K) as u64));
+    let mut out = vec![0.0f32; M * N];
+    group.bench_with_input(BenchmarkId::new("gemv_loop", M), &(), |b, _| {
+        b.iter(|| {
+            for i in 0..M {
+                ops::gemv(&w, x.row(i), &[], &mut out[i * N..(i + 1) * N]);
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("gemm_nt", M), &(), |b, _| {
+        b.iter(|| ops::gemm_nt(x.as_slice(), &w, M, &mut out))
+    });
+    group.finish();
+}
+
+fn bench_grad_accumulation(c: &mut Criterion) {
+    let delta = filled(M, N, 3);
+    let x = filled(M, K, 4);
+    let mut group = c.benchmark_group("grad_acc");
+    group.throughput(Throughput::Elements((M * N * K) as u64));
+    let mut gw = Matrix::zeros(N, K);
+    group.bench_with_input(BenchmarkId::new("ger_loop", M), &(), |b, _| {
+        b.iter(|| {
+            gw.zero();
+            for s in 0..M {
+                ops::ger(&mut gw, 1.0, delta.row(s), x.row(s));
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("gemm_tn_acc", M), &(), |b, _| {
+        b.iter(|| {
+            gw.zero();
+            ops::gemm_tn_acc(delta.as_slice(), x.as_slice(), M, &mut gw);
+        })
+    });
+    group.finish();
+}
+
+fn bench_backprop(c: &mut Criterion) {
+    let w = filled(N, K, 5);
+    let delta = filled(M, N, 6);
+    let mut group = c.benchmark_group("backprop");
+    group.throughput(Throughput::Elements((M * N * K) as u64));
+    let mut dx = vec![0.0f32; M * K];
+    group.bench_with_input(BenchmarkId::new("gemv_t_loop", M), &(), |b, _| {
+        b.iter(|| {
+            for s in 0..M {
+                ops::gemv_t(&w, delta.row(s), &mut dx[s * K..(s + 1) * K]);
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("gemm_nn", M), &(), |b, _| {
+        b.iter(|| ops::gemm_nn(delta.as_slice(), &w, M, &mut dx))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_grad_accumulation,
+    bench_backprop
+);
+criterion_main!(benches);

@@ -23,5 +23,7 @@ pub mod matrix;
 pub mod ops;
 pub mod rng;
 pub mod stats;
+pub mod workspace;
 
 pub use matrix::Matrix;
+pub use workspace::Workspace;

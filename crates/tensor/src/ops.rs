@@ -1,10 +1,31 @@
-//! BLAS-like kernels: GEMV, GEMM, AXPY, dot products and outer-product
-//! accumulation.
+//! BLAS-like kernels: GEMV, GEMM, AXPY, dot products, outer-product
+//! accumulation — plus the batched execution-engine kernels
+//! ([`gemm_nt`], [`gemm_nn`], [`gemm_tn_acc`], [`im2col`]) that process a
+//! whole mini-batch per call.
 //!
-//! These are the hot loops of local training — a client's forward/backward
-//! pass is a chain of `gemv`/`ger` calls — so they are written over plain
-//! slices (bounds checks elided by iterator shape) and `gemm` is blocked and
-//! parallelised with rayon over row panels.
+//! These are the hot loops of local training, so they are written over
+//! plain slices (bounds checks elided by iterator shape) and parallelised
+//! with rayon over row panels.
+//!
+//! # Bit contract of the batched kernels
+//!
+//! The repo's determinism contract (ARCHITECTURE.md) requires the batched
+//! mini-batch path to reproduce the per-sample reference **bit for bit**.
+//! Every batched kernel therefore pins its per-output association order to
+//! the per-sample primitive it replaces:
+//!
+//! * [`gemm_nt`] row `i` ≡ [`gemv`] of sample `i` (same 4-lane [`dot`];
+//!   `dot4`'s shared pass over the weight row changes loads, not sums);
+//! * [`gemm_nn`] row `i` ≡ [`gemv_t`] of sample `i` (zero-skip AXPY over
+//!   weight rows in ascending order);
+//! * [`gemm_tn_acc`] ≡ the sample-ascending sequence of [`ger`] rank-1
+//!   updates (each output row accumulates its AXPYs in sample order,
+//!   skipping zero coefficients exactly like `ger`);
+//! * [`add_bias_cols`]/[`add_bias_rows`] exploit that IEEE-754 addition is
+//!   commutative in its result bits, so `dot + bias` ≡ `bias + dot`;
+//! * the `_ord` variants replay an explicit row-visit order — the BPTT
+//!   accumulation order (window-major, step-descending) of the sequential
+//!   LSTM reference.
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
@@ -92,6 +113,32 @@ pub fn ger(w: &mut Matrix, alpha: f32, u: &[f32], v: &[f32]) {
 /// Below this the spawn/steal overhead dominates.
 const GEMM_PAR_THRESHOLD: usize = 64 * 64;
 
+/// One-shot AVX capability snapshot, hoisted out of the per-row kernel
+/// dispatch (`is_x86_feature_detected!` is a cached atomic load, but the
+/// inner GEMM loops call `dot4`/`axpy4` per output group — a plain bool
+/// passed down costs nothing).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let has = std::arch::is_x86_feature_detected!("avx");
+            STATE.store(if has { 1 } else { 2 }, Ordering::Relaxed);
+            has
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn avx_available() -> bool {
+    false
+}
+
 /// `C = A B` (GEMM), blocked over K and parallelised over row panels of C.
 ///
 /// Shapes: `A: m×k`, `B: k×n`, `C: m×n`. The kernel iterates `k` in the
@@ -112,18 +159,481 @@ pub fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "gemm: inner dims differ");
     assert_eq!(a.rows(), c.rows(), "gemm: C rows");
     assert_eq!(b.cols(), c.cols(), "gemm: C cols");
-    let n = b.cols();
+    gemm_nn(a.as_slice(), b, a.rows(), c.as_mut_slice());
+}
 
-    let row_kernel = |(r, crow): (usize, &mut [f32])| {
+/// Four simultaneous dot products sharing one pass over `w`.
+///
+/// Each output keeps [`dot`]'s private 4-lane association (lane `l`
+/// accumulates elements `l mod 4`, lanes summed left-to-right, tail
+/// last), so the four results are bit-identical to four separate `dot`
+/// calls — the sharing changes how often `w` is loaded, not any sum.
+///
+/// On x86-64 the inner loop is written with baseline SSE2 intrinsics
+/// (`mulps`/`addps` are *vertical* per-lane f32 operations, so the
+/// rounding of every lane is exactly the scalar computation's); LLVM's
+/// auto-vectorizer proved too fragile across codegen-unit layouts for a
+/// kernel this hot. Other targets use the portable scalar form.
+#[inline]
+fn dot4(x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32], w: &[f32], avx: bool) -> [f32; 4] {
+    let n = w.len();
+    debug_assert!(x0.len() == n && x1.len() == n && x2.len() == n && x3.len() == n);
+    let chunks = n / 4;
+    let acc: [[f32; 4]; 4];
+
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 is part of the x86-64 baseline; AVX is verified at
+        // runtime. All unaligned loads stay inside the equal-length
+        // slices (i + 4 <= chunks*4 <= n), checked by the debug_assert
+        // above and the slice types.
+        unsafe {
+            if avx {
+                acc = dot4_avx(x0, x1, x2, x3, w, chunks);
+            } else {
+                acc = dot4_sse(x0, x1, x2, x3, w, chunks);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = avx;
+        let mut a = [[0.0f32; 4]; 4];
+        for ((((wc, c0), c1), c2), c3) in w
+            .chunks_exact(4)
+            .zip(x0.chunks_exact(4))
+            .zip(x1.chunks_exact(4))
+            .zip(x2.chunks_exact(4))
+            .zip(x3.chunks_exact(4))
+        {
+            for l in 0..4 {
+                a[0][l] += c0[l] * wc[l];
+                a[1][l] += c1[l] * wc[l];
+                a[2][l] += c2[l] * wc[l];
+                a[3][l] += c3[l] * wc[l];
+            }
+        }
+        acc = a;
+    }
+
+    let mut out = [0.0f32; 4];
+    for (s, xs) in [x0, x1, x2, x3].into_iter().enumerate() {
+        let mut tail = 0.0;
+        for i in chunks * 4..n {
+            tail += xs[i] * w[i];
+        }
+        out[s] = acc[s][0] + acc[s][1] + acc[s][2] + acc[s][3] + tail;
+    }
+    out
+}
+
+/// SSE2 inner loop of [`dot4`]: one 4-lane accumulator per sample,
+/// vertical `mulps`/`addps` — lane `l` performs exactly the scalar
+/// `acc[l] += x[b+l] * w[b+l]` sequence.
+///
+/// # Safety
+/// Caller guarantees the five slices have equal length ≥ `chunks * 4`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn dot4_sse(
+    x0: &[f32],
+    x1: &[f32],
+    x2: &[f32],
+    x3: &[f32],
+    w: &[f32],
+    chunks: usize,
+) -> [[f32; 4]; 4] {
+    use std::arch::x86_64::*;
+    let mut a0 = _mm_setzero_ps();
+    let mut a1 = _mm_setzero_ps();
+    let mut a2 = _mm_setzero_ps();
+    let mut a3 = _mm_setzero_ps();
+    for c in 0..chunks {
+        let i = c * 4;
+        let wv = _mm_loadu_ps(w.as_ptr().add(i));
+        a0 = _mm_add_ps(a0, _mm_mul_ps(_mm_loadu_ps(x0.as_ptr().add(i)), wv));
+        a1 = _mm_add_ps(a1, _mm_mul_ps(_mm_loadu_ps(x1.as_ptr().add(i)), wv));
+        a2 = _mm_add_ps(a2, _mm_mul_ps(_mm_loadu_ps(x2.as_ptr().add(i)), wv));
+        a3 = _mm_add_ps(a3, _mm_mul_ps(_mm_loadu_ps(x3.as_ptr().add(i)), wv));
+    }
+    let mut acc = [[0.0f32; 4]; 4];
+    _mm_storeu_ps(acc[0].as_mut_ptr(), a0);
+    _mm_storeu_ps(acc[1].as_mut_ptr(), a1);
+    _mm_storeu_ps(acc[2].as_mut_ptr(), a2);
+    _mm_storeu_ps(acc[3].as_mut_ptr(), a3);
+    acc
+}
+
+/// AVX inner loop of [`dot4`]: two samples share one 256-bit register
+/// (`[s·lanes | s'·lanes]`) with the `w` chunk broadcast to both halves.
+/// Every lane still runs its own sequential 4-lane chunk accumulation —
+/// `vmulps`/`vaddps` are vertical, so the result bits equal the SSE and
+/// scalar forms; the packing only halves the instruction count.
+///
+/// # Safety
+/// Caller guarantees the five slices have equal length ≥ `chunks * 4`
+/// and that the CPU supports AVX.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn dot4_avx(
+    x0: &[f32],
+    x1: &[f32],
+    x2: &[f32],
+    x3: &[f32],
+    w: &[f32],
+    chunks: usize,
+) -> [[f32; 4]; 4] {
+    use std::arch::x86_64::*;
+    let mut a01 = _mm256_setzero_ps();
+    let mut a23 = _mm256_setzero_ps();
+    for c in 0..chunks {
+        let i = c * 4;
+        // No `&__m128` from the raw pointer here: the slice data is only
+        // 4-byte aligned and misaligned references are UB (and abort
+        // under debug assertions). Unaligned load, then mirror.
+        let wx = _mm_loadu_ps(w.as_ptr().add(i));
+        let wv = _mm256_set_m128(wx, wx);
+        let x01 = _mm256_loadu2_m128(x1.as_ptr().add(i), x0.as_ptr().add(i));
+        a01 = _mm256_add_ps(a01, _mm256_mul_ps(x01, wv));
+        let x23 = _mm256_loadu2_m128(x3.as_ptr().add(i), x2.as_ptr().add(i));
+        a23 = _mm256_add_ps(a23, _mm256_mul_ps(x23, wv));
+    }
+    let mut lanes01 = [0.0f32; 8];
+    let mut lanes23 = [0.0f32; 8];
+    _mm256_storeu_ps(lanes01.as_mut_ptr(), a01);
+    _mm256_storeu_ps(lanes23.as_mut_ptr(), a23);
+    let mut acc = [[0.0f32; 4]; 4];
+    acc[0].copy_from_slice(&lanes01[..4]);
+    acc[1].copy_from_slice(&lanes01[4..]);
+    acc[2].copy_from_slice(&lanes23[..4]);
+    acc[3].copy_from_slice(&lanes23[4..]);
+    acc
+}
+
+/// Batched forward GEMM `C = A·Bᵀ`.
+///
+/// Shapes: `A: m×k` (row per sample, row-major slice), `B: n×k` (row per
+/// output unit — a weight matrix as stored), `C: m×n`. Row `i` of `C` is
+/// bit-identical to `gemv(B, A.row(i), [], ·)`: each output is the same
+/// 4-lane [`dot`]. Rows are processed in blocks of four sharing one pass
+/// over each weight row (`dot4`), which is where the batched path's
+/// single-thread speedup comes from; blocks parallelise over rayon.
+pub fn gemm_nt(a: &[f32], b: &Matrix, m: usize, c: &mut [f32]) {
+    let k = b.cols();
+    let n = b.rows();
+    assert_eq!(a.len(), m * k, "gemm_nt: A must be m×k");
+    assert_eq!(c.len(), m * n, "gemm_nt: C must be m×n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let blocks = m / 4;
+    let avx = avx_available();
+    let (head, rest) = c.split_at_mut(blocks * 4 * n);
+    let block_kernel = |(blk, cb): (usize, &mut [f32])| {
+        let i0 = blk * 4;
+        let x0 = &a[i0 * k..(i0 + 1) * k];
+        let x1 = &a[(i0 + 1) * k..(i0 + 2) * k];
+        let x2 = &a[(i0 + 2) * k..(i0 + 3) * k];
+        let x3 = &a[(i0 + 3) * k..(i0 + 4) * k];
+        for j in 0..n {
+            let out = dot4(x0, x1, x2, x3, b.row(j), avx);
+            cb[j] = out[0];
+            cb[n + j] = out[1];
+            cb[2 * n + j] = out[2];
+            cb[3 * n + j] = out[3];
+        }
+    };
+    if head.len() >= GEMM_PAR_THRESHOLD {
+        head.par_chunks_exact_mut(4 * n)
+            .enumerate()
+            .for_each(block_kernel);
+    } else {
+        head.chunks_exact_mut(4 * n)
+            .enumerate()
+            .for_each(block_kernel);
+    }
+    for (r, crow) in rest.chunks_exact_mut(n).enumerate() {
+        let i = blocks * 4 + r;
+        let x = &a[i * k..(i + 1) * k];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv = dot(x, b.row(j));
+        }
+    }
+}
+
+/// Batched backprop GEMM `C = A·B` over slice inputs.
+///
+/// Shapes: `A: m×k` (row per sample), `B: k×n` (a weight matrix), `C:
+/// m×n`. Row `i` of `C` is bit-identical to `gemv_t(B, A.row(i), ·)`:
+/// zero-filled, then AXPYs over `B`'s rows in ascending order, skipping
+/// zero coefficients. ([`gemm`] is this kernel over `Matrix` operands.)
+pub fn gemm_nn(a: &[f32], b: &Matrix, m: usize, c: &mut [f32]) {
+    let k = b.rows();
+    let n = b.cols();
+    assert_eq!(a.len(), m * k, "gemm_nn: A must be m×k");
+    assert_eq!(c.len(), m * n, "gemm_nn: C must be m×n");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let avx = avx_available();
+    let row_kernel = |(i, crow): (usize, &mut [f32])| {
         crow.fill(0.0);
-        let arow = a.row(r);
-        for (p, &apv) in arow.iter().enumerate() {
-            if apv != 0.0 {
-                axpy(apv, b.row(p), crow);
+        // Coefficients for row `i` are contiguous, so the shared fused
+        // kernel applies with coefficient stride 1.
+        acc_row_kernel(&a[i * k..(i + 1) * k], b.as_slice(), 1, n, 0, k, crow, avx);
+    };
+    if c.len() >= GEMM_PAR_THRESHOLD {
+        c.par_chunks_exact_mut(n).enumerate().for_each(row_kernel);
+    } else {
+        c.chunks_exact_mut(n).enumerate().for_each(row_kernel);
+    }
+}
+
+/// Four fused AXPYs `y += k0·x0; y += k1·x1; y += k2·x2; y += k3·x3`.
+///
+/// Each element performs the exact operation sequence of four separate
+/// [`axpy`] calls — the intermediates just live in a register instead of
+/// round-tripping through memory, which every IEEE-754 operation rounds
+/// identically either way. Callers must ensure all four coefficients are
+/// nonzero so the zero-skip contract of the accumulation kernels holds.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn axpy4(
+    k0: f32,
+    x0: &[f32],
+    k1: f32,
+    x1: &[f32],
+    k2: f32,
+    x2: &[f32],
+    k3: f32,
+    x3: &[f32],
+    y: &mut [f32],
+    avx: bool,
+) {
+    let n = y.len();
+    debug_assert!(x0.len() == n && x1.len() == n && x2.len() == n && x3.len() == n);
+    let done;
+
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 is baseline, AVX runtime-verified; all accesses
+        // stay inside the equal-length slices. The element update is pure
+        // vertical arithmetic, so any vector width carries the same bits.
+        unsafe {
+            done = if avx {
+                axpy4_avx(k0, x0, k1, x1, k2, x2, k3, x3, y)
+            } else {
+                axpy4_sse(k0, x0, k1, x1, k2, x2, k3, x3, y)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = avx;
+        done = 0;
+    }
+
+    for i in done..n {
+        let mut v = y[i];
+        v += k0 * x0[i];
+        v += k1 * x1[i];
+        v += k2 * x2[i];
+        v += k3 * x3[i];
+        y[i] = v;
+    }
+}
+
+/// SSE2 body of [`axpy4`]; returns how many leading elements were
+/// processed (a multiple of 4).
+///
+/// # Safety
+/// Caller guarantees the five slices have equal length.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn axpy4_sse(
+    k0: f32,
+    x0: &[f32],
+    k1: f32,
+    x1: &[f32],
+    k2: f32,
+    x2: &[f32],
+    k3: f32,
+    x3: &[f32],
+    y: &mut [f32],
+) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 4;
+    let kv0 = _mm_set1_ps(k0);
+    let kv1 = _mm_set1_ps(k1);
+    let kv2 = _mm_set1_ps(k2);
+    let kv3 = _mm_set1_ps(k3);
+    for c in 0..chunks {
+        let i = c * 4;
+        let mut v = _mm_loadu_ps(y.as_ptr().add(i));
+        v = _mm_add_ps(v, _mm_mul_ps(kv0, _mm_loadu_ps(x0.as_ptr().add(i))));
+        v = _mm_add_ps(v, _mm_mul_ps(kv1, _mm_loadu_ps(x1.as_ptr().add(i))));
+        v = _mm_add_ps(v, _mm_mul_ps(kv2, _mm_loadu_ps(x2.as_ptr().add(i))));
+        v = _mm_add_ps(v, _mm_mul_ps(kv3, _mm_loadu_ps(x3.as_ptr().add(i))));
+        _mm_storeu_ps(y.as_mut_ptr().add(i), v);
+    }
+    chunks * 4
+}
+
+/// AVX body of [`axpy4`]: identical vertical arithmetic at 8 lanes;
+/// returns how many leading elements were processed (a multiple of 8).
+///
+/// # Safety
+/// Caller guarantees the five slices have equal length and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx")]
+unsafe fn axpy4_avx(
+    k0: f32,
+    x0: &[f32],
+    k1: f32,
+    x1: &[f32],
+    k2: f32,
+    x2: &[f32],
+    k3: f32,
+    x3: &[f32],
+    y: &mut [f32],
+) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 8;
+    let kv0 = _mm256_set1_ps(k0);
+    let kv1 = _mm256_set1_ps(k1);
+    let kv2 = _mm256_set1_ps(k2);
+    let kv3 = _mm256_set1_ps(k3);
+    for c in 0..chunks {
+        let i = c * 8;
+        let mut v = _mm256_loadu_ps(y.as_ptr().add(i));
+        v = _mm256_add_ps(v, _mm256_mul_ps(kv0, _mm256_loadu_ps(x0.as_ptr().add(i))));
+        v = _mm256_add_ps(v, _mm256_mul_ps(kv1, _mm256_loadu_ps(x1.as_ptr().add(i))));
+        v = _mm256_add_ps(v, _mm256_mul_ps(kv2, _mm256_loadu_ps(x2.as_ptr().add(i))));
+        v = _mm256_add_ps(v, _mm256_mul_ps(kv3, _mm256_loadu_ps(x3.as_ptr().add(i))));
+        _mm256_storeu_ps(y.as_mut_ptr().add(i), v);
+    }
+    chunks * 8
+}
+
+/// One output row's accumulation over sample rows `s0..s0+cnt` of `A`/`B`
+/// — the shared inner loop of [`gemm_tn_acc`]: 4-sample groups whose
+/// coefficients are all nonzero run fused ([`axpy4`]); any group with a
+/// zero falls back to the per-sample zero-skip AXPYs. Both orders execute
+/// the identical f32 operation sequence on each element.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn acc_row_kernel(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    r: usize,
+    k: usize,
+    crow: &mut [f32],
+    avx: bool,
+) {
+    let mut s = 0;
+    while s + 4 <= k {
+        let k0 = a[s * m + r];
+        let k1 = a[(s + 1) * m + r];
+        let k2 = a[(s + 2) * m + r];
+        let k3 = a[(s + 3) * m + r];
+        if k0 != 0.0 && k1 != 0.0 && k2 != 0.0 && k3 != 0.0 {
+            axpy4(
+                k0,
+                &b[s * n..(s + 1) * n],
+                k1,
+                &b[(s + 1) * n..(s + 2) * n],
+                k2,
+                &b[(s + 2) * n..(s + 3) * n],
+                k3,
+                &b[(s + 3) * n..(s + 4) * n],
+                crow,
+                avx,
+            );
+        } else {
+            for (t, coeff) in [k0, k1, k2, k3].into_iter().enumerate() {
+                if coeff != 0.0 {
+                    axpy(coeff, &b[(s + t) * n..(s + t + 1) * n], crow);
+                }
+            }
+        }
+        s += 4;
+    }
+    while s < k {
+        let coeff = a[s * m + r];
+        if coeff != 0.0 {
+            axpy(coeff, &b[s * n..(s + 1) * n], crow);
+        }
+        s += 1;
+    }
+}
+
+/// Batched gradient accumulation `C += Aᵀ·B`, sample rows ascending.
+///
+/// Shapes: `A: k×m` (row per sample of coefficients, e.g. deltas), `B:
+/// k×n` (row per sample of inputs), `C: m×n` (a gradient matrix,
+/// accumulated into). Row `r` of `C` receives
+/// `axpy(A[s][r], B.row(s), ·)` for `s = 0..k` — exactly the AXPY
+/// sequence the sample-ascending [`ger`] loop of the per-sample reference
+/// applies to that row, including the skip of zero coefficients. Unlike
+/// the per-sample loop, each gradient row stays hot in cache while all
+/// `k` samples accumulate into it (one pass over `C` instead of `k`).
+pub fn gemm_tn_acc(a: &[f32], b: &[f32], k: usize, c: &mut Matrix) {
+    let m = c.rows();
+    let n = c.cols();
+    assert_eq!(a.len(), k * m, "gemm_tn_acc: A must be k×m");
+    assert_eq!(b.len(), k * n, "gemm_tn_acc: B must be k×n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let avx = avx_available();
+    let row_kernel = |(r, crow): (usize, &mut [f32])| acc_row_kernel(a, b, m, n, r, k, crow, avx);
+    let len = c.len();
+    if len >= GEMM_PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_exact_mut(n)
+            .enumerate()
+            .for_each(row_kernel);
+    } else {
+        c.as_mut_slice()
+            .chunks_exact_mut(n)
+            .enumerate()
+            .for_each(row_kernel);
+    }
+}
+
+/// [`gemm_tn_acc`] with an explicit row-visit `order` (row indices into
+/// `A`); `B`'s row for visited row `s` is `s + b_row_off`.
+///
+/// BPTT accumulates gradients window-major and step-*descending* while
+/// the batched time loop produces rows step-major — this kernel replays
+/// the sequential reference's order. `b_row_off` lets `B` be a state
+/// buffer whose block `t+1` holds step `t`'s output (hidden states).
+pub fn gemm_tn_acc_ord(a: &[f32], b: &[f32], order: &[usize], b_row_off: usize, c: &mut Matrix) {
+    let m = c.rows();
+    let n = c.cols();
+    if m == 0 || n == 0 || order.is_empty() {
+        return;
+    }
+    if let Some(&max) = order.iter().max() {
+        assert!((max + 1) * m <= a.len(), "gemm_tn_acc_ord: A too short");
+        assert!(
+            (max + b_row_off + 1) * n <= b.len(),
+            "gemm_tn_acc_ord: B too short"
+        );
+    }
+    let row_kernel = |(r, crow): (usize, &mut [f32])| {
+        for &s in order {
+            let coeff = a[s * m + r];
+            if coeff != 0.0 {
+                let br = s + b_row_off;
+                axpy(coeff, &b[br * n..(br + 1) * n], crow);
             }
         }
     };
-
     if c.len() >= GEMM_PAR_THRESHOLD {
         c.as_mut_slice()
             .par_chunks_exact_mut(n)
@@ -137,13 +647,129 @@ pub fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     }
 }
 
+/// Bias-gradient accumulation: `acc += Σ_rows A`, rows ascending.
+///
+/// Implemented as the same `axpy(1.0, row, acc)` sequence the per-sample
+/// reference applies, so the bits match.
+pub fn add_row_sums(a: &[f32], rows: usize, acc: &mut [f32]) {
+    let n = acc.len();
+    assert_eq!(a.len(), rows * n, "add_row_sums: A must be rows×acc.len()");
+    for s in 0..rows {
+        axpy(1.0, &a[s * n..(s + 1) * n], acc);
+    }
+}
+
+/// [`add_row_sums`] with an explicit row-visit order (BPTT bias grads).
+pub fn add_row_sums_ord(a: &[f32], order: &[usize], acc: &mut [f32]) {
+    let n = acc.len();
+    if n == 0 {
+        return;
+    }
+    for &s in order {
+        axpy(1.0, &a[s * n..(s + 1) * n], acc);
+    }
+}
+
+/// Batched bias-add, column-broadcast: `C[i][j] += bias[j]` for every row
+/// `i` of the `m×bias.len()` row-major buffer `c`.
+///
+/// `dot + bias` carries the same bits as `gemv`'s `bias + dot` because
+/// IEEE-754 addition is commutative in its rounded result.
+pub fn add_bias_cols(c: &mut [f32], bias: &[f32]) {
+    if bias.is_empty() {
+        return;
+    }
+    for row in c.chunks_exact_mut(bias.len()) {
+        for (v, &b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Batched bias-add, row-broadcast: `C[i][j] += bias[i]` over an
+/// `bias.len()×cols` buffer (conv layout: one row per filter).
+pub fn add_bias_rows(c: &mut [f32], cols: usize, bias: &[f32]) {
+    if bias.is_empty() || cols == 0 {
+        return;
+    }
+    assert_eq!(c.len(), bias.len() * cols, "add_bias_rows: C shape");
+    for (row, &b) in c.chunks_exact_mut(cols).zip(bias) {
+        for v in row {
+            *v += b;
+        }
+    }
+}
+
+/// im2col patch extraction for a valid (no-padding) `k×k` convolution.
+///
+/// Input `x` is a `in_ch×h×w` feature map (channel-major). `out` receives
+/// one row per output position `(oy, ox)` in row-major order, with
+/// `in_ch·k·k` columns ordered `(channel, ky, kx)` — the exact flattened
+/// filter layout, so `y[f][pos] = bias[f] + dot(filter_row, patch_row)`.
+/// A pure gather: no arithmetic, hence no rounding concerns.
+pub fn im2col(x: &[f32], in_ch: usize, h: usize, w: usize, k: usize, out: &mut [f32]) {
+    assert!(h >= k && w >= k, "im2col: kernel larger than input");
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    let ckk = in_ch * k * k;
+    assert_eq!(x.len(), in_ch * h * w, "im2col: input shape");
+    assert_eq!(out.len(), oh * ow * ckk, "im2col: output shape");
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = &mut out[(oy * ow + ox) * ckk..][..ckk];
+            let mut wi = 0;
+            for c in 0..in_ch {
+                let plane = &x[c * h * w..(c + 1) * h * w];
+                for ky in 0..k {
+                    let src = &plane[(oy + ky) * w + ox..][..k];
+                    row[wi..wi + k].copy_from_slice(src);
+                    wi += k;
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-add patch-space gradients back onto the
+/// `in_ch×h×w` input gradient (`dx` is accumulated into, not zeroed).
+pub fn col2im_acc(dpatches: &[f32], in_ch: usize, h: usize, w: usize, k: usize, dx: &mut [f32]) {
+    assert!(h >= k && w >= k, "col2im_acc: kernel larger than input");
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    let ckk = in_ch * k * k;
+    assert_eq!(dpatches.len(), oh * ow * ckk, "col2im_acc: patch shape");
+    assert_eq!(dx.len(), in_ch * h * w, "col2im_acc: dx shape");
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = &dpatches[(oy * ow + ox) * ckk..][..ckk];
+            let mut wi = 0;
+            for c in 0..in_ch {
+                let base = c * h * w;
+                for ky in 0..k {
+                    let dst = &mut dx[base + (oy + ky) * w + ox..][..k];
+                    for (d, &g) in dst.iter_mut().zip(&row[wi..wi + k]) {
+                        *d += g;
+                    }
+                    wi += k;
+                }
+            }
+        }
+    }
+}
+
 /// Clip `g` so its global L2 norm is at most `max_norm`; returns the scale
-/// that was applied (1.0 when no clipping happened).
+/// that was applied (1.0 when no clipping happened, 0.0 when a non-finite
+/// gradient was dropped).
 ///
 /// This is the "SGD with the clipped gradient norm" the paper uses for the
-/// LSTM language models (§V-A).
+/// LSTM language models (§V-A). A NaN/Inf norm means the step would
+/// poison the model — and `NaN > max_norm` is false, so the old code fell
+/// through to the "no clipping" branch and let it. Non-finite norms now
+/// zero the gradient (the step becomes a no-op) and return 0.0.
 pub fn clip_norm(g: &mut [f32], max_norm: f32) -> f32 {
     let norm = norm_sq(g).sqrt();
+    if !norm.is_finite() {
+        g.fill(0.0);
+        return 0.0;
+    }
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for v in g.iter_mut() {
@@ -258,5 +884,170 @@ mod tests {
         let mut g = [0.0, 0.0];
         assert_eq!(clip_norm(&mut g, 1.0), 1.0);
         assert_eq!(g, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_norm_drops_non_finite_gradients() {
+        // Regression: NaN > max_norm is false, so the old code returned
+        // 1.0 and let the caller step on a poisoned gradient.
+        let mut g = [1.0, f32::NAN, 2.0];
+        assert_eq!(clip_norm(&mut g, 1.0), 0.0);
+        assert_eq!(g, [0.0, 0.0, 0.0]);
+
+        let mut g = [f32::INFINITY, 1.0];
+        assert_eq!(clip_norm(&mut g, 1.0), 0.0);
+        assert_eq!(g, [0.0, 0.0]);
+
+        // Finite elements whose squared sum overflows f32 also count.
+        let mut g = [f32::MAX, f32::MAX];
+        assert_eq!(clip_norm(&mut g, 1.0), 0.0);
+        assert_eq!(g, [0.0, 0.0]);
+    }
+
+    fn filled(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn gemm_nt_rows_match_gemv_bitwise() {
+        // Shapes straddling the 4-row blocks and the dot unroll width.
+        for (m, n, k) in [(1, 3, 5), (4, 4, 4), (7, 5, 9), (9, 2, 1), (3, 1, 0)] {
+            let w = filled(n, k, |r, c| ((r * 13 + c * 7) % 17) as f32 * 0.37 - 2.0);
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i * 11) % 23) as f32 * 0.21 - 1.8)
+                .collect();
+            let mut c = vec![0.0f32; m * n];
+            gemm_nt(&a, &w, m, &mut c);
+            let mut want = vec![0.0f32; n];
+            for i in 0..m {
+                gemv(&w, &a[i * k..(i + 1) * k], &[], &mut want);
+                for j in 0..n {
+                    assert_eq!(
+                        c[i * n + j].to_bits(),
+                        want[j].to_bits(),
+                        "({m},{n},{k}) row {i} col {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_rows_match_gemv_t_bitwise() {
+        for (m, n, k) in [(1, 4, 3), (5, 7, 6), (8, 1, 2)] {
+            let w = filled(k, n, |r, c| ((r * 5 + c * 3) % 13) as f32 * 0.41 - 1.9);
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i * 7) % 11) as f32 * 0.3 - 1.2)
+                .collect();
+            let mut c = vec![0.0f32; m * n];
+            gemm_nn(&a, &w, m, &mut c);
+            let mut want = vec![0.0f32; n];
+            for i in 0..m {
+                gemv_t(&w, &a[i * k..(i + 1) * k], &mut want);
+                assert_eq!(
+                    c[i * n..(i + 1) * n]
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "({m},{n},{k}) row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_acc_matches_ger_sequence_bitwise() {
+        let (k, m, n) = (6usize, 4usize, 5usize);
+        let a: Vec<f32> = (0..k * m)
+            .map(|i| {
+                if i % 5 == 0 {
+                    0.0
+                } else {
+                    (i as f32) * 0.13 - 2.0
+                }
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.07 - 1.0).collect();
+        let mut c = Matrix::full(m, n, 0.25);
+        let mut want = c.clone();
+        gemm_tn_acc(&a, &b, k, &mut c);
+        for s in 0..k {
+            ger(
+                &mut want,
+                1.0,
+                &a[s * m..(s + 1) * m],
+                &b[s * n..(s + 1) * n],
+            );
+        }
+        assert_eq!(
+            c.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ordered_accumulation_replays_the_given_order() {
+        // Three contributions whose sum depends on association order
+        // (1.0 absorbs a single 4e-8 but not their 8e-8 pair): verify the
+        // _ord kernels follow `order`, not storage order.
+        let a = [1.0f32, 4.0e-8, 4.0e-8];
+        let b = [1.0f32, 1.0, 1.0];
+        let mut fwd = Matrix::zeros(1, 1);
+        gemm_tn_acc_ord(&a, &b, &[0, 1, 2], 0, &mut fwd);
+        let mut rev = Matrix::zeros(1, 1);
+        gemm_tn_acc_ord(&a, &b, &[2, 1, 0], 0, &mut rev);
+        assert_ne!(fwd.get(0, 0).to_bits(), rev.get(0, 0).to_bits());
+
+        let mut acc_fwd = vec![0.0f32; 1];
+        add_row_sums_ord(&a, &[0, 1, 2], &mut acc_fwd);
+        let mut acc_seq = vec![0.0f32; 1];
+        add_row_sums(&a, 3, &mut acc_seq);
+        assert_eq!(acc_fwd, acc_seq);
+        let mut acc_rev = vec![0.0f32; 1];
+        add_row_sums_ord(&a, &[2, 1, 0], &mut acc_rev);
+        assert_ne!(acc_rev[0].to_bits(), acc_seq[0].to_bits());
+    }
+
+    #[test]
+    fn bias_broadcasts_add_along_the_right_axis() {
+        let mut c = vec![0.0f32; 6];
+        add_bias_cols(&mut c, &[1.0, 2.0, 3.0]);
+        assert_eq!(c, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let mut c = vec![0.0f32; 6];
+        add_bias_rows(&mut c, 3, &[1.0, 2.0]);
+        assert_eq!(c, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        // Empty bias is a no-op (layers without biases).
+        let mut c = vec![5.0f32; 2];
+        add_bias_cols(&mut c, &[]);
+        add_bias_rows(&mut c, 2, &[]);
+        assert_eq!(c, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn im2col_col2im_round_trip_counts_overlaps() {
+        // 1×3×3 input, 2×2 kernel: interior cells belong to several
+        // patches; col2im of im2col multiplies each cell by its patch
+        // multiplicity.
+        let x: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut patches = vec![0.0f32; 4 * 4];
+        im2col(&x, 1, 3, 3, 2, &mut patches);
+        assert_eq!(patches[0..4], [1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(patches[12..16], [5.0, 6.0, 8.0, 9.0]);
+        let mut back = vec![0.0f32; 9];
+        col2im_acc(&patches, 1, 3, 3, 2, &mut back);
+        let mult = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0];
+        for i in 0..9 {
+            assert_eq!(back[i], x[i] * mult[i], "cell {i}");
+        }
     }
 }

@@ -1,0 +1,91 @@
+//! Golden-trace regression: a pinned content digest of the 2-round
+//! `scenarios/fig2.toml` run (smoke scale, the exact CI smoke
+//! configuration), so any kernel or engine change that drifts numerics —
+//! however slightly — fails loudly instead of silently shifting every
+//! figure.
+//!
+//! Wall-clock fields (`local_seconds_*`, `agg_seconds`) are genuinely
+//! non-deterministic and are zeroed out of the digest, matching the
+//! repo's log-comparison contract (README / `tests/scenario_equivalence.rs`).
+//! Everything else — losses, accuracies, byte accounting, run labels and
+//! ordering — feeds an FNV-1a hash over the raw f32/f64 bits, so the
+//! digest is independent of float formatting.
+//!
+//! # Updating the pinned digest
+//!
+//! If you change numerics **on purpose** (new initialisation, a different
+//! association order in a kernel, a workload tweak), this test will fail
+//! with the newly computed digest in the panic message:
+//!
+//! 1. verify the change is intentional and justified (the differential
+//!    suite `tests/batched_equivalence.rs` must still pass — batched and
+//!    per-sample paths have to move *together*);
+//! 2. replace `GOLDEN_DIGEST` below with the printed value;
+//! 3. call out the numeric drift explicitly in the PR description.
+//!
+//! A failure here with *no* intentional numeric change means a kernel
+//! regression — do not update the constant; find the bug.
+
+use fedbiad::scenario::{execute, Overrides, ScenarioSpec};
+use std::path::Path;
+
+/// Pinned digest of the 2-round smoke fig2 trace (see module docs for
+/// the update procedure).
+const GOLDEN_DIGEST: u64 = 0x8CC5_8120_02BF_5841;
+
+/// FNV-1a, the same primitive the scenario engine uses for spec hashes.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn fig2_two_round_trace_digest_is_pinned() {
+    let mut spec = ScenarioSpec::from_path(Path::new("scenarios/fig2.toml"))
+        .expect("bundled fig2 spec must load");
+    // The CI smoke configuration: 2 rounds, smoke scale, 200 eval samples.
+    spec.apply_overrides(&Overrides {
+        rounds: Some(2),
+        scale: Some(fedbiad::fl::workload::Scale::Smoke),
+        eval_max: Some(200),
+        ..Default::default()
+    })
+    .expect("overrides must validate");
+
+    let outcomes = execute(&spec).expect("fig2 smoke run must execute");
+    assert_eq!(outcomes.len(), 5, "fig2 sweeps five methods");
+
+    // Canonical byte string: run labels in grid order, then per round the
+    // deterministic fields as raw bits; wall-clock fields zeroed (i.e.
+    // omitted — appending zeros would add no information).
+    let mut canon = String::new();
+    for o in &outcomes {
+        canon.push_str(&format!(
+            "run={};dataset={};method={};seed={};",
+            o.run.label, o.log.dataset, o.log.method, o.log.seed
+        ));
+        for r in &o.log.records {
+            canon.push_str(&format!(
+                "round={};train={:08x};test_loss={:016x};test_acc={:016x};up_mean={};up_max={};down={};",
+                r.round,
+                r.train_loss.to_bits(),
+                r.test_loss.to_bits(),
+                r.test_acc.to_bits(),
+                r.upload_bytes_mean,
+                r.upload_bytes_max,
+                r.download_bytes,
+            ));
+        }
+    }
+    let digest = fnv1a64(canon.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_DIGEST,
+        "fig2 smoke trace drifted: computed digest {digest:#018X} != pinned \
+         {GOLDEN_DIGEST:#018X}. If this numeric change is intentional, follow the update \
+         procedure in this file's header; otherwise a kernel change broke determinism."
+    );
+}

@@ -147,6 +147,94 @@ fn assert_traces_bit_identical(
     assert_logs_bit_identical(&a.log, &b.log, what);
 }
 
+/// The batched GEMM kernels parallelise over row panels; their outputs
+/// must not depend on how the panels are scheduled. Shapes straddle the
+/// parallel threshold, the 4-row sample blocks and the 4-wide unroll
+/// (odd row counts and a non-multiple-of-4 inner dimension).
+#[test]
+fn batched_kernels_are_bitwise_thread_invariant() {
+    use fedbiad::tensor::ops;
+    use fedbiad::tensor::rng::{stream, StreamTag};
+    use fedbiad::tensor::Matrix;
+    use rand::Rng;
+
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (m, n, k) = (41usize, 97usize, 131usize);
+    let mut rng = stream(7, StreamTag::Init, 0, 0);
+    let mut fill = |len: usize| -> Vec<f32> {
+        (0..len)
+            .map(|_| {
+                if rng.gen_range(0..6) == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-1.5f32..1.5)
+                }
+            })
+            .collect()
+    };
+    let a = fill(m * k);
+    let wt = Matrix::from_vec(n, k, fill(n * k)); // n×k: gemm_nt operand
+    let wn = Matrix::from_vec(k, n, fill(k * n)); // k×n: gemm_nn operand
+    let coeffs = fill(k * m);
+    let order: Vec<usize> = (0..k).rev().collect();
+
+    let run_all = || {
+        let mut nt = vec![0.0f32; m * n];
+        ops::gemm_nt(&a, &wt, m, &mut nt);
+        let mut nn = vec![0.0f32; m * n];
+        ops::gemm_nn(&a, &wn, m, &mut nn);
+        let mut tn = Matrix::zeros(m, n);
+        ops::gemm_tn_acc(&coeffs, wn.as_slice(), k, &mut tn);
+        let mut ord = Matrix::zeros(m, n);
+        ops::gemm_tn_acc_ord(&coeffs, wn.as_slice(), &order, 0, &mut ord);
+        (nt, nn, tn, ord)
+    };
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let base = run_all();
+    for threads in ["2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let got = run_all();
+        let pairs = [(&base.0, &got.0, "gemm_nt"), (&base.1, &got.1, "gemm_nn")];
+        for (b, g, what) in pairs {
+            for (i, (x, y)) in b.iter().zip(g.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{what}[{i}] at {threads} threads: {x} vs {y}"
+                );
+            }
+        }
+        assert_eq!(
+            base.2
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            got.2
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "gemm_tn_acc at {threads} threads"
+        );
+        assert_eq!(
+            base.3
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            got.3
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "gemm_tn_acc_ord at {threads} threads"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
 #[test]
 fn sim_event_trace_is_bitwise_thread_invariant() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());

@@ -61,7 +61,14 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        // CI smoke mode: `CRITERION_SAMPLE_SIZE=3 cargo bench` shrinks
+        // every group's default sample count without touching call sites.
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 2)
+            .unwrap_or(10);
+        Self { sample_size }
     }
 }
 
