@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedbiad_core::pattern::{keep_count, DropPattern};
-use fedbiad_fl::aggregate::{aggregate_weights, ZeroMode};
+use fedbiad_fl::aggregate::{aggregate_weights, AggSettings, ZeroMode};
 use fedbiad_fl::upload::Upload;
 use fedbiad_nn::mlp::MlpModel;
 use fedbiad_nn::Model;
@@ -38,7 +38,7 @@ fn bench_aggregation(c: &mut Criterion) {
                     b.iter(|| {
                         let mut g = global0.clone();
                         let ups: Vec<(f32, &Upload)> = uploads.iter().map(|u| (1.0, u)).collect();
-                        aggregate_weights(&mut g, &ups, mode);
+                        aggregate_weights(&mut g, &ups, mode, AggSettings::default()).unwrap();
                         g
                     })
                 },

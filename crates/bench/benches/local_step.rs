@@ -22,6 +22,7 @@ fn bench_one<A: FlAlgorithm>(
         round: 0,
         total_rounds: 10,
         seed: 7,
+        agg: Default::default(),
     };
     let data = &bundle.data.clients[0];
     let cfg = bundle.train;

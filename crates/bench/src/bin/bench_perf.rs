@@ -184,6 +184,65 @@ fn local_update_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) 
     }
 }
 
+/// Server-side aggregation: the dense reference engine vs the sharded
+/// streaming engine, at 1/2/8 worker threads. The uploads are FedBIAD-style
+/// masked weights (20 clients, p = 0.5) at MLP scale; the streaming runs
+/// consume real wire-encoded bodies, so the numbers include decode cost.
+fn aggregation_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) {
+    use fedbiad_core::pattern::{keep_count, DropPattern};
+    use fedbiad_fl::aggregate::{aggregate_weights, AggSettings, ZeroMode};
+    use fedbiad_fl::upload::{Upload, UploadKind};
+    use fedbiad_nn::mlp::MlpModel;
+    use fedbiad_nn::Model;
+
+    let model = MlpModel::new(784, 128, 10);
+    let global = model.init_params(&mut stream(41, StreamTag::Init, 0, 0));
+    let j = global.num_row_units();
+    let clients = if smoke { 8 } else { 20 };
+    let dense_ups: Vec<Upload> = (0..clients)
+        .map(|k| {
+            let mut rng = stream(42, StreamTag::Pattern, 0, k as u64);
+            let pat = DropPattern::sample_global(j, keep_count(j, 0.5), &mut rng);
+            Upload::masked_weights(global.clone(), pat.to_mask(&global))
+        })
+        .collect();
+    let wire_ups: Vec<Upload> = dense_ups
+        .iter()
+        .map(|u| {
+            Upload::wire(
+                UploadKind::Weights,
+                fedbiad_compress::codec::encode_weights(u.params(), &u.coverage),
+                u.coverage.clone(),
+                u.wire_bytes,
+            )
+        })
+        .collect();
+
+    let prev_threads = std::env::var("RAYON_NUM_THREADS").ok();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let r = time_ns(samples, || {
+            let mut g = global.clone();
+            let ups: Vec<(f32, &Upload)> = dense_ups.iter().map(|u| (1.0, u)).collect();
+            aggregate_weights(&mut g, &ups, ZeroMode::StaleFill, AggSettings::default()).unwrap();
+        });
+        let b = time_ns(samples, || {
+            let mut g = global.clone();
+            let ups: Vec<(f32, &Upload)> = wire_ups.iter().map(|u| (1.0, u)).collect();
+            aggregate_weights(&mut g, &ups, ZeroMode::StaleFill, AggSettings::sharded(64)).unwrap();
+        });
+        out.push(entry(
+            &format!("aggregate/stalefill_{clients}c_{threads}t"),
+            r,
+            b,
+        ));
+    }
+    match prev_threads {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_kernels.json".to_string();
@@ -212,6 +271,7 @@ fn main() {
     let mut entries = Vec::new();
     kernel_entries(samples, &mut entries);
     local_update_entries(smoke, samples, &mut entries);
+    aggregation_entries(smoke, samples, &mut entries);
 
     let report = BenchReport {
         schema: "fedbiad-bench-kernels/v1".to_string(),

@@ -32,6 +32,7 @@ fn main() {
         eval_topk: bundle.eval_topk,
         eval_every: 2,
         eval_max_samples: cli.eval_max,
+        agg: Default::default(),
     };
 
     println!("=== Fig. 8 — {} ({} rounds) ===", bundle.data.name, rounds);

@@ -72,19 +72,16 @@ impl Compressor for Dgc {
         let k = ((n as f64 * keep as f64).ceil() as usize).clamp(1, n);
         let idx = stats::top_k_abs_indices(&state.residual, k);
 
-        let mut decoded = vec![0.0f32; n];
+        let pairs: Vec<(usize, f32)> = idx.iter().map(|&i| (i, state.residual[i])).collect();
         for &i in &idx {
-            decoded[i] = state.residual[i];
             // Sent mass leaves the accumulator *and* the velocity (the DGC
             // paper zeroes both at transmitted coordinates).
             state.residual[i] = 0.0;
             state.velocity[i] = 0.0;
         }
-        Compressed {
-            decoded,
-            wire_bytes: bytes::sparse_f32_bytes(k),
-            sent_values: k as u64,
-        }
+        let c = Compressed::from_payload(crate::codec::Payload::sparse_f32(n, pairs));
+        debug_assert_eq!(c.wire_bytes, bytes::sparse_f32_bytes(k));
+        c
     }
 }
 

@@ -36,24 +36,30 @@ impl Compressor for FedPaq {
         assert!(self.bits >= 2 && self.bits <= 16, "bits out of range");
         let levels = (1i64 << (self.bits - 1)) - 1; // symmetric: ±levels
         let scale = delta.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        let decoded = if scale == 0.0 {
-            vec![0.0; delta.len()]
+        // Codes stored offset-binary: code + levels ∈ [0, 2·levels]. The
+        // decoder computes `code · (scale / levels)`, the exact expression
+        // the pre-codec reconstruction used; a zero scale makes inv_q
+        // +0.0 and every code 0, so all-zero inputs still decode to +0.0.
+        let codes: Vec<u16> = if scale == 0.0 {
+            vec![levels as u16; delta.len()]
         } else {
             let q = levels as f32 / scale;
-            let inv_q = scale / levels as f32;
             delta
                 .iter()
                 .map(|&v| {
                     let code = (v * q).round().clamp(-(levels as f32), levels as f32);
-                    code * inv_q
+                    (code as i64 + levels) as u16
                 })
                 .collect()
         };
-        Compressed {
-            decoded,
-            wire_bytes: bytes::quantized_bytes(delta.len(), self.bits),
-            sent_values: delta.len() as u64,
-        }
+        let c = Compressed::from_payload(crate::codec::Payload::Quantized {
+            len: delta.len(),
+            bits: self.bits as u8,
+            scale,
+            codes,
+        });
+        debug_assert_eq!(c.wire_bytes, bytes::quantized_bytes(delta.len(), self.bits));
+        c
     }
 }
 

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod bytes;
+pub mod codec;
 pub mod dgc;
 pub mod fedpaq;
 pub mod none;
@@ -38,15 +39,36 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Result of compressing a delta vector.
+///
+/// Every compressor builds its structural [`codec::Payload`] first and
+/// derives `decoded` from it ([`codec::Payload::decode_dense`]), so the
+/// wire encoding and the in-memory reconstruction can never disagree —
+/// the exactness contract the streaming aggregation path relies on.
 #[derive(Clone, Debug)]
 pub struct Compressed {
     /// Server-side reconstruction (dequantised / densified), same length
-    /// as the input.
+    /// as the input. Always equal to `payload.decode_dense()`.
     pub decoded: Vec<f32>,
-    /// Exact bytes on the wire.
+    /// Exact bytes on the wire (the encoded payload body length).
     pub wire_bytes: u64,
     /// Number of transmitted values (diagnostics).
     pub sent_values: u64,
+    /// The transmitted payload in structural form; encode with
+    /// [`codec::encode_delta`] / [`codec::encode_weights_delta`].
+    pub payload: codec::Payload,
+}
+
+impl Compressed {
+    /// Build from a payload, deriving the decoded vector, wire bytes and
+    /// sent-value count from it.
+    pub fn from_payload(payload: codec::Payload) -> Self {
+        Self {
+            decoded: payload.decode_dense(),
+            wire_bytes: payload.wire_bytes(),
+            sent_values: payload.sent_values(),
+            payload,
+        }
+    }
 }
 
 /// Per-client compressor memory: residual error feedback and (for DGC)

@@ -19,11 +19,11 @@ impl Compressor for NoCompression {
         _round: usize,
         _rng: &mut StdRng,
     ) -> Compressed {
-        Compressed {
-            decoded: delta.to_vec(),
-            wire_bytes: bytes::dense_bytes(delta.len()),
-            sent_values: delta.len() as u64,
-        }
+        let c = Compressed::from_payload(crate::codec::Payload::Dense {
+            values: delta.to_vec(),
+        });
+        debug_assert_eq!(c.wire_bytes, bytes::dense_bytes(delta.len()));
+        c
     }
 }
 

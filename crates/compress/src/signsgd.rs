@@ -50,20 +50,26 @@ impl Compressor for SignSgd {
             delta.to_vec()
         };
         let mu = corrected.iter().map(|v| v.abs()).sum::<f32>() / n.max(1) as f32;
-        let decoded: Vec<f32> = corrected
-            .iter()
-            .map(|&v| if v >= 0.0 { mu } else { -mu })
-            .collect();
+        // Sign bit set ⇔ NOT (v ≥ 0.0) — including NaN, so the decoded
+        // vector is bit-for-bit what `if v >= 0.0 { mu } else { -mu }`
+        // produced before the codec existed.
+        use std::cmp::Ordering;
+        let c = Compressed::from_payload(crate::codec::Payload::sign_dense(
+            mu,
+            corrected.iter().map(|&v| {
+                !matches!(
+                    v.partial_cmp(&0.0),
+                    Some(Ordering::Greater | Ordering::Equal)
+                )
+            }),
+        ));
         if self.error_feedback {
-            for ((r, &c), &d) in state.residual.iter_mut().zip(&corrected).zip(&decoded) {
-                *r = c - d;
+            for ((r, &cv), &d) in state.residual.iter_mut().zip(&corrected).zip(&c.decoded) {
+                *r = cv - d;
             }
         }
-        Compressed {
-            decoded,
-            wire_bytes: bytes::quantized_bytes(n, 1),
-            sent_values: n as u64,
-        }
+        debug_assert_eq!(c.wire_bytes, bytes::quantized_bytes(n, 1));
+        c
     }
 }
 

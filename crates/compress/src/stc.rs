@@ -50,18 +50,25 @@ impl Compressor for Stc {
         let idx = stats::top_k_abs_indices(&corrected, k);
         let mu = idx.iter().map(|&i| corrected[i].abs()).sum::<f32>() / k as f32;
 
-        let mut decoded = vec![0.0f32; n];
-        for &i in &idx {
-            decoded[i] = if corrected[i] >= 0.0 { mu } else { -mu };
+        // Sign bit set ⇔ NOT (v ≥ 0.0), matching the pre-codec ternary
+        // reconstruction bit for bit (NaN included).
+        use std::cmp::Ordering;
+        let pairs: Vec<(usize, bool)> = idx
+            .iter()
+            .map(|&i| {
+                let neg = !matches!(
+                    corrected[i].partial_cmp(&0.0),
+                    Some(Ordering::Greater | Ordering::Equal)
+                );
+                (i, neg)
+            })
+            .collect();
+        let c = Compressed::from_payload(crate::codec::Payload::sparse_sign(n, mu, pairs));
+        for ((r, &cv), &d) in state.residual.iter_mut().zip(&corrected).zip(&c.decoded) {
+            *r = cv - d;
         }
-        for ((r, &c), &d) in state.residual.iter_mut().zip(&corrected).zip(&decoded) {
-            *r = c - d;
-        }
-        Compressed {
-            decoded,
-            wire_bytes: bytes::sparse_ternary_bytes(k),
-            sent_values: k as u64,
-        }
+        debug_assert_eq!(c.wire_bytes, bytes::sparse_ternary_bytes(k));
+        c
     }
 }
 

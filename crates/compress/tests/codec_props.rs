@@ -1,0 +1,274 @@
+//! Property tests for the wire codec: encode → decode is the *identity*
+//! on every compressor payload and every coverage-mask shape (bitwise —
+//! the streaming aggregation path depends on exactness, not closeness),
+//! and decoders reject truncated/garbled buffers with a structured error
+//! instead of panicking.
+
+use fedbiad_compress::codec::{
+    encode_delta, encode_weights, encode_weights_delta, BodyKind, WireMsg,
+};
+use fedbiad_compress::dgc::Dgc;
+use fedbiad_compress::fedpaq::FedPaq;
+use fedbiad_compress::none::NoCompression;
+use fedbiad_compress::signsgd::SignSgd;
+use fedbiad_compress::stc::Stc;
+use fedbiad_compress::{ClientState, Compressor};
+use fedbiad_nn::mask::BitVec;
+use fedbiad_nn::params::{EntryMeta, LayerKind};
+use fedbiad_nn::{CoverageMask, ModelMask, ParamSet};
+use fedbiad_tensor::rng::{stream, StreamTag};
+use fedbiad_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The five compressors, at configurations that exercise every payload
+/// kind (dense, sparse-f32, sign-dense, sparse-sign, quantized).
+fn compressors() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(NoCompression),
+        Box::new(Dgc {
+            keep_fraction: 0.3,
+            momentum: 0.9,
+            warmup_rounds: 0,
+        }),
+        Box::new(SignSgd::default()),
+        Box::new(Stc { keep_fraction: 0.4 }),
+        Box::new(FedPaq { bits: 8 }),
+        Box::new(FedPaq { bits: 5 }), // non-byte-aligned bit packing
+    ]
+}
+
+fn filled(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            // Exact zeros and negative zeros exercise sign handling.
+            match rng.gen_range(0u32..8) {
+                0 => 0.0,
+                1 => -0.0,
+                _ => rng.gen_range(-2.0f32..2.0),
+            }
+        })
+        .collect()
+}
+
+/// A multi-entry ParamSet with a bias-less entry and a single-row entry.
+fn shapes(rows: usize, cols: usize) -> ParamSet {
+    let mut p = ParamSet::new();
+    p.push_entry(
+        Matrix::full(rows, cols, 0.0),
+        Some(vec![0.0; rows]),
+        EntryMeta::new("w1", LayerKind::DenseHidden, true, true),
+    );
+    p.push_entry(
+        Matrix::full(1, cols, 0.0), // single-row entry
+        None,                       // bias-less
+        EntryMeta::new("emb", LayerKind::Embedding, false, true),
+    );
+    p.push_entry(
+        Matrix::full(2, rows, 0.0),
+        Some(vec![0.0; 2]),
+        EntryMeta::new("head", LayerKind::DenseOutput, true, true),
+    );
+    p
+}
+
+fn random_mask(rng: &mut StdRng, p: &ParamSet, allow_empty: bool) -> ModelMask {
+    let per_entry = (0..p.num_entries())
+        .map(|e| {
+            let (rows, cols) = (p.mat(e).rows(), p.mat(e).cols());
+            let density = if allow_empty && rng.gen_range(0u32..4) == 0 {
+                0.0 // empty coverage: every row dropped
+            } else {
+                rng.gen_range(0.0f64..=1.0)
+            };
+            fn rand_bits(rng: &mut StdRng, density: f64, len: usize) -> BitVec {
+                let mut bv = BitVec::new(len, false);
+                for i in 0..len {
+                    if rng.gen_bool(density) {
+                        bv.set(i, true);
+                    }
+                }
+                bv
+            }
+            match rng.gen_range(0u32..4) {
+                0 => CoverageMask::Full,
+                1 => CoverageMask::Rows(rand_bits(rng, density, rows)),
+                2 => CoverageMask::RowsCols {
+                    rows: rand_bits(rng, density, rows),
+                    cols: rand_bits(rng, density, cols),
+                },
+                _ => CoverageMask::Elements(rand_bits(rng, density, rows * cols)),
+            }
+        })
+        .collect();
+    ModelMask { per_entry }
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+proptest! {
+    /// Every compressor's payload round-trips through the full-space
+    /// delta frame bit-for-bit, including range decoding at arbitrary
+    /// split points.
+    #[test]
+    fn delta_payloads_round_trip(n in 1usize..300, seed in 0u64..1000, round in 0usize..6) {
+        let mut rng = stream(seed, StreamTag::Compress, 7, 7);
+        // The frame is validated against a model of matching size: one
+        // bias-less n-element entry.
+        let mut p = ParamSet::new();
+        p.push_entry(
+            Matrix::full(1, n, 0.0),
+            None,
+            EntryMeta::new("flat", LayerKind::DenseHidden, false, true),
+        );
+        let delta = filled(&mut rng, n);
+        for comp in compressors() {
+            let mut st = ClientState::default();
+            let c = comp.compress(&mut st, &delta, round, &mut rng);
+            let msg = encode_delta(&c.payload);
+            prop_assert_eq!(msg.body_bytes(), c.wire_bytes, "{} body bytes", comp.name());
+            let view = msg.view(&p).unwrap();
+            prop_assert_eq!(view.kind, BodyKind::DeltaFull);
+            // Identity: the decoded wire equals the in-memory decode.
+            assert_bits_eq(&view.payload.decode_dense(), &c.decoded, comp.name());
+            // Range decode at a random split equals the dense slices.
+            let cut = rng.gen_range(0..=n);
+            let mut lo = vec![f32::NAN; cut];
+            let mut hi = vec![f32::NAN; n - cut];
+            view.payload.decode_range(0, &mut lo);
+            view.payload.decode_range(cut, &mut hi);
+            assert_bits_eq(&lo, &c.decoded[..cut], "lo range");
+            assert_bits_eq(&hi, &c.decoded[cut..], "hi range");
+        }
+    }
+
+    /// Masked-weights frames round-trip the mask and the kept values for
+    /// every coverage shape — including empty coverage, single-row
+    /// entries and bias-less entries — and the body length equals the
+    /// analytical wire bytes.
+    #[test]
+    fn weights_frames_round_trip(rows in 1usize..9, cols in 1usize..9, seed in 0u64..1000) {
+        let mut rng = stream(seed, StreamTag::Pattern, 3, 3);
+        let mut p = shapes(rows, cols);
+        let flat = filled(&mut rng, p.total_params());
+        p.unflatten_from(&flat);
+        let mask = random_mask(&mut rng, &p, true);
+        let mut masked = p.clone();
+        mask.apply(&mut masked);
+
+        let msg = encode_weights(&masked, &mask);
+        prop_assert_eq!(msg.body_bytes(), mask.wire_bytes(&masked));
+        let view = msg.view(&p).unwrap();
+        prop_assert_eq!(view.kind, BodyKind::WeightsAbsolute);
+        prop_assert_eq!(&view.masks, &mask.per_entry);
+        // Kept values decode to exactly the covered entries of β∘U, in
+        // flatten order.
+        let kept: Vec<f32> = {
+            let mf = masked.flatten();
+            fedbiad_core_free_kept_indices(&masked, &mask).into_iter().map(|i| mf[i]).collect()
+        };
+        assert_bits_eq(&view.payload.decode_dense(), &kept, "kept values");
+    }
+
+    /// A sketched masked-weights frame (the Fig. 5 combo wire format)
+    /// carries mask + compressed kept-delta payload; body length equals
+    /// payload bytes + pattern overhead.
+    #[test]
+    fn weights_delta_frames_round_trip(rows in 1usize..8, cols in 1usize..8, seed in 0u64..500) {
+        let mut rng = stream(seed, StreamTag::Compress, 9, 9);
+        let p = shapes(rows, cols);
+        let mask = random_mask(&mut rng, &p, true);
+        let kept_count = {
+            let full = ModelMask::full(&p);
+            let _ = full;
+            fedbiad_core_free_kept_indices(&p, &mask).len()
+        };
+        let kept_delta = filled(&mut rng, kept_count);
+        for comp in compressors() {
+            if kept_count == 0 {
+                continue; // compressors need at least the empty payload; none sends 0 values
+            }
+            let mut st = ClientState::default();
+            let c = comp.compress(&mut st, &kept_delta, 1, &mut rng);
+            let msg = encode_weights_delta(&mask, &c.payload);
+            let overhead: u64 = mask.wire_bytes(&p) - mask.kept_params(&p) as u64 * 4;
+            prop_assert_eq!(msg.body_bytes(), c.wire_bytes + overhead, "{}", comp.name());
+            let view = msg.view(&p).unwrap();
+            prop_assert_eq!(view.kind, BodyKind::WeightsDelta);
+            prop_assert_eq!(&view.masks, &mask.per_entry);
+            assert_bits_eq(&view.payload.decode_dense(), &c.decoded, comp.name());
+        }
+    }
+
+    /// Decoders never panic on foreign bytes: truncation at any length
+    /// and random single-byte corruption either parse to a *valid* frame
+    /// or return a structured error — they must not panic.
+    #[test]
+    fn garbled_buffers_error_instead_of_panicking(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..2000,
+    ) {
+        let mut rng = stream(seed, StreamTag::Init, 1, 1);
+        let p = shapes(rows, cols);
+        let mask = random_mask(&mut rng, &p, true);
+        let mut masked = p.clone();
+        mask.apply(&mut masked);
+        let msg = encode_weights(&masked, &mask);
+        let bytes = msg.as_bytes();
+
+        // Truncation at a random cut is always an error (a shorter frame
+        // can never be self-consistent: lengths are derived from the
+        // header + shapes).
+        let cut = rng.gen_range(0..bytes.len());
+        prop_assert!(WireMsg::from_bytes(bytes[..cut].to_vec()).view(&p).is_err());
+
+        // Single-byte corruption must not panic (it may still decode:
+        // flipping a value byte is indistinguishable from a different
+        // upload).
+        let pos = rng.gen_range(0..bytes.len());
+        let mut corrupt = bytes.to_vec();
+        corrupt[pos] ^= 1u8 << rng.gen_range(0u32..8);
+        let _ = WireMsg::from_bytes(corrupt).view(&p);
+
+        // Appending trailing garbage is always an error.
+        let mut padded = bytes.to_vec();
+        padded.push(0xAB);
+        prop_assert!(WireMsg::from_bytes(padded).view(&p).is_err());
+    }
+}
+
+/// Covered flat indices in flatten order (mirrors
+/// `fedbiad_core::combo::kept_flat_indices`, re-implemented here because
+/// the compress crate sits below core in the DAG).
+fn fedbiad_core_free_kept_indices(params: &ParamSet, mask: &ModelMask) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    for e in 0..params.num_entries() {
+        let m = params.mat(e);
+        let cols = m.cols();
+        let cov = &mask.per_entry[e];
+        for r in 0..m.rows() {
+            for c in 0..cols {
+                if cov.covers(r, c, cols) {
+                    out.push(off + r * cols + c);
+                }
+            }
+        }
+        off += m.len();
+        let bias_len = params.bias(e).len();
+        for r in 0..bias_len {
+            if cov.covers_bias(r) {
+                out.push(off + r);
+            }
+        }
+        off += bias_len;
+    }
+    out
+}

@@ -176,7 +176,7 @@ impl FlAlgorithm for Afd {
 
     fn aggregate(
         &mut self,
-        _info: RoundInfo,
+        info: RoundInfo,
         rctx: &AfdRoundCtx,
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
@@ -185,7 +185,8 @@ impl FlAlgorithm for Afd {
             .iter()
             .map(|(_, r)| (r.num_samples as f32, &r.upload))
             .collect();
-        aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
+        aggregate_weights(global, &ups, ZeroMode::HoldersOnly, info.agg)
+            .expect("aggregation failed");
 
         // Credit active units with the mean loss improvement (EMA 0.9).
         let mean_impr = results.iter().map(|(_, r)| r.loss_improvement).sum::<f32>()
@@ -225,6 +226,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 8,
+            agg: Default::default(),
         };
         let rctx = algo.begin_round(info, &global);
         assert!(!rctx.drops[0].is_empty());
@@ -263,6 +265,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 8,
+            agg: Default::default(),
         };
         let rctx = algo.begin_round(info, &global);
         assert!(rctx.drops[0].contains(&3), "{:?}", rctx.drops[0]);
@@ -279,6 +282,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 8,
+            agg: Default::default(),
         };
         let rctx = algo.begin_round(info, &global);
         let cfg = TrainConfig {

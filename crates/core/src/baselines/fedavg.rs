@@ -2,12 +2,13 @@
 //! the pure sketched-compression methods of Table II (FedPAQ, signSGD,
 //! STC, DGC), which compress the full-model *delta* with no dropout.
 
+use fedbiad_compress::codec::encode_delta;
 use fedbiad_compress::{ClientState as SketchState, Compressor};
 use fedbiad_data::ClientData;
 use fedbiad_fl::aggregate::{aggregate_deltas, aggregate_weights, ZeroMode};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use fedbiad_fl::client::{run_local_training, LocalRunId, NoHooks};
-use fedbiad_fl::upload::{Upload, UploadKind};
+use fedbiad_fl::upload::{Upload, UploadBody, UploadKind};
 use fedbiad_nn::{Model, ModelMask, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use std::sync::Arc;
@@ -73,7 +74,7 @@ impl FlAlgorithm for FedAvg {
         let stats = run_local_training(id, model, data, cfg, &mut u, &mut NoHooks);
 
         let upload = match &self.sketch {
-            None => Upload::full_weights(u),
+            None => Upload::full_weights_with(u, info.agg),
             Some(comp) => {
                 // Delta = trained − received, compressed with residual
                 // feedback; the server receives the decoded delta.
@@ -87,13 +88,28 @@ impl FlAlgorithm for FedAvg {
                     client_id as u64,
                 );
                 let compressed = comp.compress(state, &delta, info.round, &mut crng);
-                let mut dparams = global.zeros_like();
-                dparams.unflatten_from(&compressed.decoded);
-                Upload {
-                    kind: UploadKind::Delta,
-                    coverage: ModelMask::full(global),
-                    wire_bytes: compressed.wire_bytes,
-                    params: dparams,
+                if info.agg.streaming {
+                    // Streaming: ship the real encoded payload; the server
+                    // decodes it shard by shard and never holds a dense
+                    // per-client delta (the compressor's own transient
+                    // `decoded` scratch is freed right here).
+                    let msg = encode_delta(&compressed.payload);
+                    debug_assert_eq!(msg.body_bytes(), compressed.wire_bytes);
+                    Upload::wire(
+                        UploadKind::Delta,
+                        msg,
+                        ModelMask::full(global),
+                        compressed.wire_bytes,
+                    )
+                } else {
+                    let mut dparams = global.zeros_like();
+                    dparams.unflatten_from(&compressed.decoded);
+                    Upload {
+                        kind: UploadKind::Delta,
+                        coverage: ModelMask::full(global),
+                        wire_bytes: compressed.wire_bytes,
+                        body: UploadBody::Dense(dparams),
+                    }
                 }
             }
         };
@@ -109,7 +125,7 @@ impl FlAlgorithm for FedAvg {
 
     fn aggregate(
         &mut self,
-        _info: RoundInfo,
+        info: RoundInfo,
         _rctx: &(),
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
@@ -119,9 +135,10 @@ impl FlAlgorithm for FedAvg {
             .map(|(_, r)| (r.num_samples as f32, &r.upload))
             .collect();
         match self.sketch {
-            None => aggregate_weights(global, &ups, ZeroMode::HoldersOnly),
-            Some(_) => aggregate_deltas(global, &ups),
+            None => aggregate_weights(global, &ups, ZeroMode::HoldersOnly, info.agg),
+            Some(_) => aggregate_deltas(global, &ups, info.agg),
         }
+        .expect("aggregation failed");
     }
 }
 
@@ -156,6 +173,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 2,
+            agg: Default::default(),
         };
         let cfg = TrainConfig {
             local_iters: 3,
@@ -177,6 +195,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 2,
+            agg: Default::default(),
         };
         let cfg = TrainConfig {
             local_iters: 3,
@@ -201,6 +220,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 3,
+            agg: Default::default(),
         };
         let cfg = TrainConfig {
             local_iters: 5,

@@ -114,7 +114,7 @@ impl FlAlgorithm for FedDrop {
 
     fn aggregate(
         &mut self,
-        _info: RoundInfo,
+        info: RoundInfo,
         _rctx: &(),
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
@@ -123,7 +123,8 @@ impl FlAlgorithm for FedDrop {
             .iter()
             .map(|(_, r)| (r.num_samples as f32, &r.upload))
             .collect();
-        aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
+        aggregate_weights(global, &ups, ZeroMode::HoldersOnly, info.agg)
+            .expect("aggregation failed");
     }
 }
 
@@ -157,6 +158,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 4,
+            agg: Default::default(),
         };
         let algo_lo = FedDrop::new(0.2);
         let algo_hi = FedDrop::new(0.5);
@@ -179,6 +181,7 @@ mod tests {
             round: 3,
             total_rounds: 5,
             seed: 7,
+            agg: Default::default(),
         };
         let drops = algo.sample_drops(&groups, info, 0);
         for (g, units) in &drops {
@@ -200,6 +203,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 4,
+            agg: Default::default(),
         };
         let a = algo.sample_drops(&groups, info, 0);
         let b = algo.sample_drops(&groups, info, 1);

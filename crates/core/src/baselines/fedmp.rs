@@ -115,7 +115,7 @@ impl FlAlgorithm for FedMp {
 
     fn aggregate(
         &mut self,
-        _info: RoundInfo,
+        info: RoundInfo,
         _rctx: &(),
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
@@ -124,7 +124,8 @@ impl FlAlgorithm for FedMp {
             .iter()
             .map(|(_, r)| (r.num_samples as f32, &r.upload))
             .collect();
-        aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
+        aggregate_weights(global, &ups, ZeroMode::HoldersOnly, info.agg)
+            .expect("aggregation failed");
     }
 }
 

@@ -112,7 +112,7 @@ impl FlAlgorithm for Fjord {
 
     fn aggregate(
         &mut self,
-        _info: RoundInfo,
+        info: RoundInfo,
         _rctx: &(),
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
@@ -121,7 +121,8 @@ impl FlAlgorithm for Fjord {
             .iter()
             .map(|(_, r)| (r.num_samples as f32, &r.upload))
             .collect();
-        aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
+        aggregate_weights(global, &ups, ZeroMode::HoldersOnly, info.agg)
+            .expect("aggregation failed");
     }
 }
 
@@ -168,6 +169,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 6,
+            agg: Default::default(),
         };
         let mut seen = std::collections::BTreeSet::new();
         for client in 0..12usize {

@@ -105,7 +105,7 @@ impl FlAlgorithm for HeteroFl {
 
     fn aggregate(
         &mut self,
-        _info: RoundInfo,
+        info: RoundInfo,
         _rctx: &(),
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
@@ -114,7 +114,8 @@ impl FlAlgorithm for HeteroFl {
             .iter()
             .map(|(_, r)| (r.num_samples as f32, &r.upload))
             .collect();
-        aggregate_weights(global, &ups, ZeroMode::HoldersOnly);
+        aggregate_weights(global, &ups, ZeroMode::HoldersOnly, info.agg)
+            .expect("aggregation failed");
     }
 }
 
@@ -154,6 +155,7 @@ mod tests {
             round: 0,
             total_rounds: 5,
             seed: 6,
+            agg: Default::default(),
         };
         let mut bytes = Vec::new();
         for client in 0..3usize {

@@ -47,7 +47,13 @@ pub fn kept_flat_indices(params: &ParamSet, mask: &ModelMask) -> Vec<usize> {
 /// Result of sketching a masked-weights upload.
 pub struct SketchOutcome {
     /// Server-side reconstruction of β∘U (masked global + decoded delta).
-    pub reconstructed: ParamSet,
+    /// `None` when the caller asked for the wire payload only (the
+    /// streaming path never materialises it).
+    pub reconstructed: Option<ParamSet>,
+    /// The compressor's payload over the covered-subvector delta — what a
+    /// streaming upload puts on the wire
+    /// (`fedbiad_compress::codec::encode_weights_delta`).
+    pub payload: fedbiad_compress::codec::Payload,
     /// Compressed payload bytes (excluding the dropping-pattern bits,
     /// which the caller adds).
     pub payload_bytes: u64,
@@ -55,8 +61,10 @@ pub struct SketchOutcome {
     pub sent_values: u64,
 }
 
-/// Compress the kept-row delta of `masked_u` against `global` and return
-/// the server-side reconstruction.
+/// Compress the kept-row delta of `masked_u` against `global`. With
+/// `want_dense`, also return the server-side dense reconstruction (the
+/// reference path); without it, only the wire payload is produced.
+#[allow(clippy::too_many_arguments)]
 pub fn sketch_masked_weights(
     comp: &dyn Compressor,
     state: &mut SketchState,
@@ -65,6 +73,7 @@ pub fn sketch_masked_weights(
     mask: &ModelMask,
     round: usize,
     rng: &mut StdRng,
+    want_dense: bool,
 ) -> SketchOutcome {
     let mut masked_g = global.clone();
     mask.apply(&mut masked_g);
@@ -87,15 +96,19 @@ pub fn sketch_masked_weights(
         state.velocity[i] = tmp.velocity[pos];
     }
 
-    let mut rec_flat = fg;
-    for (pos, &i) in kept.iter().enumerate() {
-        rec_flat[i] += compressed.decoded[pos];
-    }
-    let mut reconstructed = masked_u.zeros_like();
-    reconstructed.unflatten_from(&rec_flat);
+    let reconstructed = want_dense.then(|| {
+        let mut rec_flat = fg;
+        for (pos, &i) in kept.iter().enumerate() {
+            rec_flat[i] += compressed.decoded[pos];
+        }
+        let mut reconstructed = masked_u.zeros_like();
+        reconstructed.unflatten_from(&rec_flat);
+        reconstructed
+    });
 
     SketchOutcome {
         reconstructed,
+        payload: compressed.payload,
         payload_bytes: compressed.wire_bytes,
         sent_values: compressed.sent_values,
     }
@@ -157,8 +170,10 @@ mod tests {
             &mask,
             0,
             &mut rng,
+            true,
         );
-        assert_eq!(out.reconstructed.flatten(), masked_u.flatten());
+        let rec = out.reconstructed.expect("dense reconstruction requested");
+        assert_eq!(rec.flatten(), masked_u.flatten());
         // Payload covers exactly the kept scalars.
         assert_eq!(out.sent_values, 6);
         assert_eq!(out.payload_bytes, 6 * 4);
@@ -179,7 +194,7 @@ mod tests {
         let mask0 = row_mask(&global, [true, false, true]);
         let mut mu0 = u.clone();
         mask0.apply(&mut mu0);
-        let _ = sketch_masked_weights(&comp, &mut st, &mu0, &global, &mask0, 0, &mut rng);
+        let _ = sketch_masked_weights(&comp, &mut st, &mu0, &global, &mask0, 0, &mut rng, true);
         // Flat index of (row1, col0) is 2.
         assert_eq!(st.residual[2], 0.0, "dropped row has no residual yet");
 
@@ -188,8 +203,8 @@ mod tests {
         let mask1 = row_mask(&global, [false, true, true]);
         let mut mu1 = u.clone();
         mask1.apply(&mut mu1);
-        let out = sketch_masked_weights(&comp, &mut st, &mu1, &global, &mask1, 1, &mut rng);
-        let recon = out.reconstructed.mat(0).get(1, 0);
+        let out = sketch_masked_weights(&comp, &mut st, &mu1, &global, &mask1, 1, &mut rng, true);
+        let recon = out.reconstructed.expect("dense").mat(0).get(1, 0);
         let resid = st.residual[2];
         assert!(
             (recon + resid - 4.0).abs() < 1e-5,

@@ -384,7 +384,7 @@ impl FlAlgorithm for FedBiad {
         // client's next participation.
         state.pattern = Some(final_pattern);
         let upload = match &self.sketch {
-            None => Upload::masked_weights(u, final_mask),
+            None => Upload::masked_weights_with(u, final_mask, info.agg),
             Some(comp) => {
                 let mut masked_u = u;
                 final_mask.apply(&mut masked_u);
@@ -402,15 +402,31 @@ impl FlAlgorithm for FedBiad {
                     &final_mask,
                     info.round,
                     &mut crng,
+                    !info.agg.streaming,
                 );
                 // Wire = compressed payload + the 1-bit/row pattern.
                 let pattern_overhead =
                     final_mask.wire_bytes(&masked_u) - final_mask.kept_params(&masked_u) as u64 * 4;
-                Upload {
-                    kind: fedbiad_fl::upload::UploadKind::Weights,
-                    params: out.reconstructed,
-                    coverage: final_mask,
-                    wire_bytes: out.payload_bytes + pattern_overhead,
+                let wire_bytes = out.payload_bytes + pattern_overhead;
+                if info.agg.streaming {
+                    let msg =
+                        fedbiad_compress::codec::encode_weights_delta(&final_mask, &out.payload);
+                    debug_assert_eq!(msg.body_bytes(), wire_bytes);
+                    Upload::wire(
+                        fedbiad_fl::upload::UploadKind::Weights,
+                        msg,
+                        final_mask,
+                        wire_bytes,
+                    )
+                } else {
+                    Upload {
+                        kind: fedbiad_fl::upload::UploadKind::Weights,
+                        body: fedbiad_fl::upload::UploadBody::Dense(
+                            out.reconstructed.expect("dense reference path"),
+                        ),
+                        coverage: final_mask,
+                        wire_bytes,
+                    }
                 }
             }
         };
@@ -426,7 +442,7 @@ impl FlAlgorithm for FedBiad {
 
     fn aggregate(
         &mut self,
-        _info: RoundInfo,
+        info: RoundInfo,
         _rctx: &(),
         global: &mut ParamSet,
         results: &[(usize, LocalResult)],
@@ -436,7 +452,8 @@ impl FlAlgorithm for FedBiad {
             .iter()
             .map(|(_, r)| (r.num_samples as f32, &r.upload))
             .collect();
-        aggregate_weights(global, &ups, self.cfg.aggregation);
+        aggregate_weights(global, &ups, self.cfg.aggregation, info.agg)
+            .expect("aggregation failed");
 
         // Update the posterior keep-frequency EMA from this round's
         // coverage (drives the eq. (11)/(12) predictive scaling in
@@ -530,6 +547,7 @@ mod tests {
             round: 0,
             total_rounds: 10,
             seed: 7,
+            agg: Default::default(),
         };
         let res = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg());
         // Exactly keep_count rows transmitted.
@@ -558,6 +576,7 @@ mod tests {
             round: 5,
             total_rounds: 10,
             seed: 7,
+            agg: Default::default(),
         }; // r=6 > Rb
         let res = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg());
         let j = global.num_row_units();
@@ -577,6 +596,7 @@ mod tests {
             round: 0,
             total_rounds: 10,
             seed: 3,
+            agg: Default::default(),
         };
         let _ = algo.local_update(info, &(), 0, &mut st, &global, &data, &model, &cfg());
         let total: f32 = st.scores.e.iter().sum();
@@ -618,6 +638,7 @@ mod tests {
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,
+            agg: Default::default(),
         };
         let algo = FedBiad::new(FedBiadConfig::paper(0.3, 12));
         let log = Experiment::new(&model, &fd, algo, cfg).run();
@@ -643,6 +664,7 @@ mod tests {
             round: 0,
             total_rounds: 10,
             seed: 9,
+            agg: Default::default(),
         };
         let mut st_a = plain.init_client_state(0, &model, &global);
         let mut st_b = sketched.init_client_state(0, &model, &global);
@@ -652,10 +674,10 @@ mod tests {
         // f32 rounding of the delta round-trip (g + (u − g)).
         for (x, y) in a
             .upload
-            .params
+            .params()
             .flatten()
             .iter()
-            .zip(b.upload.params.flatten())
+            .zip(b.upload.params().flatten())
         {
             assert!((x - y).abs() < 1e-5, "{x} vs {y}");
         }

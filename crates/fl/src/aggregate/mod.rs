@@ -1,0 +1,517 @@
+//! Server-side aggregation.
+//!
+//! Two engines implement the same mathematics and are **bit-identical**
+//! (`tests/aggregation_equivalence.rs`):
+//!
+//! * `dense` — the retained reference path: every upload's dense
+//!   `ParamSet` is reduced entry by entry on one thread. Memory is
+//!   O(clients × model).
+//! * `streaming` — the sharded streaming path: the flat parameter
+//!   space is split into fixed-size shards; each client's contribution is
+//!   decoded from its wire bytes shard by shard, straight into per-shard
+//!   accumulators (fused decode + reduce). Shards run in parallel under
+//!   the deterministic rayon shim with a fixed in-order client reduction
+//!   per shard, and all data-sized scratch comes from a thread-local
+//!   workspace arena, so steady-state aggregation allocates nothing
+//!   ([`arena_churn`]). Server memory is O(model), independent of the
+//!   cohort size.
+//!
+//! Which engine runs is a pure execution knob ([`AggSettings`], the
+//! scenario `[aggregation]` table): it can never change results, which is
+//! why it does not feed the scenario seed hash.
+//!
+//! ## Zero-handling semantics
+//!
+//! Two weight-aggregation semantics are provided (DESIGN.md §4.2):
+//!
+//! * [`ZeroMode::ZerosPull`] — the literal eq. (10): every selected client
+//!   contributes its *reconstructed* β∘U (dropped rows as zeros) and the
+//!   denominator is Σ|D_k| over all selected clients. A row dropped by
+//!   many clients is pulled toward zero — spike-and-slab shrinkage.
+//! * [`ZeroMode::HoldersOnly`] — each element is averaged only over the
+//!   clients that actually trained it; elements nobody held keep their
+//!   previous global value. This is the classic federated-dropout
+//!   aggregation (Caldas et al., FjORD, HeteroFL) and is used by the
+//!   baselines.
+//! * [`ZeroMode::StaleFill`] — non-covering clients vote "no change" with
+//!   the broadcast global value. FedBIAD's default.
+//!
+//! Delta uploads (sketched compression) are applied as
+//! `global += Σ w_k Δ_k / Σ w_k`.
+//!
+//! ## Weight validation
+//!
+//! Aggregation weights (|D_k|, staleness weights) are validated at the
+//! upload boundary: every weight must be finite and positive, otherwise a
+//! structured [`AggError`] is returned. A NaN weight used to slip through
+//! the old `assert!(total > 0.0)` guard only as a late panic on the
+//! *total*; a negative weight cancelled against positive ones passed
+//! silently. Mirroring the PR 4 `clip_norm` NaN fix, the boundary check
+//! now names the offending upload.
+
+mod dense;
+mod streaming;
+
+pub use streaming::arena_churn;
+
+use crate::upload::{Upload, UploadBody, UploadKind};
+use fedbiad_compress::codec::WireError;
+use fedbiad_nn::ParamSet;
+use serde::{Deserialize, Serialize};
+
+/// How dropped (non-covered) parameters participate in weight averaging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZeroMode {
+    /// Literal eq. (10): dropped rows are averaged as zeros. Under partial
+    /// participation this shrinks every row by the expected drop fraction
+    /// each round and the model collapses — kept as an ablation
+    /// (DESIGN.md §4.2); the paper's own convergence curves (Fig. 6)
+    /// cannot arise under this reading.
+    ZerosPull,
+    /// Average over holders; keep the previous global value where no
+    /// client held the parameter (classic federated-dropout aggregation).
+    HoldersOnly,
+    /// The operational reading of step 4 / eq. (10): the server
+    /// "reconstructs complete variational parameters" by filling each
+    /// client's dropped rows from the global model it broadcast, then
+    /// averages. Dropped rows effectively vote "no change". FedBIAD's
+    /// default.
+    StaleFill,
+}
+
+/// Aggregation-engine selection, broadcast to clients and server through
+/// `RoundInfo` so both sides of the wire always agree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggSettings {
+    /// Run the sharded streaming engine (clients encode real wire bytes,
+    /// the server decodes shard by shard). `false` = the dense reference.
+    pub streaming: bool,
+    /// Shard size in KiB of f32 parameters (≥ 1). Ignored by the dense
+    /// engine.
+    pub shard_kb: u32,
+}
+
+impl Default for AggSettings {
+    fn default() -> Self {
+        Self {
+            streaming: false,
+            shard_kb: 64,
+        }
+    }
+}
+
+impl AggSettings {
+    /// The streaming engine at `shard_kb` KiB shards.
+    pub fn sharded(shard_kb: u32) -> Self {
+        Self {
+            streaming: true,
+            shard_kb,
+        }
+    }
+
+    /// Shard size in f32 elements (at least 1).
+    pub fn shard_elems(&self) -> usize {
+        (self.shard_kb as usize * 1024 / 4).max(1)
+    }
+}
+
+/// A structured aggregation failure. `Display` is the full message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggError {
+    /// No uploads were provided.
+    NoUploads,
+    /// Upload `index` is not of the kind this aggregation consumes.
+    KindMismatch {
+        /// Position in the upload list.
+        index: usize,
+        /// The kind the aggregation needs.
+        expected: UploadKind,
+    },
+    /// Upload `index` carries a non-finite or non-positive aggregation
+    /// weight.
+    InvalidWeight {
+        /// Position in the upload list.
+        index: usize,
+        /// The offending weight.
+        value: f64,
+    },
+    /// The weight total vanished (cannot happen once every individual
+    /// weight is validated, kept as a defence in depth).
+    ZeroTotalWeight,
+    /// The dense reference engine received an encoded upload; dense
+    /// aggregation needs dense bodies.
+    DenseBodyRequired {
+        /// Position in the upload list.
+        index: usize,
+    },
+    /// An encoded upload failed structural validation.
+    Wire(WireError),
+    /// A buffered-async weights merge is missing the dispatched-global
+    /// snapshot its delta is defined against.
+    MissingSnapshot {
+        /// Position in the upload list.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for AggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggError::NoUploads => write!(f, "no uploads to aggregate"),
+            AggError::KindMismatch { index, expected } => match expected {
+                UploadKind::Weights => {
+                    write!(
+                        f,
+                        "aggregate_weights needs Weights uploads (upload {index})"
+                    )
+                }
+                UploadKind::Delta => {
+                    write!(f, "aggregate_deltas needs Delta uploads (upload {index})")
+                }
+            },
+            AggError::InvalidWeight { index, value } => write!(
+                f,
+                "aggregation weight of upload {index} must be finite and positive, got {value}"
+            ),
+            AggError::ZeroTotalWeight => write!(f, "total aggregation weight must be positive"),
+            AggError::DenseBodyRequired { index } => write!(
+                f,
+                "dense aggregation engine received an encoded (wire) upload at {index}"
+            ),
+            AggError::Wire(e) => write!(f, "wire decode failed: {e}"),
+            AggError::MissingSnapshot { index } => write!(
+                f,
+                "buffered weights merge needs a dispatched-global snapshot (upload {index})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+impl From<WireError> for AggError {
+    fn from(e: WireError) -> Self {
+        AggError::Wire(e)
+    }
+}
+
+/// Validate kinds and weights, returning Σw (the eq. (10) denominator).
+fn validate(uploads: &[(f32, &Upload)], expected: UploadKind) -> Result<f32, AggError> {
+    if uploads.is_empty() {
+        return Err(AggError::NoUploads);
+    }
+    for (i, (w, u)) in uploads.iter().enumerate() {
+        if u.kind != expected {
+            return Err(AggError::KindMismatch { index: i, expected });
+        }
+        if !(w.is_finite() && *w > 0.0) {
+            return Err(AggError::InvalidWeight {
+                index: i,
+                value: *w as f64,
+            });
+        }
+    }
+    let total: f32 = uploads.iter().map(|(w, _)| *w).sum();
+    if !total.is_finite() || total <= 0.0 {
+        return Err(AggError::ZeroTotalWeight);
+    }
+    Ok(total)
+}
+
+/// Aggregate `Weights` uploads into `global`. `weights[k]` is |D_k|.
+pub fn aggregate_weights(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    mode: ZeroMode,
+    settings: AggSettings,
+) -> Result<(), AggError> {
+    let total_w = validate(uploads, UploadKind::Weights)?;
+    if settings.streaming {
+        streaming::weights(global, uploads, mode, total_w, settings.shard_elems())
+    } else {
+        dense::weights(global, uploads, mode, total_w)
+    }
+}
+
+/// Apply `Delta` uploads: `global += Σ w_k Δ_k / Σ w_k`.
+pub fn aggregate_deltas(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    settings: AggSettings,
+) -> Result<(), AggError> {
+    let total_w = validate(uploads, UploadKind::Delta)?;
+    if settings.streaming {
+        streaming::deltas(global, uploads, total_w, settings.shard_elems())
+    } else {
+        dense::deltas(global, uploads, total_w)
+    }
+}
+
+/// One buffered upload of a FedBuff-style staleness-weighted merge.
+pub struct StalenessUpload<'a> {
+    /// Pre-computed staleness weight `wᵢ = |Dᵢ|/(1+τᵢ)^α`.
+    pub weight: f64,
+    /// The buffered upload.
+    pub upload: &'a Upload,
+    /// The global the client was dispatched with (required for `Weights`
+    /// uploads, whose delta is defined against it).
+    pub snapshot: Option<&'a ParamSet>,
+}
+
+/// FedBuff merge: `global += η_g · Σ wᵢΔᵢ / Σ wᵢ`, where a `Weights`
+/// upload's Δ is its payload minus the dispatched snapshot on covered
+/// positions (zero elsewhere) and a `Delta` upload's Δ is the payload
+/// itself. This is the simulator's buffered-async policy merge path,
+/// shared here so the dense and streaming engines can never diverge from
+/// each other.
+pub fn merge_staleness_weighted(
+    global: &mut ParamSet,
+    items: &[StalenessUpload<'_>],
+    server_lr: f64,
+    settings: AggSettings,
+) -> Result<(), AggError> {
+    if items.is_empty() {
+        return Err(AggError::NoUploads);
+    }
+    for (i, it) in items.iter().enumerate() {
+        if !(it.weight.is_finite() && it.weight > 0.0) {
+            return Err(AggError::InvalidWeight {
+                index: i,
+                value: it.weight,
+            });
+        }
+        if it.upload.kind == UploadKind::Weights && it.snapshot.is_none() {
+            return Err(AggError::MissingSnapshot { index: i });
+        }
+    }
+    let total_w: f64 = items.iter().map(|it| it.weight).sum();
+    if !total_w.is_finite() || total_w <= 0.0 {
+        return Err(AggError::ZeroTotalWeight);
+    }
+    if settings.streaming {
+        streaming::staleness(global, items, server_lr, total_w, settings.shard_elems())
+    } else {
+        dense::staleness(global, items, server_lr, total_w)
+    }
+}
+
+/// Dense body of an upload, or the structured error the dense engine
+/// reports for encoded bodies.
+fn dense_params(u: &Upload, index: usize) -> Result<&ParamSet, AggError> {
+    match &u.body {
+        UploadBody::Dense(p) => Ok(p),
+        UploadBody::Wire(_) => Err(AggError::DenseBodyRequired { index }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedbiad_nn::mask::{BitVec, ModelMask};
+    use fedbiad_nn::params::{EntryMeta, LayerKind};
+    use fedbiad_tensor::Matrix;
+
+    fn param(v: f32) -> ParamSet {
+        let mut p = ParamSet::new();
+        p.push_entry(
+            Matrix::full(2, 2, v),
+            Some(vec![v; 2]),
+            EntryMeta::new("w", LayerKind::DenseHidden, true, true),
+        );
+        p
+    }
+
+    fn masked_upload(v: f32, kept: [bool; 2]) -> Upload {
+        let p = param(v);
+        let mut beta = BitVec::new(2, true);
+        for (r, &k) in kept.iter().enumerate() {
+            beta.set(r, k);
+        }
+        Upload::masked_weights(p.clone(), ModelMask::from_row_pattern(&p, &beta))
+    }
+
+    fn delta_upload(d: ParamSet) -> Upload {
+        Upload {
+            kind: UploadKind::Delta,
+            coverage: ModelMask::full(&d),
+            wire_bytes: 0,
+            body: UploadBody::Dense(d),
+        }
+    }
+
+    const DENSE: AggSettings = AggSettings {
+        streaming: false,
+        shard_kb: 64,
+    };
+
+    #[test]
+    fn zeros_pull_matches_eq10() {
+        // Client A (|D|=1) keeps both rows with value 4; client B (|D|=3)
+        // drops row 1 with value 8 on row 0.
+        let a = masked_upload(4.0, [true, true]);
+        let b = masked_upload(8.0, [true, false]);
+        let mut g = param(0.0);
+        aggregate_weights(&mut g, &[(1.0, &a), (3.0, &b)], ZeroMode::ZerosPull, DENSE).unwrap();
+        // Row 0: (1·4 + 3·8)/4 = 7; row 1: (1·4 + 3·0)/4 = 1.
+        assert_eq!(g.mat(0).row(0), &[7.0, 7.0]);
+        assert_eq!(g.mat(0).row(1), &[1.0, 1.0]);
+        assert_eq!(g.bias(0), &[7.0, 1.0]);
+    }
+
+    #[test]
+    fn holders_only_ignores_droppers_and_keeps_uncovered() {
+        let a = masked_upload(4.0, [false, true]);
+        let b = masked_upload(8.0, [false, true]);
+        let mut g = param(-1.0);
+        aggregate_weights(
+            &mut g,
+            &[(1.0, &a), (1.0, &b)],
+            ZeroMode::HoldersOnly,
+            DENSE,
+        )
+        .unwrap();
+        // Row 0: nobody held it ⇒ previous global value −1 preserved.
+        assert_eq!(g.mat(0).row(0), &[-1.0, -1.0]);
+        // Row 1: mean of holders = 6.
+        assert_eq!(g.mat(0).row(1), &[6.0, 6.0]);
+        assert_eq!(g.bias(0), &[-1.0, 6.0]);
+    }
+
+    #[test]
+    fn stale_fill_blends_holders_with_previous_global() {
+        // Client A (|D|=1) keeps both rows at 4; client B (|D|=3) keeps
+        // only row 0 at 8. Previous global is 2 everywhere.
+        let a = masked_upload(4.0, [true, true]);
+        let b = masked_upload(8.0, [true, false]);
+        let mut g = param(2.0);
+        aggregate_weights(&mut g, &[(1.0, &a), (3.0, &b)], ZeroMode::StaleFill, DENSE).unwrap();
+        // Row 0: all cover → (1·4 + 3·8)/4 = 7.
+        assert_eq!(g.mat(0).row(0), &[7.0, 7.0]);
+        // Row 1: B votes "no change" with the old value 2:
+        // (1·4 + 3·2)/4 = 2.5.
+        assert_eq!(g.mat(0).row(1), &[2.5, 2.5]);
+        assert_eq!(g.bias(0), &[7.0, 2.5]);
+    }
+
+    #[test]
+    fn stale_fill_never_shrinks_unheld_rows() {
+        // The failure mode of the literal eq. (10): a row dropped by every
+        // selected client must stay put under StaleFill.
+        let a = masked_upload(4.0, [false, true]);
+        let mut g = param(5.0);
+        aggregate_weights(&mut g, &[(2.0, &a)], ZeroMode::StaleFill, DENSE).unwrap();
+        assert_eq!(g.mat(0).row(0), &[5.0, 5.0]);
+        assert_eq!(g.mat(0).row(1), &[4.0, 4.0]);
+        // …whereas zeros-pull collapses it.
+        let mut g2 = param(5.0);
+        aggregate_weights(&mut g2, &[(2.0, &a)], ZeroMode::ZerosPull, DENSE).unwrap();
+        assert_eq!(g2.mat(0).row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn full_coverage_both_modes_agree_with_weighted_mean() {
+        let a = Upload::full_weights(param(2.0));
+        let b = Upload::full_weights(param(6.0));
+        for mode in [
+            ZeroMode::ZerosPull,
+            ZeroMode::HoldersOnly,
+            ZeroMode::StaleFill,
+        ] {
+            let mut g = param(0.0);
+            aggregate_weights(&mut g, &[(1.0, &a), (3.0, &b)], mode, DENSE).unwrap();
+            assert_eq!(g.mat(0).get(0, 0), 5.0, "{mode:?}");
+            assert_eq!(g.bias(0)[0], 5.0);
+        }
+    }
+
+    #[test]
+    fn delta_aggregation_moves_global() {
+        let mut g = param(1.0);
+        let mut d1 = param(0.0);
+        d1.mat_mut(0).set(0, 0, 2.0);
+        let mut d2 = param(0.0);
+        d2.mat_mut(0).set(0, 0, 4.0);
+        let u1 = delta_upload(d1);
+        let u2 = delta_upload(d2);
+        aggregate_deltas(&mut g, &[(1.0, &u1), (1.0, &u2)], DENSE).unwrap();
+        assert_eq!(g.mat(0).get(0, 0), 1.0 + 3.0);
+        assert_eq!(g.mat(0).get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_structured_error() {
+        let u = delta_upload(param(0.0));
+        let mut g = param(0.0);
+        let err = aggregate_weights(&mut g, &[(1.0, &u)], ZeroMode::ZerosPull, DENSE).unwrap_err();
+        assert_eq!(
+            err,
+            AggError::KindMismatch {
+                index: 0,
+                expected: UploadKind::Weights
+            }
+        );
+        assert!(err.to_string().contains("Weights uploads"), "{err}");
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected_at_the_upload_boundary() {
+        // Regression (mirrors the PR 4 clip_norm NaN fix): a NaN weight
+        // used to surface only as a late panic on the total — or, mixed
+        // with positives that dominated the sum, a negative weight passed
+        // the old `total > 0` assert silently. Both are structured errors
+        // naming the offending upload now.
+        let a = masked_upload(1.0, [true, true]);
+        let b = masked_upload(2.0, [true, true]);
+        for settings in [DENSE, AggSettings::sharded(1)] {
+            for bad in [f32::NAN, f32::INFINITY, 0.0, -1.0] {
+                let mut g = param(0.0);
+                let err = aggregate_weights(
+                    &mut g,
+                    &[(3.0, &a), (bad, &b)],
+                    ZeroMode::StaleFill,
+                    settings,
+                )
+                .unwrap_err();
+                // NaN != NaN, so compare structurally + on bits.
+                match err {
+                    AggError::InvalidWeight { index: 1, value } => {
+                        assert_eq!(value.to_bits(), (bad as f64).to_bits())
+                    }
+                    other => panic!("weight {bad} under {settings:?}: got {other:?}"),
+                }
+                // The global must be untouched on error.
+                assert_eq!(g.flatten(), param(0.0).flatten());
+            }
+        }
+        // Deltas and the staleness merge share the boundary check.
+        let d = delta_upload(param(0.0));
+        let mut g = param(0.0);
+        assert!(matches!(
+            aggregate_deltas(&mut g, &[(f32::NAN, &d)], DENSE),
+            Err(AggError::InvalidWeight { index: 0, .. })
+        ));
+        let snap = param(0.0);
+        let item = StalenessUpload {
+            weight: f64::NAN,
+            upload: &d,
+            snapshot: Some(&snap),
+        };
+        assert!(matches!(
+            merge_staleness_weighted(&mut g, &[item], 1.0, DENSE),
+            Err(AggError::InvalidWeight { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_uploads_error() {
+        let mut g = param(0.0);
+        assert_eq!(
+            aggregate_weights(&mut g, &[], ZeroMode::ZerosPull, DENSE).unwrap_err(),
+            AggError::NoUploads
+        );
+        assert_eq!(
+            aggregate_deltas(&mut g, &[], DENSE).unwrap_err(),
+            AggError::NoUploads
+        );
+    }
+}

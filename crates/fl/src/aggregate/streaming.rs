@@ -1,0 +1,758 @@
+//! The sharded streaming engine: fused decode + reduce over fixed-size
+//! shards of the flat parameter space.
+//!
+//! ## How it stays bit-identical to [`super::dense`]
+//!
+//! Aggregation is element-wise: every output element is a function of
+//! that element's inputs only, reduced over clients **in upload order**.
+//! Splitting the flat space ([`ParamSet::flatten`] order) into shards
+//! therefore cannot change a single bit as long as
+//!
+//! 1. each shard reduces clients in the same fixed order the dense path
+//!    uses (the upload list order), and
+//! 2. every per-element expression is written exactly as the dense
+//!    reference writes it (`num·(1/W)` for matrix elements under
+//!    zeros-pull but `num/W` for biases, `(num + (W−den)·g)/W` for
+//!    stale-fill, and so on — see `dense.rs`).
+//!
+//! Shards run in parallel through the deterministic rayon shim; each
+//! shard owns disjoint `&mut` slices of the output and scratch buffers,
+//! so thread count cannot affect results either
+//! (`tests/thread_determinism.rs`).
+//!
+//! ## Memory
+//!
+//! The dense path holds one dense `ParamSet` per client
+//! (O(clients × model)). Here each client contributes straight from its
+//! encoded bytes: the only data-sized buffers are a handful of
+//! model-sized flats (global, numerator, denominator, per-client shard
+//! scratch), checked out of a thread-local [`Workspace`] arena — after
+//! the first aggregation of a given shape, [`arena_churn`] stays
+//! constant, i.e. steady-state aggregation performs **no data-sized
+//! allocations**.
+
+use super::{AggError, StalenessUpload, ZeroMode};
+use crate::upload::{Upload, UploadBody, UploadKind};
+use fedbiad_compress::codec::{
+    bias_kept as codec_bias_kept, encode_delta, encode_weights, mat_kept as codec_mat_kept,
+    BodyKind, Payload, WireError, WireMsg, WireView,
+};
+use fedbiad_nn::{CoverageMask, ParamSet};
+use fedbiad_tensor::Workspace;
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// The server's scratch arena. Aggregation runs on the round-loop
+    /// thread, so the arena persists across rounds and steady-state
+    /// checkouts allocate nothing.
+    static ARENA: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Allocation churn of the calling thread's aggregation arena — constant
+/// across steady-state rounds (pinned by `tests/aggregation_equivalence.rs`).
+pub fn arena_churn() -> u64 {
+    ARENA.with(|a| a.borrow().churn())
+}
+
+// ---- flat layout -------------------------------------------------------
+
+/// Flat spans of each entry in [`ParamSet::flatten`] order.
+struct Span {
+    mat_start: usize,
+    rows: usize,
+    cols: usize,
+    bias_start: usize,
+    bias_len: usize,
+}
+
+impl Span {
+    fn end(&self) -> usize {
+        self.bias_start + self.bias_len
+    }
+}
+
+struct FlatLayout {
+    spans: Vec<Span>,
+    total: usize,
+}
+
+impl FlatLayout {
+    fn of(p: &ParamSet) -> FlatLayout {
+        let mut spans = Vec::with_capacity(p.num_entries());
+        let mut off = 0usize;
+        for e in 0..p.num_entries() {
+            let m = p.mat(e);
+            let mat_start = off;
+            off += m.len();
+            let bias_start = off;
+            let bias_len = p.bias(e).len();
+            off += bias_len;
+            spans.push(Span {
+                mat_start,
+                rows: m.rows(),
+                cols: m.cols(),
+                bias_start,
+                bias_len,
+            });
+        }
+        FlatLayout { spans, total: off }
+    }
+
+    /// Entry containing flat position `pos`.
+    fn entry_of(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.total);
+        self.spans.partition_point(|s| s.end() <= pos)
+    }
+}
+
+// ---- per-upload kept-value bookkeeping ---------------------------------
+
+/// Where each entry's covered values sit in an upload's kept-value
+/// stream (cumulative counts, in flatten order).
+struct KeptMeta {
+    /// `prefix[e]` = covered scalars before entry `e`; last = total.
+    prefix: Vec<usize>,
+    /// Covered *matrix* scalars of entry `e` (biases follow them).
+    mat_kept: Vec<usize>,
+}
+
+impl KeptMeta {
+    fn of(masks: &[CoverageMask], layout: &FlatLayout) -> KeptMeta {
+        let mut prefix = Vec::with_capacity(masks.len() + 1);
+        let mut mat_kept = Vec::with_capacity(masks.len());
+        let mut acc = 0usize;
+        prefix.push(0);
+        for (mask, span) in masks.iter().zip(&layout.spans) {
+            // Kept-count conventions come from the codec (the wire
+            // format's source of truth), so the rank bookkeeping here can
+            // never drift from what the encoder transmitted.
+            let mk = codec_mat_kept(mask, span.rows, span.cols);
+            acc += mk + codec_bias_kept(mask, span.bias_len);
+            mat_kept.push(mk);
+            prefix.push(acc);
+        }
+        KeptMeta { prefix, mat_kept }
+    }
+
+    /// Kept-rank of flat position `pos` (number of covered scalars before
+    /// it); `pos == total` returns the total covered count.
+    fn rank_at(&self, pos: usize, masks: &[CoverageMask], layout: &FlatLayout) -> usize {
+        if pos >= layout.total {
+            return *self.prefix.last().expect("non-empty prefix");
+        }
+        let e = layout.entry_of(pos);
+        let span = &layout.spans[e];
+        let mask = &masks[e];
+        if pos < span.bias_start {
+            let o = pos - span.mat_start;
+            let (r, c) = (o / span.cols, o % span.cols);
+            let mat_rank = match mask {
+                CoverageMask::Full => o,
+                CoverageMask::Rows(rb) => rb.rank(r) * span.cols + if rb.get(r) { c } else { 0 },
+                CoverageMask::RowsCols { rows, cols } => {
+                    rows.rank(r) * cols.count_ones() + if rows.get(r) { cols.rank(c) } else { 0 }
+                }
+                CoverageMask::Elements(b) => b.rank(o),
+            };
+            self.prefix[e] + mat_rank
+        } else {
+            let br = pos - span.bias_start;
+            let bias_rank = match mask {
+                CoverageMask::Full | CoverageMask::Elements(_) => br,
+                CoverageMask::Rows(rb) | CoverageMask::RowsCols { rows: rb, .. } => rb.rank(br),
+            };
+            self.prefix[e] + self.mat_kept[e] + bias_rank
+        }
+    }
+}
+
+/// One coverage run of a shard walk.
+enum Run {
+    /// `n` covered elements at local offset `local`; their kept values
+    /// are `ks[ki..ki+n]`.
+    Covered { local: usize, ki: usize, n: usize },
+    /// `n` dropped elements at local offset `local`.
+    Dropped { local: usize, n: usize },
+}
+
+/// Walk a shard range of one upload's coverage as *runs*: maximal
+/// stretches of covered and dropped elements, in flat order. Covered
+/// rows of `Rows`/`Full` masks — the hot case — surface as whole-row
+/// runs, so consumers reduce them with tight slice loops instead of
+/// per-element dispatch.
+fn walk_runs(
+    view: &WireView<'_>,
+    kmeta: &KeptMeta,
+    layout: &FlatLayout,
+    start: usize,
+    len: usize,
+    mut f: impl FnMut(Run),
+) {
+    if len == 0 {
+        return;
+    }
+    let kr0 = kmeta.rank_at(start, &view.masks, layout);
+    let end = start + len;
+    let first = layout.entry_of(start);
+    for (e, span) in layout.spans.iter().enumerate().skip(first) {
+        if span.mat_start >= end {
+            break;
+        }
+        let mask = &view.masks[e];
+        // Matrix section.
+        let m0 = span.mat_start.max(start);
+        let m1 = span.bias_start.min(end);
+        if m0 < m1 {
+            let mut ki = kmeta.rank_at(m0, &view.masks, layout) - kr0;
+            match mask {
+                CoverageMask::Full => f(Run::Covered {
+                    local: m0 - start,
+                    ki,
+                    n: m1 - m0,
+                }),
+                CoverageMask::Rows(rb) => {
+                    let mut o = m0;
+                    while o < m1 {
+                        let r = (o - span.mat_start) / span.cols;
+                        let row_end = (span.mat_start + (r + 1) * span.cols).min(m1);
+                        if rb.get(r) {
+                            f(Run::Covered {
+                                local: o - start,
+                                ki,
+                                n: row_end - o,
+                            });
+                            ki += row_end - o;
+                        } else {
+                            f(Run::Dropped {
+                                local: o - start,
+                                n: row_end - o,
+                            });
+                        }
+                        o = row_end;
+                    }
+                }
+                CoverageMask::RowsCols { rows: rb, cols: cb } => {
+                    let mut o = m0;
+                    while o < m1 {
+                        let r = (o - span.mat_start) / span.cols;
+                        let row_end = (span.mat_start + (r + 1) * span.cols).min(m1);
+                        if rb.get(r) {
+                            for oo in o..row_end {
+                                if cb.get((oo - span.mat_start) % span.cols) {
+                                    f(Run::Covered {
+                                        local: oo - start,
+                                        ki,
+                                        n: 1,
+                                    });
+                                    ki += 1;
+                                } else {
+                                    f(Run::Dropped {
+                                        local: oo - start,
+                                        n: 1,
+                                    });
+                                }
+                            }
+                        } else {
+                            f(Run::Dropped {
+                                local: o - start,
+                                n: row_end - o,
+                            });
+                        }
+                        o = row_end;
+                    }
+                }
+                CoverageMask::Elements(bits) => {
+                    for o in m0..m1 {
+                        if bits.get(o - span.mat_start) {
+                            f(Run::Covered {
+                                local: o - start,
+                                ki,
+                                n: 1,
+                            });
+                            ki += 1;
+                        } else {
+                            f(Run::Dropped {
+                                local: o - start,
+                                n: 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Bias section (small; elementwise).
+        let b0 = span.bias_start.max(start);
+        let b1 = span.end().min(end);
+        if b0 < b1 {
+            let mut ki = kmeta.rank_at(b0, &view.masks, layout) - kr0;
+            for o in b0..b1 {
+                let br = o - span.bias_start;
+                let covered = match mask {
+                    CoverageMask::Full | CoverageMask::Elements(_) => true,
+                    CoverageMask::Rows(rb) | CoverageMask::RowsCols { rows: rb, .. } => rb.get(br),
+                };
+                if covered {
+                    f(Run::Covered {
+                        local: o - start,
+                        ki,
+                        n: 1,
+                    });
+                    ki += 1;
+                } else {
+                    f(Run::Dropped {
+                        local: o - start,
+                        n: 1,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---- prepared uploads --------------------------------------------------
+
+/// An upload ready for shard decoding: either its own wire bytes or an
+/// on-the-fly encoding of a dense body (differential tests drive both
+/// engines from identical dense uploads this way; production streaming
+/// clients ship wire bodies and skip this copy).
+enum PreparedMsg<'a> {
+    Borrowed(&'a WireMsg),
+    Owned(WireMsg),
+}
+
+impl PreparedMsg<'_> {
+    fn get(&self) -> &WireMsg {
+        match self {
+            PreparedMsg::Borrowed(m) => m,
+            PreparedMsg::Owned(m) => m,
+        }
+    }
+}
+
+fn prepare_msg(u: &Upload) -> PreparedMsg<'_> {
+    match &u.body {
+        UploadBody::Wire(m) => PreparedMsg::Borrowed(m),
+        UploadBody::Dense(p) => PreparedMsg::Owned(match u.kind {
+            UploadKind::Weights => encode_weights(p, &u.coverage),
+            UploadKind::Delta => encode_delta(&Payload::Dense {
+                values: p.flatten(),
+            }),
+        }),
+    }
+}
+
+fn check_kind(view: &WireView<'_>, upload_kind: UploadKind) -> Result<(), AggError> {
+    let ok = match upload_kind {
+        UploadKind::Weights => matches!(
+            view.kind,
+            BodyKind::WeightsAbsolute | BodyKind::WeightsDelta
+        ),
+        UploadKind::Delta => view.kind == BodyKind::DeltaFull,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(AggError::Wire(WireError::Inconsistent(
+            "wire body kind does not match upload kind",
+        )))
+    }
+}
+
+// ---- shard scaffolding -------------------------------------------------
+
+/// Disjoint per-shard slices of the model-sized scratch buffers.
+struct ShardTask<'a> {
+    start: usize,
+    g: &'a mut [f32],
+    num: &'a mut [f32],
+    den: &'a mut [f32],
+    vals: &'a mut [f32],
+    kept: &'a mut [f32],
+    snap: &'a mut [f32],
+}
+
+/// Which scratch buffers an operation touches (unrequested ones are not
+/// checked out, so they cost neither allocation nor zero-fill).
+#[derive(Clone, Copy)]
+struct Needs {
+    num: bool,
+    den: bool,
+    vals: bool,
+    kept: bool,
+    snap: bool,
+}
+
+/// Check out the requested model-sized flats, split them into shard
+/// tasks, run `body` over the tasks in parallel, write the global back,
+/// and return the buffers to the arena.
+fn with_shards<F>(global: &mut ParamSet, shard_elems: usize, needs: Needs, body: F)
+where
+    F: Fn(&mut ShardTask) + Sync,
+{
+    let total = global.total_params();
+    let se = shard_elems.max(1);
+    let sized = |on: bool| if on { total } else { 0 };
+    ARENA.with(|arena| {
+        let (mut g, mut num, mut den, mut vals, mut kept, mut snap) = {
+            let mut a = arena.borrow_mut();
+            (
+                a.take(total),
+                a.take(sized(needs.num)),
+                a.take(sized(needs.den)),
+                a.take(sized(needs.vals)),
+                a.take(sized(needs.kept)),
+                a.take(sized(needs.snap)),
+            )
+        };
+        global.copy_flat_range(0, &mut g);
+
+        let mut tasks: Vec<ShardTask> = Vec::with_capacity(total.div_ceil(se));
+        {
+            let mut gs = g.chunks_mut(se);
+            let mut nums = num.chunks_mut(se);
+            let mut dens = den.chunks_mut(se);
+            let mut valss = vals.chunks_mut(se);
+            let mut kepts = kept.chunks_mut(se);
+            let mut snaps = snap.chunks_mut(se);
+            let mut start = 0usize;
+            while start < total {
+                // Buffers the op did not request are empty: their chunk
+                // iterators yield nothing and the task gets `&mut []`.
+                tasks.push(ShardTask {
+                    start,
+                    g: gs.next().expect("chunk"),
+                    num: nums.next().unwrap_or_default(),
+                    den: dens.next().unwrap_or_default(),
+                    vals: valss.next().unwrap_or_default(),
+                    kept: kepts.next().unwrap_or_default(),
+                    snap: snaps.next().unwrap_or_default(),
+                });
+                start += se;
+            }
+        }
+
+        // Parallel across shards; per shard, clients reduce in the fixed
+        // upload order (the determinism contract).
+        tasks.par_iter_mut().for_each(|t| body(t));
+        drop(tasks);
+
+        global.unflatten_from(&g);
+        let mut a = arena.borrow_mut();
+        a.give(g);
+        a.give(num);
+        a.give(den);
+        a.give(vals);
+        a.give(kept);
+        a.give(snap);
+    });
+}
+
+/// Decode one upload's payload for a shard into `kept_scratch`, returning
+/// the slice of kept values covering `[start, start + len)`.
+fn decode_kept<'k>(
+    view: &WireView<'_>,
+    kmeta: &KeptMeta,
+    layout: &FlatLayout,
+    start: usize,
+    len: usize,
+    kept_scratch: &'k mut [f32],
+) -> (&'k [f32], usize) {
+    let kr0 = kmeta.rank_at(start, &view.masks, layout);
+    let kr1 = kmeta.rank_at(start + len, &view.masks, layout);
+    let ks = &mut kept_scratch[..kr1 - kr0];
+    view.payload.decode_range(kr0, ks);
+    (ks, kr0)
+}
+
+/// Fused decode + numerator/denominator accumulation for one upload on
+/// one shard (the sync weights path): the client's dense contribution is
+/// never materialised — covered runs stream straight from the wire into
+/// `num[j] += w·v`, and dropped elements receive the reference path's
+/// `num[j] += w·0.0` (as `+= 0.0`, its bit-exact value), so even −0.0
+/// accumulators normalise exactly as the dense engine's axpy does.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_weights_shard(
+    view: &WireView<'_>,
+    kmeta: &KeptMeta,
+    layout: &FlatLayout,
+    start: usize,
+    len: usize,
+    w: f32,
+    base: &[f32],
+    num: &mut [f32],
+    mut den: Option<&mut [f32]>,
+    kept_scratch: &mut [f32],
+) {
+    if len == 0 {
+        return;
+    }
+    let (ks, _) = decode_kept(view, kmeta, layout, start, len, kept_scratch);
+    let delta_mode = view.kind == BodyKind::WeightsDelta;
+    walk_runs(view, kmeta, layout, start, len, |run| match run {
+        Run::Covered { local, ki, n } => {
+            let nseg = &mut num[local..local + n];
+            let kseg = &ks[ki..ki + n];
+            if delta_mode {
+                // WeightsDelta reconstructs g + δ exactly as the dense
+                // client did (`rec_flat[i] += decoded[pos]`).
+                let bseg = &base[local..local + n];
+                for i in 0..n {
+                    nseg[i] += w * (bseg[i] + kseg[i]);
+                }
+            } else {
+                for i in 0..n {
+                    nseg[i] += w * kseg[i];
+                }
+            }
+            if let Some(den) = den.as_mut() {
+                for v in &mut den[local..local + n] {
+                    *v += w;
+                }
+            }
+        }
+        Run::Dropped { local, n } => {
+            for v in &mut num[local..local + n] {
+                *v += 0.0;
+            }
+        }
+    });
+}
+
+/// Decode one upload's masked values for a shard into `vals` (exact
+/// zeros on dropped positions), subtracting `sub` on covered elements —
+/// the staleness merge's Δ = (β∘U) − snapshot, with the dense path's
+/// exact expression `(v) + (−1.0)·sub[i]` (the `axpy(-1.0, …)` form;
+/// spelled out so the bit contract is visible, hence the lint allow).
+#[allow(clippy::too_many_arguments, clippy::neg_multiply)]
+fn decode_weights_delta_shard(
+    view: &WireView<'_>,
+    kmeta: &KeptMeta,
+    layout: &FlatLayout,
+    start: usize,
+    len: usize,
+    base: &[f32],
+    sub: &[f32],
+    vals: &mut [f32],
+    kept_scratch: &mut [f32],
+) {
+    if len == 0 {
+        return;
+    }
+    let (ks, _) = decode_kept(view, kmeta, layout, start, len, kept_scratch);
+    let delta_mode = view.kind == BodyKind::WeightsDelta;
+    walk_runs(view, kmeta, layout, start, len, |run| match run {
+        Run::Covered { local, ki, n } => {
+            let seg = &mut vals[local..local + n];
+            let kseg = &ks[ki..ki + n];
+            let bseg = &base[local..local + n];
+            let sseg = &sub[local..local + n];
+            for i in 0..n {
+                let v = if delta_mode {
+                    bseg[i] + kseg[i]
+                } else {
+                    kseg[i]
+                };
+                seg[i] = v + (-1.0) * sseg[i];
+            }
+        }
+        Run::Dropped { local, n } => vals[local..local + n].fill(0.0),
+    });
+}
+
+// ---- the three engines -------------------------------------------------
+
+pub(super) fn weights(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    mode: ZeroMode,
+    total_w: f32,
+    shard_elems: usize,
+) -> Result<(), AggError> {
+    let layout = FlatLayout::of(global);
+    let msgs: Vec<PreparedMsg> = uploads.iter().map(|(_, u)| prepare_msg(u)).collect();
+    let mut views = Vec::with_capacity(msgs.len());
+    for (m, (_, u)) in msgs.iter().zip(uploads) {
+        let v = m.get().view(global)?;
+        check_kind(&v, u.kind)?;
+        views.push(v);
+    }
+    let kmetas: Vec<KeptMeta> = views
+        .iter()
+        .map(|v| KeptMeta::of(&v.masks, &layout))
+        .collect();
+    let need_den = mode != ZeroMode::ZerosPull;
+    // The dense reference divides matrix elements by multiplying with a
+    // precomputed 1/W but divides biases directly — replicate both.
+    let inv_w = 1.0f32 / total_w;
+
+    let needs = Needs {
+        num: true,
+        den: need_den,
+        vals: false,
+        kept: true,
+        snap: false,
+    };
+    with_shards(global, shard_elems, needs, |t| {
+        let len = t.g.len();
+        t.num.fill(0.0);
+        t.den.fill(0.0);
+        for (((w, _), view), kmeta) in uploads.iter().zip(&views).zip(&kmetas) {
+            accumulate_weights_shard(
+                view,
+                kmeta,
+                &layout,
+                t.start,
+                len,
+                *w,
+                t.g,
+                t.num,
+                need_den.then_some(&mut *t.den),
+                t.kept,
+            );
+        }
+        match mode {
+            ZeroMode::ZerosPull => {
+                // Matrix elements: num·(1/W); biases: num/W — exactly the
+                // dense reference's two expressions.
+                let mut classify = |local: usize, is_bias: bool| {
+                    t.g[local] = if is_bias {
+                        t.num[local] / total_w
+                    } else {
+                        t.num[local] * inv_w
+                    };
+                };
+                for_each_section(&layout, t.start, len, &mut classify);
+            }
+            ZeroMode::HoldersOnly => {
+                for j in 0..len {
+                    if t.den[j] > 0.0 {
+                        t.g[j] = t.num[j] / t.den[j];
+                    } // else: keep previous global value
+                }
+            }
+            ZeroMode::StaleFill => {
+                for j in 0..len {
+                    t.g[j] = (t.num[j] + (total_w - t.den[j]) * t.g[j]) / total_w;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Call `f(local, is_bias)` for every flat element of the range.
+fn for_each_section(
+    layout: &FlatLayout,
+    start: usize,
+    len: usize,
+    f: &mut impl FnMut(usize, bool),
+) {
+    if len == 0 {
+        return;
+    }
+    let end = start + len;
+    for span in layout.spans.iter().skip(layout.entry_of(start)) {
+        if span.mat_start >= end {
+            break;
+        }
+        let m0 = span.mat_start.max(start);
+        let m1 = span.bias_start.min(end);
+        for o in m0..m1 {
+            f(o - start, false);
+        }
+        let b0 = span.bias_start.max(start);
+        let b1 = span.end().min(end);
+        for o in b0..b1 {
+            f(o - start, true);
+        }
+    }
+}
+
+pub(super) fn deltas(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    total_w: f32,
+    shard_elems: usize,
+) -> Result<(), AggError> {
+    let msgs: Vec<PreparedMsg> = uploads.iter().map(|(_, u)| prepare_msg(u)).collect();
+    let mut views = Vec::with_capacity(msgs.len());
+    for (m, (_, u)) in msgs.iter().zip(uploads) {
+        let v = m.get().view(global)?;
+        check_kind(&v, u.kind)?;
+        views.push(v);
+    }
+    let needs = Needs {
+        num: false,
+        den: false,
+        vals: true,
+        kept: false,
+        snap: false,
+    };
+    with_shards(global, shard_elems, needs, |t| {
+        let len = t.g.len();
+        for ((w, _), view) in uploads.iter().zip(&views) {
+            view.payload.decode_range(t.start, &mut t.vals[..len]);
+            // Same per-upload coefficient the dense reference feeds axpy.
+            let a = *w / total_w;
+            for j in 0..len {
+                t.g[j] += a * t.vals[j];
+            }
+        }
+    });
+    Ok(())
+}
+
+pub(super) fn staleness(
+    global: &mut ParamSet,
+    items: &[StalenessUpload<'_>],
+    server_lr: f64,
+    total_w: f64,
+    shard_elems: usize,
+) -> Result<(), AggError> {
+    let layout = FlatLayout::of(global);
+    let msgs: Vec<PreparedMsg> = items.iter().map(|it| prepare_msg(it.upload)).collect();
+    let mut views = Vec::with_capacity(msgs.len());
+    for (m, it) in msgs.iter().zip(items) {
+        let v = m.get().view(global)?;
+        check_kind(&v, it.upload.kind)?;
+        views.push(v);
+    }
+    let kmetas: Vec<KeptMeta> = views
+        .iter()
+        .map(|v| KeptMeta::of(&v.masks, &layout))
+        .collect();
+
+    let needs = Needs {
+        num: false,
+        den: false,
+        vals: true,
+        kept: true,
+        snap: true,
+    };
+    with_shards(global, shard_elems, needs, |t| {
+        let len = t.g.len();
+        for ((it, view), kmeta) in items.iter().zip(&views).zip(&kmetas) {
+            match view.kind {
+                BodyKind::DeltaFull => {
+                    view.payload.decode_range(t.start, &mut t.vals[..len]);
+                }
+                BodyKind::WeightsAbsolute | BodyKind::WeightsDelta => {
+                    // Masked weights: Δ = (β∘U) − snapshot on covered
+                    // positions, exact zero elsewhere — the dense path's
+                    // `delta.axpy(-1, snapshot); coverage.apply(delta)`.
+                    let snapshot = it.snapshot.expect("validated in mod.rs");
+                    snapshot.copy_flat_range(t.start, &mut t.snap[..len]);
+                    decode_weights_delta_shard(
+                        view, kmeta, &layout, t.start, len, t.snap, t.snap, t.vals, t.kept,
+                    );
+                }
+            }
+            let c = (server_lr * it.weight / total_w) as f32;
+            for j in 0..len {
+                t.g[j] += c * t.vals[j];
+            }
+        }
+    });
+    Ok(())
+}

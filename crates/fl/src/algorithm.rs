@@ -5,6 +5,7 @@
 //! `ClientState`, owned by the runner in a per-client table, so the round
 //! loop can hand disjoint `&mut` state to rayon workers.
 
+use crate::aggregate::AggSettings;
 use crate::upload::Upload;
 use fedbiad_data::ClientData;
 use fedbiad_nn::{Model, ParamSet};
@@ -19,6 +20,10 @@ pub struct RoundInfo {
     pub total_rounds: usize,
     /// Experiment seed (for deriving per-component RNG streams).
     pub seed: u64,
+    /// Aggregation-engine selection, broadcast with the round so clients
+    /// (upload encoding) and server (reduction) always agree. A pure
+    /// execution knob: results are bit-identical either way.
+    pub agg: AggSettings,
 }
 
 /// What a client's local update produces.

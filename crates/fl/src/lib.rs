@@ -9,9 +9,11 @@
 //! * [`client`] — the shared local-SGD loop (mini-batch sampling, weight
 //!   decay for the KL ≈ L2 term of loss (2), gradient masking hooks per
 //!   eq. (7));
-//! * [`aggregate`] — weighted aggregation with the two zero-handling
-//!   semantics discussed in DESIGN.md: literal eq. (10) (dropped rows pull
-//!   the average toward zero) and holders-only averaging;
+//! * [`aggregate`] — weighted aggregation with the zero-handling
+//!   semantics discussed in DESIGN.md (literal eq. (10), holders-only,
+//!   stale-fill), behind two bit-identical engines: the dense reference
+//!   and a sharded streaming reducer that decodes real wire bytes
+//!   shard by shard (O(model) server memory, parallel across shards);
 //! * [`network`] / [`timing`] — the paper's T-Mobile 5G link model
 //!   (14.0 Mbps up / 110.6 Mbps down, §V-C) and LTTR/TTA accounting;
 //! * [`round`] — the reusable round-loop ingredients (client selection,
@@ -33,6 +35,7 @@ pub mod timing;
 pub mod upload;
 pub mod workload;
 
+pub use aggregate::{AggError, AggSettings};
 pub use algorithm::{FlAlgorithm, LocalResult, RoundInfo};
 pub use metrics::{ExperimentLog, RoundRecord};
 pub use network::NetworkModel;

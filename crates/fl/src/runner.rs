@@ -10,6 +10,7 @@
 //! the discrete-event simulator (`fedbiad-sim`), whose synchronous-barrier
 //! policy reproduces this loop bit-for-bit.
 
+use crate::aggregate::AggSettings;
 use crate::algorithm::{FlAlgorithm, RoundInfo, TrainConfig};
 use crate::metrics::{ExperimentLog, RoundRecord};
 use crate::round::{
@@ -42,6 +43,9 @@ pub struct ExperimentConfig {
     pub eval_every: usize,
     /// Cap on evaluated test samples per round (0 = whole test set).
     pub eval_max_samples: usize,
+    /// Aggregation-engine selection (dense reference vs sharded
+    /// streaming). Bit-identical either way; a pure execution knob.
+    pub agg: AggSettings,
 }
 
 impl Default for ExperimentConfig {
@@ -54,6 +58,7 @@ impl Default for ExperimentConfig {
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,
+            agg: AggSettings::default(),
         }
     }
 }
@@ -116,6 +121,7 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
                 round,
                 total_rounds: self.cfg.rounds,
                 seed: self.cfg.seed,
+                agg: self.cfg.agg,
             };
 
             // --- client sampling (uniform without replacement) ---
@@ -248,7 +254,7 @@ mod tests {
 
         fn aggregate(
             &mut self,
-            _info: RoundInfo,
+            info: RoundInfo,
             _rctx: &(),
             global: &mut ParamSet,
             results: &[(usize, LocalResult)],
@@ -257,7 +263,8 @@ mod tests {
                 .iter()
                 .map(|(_, r)| (r.num_samples as f32, &r.upload))
                 .collect();
-            aggregate_weights(global, &ups, ZeroMode::ZerosPull);
+            aggregate_weights(global, &ups, ZeroMode::ZerosPull, info.agg)
+                .expect("aggregation failed");
         }
     }
 
@@ -299,6 +306,7 @@ mod tests {
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,
+            agg: Default::default(),
         };
         let log = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
         assert_eq!(log.records.len(), 12);
@@ -332,6 +340,7 @@ mod tests {
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,
+            agg: Default::default(),
         };
         let a = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
         let b = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();

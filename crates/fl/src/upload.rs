@@ -1,5 +1,21 @@
 //! What a client sends to the server each round.
+//!
+//! An upload's payload travels in one of two representations:
+//!
+//! * [`UploadBody::Dense`] — the decoded dense [`ParamSet`] (the retained
+//!   reference path; every historical behaviour is unchanged);
+//! * [`UploadBody::Wire`] — actual encoded bytes ([`WireMsg`], the
+//!   `fedbiad-compress` codec). The streaming server path decodes these
+//!   shard-by-shard during aggregation and never materialises a dense
+//!   per-client `ParamSet`.
+//!
+//! Which one a client produces is decided by the round's
+//! [`crate::aggregate::AggSettings`] (`RoundInfo::agg`), so the server
+//! and every client always agree. The two are bit-equivalent end to end
+//! (`tests/aggregation_equivalence.rs`).
 
+use crate::aggregate::AggSettings;
+use fedbiad_compress::codec::{encode_weights, WireMsg};
 use fedbiad_nn::{ModelMask, ParamSet};
 
 /// Payload semantics of an upload.
@@ -13,44 +29,126 @@ pub enum UploadKind {
     Delta,
 }
 
-/// A client's per-round upload: dense-representation payload + coverage +
-/// the exact bytes it would occupy on the wire.
+/// The payload representation an [`Upload`] carries.
+#[derive(Clone, Debug)]
+pub enum UploadBody {
+    /// Decoded dense payload (reference aggregation path).
+    Dense(ParamSet),
+    /// Encoded wire bytes (streaming aggregation path).
+    Wire(WireMsg),
+}
+
+/// A client's per-round upload: payload + coverage + the exact bytes it
+/// occupies on the wire.
 #[derive(Clone, Debug)]
 pub struct Upload {
     /// Payload semantics.
     pub kind: UploadKind,
-    /// Dense payload. For `Weights` this is β∘U (non-covered entries are
-    /// zero); for `Delta` it is the (decoded) delta.
-    pub params: ParamSet,
+    /// The payload. For `Weights` the dense form is β∘U (non-covered
+    /// entries zero); for `Delta` it is the (decoded) delta.
+    pub body: UploadBody,
     /// Which parameters the client actually trained/transmitted.
     pub coverage: ModelMask,
-    /// Exact uplink bytes, including pattern/position overhead.
+    /// Exact uplink bytes, including pattern/position overhead. For wire
+    /// bodies this equals the encoded body length
+    /// (`tests/byte_accounting.rs`).
     pub wire_bytes: u64,
 }
 
 impl Upload {
-    /// Full-model weights upload (FedAvg).
+    /// Full-model weights upload (FedAvg), dense representation.
     pub fn full_weights(params: ParamSet) -> Self {
         let coverage = ModelMask::full(&params);
         let wire_bytes = coverage.wire_bytes(&params);
         Self {
             kind: UploadKind::Weights,
-            params,
+            body: UploadBody::Dense(params),
             coverage,
             wire_bytes,
         }
     }
 
-    /// Masked weights upload: applies `coverage` to `params` (zeroing
-    /// non-covered rows) and computes wire bytes from the mask.
+    /// Masked weights upload, dense representation: applies `coverage` to
+    /// `params` (zeroing non-covered rows) and computes wire bytes from
+    /// the mask.
     pub fn masked_weights(mut params: ParamSet, coverage: ModelMask) -> Self {
         coverage.apply(&mut params);
         let wire_bytes = coverage.wire_bytes(&params);
         Self {
             kind: UploadKind::Weights,
-            params,
+            body: UploadBody::Dense(params),
             coverage,
             wire_bytes,
+        }
+    }
+
+    /// Full-model weights upload honouring the round's aggregation
+    /// settings: dense under the reference engine, encoded bytes under
+    /// streaming.
+    pub fn full_weights_with(params: ParamSet, agg: AggSettings) -> Self {
+        if agg.streaming {
+            let coverage = ModelMask::full(&params);
+            let wire_bytes = coverage.wire_bytes(&params);
+            let msg = encode_weights(&params, &coverage);
+            debug_assert_eq!(msg.body_bytes(), wire_bytes);
+            Self {
+                kind: UploadKind::Weights,
+                body: UploadBody::Wire(msg),
+                coverage,
+                wire_bytes,
+            }
+        } else {
+            Self::full_weights(params)
+        }
+    }
+
+    /// Masked weights upload honouring the round's aggregation settings.
+    pub fn masked_weights_with(params: ParamSet, coverage: ModelMask, agg: AggSettings) -> Self {
+        if agg.streaming {
+            // No `coverage.apply` here: the encoder gathers covered
+            // values only, so zeroing the dropped ones would be an
+            // unobservable O(model) pass.
+            let wire_bytes = coverage.wire_bytes(&params);
+            let msg = encode_weights(&params, &coverage);
+            debug_assert_eq!(msg.body_bytes(), wire_bytes);
+            Self {
+                kind: UploadKind::Weights,
+                body: UploadBody::Wire(msg),
+                coverage,
+                wire_bytes,
+            }
+        } else {
+            Self::masked_weights(params, coverage)
+        }
+    }
+
+    /// An encoded upload built directly from wire bytes (the streaming
+    /// client path for sketched deltas / Fig. 5 combos).
+    pub fn wire(kind: UploadKind, msg: WireMsg, coverage: ModelMask, wire_bytes: u64) -> Self {
+        Self {
+            kind,
+            body: UploadBody::Wire(msg),
+            coverage,
+            wire_bytes,
+        }
+    }
+
+    /// The dense payload. Panics on wire bodies — callers on the dense
+    /// reference path only.
+    pub fn params(&self) -> &ParamSet {
+        match &self.body {
+            UploadBody::Dense(p) => p,
+            UploadBody::Wire(_) => {
+                panic!("upload carries encoded wire bytes, not a dense ParamSet")
+            }
+        }
+    }
+
+    /// The encoded bytes, when this upload travels in wire form.
+    pub fn wire_msg(&self) -> Option<&WireMsg> {
+        match &self.body {
+            UploadBody::Wire(m) => Some(m),
+            UploadBody::Dense(_) => None,
         }
     }
 }
@@ -88,10 +186,42 @@ mod tests {
         beta.set(3, false);
         let mask = fedbiad_nn::ModelMask::from_row_pattern(&p, &beta);
         let u = Upload::masked_weights(p.clone(), mask);
-        assert_eq!(u.params.mat(0).row(1), &[0.0, 0.0]);
-        assert_eq!(u.params.mat(0).row(0), &[1.0, 1.0]);
+        assert_eq!(u.params().mat(0).row(1), &[0.0, 0.0]);
+        assert_eq!(u.params().mat(0).row(0), &[1.0, 1.0]);
         // 4 kept weights × 4 B + 1 pattern byte.
         assert_eq!(u.wire_bytes, 16 + 1);
         assert!(u.wire_bytes < p.total_bytes());
+    }
+
+    #[test]
+    fn streaming_constructor_encodes_with_matching_bytes() {
+        let p = params();
+        let mut beta = BitVec::new(4, true);
+        beta.set(2, false);
+        let mask = fedbiad_nn::ModelMask::from_row_pattern(&p, &beta);
+        let agg = AggSettings {
+            streaming: true,
+            shard_kb: 64,
+        };
+        let u = Upload::masked_weights_with(p.clone(), mask.clone(), agg);
+        let msg = u.wire_msg().expect("wire body under streaming");
+        assert_eq!(msg.body_bytes(), u.wire_bytes);
+        assert_eq!(u.wire_bytes, mask.wire_bytes(&p));
+        // The dense twin reports identical bytes.
+        let d = Upload::masked_weights(p, mask);
+        assert_eq!(d.wire_bytes, u.wire_bytes);
+        assert!(d.wire_msg().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "wire bytes")]
+    fn dense_accessor_panics_on_wire_bodies() {
+        let p = params();
+        let agg = AggSettings {
+            streaming: true,
+            shard_kb: 1,
+        };
+        let u = Upload::full_weights_with(p, agg);
+        let _ = u.params();
     }
 }

@@ -82,6 +82,56 @@ impl BitVec {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of set bits strictly before `i` (rank query; `i` may equal
+    /// `len`). The wire codec uses this to locate a covered element's
+    /// position inside the kept-value stream.
+    pub fn rank(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank index out of range");
+        let full = i / 64;
+        let mut n: usize = self.words[..full]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let rem = i % 64;
+        if rem > 0 {
+            n += (self.words[full] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        n
+    }
+
+    /// Export as a little-endian bitmap: byte `j` holds bits `8j..8j+8`,
+    /// bit `i` at `bytes[i/8] >> (i%8)`. Exactly `⌈len/8⌉` bytes — the
+    /// wire representation the paper's "1 bit per dropping label" accounting
+    /// assumes.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let nbytes = self.len.div_ceil(8);
+        let mut out = vec![0u8; nbytes];
+        for (j, b) in out.iter_mut().enumerate() {
+            let word = self.words[j / 8];
+            *b = (word >> ((j % 8) * 8)) as u8;
+        }
+        // Mask the tail so padding bits are always zero on the wire.
+        let extra = nbytes * 8 - self.len;
+        if extra > 0 {
+            if let Some(last) = out.last_mut() {
+                *last &= 0xFF >> extra;
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`BitVec::to_le_bytes`] for a bitmap of `len` bits.
+    /// Padding bits past `len` are ignored.
+    pub fn from_le_bytes(bytes: &[u8], len: usize) -> Self {
+        assert_eq!(bytes.len(), len.div_ceil(8), "bitmap length mismatch");
+        let mut bv = Self::new(len, false);
+        for (j, &b) in bytes.iter().enumerate() {
+            bv.words[j / 8] |= (b as u64) << ((j % 8) * 8);
+        }
+        bv.clear_tail();
+        bv
+    }
+
     /// Indices of set bits, ascending.
     pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.len).filter(move |&i| self.get(i))
@@ -309,6 +359,42 @@ mod tests {
         assert_eq!(bv.wire_bytes(), 9);
         let all = BitVec::new(70, true);
         assert_eq!(all.count_ones(), 70);
+    }
+
+    #[test]
+    fn rank_counts_strictly_before() {
+        let mut bv = BitVec::new(130, false);
+        for i in [0, 3, 63, 64, 127, 129] {
+            bv.set(i, true);
+        }
+        assert_eq!(bv.rank(0), 0);
+        assert_eq!(bv.rank(1), 1);
+        assert_eq!(bv.rank(64), 3);
+        assert_eq!(bv.rank(65), 4);
+        assert_eq!(bv.rank(130), 6);
+        for i in 0..=bv.len() {
+            let naive = (0..i).filter(|&j| bv.get(j)).count();
+            assert_eq!(bv.rank(i), naive, "rank({i})");
+        }
+    }
+
+    #[test]
+    fn le_bytes_round_trip_and_tail_padding() {
+        let mut bv = BitVec::new(13, false);
+        for i in [0, 5, 8, 12] {
+            bv.set(i, true);
+        }
+        let bytes = bv.to_le_bytes();
+        assert_eq!(bytes.len(), 2);
+        assert_eq!(bytes[0], 0b0010_0001);
+        assert_eq!(bytes[1], 0b0001_0001);
+        assert_eq!(BitVec::from_le_bytes(&bytes, 13), bv);
+        // Padding bits in the source are ignored on decode.
+        let dirty = [bytes[0], bytes[1] | 0b1110_0000];
+        assert_eq!(BitVec::from_le_bytes(&dirty, 13), bv);
+        // A 70-bit vector crosses the word boundary.
+        let all = BitVec::new(70, true);
+        assert_eq!(BitVec::from_le_bytes(&all.to_le_bytes(), 70), all);
     }
 
     #[test]

@@ -415,6 +415,38 @@ impl ParamSet {
         }
     }
 
+    /// Copy the flat slice `[start, start + out.len())` (in
+    /// [`ParamSet::flatten`] order) into `out` without materialising the
+    /// full flat vector — the sharded aggregation path reads snapshots
+    /// one shard at a time through this.
+    pub fn copy_flat_range(&self, start: usize, out: &mut [f32]) {
+        assert!(
+            start + out.len() <= self.total_params(),
+            "flat range out of bounds"
+        );
+        let mut need = out;
+        let mut pos = start; // position within the remaining flat space
+        let mut off = 0usize; // flat offset of the current section
+        for (m, b) in self.mats.iter().zip(&self.biases) {
+            for section in [m.as_slice(), b.as_slice()] {
+                if need.is_empty() {
+                    return;
+                }
+                let sec_start = off;
+                off += section.len();
+                if pos >= off {
+                    continue;
+                }
+                let local = pos - sec_start;
+                let take = (section.len() - local).min(need.len());
+                need[..take].copy_from_slice(&section[local..local + take]);
+                need = &mut need[take..];
+                pos += take;
+            }
+        }
+        debug_assert!(need.is_empty());
+    }
+
     /// Maximum |parameter| — the paper's Assumption 2 bound B.
     pub fn max_abs(&self) -> f32 {
         let mut m = 0.0f32;
@@ -503,6 +535,22 @@ mod tests {
         let mut q = p.zeros_like();
         q.unflatten_from(&flat);
         assert_eq!(q.flatten(), flat);
+    }
+
+    #[test]
+    fn copy_flat_range_matches_flatten_slices() {
+        let p = sample_set();
+        let flat = p.flatten();
+        for start in 0..flat.len() {
+            for len in [0, 1, 3, flat.len() - start] {
+                if start + len > flat.len() {
+                    continue;
+                }
+                let mut out = vec![f32::NAN; len];
+                p.copy_flat_range(start, &mut out);
+                assert_eq!(out, &flat[start..start + len], "start {start} len {len}");
+            }
+        }
     }
 
     #[test]

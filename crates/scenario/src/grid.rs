@@ -112,6 +112,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<MaterializedRun>, SpecError> {
                                 client_fraction: spec.run.fraction,
                                 dropout_override: spec.fedbiad.dropout_rate,
                                 batch_size: spec.training.batch_size,
+                                agg: spec.aggregation.resolve(),
                             };
                             let mut label = format!("{}/{}", workload.name(), method.name());
                             if let Some(c) = compressor {

@@ -226,6 +226,9 @@ pub struct RunOpts {
     /// section); `None` keeps the paper batch size. Batch-vs-sequential
     /// SGD genuinely differ here, so this is an explicit opt-in knob.
     pub batch_size: Option<usize>,
+    /// Aggregation-engine selection (scenario `[aggregation]` section).
+    /// Bit-identical either way; never feeds the seed hash.
+    pub agg: fedbiad_fl::AggSettings,
 }
 
 impl RunOpts {
@@ -240,6 +243,7 @@ impl RunOpts {
             client_fraction: 0.1,
             dropout_override: None,
             batch_size: None,
+            agg: fedbiad_fl::AggSettings::default(),
         }
     }
 }
@@ -275,6 +279,7 @@ pub fn run_method_composed(
         eval_topk: bundle.eval_topk,
         eval_every: opts.eval_every,
         eval_max_samples: opts.eval_max_samples,
+        agg: opts.agg,
     };
     let p = opts.dropout_override.unwrap_or(bundle.dropout_rate);
     let driver = LockstepDriver {

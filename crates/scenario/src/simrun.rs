@@ -123,6 +123,7 @@ pub fn run_sim_method_composed(
         eval_topk: bundle.eval_topk,
         eval_every: opts.eval_every,
         eval_max_samples: opts.eval_max_samples,
+        agg: opts.agg,
     };
     let cfg = SimConfig::new(base, profile);
     let cohort = cohort_size(bundle.data.num_clients(), base.client_fraction);

@@ -189,6 +189,32 @@ pub struct FedBiadSection {
     pub dropout_rate: Option<f32>,
 }
 
+/// The `[aggregation]` section: server aggregation-engine selection.
+///
+/// `streaming = true` turns on the sharded streaming engine (clients
+/// encode real wire bytes, the server decodes shard by shard);
+/// `shard_kb` sets the shard size. The engines are **bit-identical**
+/// (`tests/aggregation_equivalence.rs`), so — unlike `[training]` — this
+/// section deliberately does *not* feed the canonical seed hash: flipping
+/// it can never change results, only speed and memory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggregationSection {
+    /// Run the sharded streaming engine.
+    pub streaming: bool,
+    /// Shard size in KiB (requires `streaming = true`; default 64).
+    pub shard_kb: Option<u32>,
+}
+
+impl AggregationSection {
+    /// Resolve to the runner's engine settings.
+    pub fn resolve(&self) -> fedbiad_fl::AggSettings {
+        fedbiad_fl::AggSettings {
+            streaming: self.streaming,
+            shard_kb: self.shard_kb.unwrap_or(64),
+        }
+    }
+}
+
 /// The `[training]` section: local-training overrides applied on top of
 /// the workload's paper hyper-parameters.
 ///
@@ -222,6 +248,8 @@ pub struct ScenarioSpec {
     pub fedbiad: FedBiadSection,
     /// Local-training overrides (`[training]`).
     pub training: TrainingSection,
+    /// Aggregation-engine selection (`[aggregation]`).
+    pub aggregation: AggregationSection,
     /// TTA target-accuracy override (`[sim] target_acc`).
     pub target_acc: Option<f64>,
 }
@@ -303,6 +331,7 @@ impl ScenarioSpec {
                 "network",
                 "fedbiad",
                 "training",
+                "aggregation",
                 "sim",
             ],
         )?;
@@ -340,6 +369,7 @@ impl ScenarioSpec {
         };
         let fedbiad = decode_fedbiad(get(root, "fedbiad"))?;
         let training = decode_training(get(root, "training"))?;
+        let aggregation = decode_aggregation(get(root, "aggregation"))?;
         let target_acc = match get(root, "sim") {
             None => None,
             Some(v) => decode_sim(v)?,
@@ -359,6 +389,7 @@ impl ScenarioSpec {
             network,
             fedbiad,
             training,
+            aggregation,
             target_acc,
         };
         spec.validate()?;
@@ -1011,6 +1042,40 @@ fn decode_fedbiad(v: Option<&Value>) -> Result<FedBiadSection, SpecError> {
     Ok(fb)
 }
 
+fn decode_aggregation(v: Option<&Value>) -> Result<AggregationSection, SpecError> {
+    let mut agg = AggregationSection::default();
+    let Some(v) = v else { return Ok(agg) };
+    let t = table_of(v, "aggregation")?;
+    check_fields(t, "aggregation", &["streaming", "shard_kb"])?;
+    if let Some(x) = get(t, "streaming") {
+        agg.streaming = match x {
+            Value::Bool(b) => *b,
+            _ => {
+                return Err(SpecError::new(
+                    "[aggregation] streaming must be a boolean (true/false)",
+                ))
+            }
+        };
+    }
+    if let Some(x) = get(t, "shard_kb") {
+        let kb = usize_of(x, "aggregation", "shard_kb", 1)?;
+        if kb > 1 << 20 {
+            return Err(SpecError::new(format!(
+                "[aggregation] shard_kb = {kb} is out of range; shards above 1 GiB defeat \
+                 the point of sharding"
+            )));
+        }
+        agg.shard_kb = Some(kb as u32);
+    }
+    if agg.shard_kb.is_some() && !agg.streaming {
+        return Err(SpecError::new(
+            "[aggregation] shard_kb requires streaming = true; the dense reference engine \
+             has no shards",
+        ));
+    }
+    Ok(agg)
+}
+
 fn decode_training(v: Option<&Value>) -> Result<TrainingSection, SpecError> {
     let mut tr = TrainingSection::default();
     let Some(v) = v else { return Ok(tr) };
@@ -1131,6 +1196,53 @@ mod tests {
         let with = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[training]\nbatch_size = 64\n"))
             .unwrap();
         assert_ne!(base.canonical_string(), with.canonical_string());
+    }
+
+    #[test]
+    fn aggregation_section_is_validated_and_seed_transparent() {
+        // Defaults: dense engine.
+        let s = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        assert!(!s.aggregation.streaming);
+        let resolved = s.aggregation.resolve();
+        assert!(!resolved.streaming);
+        // Enabled with a shard size.
+        let s = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[aggregation]\nstreaming = true\nshard_kb = 16\n"
+        ))
+        .unwrap();
+        assert!(s.aggregation.streaming);
+        assert_eq!(s.aggregation.resolve().shard_kb, 16);
+        // shard_kb without streaming is rejected.
+        let err = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[aggregation]\nshard_kb = 4\n"))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("requires streaming = true"),
+            "{err}"
+        );
+        // Out-of-range / wrong-type values are rejected.
+        let err = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[aggregation]\nstreaming = true\nshard_kb = 0\n"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+        let err = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[aggregation]\nstreaming = 1\n"))
+            .unwrap_err();
+        assert!(err.to_string().contains("boolean"), "{err}");
+        let err = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[aggregation]\nshardkb = 4\n"))
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("expected one of: streaming, shard_kb"),
+            "{err}"
+        );
+        // The engine knob is bit-transparent, so — unlike [training] — it
+        // must NOT move the canonical string (and therefore derived seeds).
+        let base = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        let with = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[aggregation]\nstreaming = true\nshard_kb = 1\n"
+        ))
+        .unwrap();
+        assert_eq!(base.canonical_string(), with.canonical_string());
     }
 
     #[test]

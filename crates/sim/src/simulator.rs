@@ -31,13 +31,13 @@ use crate::event::{EventQueue, TraceEvent, TraceKind};
 use crate::policy::{Action, PolicyEvent, ServerPolicy, ServerView};
 use crate::profile::{ClientProfile, CostModel, HeterogeneityProfile};
 use fedbiad_data::FedDataset;
+use fedbiad_fl::aggregate::{merge_staleness_weighted, StalenessUpload};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo};
 use fedbiad_fl::metrics::{ExperimentLog, RoundRecord};
 use fedbiad_fl::round::{
     cohort_size, eval_due, eval_or_carry, run_local_updates, summarize_results, ClientStates,
 };
 use fedbiad_fl::runner::ExperimentConfig;
-use fedbiad_fl::upload::UploadKind;
 use fedbiad_nn::{Model, ParamSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::Rng;
@@ -390,6 +390,7 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
             round: self.records.len(),
             total_rounds: self.cfg.base.rounds,
             seed,
+            agg: self.cfg.base.agg,
         };
         let dispatch_idx = self.dispatch_seq as u64;
         self.dispatch_seq += 1;
@@ -467,6 +468,7 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
             round,
             total_rounds: self.cfg.base.rounds,
             seed: self.cfg.base.seed,
+            agg: self.cfg.base.agg,
         };
         let rctx = self
             .last_rctx
@@ -480,33 +482,28 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
     /// `wᵢ = |Dᵢ|/(1+τᵢ)^α`, where Δᵢ is the upload relative to the
     /// global the client was dispatched with (masked uploads contribute
     /// deltas only on their covered rows). Then evaluate and commit.
+    ///
+    /// The merge arithmetic itself lives in
+    /// [`fedbiad_fl::aggregate::merge_staleness_weighted`], shared between
+    /// the dense reference and the sharded streaming engine.
     fn aggregate_buffered(&mut self, alpha: f64, server_lr: f64) -> usize {
         assert!(!self.buffer.is_empty(), "aggregate with empty buffer");
         self.buffer.sort_by_key(|b| b.client);
         let drained: Vec<Buffered> = self.buffer.drain(..).collect();
-        let weights: Vec<f64> = drained
+        let items: Vec<StalenessUpload> = drained
             .iter()
             .map(|b| {
                 let staleness = (self.version - b.version) as f64;
-                b.result.num_samples as f64 / (1.0 + staleness).powf(alpha)
+                StalenessUpload {
+                    weight: b.result.num_samples as f64 / (1.0 + staleness).powf(alpha),
+                    upload: &b.result.upload,
+                    snapshot: b.snapshot.as_deref(),
+                }
             })
             .collect();
-        let total_w: f64 = weights.iter().sum();
-        assert!(total_w > 0.0, "zero total staleness weight");
-        for (b, w) in drained.iter().zip(&weights) {
-            let mut delta = b.result.upload.params.clone();
-            if b.result.upload.kind == UploadKind::Weights {
-                // Masked weights β∘U: the delta vs. the dispatched global
-                // exists only on covered rows.
-                let snapshot = b
-                    .snapshot
-                    .as_ref()
-                    .expect("AggregateBuffered needs a snapshot-taking policy");
-                delta.axpy(-1.0, snapshot);
-                b.result.upload.coverage.apply(&mut delta);
-            }
-            self.global.axpy((server_lr * w / total_w) as f32, &delta);
-        }
+        merge_staleness_weighted(&mut self.global, &items, server_lr, self.cfg.base.agg)
+            .expect("buffered-async merge failed");
+        drop(items);
         let round = self.records.len();
         let results: Vec<(usize, LocalResult)> =
             drained.into_iter().map(|b| (b.client, b.result)).collect();

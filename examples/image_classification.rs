@@ -23,6 +23,7 @@ fn run(
         eval_topk: bundle.eval_topk,
         eval_every: 1,
         eval_max_samples: 0,
+        agg: Default::default(),
     };
     vec![
         Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run(),

@@ -34,6 +34,7 @@ fn main() {
         eval_topk: 3, // mobile keyboards show three candidates (paper §V-B)
         eval_every: 1,
         eval_max_samples: 0,
+        agg: Default::default(),
     };
 
     let p = bundle.dropout_rate;

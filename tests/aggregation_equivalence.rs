@@ -1,0 +1,605 @@
+//! Differential suite for the sharded streaming aggregation engine:
+//! streaming must be **bit-identical** to the retained dense reference —
+//! across every `ZeroMode`, both upload kinds, all five compressors,
+//! shard sizes from 1 KiB up to ≥ the whole model, and 1/2/8 worker
+//! threads — plus a 2-round fig2-style end-to-end run and the
+//! buffered-async / deadline policy merge paths.
+//!
+//! The suite honours `FEDBIAD_SHARD_KB` (CI's tiny-shard matrix leg): a
+//! value there is added to the tested shard-size set.
+
+use fedbiad::compress::dgc::Dgc;
+use fedbiad::compress::fedpaq::FedPaq;
+use fedbiad::compress::none::NoCompression;
+use fedbiad::compress::signsgd::SignSgd;
+use fedbiad::compress::stc::Stc;
+use fedbiad::compress::{codec, ClientState, Compressor};
+use fedbiad::core::combo::sketch_masked_weights;
+use fedbiad::core::pattern::{keep_count, DropPattern};
+use fedbiad::fl::aggregate::{
+    aggregate_deltas, aggregate_weights, arena_churn, merge_staleness_weighted, AggSettings,
+    StalenessUpload, ZeroMode,
+};
+use fedbiad::fl::upload::{Upload, UploadBody, UploadKind};
+use fedbiad::fl::workload::{build, Scale, Workload};
+use fedbiad::nn::mask::BitVec;
+use fedbiad::nn::mlp::MlpModel;
+use fedbiad::nn::{CoverageMask, Model, ModelMask, ParamSet};
+use fedbiad::prelude::*;
+use fedbiad::tensor::rng::{stream, StreamTag};
+use rand::Rng;
+use std::sync::Mutex;
+
+/// Tests in this binary toggle the process-wide `RAYON_NUM_THREADS`; they
+/// must not interleave (same contract as `tests/thread_determinism.rs`).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    // A panicking sibling test poisons the lock; the env var itself is
+    // still consistent, so recover rather than cascade failures.
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Shard sizes under test: tiny (many ragged boundaries), the default,
+/// and one at least as large as any test model (single-shard case) —
+/// plus whatever CI injects via `FEDBIAD_SHARD_KB` (its tiny-shard
+/// matrix leg sets 1, the minimum, which is deliberately *not* in the
+/// built-in set so the leg adds coverage instead of repeating it).
+fn shard_kbs() -> Vec<u32> {
+    let mut kbs = vec![2, 64, 4096];
+    if let Ok(v) = std::env::var("FEDBIAD_SHARD_KB") {
+        if let Ok(kb) = v.trim().parse::<u32>() {
+            if !kbs.contains(&kb) {
+                kbs.push(kb);
+            }
+        }
+    }
+    kbs
+}
+
+fn assert_params_bit_identical(a: &ParamSet, b: &ParamSet, what: &str) {
+    let (fa, fb) = (a.flatten(), b.flatten());
+    assert_eq!(fa.len(), fb.len(), "{what}: param count");
+    for (i, (x, y)) in fa.iter().zip(&fb).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: flat element {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// A small-but-multi-entry model (MLP 23→17→5: ragged shapes, biases).
+fn test_model() -> MlpModel {
+    MlpModel::new(23, 17, 5)
+}
+
+fn init_params(seed: u64) -> ParamSet {
+    test_model().init_params(&mut stream(seed, StreamTag::Init, 0, 0))
+}
+
+fn perturbed(global: &ParamSet, seed: u64) -> ParamSet {
+    let mut rng = stream(seed, StreamTag::Init, 1, seed);
+    let mut flat = global.flatten();
+    for v in &mut flat {
+        *v += rng.gen_range(-0.5f32..0.5);
+    }
+    let mut p = global.zeros_like();
+    p.unflatten_from(&flat);
+    p
+}
+
+/// One masked-weights upload per client, cycling through every coverage
+/// shape (row pattern, rows×cols, elements, full, empty rows).
+fn weights_uploads(global: &ParamSet, clients: usize) -> Vec<(f32, Upload)> {
+    let j = global.num_row_units();
+    (0..clients)
+        .map(|k| {
+            let params = perturbed(global, 100 + k as u64);
+            let mut rng = stream(7, StreamTag::Pattern, 0, k as u64);
+            let mask = match k % 5 {
+                0 => ModelMask::full(&params),
+                1 => {
+                    let pat = DropPattern::sample_global(j, keep_count(j, 0.4), &mut rng);
+                    pat.to_mask(&params)
+                }
+                2 => ModelMask {
+                    per_entry: (0..params.num_entries())
+                        .map(|e| {
+                            let (rows, cols) = (params.mat(e).rows(), params.mat(e).cols());
+                            let mut rb = BitVec::new(rows, false);
+                            let mut cb = BitVec::new(cols, false);
+                            for r in 0..rows {
+                                rb.set(r, rng.gen_bool(0.7));
+                            }
+                            for c in 0..cols {
+                                cb.set(c, rng.gen_bool(0.7));
+                            }
+                            CoverageMask::RowsCols { rows: rb, cols: cb }
+                        })
+                        .collect(),
+                },
+                3 => ModelMask {
+                    per_entry: (0..params.num_entries())
+                        .map(|e| {
+                            let n = params.mat(e).len();
+                            let mut bits = BitVec::new(n, false);
+                            for i in 0..n {
+                                bits.set(i, rng.gen_bool(0.5));
+                            }
+                            CoverageMask::Elements(bits)
+                        })
+                        .collect(),
+                },
+                _ => {
+                    // One client with *empty* row coverage everywhere.
+                    ModelMask {
+                        per_entry: (0..params.num_entries())
+                            .map(|e| CoverageMask::Rows(BitVec::new(params.mat(e).rows(), false)))
+                            .collect(),
+                    }
+                }
+            };
+            ((k + 1) as f32 * 3.0, Upload::masked_weights(params, mask))
+        })
+        .collect()
+}
+
+/// The five compressors at configurations that hit every payload kind.
+fn compressors() -> Vec<(&'static str, Box<dyn Compressor>)> {
+    vec![
+        ("none", Box::new(NoCompression) as Box<dyn Compressor>),
+        (
+            "dgc",
+            Box::new(Dgc {
+                keep_fraction: 0.25,
+                momentum: 0.9,
+                warmup_rounds: 0,
+            }),
+        ),
+        ("signsgd", Box::new(SignSgd::default())),
+        ("stc", Box::new(Stc { keep_fraction: 0.3 })),
+        ("fedpaq", Box::new(FedPaq::paper())),
+    ]
+}
+
+/// Delta uploads from each compressor's *real* payload, as both the dense
+/// decoded twin and the actual wire-encoded frame.
+fn delta_upload_pair(global: &ParamSet, comp: &dyn Compressor, k: u64) -> (Upload, Upload) {
+    let trained = perturbed(global, 300 + k);
+    let fg = global.flatten();
+    let delta: Vec<f32> = trained
+        .flatten()
+        .iter()
+        .zip(&fg)
+        .map(|(a, b)| a - b)
+        .collect();
+    let mut st = ClientState::default();
+    let mut rng = stream(9, StreamTag::Compress, 0, k);
+    let c = comp.compress(&mut st, &delta, 0, &mut rng);
+
+    let mut dparams = global.zeros_like();
+    dparams.unflatten_from(&c.decoded);
+    let dense = Upload {
+        kind: UploadKind::Delta,
+        coverage: ModelMask::full(global),
+        wire_bytes: c.wire_bytes,
+        body: UploadBody::Dense(dparams),
+    };
+    let wire = Upload::wire(
+        UploadKind::Delta,
+        codec::encode_delta(&c.payload),
+        ModelMask::full(global),
+        c.wire_bytes,
+    );
+    (dense, wire)
+}
+
+/// Sketched masked-weights uploads (the Fig. 5 combo): dense
+/// reconstruction twin + real wire frame, per compressor.
+fn combo_upload_pair(global: &ParamSet, comp: &dyn Compressor, k: u64) -> (Upload, Upload) {
+    let j = global.num_row_units();
+    let mut prng = stream(11, StreamTag::Pattern, 1, k);
+    let pat = DropPattern::sample_global(j, keep_count(j, 0.5), &mut prng);
+    let mask = pat.to_mask(global);
+    let mut masked_u = perturbed(global, 500 + k);
+    mask.apply(&mut masked_u);
+
+    // Two independent sketch states: the dense and wire paths must see
+    // identical compressor state.
+    let mut rng_a = stream(13, StreamTag::Compress, 2, k);
+    let mut rng_b = stream(13, StreamTag::Compress, 2, k);
+    let mut st_a = ClientState::default();
+    let mut st_b = ClientState::default();
+    let out_a = sketch_masked_weights(
+        comp, &mut st_a, &masked_u, global, &mask, 0, &mut rng_a, true,
+    );
+    let out_b = sketch_masked_weights(
+        comp, &mut st_b, &masked_u, global, &mask, 0, &mut rng_b, false,
+    );
+    let overhead = mask.wire_bytes(&masked_u) - mask.kept_params(&masked_u) as u64 * 4;
+    let wire_bytes = out_a.payload_bytes + overhead;
+    let dense = Upload {
+        kind: UploadKind::Weights,
+        body: UploadBody::Dense(out_a.reconstructed.expect("dense twin")),
+        coverage: mask.clone(),
+        wire_bytes,
+    };
+    let wire = Upload::wire(
+        UploadKind::Weights,
+        codec::encode_weights_delta(&mask, &out_b.payload),
+        mask,
+        wire_bytes,
+    );
+    (dense, wire)
+}
+
+/// Run the dense reference over `reference_uploads` (dense bodies) and
+/// the streaming engine over `uploads` under every shard size and 1/2/8
+/// threads; everything must agree bitwise.
+fn assert_weights_equivalence(
+    uploads: &[(f32, Upload)],
+    reference_uploads: &[(f32, Upload)],
+    what: &str,
+) {
+    let _guard = env_lock();
+    let global0 = init_params(1);
+    let ups: Vec<(f32, &Upload)> = uploads.iter().map(|(w, u)| (*w, u)).collect();
+    let ref_ups: Vec<(f32, &Upload)> = reference_uploads.iter().map(|(w, u)| (*w, u)).collect();
+    for mode in [
+        ZeroMode::ZerosPull,
+        ZeroMode::HoldersOnly,
+        ZeroMode::StaleFill,
+    ] {
+        let mut reference = global0.clone();
+        aggregate_weights(&mut reference, &ref_ups, mode, AggSettings::default()).unwrap();
+        for kb in shard_kbs() {
+            for threads in ["1", "2", "8"] {
+                std::env::set_var("RAYON_NUM_THREADS", threads);
+                let mut g = global0.clone();
+                aggregate_weights(&mut g, &ups, mode, AggSettings::sharded(kb)).unwrap();
+                assert_params_bit_identical(
+                    &g,
+                    &reference,
+                    &format!("{what}/{mode:?}/{kb}KB/{threads}t"),
+                );
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn masked_weights_all_modes_shards_threads() {
+    let global = init_params(1);
+    let uploads = weights_uploads(&global, 6);
+    // Dense bodies through the streaming engine (on-the-fly encode)…
+    assert_weights_equivalence(&uploads, &uploads, "dense-body");
+    // …and real wire bodies, as streaming clients produce them.
+    let wired: Vec<(f32, Upload)> = uploads
+        .iter()
+        .map(|(w, u)| {
+            let msg = codec::encode_weights(u.params(), &u.coverage);
+            assert_eq!(msg.body_bytes(), u.wire_bytes, "byte accounting");
+            (
+                *w,
+                Upload::wire(UploadKind::Weights, msg, u.coverage.clone(), u.wire_bytes),
+            )
+        })
+        .collect();
+    assert_weights_equivalence(&wired, &uploads, "wire-body");
+}
+
+#[test]
+fn combo_weights_every_compressor() {
+    let global = init_params(2);
+    for (name, comp) in compressors() {
+        let pairs: Vec<(Upload, Upload)> = (0..4)
+            .map(|k| combo_upload_pair(&global, comp.as_ref(), k))
+            .collect();
+        // The wire frame must decode to exactly the dense reconstruction.
+        let dense_ups: Vec<(f32, Upload)> =
+            pairs.iter().map(|(d, _)| (2.0f32, d.clone())).collect();
+        assert_weights_equivalence(&dense_ups, &dense_ups, &format!("combo/{name}/dense"));
+        let wire_ups: Vec<(f32, Upload)> = pairs.iter().map(|(_, w)| (2.0f32, w.clone())).collect();
+        // Compare wire-streaming directly against dense-reference.
+        let _guard = env_lock();
+        let ups_d: Vec<(f32, &Upload)> = dense_ups.iter().map(|(w, u)| (*w, u)).collect();
+        let ups_w: Vec<(f32, &Upload)> = wire_ups.iter().map(|(w, u)| (*w, u)).collect();
+        for mode in [
+            ZeroMode::ZerosPull,
+            ZeroMode::HoldersOnly,
+            ZeroMode::StaleFill,
+        ] {
+            let mut reference = global.clone();
+            aggregate_weights(&mut reference, &ups_d, mode, AggSettings::default()).unwrap();
+            for kb in shard_kbs() {
+                let mut g = global.clone();
+                aggregate_weights(&mut g, &ups_w, mode, AggSettings::sharded(kb)).unwrap();
+                assert_params_bit_identical(&g, &reference, &format!("combo/{name}/{mode:?}/{kb}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_uploads_every_compressor() {
+    let _guard = env_lock();
+    let global = init_params(3);
+    for (name, comp) in compressors() {
+        let pairs: Vec<(Upload, Upload)> = (0..5)
+            .map(|k| delta_upload_pair(&global, comp.as_ref(), k))
+            .collect();
+        let ups_d: Vec<(f32, &Upload)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (d, _))| ((i + 1) as f32, d))
+            .collect();
+        let ups_w: Vec<(f32, &Upload)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, w))| ((i + 1) as f32, w))
+            .collect();
+        let mut reference = global.clone();
+        aggregate_deltas(&mut reference, &ups_d, AggSettings::default()).unwrap();
+        for kb in shard_kbs() {
+            for threads in ["1", "2", "8"] {
+                std::env::set_var("RAYON_NUM_THREADS", threads);
+                let mut g = global.clone();
+                aggregate_deltas(&mut g, &ups_w, AggSettings::sharded(kb)).unwrap();
+                assert_params_bit_identical(
+                    &g,
+                    &reference,
+                    &format!("delta/{name}/{kb}KB/{threads}t"),
+                );
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn staleness_merge_matches_dense() {
+    let _guard = env_lock();
+    let global = init_params(4);
+    // Mixed buffer: masked weights (with snapshots) and sketched deltas.
+    let snapshots: Vec<ParamSet> = (0..3).map(|k| perturbed(&global, 700 + k)).collect();
+    let weights = weights_uploads(&global, 3);
+    let dgc = Dgc {
+        keep_fraction: 0.25,
+        momentum: 0.9,
+        warmup_rounds: 0,
+    };
+    let (delta_dense, delta_wire) = delta_upload_pair(&global, &dgc, 9);
+
+    let dense_items: Vec<StalenessUpload> = weights
+        .iter()
+        .zip(&snapshots)
+        .map(|((w, u), s)| StalenessUpload {
+            weight: *w as f64 / 1.5,
+            upload: u,
+            snapshot: Some(s),
+        })
+        .chain(std::iter::once(StalenessUpload {
+            weight: 4.0,
+            upload: &delta_dense,
+            snapshot: None,
+        }))
+        .collect();
+    let mut reference = global.clone();
+    merge_staleness_weighted(&mut reference, &dense_items, 0.75, AggSettings::default()).unwrap();
+
+    // Streaming twin: same weights, wire bodies where clients would
+    // produce them.
+    let wired: Vec<Upload> = weights
+        .iter()
+        .map(|(_, u)| {
+            Upload::wire(
+                UploadKind::Weights,
+                codec::encode_weights(u.params(), &u.coverage),
+                u.coverage.clone(),
+                u.wire_bytes,
+            )
+        })
+        .collect();
+    for kb in shard_kbs() {
+        for threads in ["1", "2", "8"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let items: Vec<StalenessUpload> = wired
+                .iter()
+                .zip(&weights)
+                .zip(&snapshots)
+                .map(|((u, (w, _)), s)| StalenessUpload {
+                    weight: *w as f64 / 1.5,
+                    upload: u,
+                    snapshot: Some(s),
+                })
+                .chain(std::iter::once(StalenessUpload {
+                    weight: 4.0,
+                    upload: &delta_wire,
+                    snapshot: None,
+                }))
+                .collect();
+            let mut g = global.clone();
+            merge_staleness_weighted(&mut g, &items, 0.75, AggSettings::sharded(kb)).unwrap();
+            assert_params_bit_identical(&g, &reference, &format!("staleness/{kb}KB/{threads}t"));
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn steady_state_streaming_allocates_nothing() {
+    let _guard = env_lock();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let global0 = init_params(5);
+    let uploads = weights_uploads(&global0, 4);
+    let ups: Vec<(f32, &Upload)> = uploads.iter().map(|(w, u)| (*w, u)).collect();
+    let run = |g0: &ParamSet| {
+        let mut g = g0.clone();
+        aggregate_weights(&mut g, &ups, ZeroMode::StaleFill, AggSettings::sharded(16)).unwrap();
+        g
+    };
+    // Warm-up round populates the arena…
+    let _ = run(&global0);
+    let warm = arena_churn();
+    // …after which repeated aggregations must not allocate data buffers.
+    let mut g = global0.clone();
+    for _ in 0..5 {
+        g = run(&g);
+    }
+    assert_eq!(
+        arena_churn(),
+        warm,
+        "steady-state streaming aggregation must be arena-served"
+    );
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+// ---- end-to-end: full experiments, dense vs streaming ------------------
+
+fn assert_logs_bit_identical(a: &ExperimentLog, b: &ExperimentLog, what: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{what}: rounds");
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(
+            ra.train_loss.to_bits(),
+            rb.train_loss.to_bits(),
+            "{what}: train loss r{}",
+            ra.round
+        );
+        assert_eq!(
+            ra.test_loss.to_bits(),
+            rb.test_loss.to_bits(),
+            "{what}: test loss r{}",
+            ra.round
+        );
+        assert_eq!(
+            ra.test_acc.to_bits(),
+            rb.test_acc.to_bits(),
+            "{what}: test acc r{}",
+            ra.round
+        );
+        assert_eq!(
+            ra.upload_bytes_mean, rb.upload_bytes_mean,
+            "{what}: upload bytes r{}",
+            ra.round
+        );
+        assert_eq!(
+            ra.upload_bytes_max, rb.upload_bytes_max,
+            "{what}: max upload bytes r{}",
+            ra.round
+        );
+        assert_eq!(
+            ra.download_bytes, rb.download_bytes,
+            "{what}: download bytes r{}",
+            ra.round
+        );
+    }
+}
+
+fn e2e_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, streaming: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        rounds: 2,
+        client_fraction: 0.5,
+        seed: 21,
+        train: bundle.train,
+        eval_topk: bundle.eval_topk,
+        eval_every: 1,
+        eval_max_samples: 200,
+        agg: if streaming {
+            AggSettings::sharded(1)
+        } else {
+            AggSettings::default()
+        },
+    }
+}
+
+/// The fig2 motivation experiment, two rounds, dense vs streaming — the
+/// whole vertical slice (client encode → wire → sharded reduce) must
+/// reproduce the reference experiment bit for bit, for a dropout method
+/// (FedBIAD, `Weights`) and a sketched method (FedAvg+DGC-style `Delta`).
+#[test]
+fn fig2_two_round_end_to_end_dense_vs_streaming() {
+    let bundle = build(Workload::MnistLike, Scale::Smoke, 21);
+    let run_fedbiad = |streaming: bool| {
+        let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 1));
+        Experiment::new(
+            bundle.model.as_ref(),
+            &bundle.data,
+            algo,
+            e2e_cfg(&bundle, streaming),
+        )
+        .run()
+    };
+    assert_logs_bit_identical(&run_fedbiad(false), &run_fedbiad(true), "fig2/fedbiad");
+
+    let run_sketched = |streaming: bool| {
+        let algo = FedAvg::with_sketch(std::sync::Arc::new(Dgc::paper()));
+        Experiment::new(
+            bundle.model.as_ref(),
+            &bundle.data,
+            algo,
+            e2e_cfg(&bundle, streaming),
+        )
+        .run()
+    };
+    assert_logs_bit_identical(&run_sketched(false), &run_sketched(true), "fig2/fedavg+dgc");
+}
+
+/// The simulator's three policy merge paths (sync barrier, deadline
+/// over-selection, FedBuff buffered-async staleness weighting) under
+/// streaming vs dense.
+#[test]
+fn sim_policies_dense_vs_streaming() {
+    let bundle = build(Workload::MnistLike, Scale::Smoke, 31);
+    let mk_cfg = |streaming: bool| {
+        let mut cfg = e2e_cfg(&bundle, streaming);
+        cfg.seed = 31;
+        SimConfig::new(
+            cfg,
+            HeterogeneityProfile::Stragglers {
+                fraction: 0.3,
+                slowdown: 15.0,
+                jitter: 0.1,
+            },
+        )
+    };
+    let run = |policy: &str, streaming: bool| -> SimReport {
+        let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 1));
+        match policy {
+            "sync" => Simulator::new(
+                bundle.model.as_ref(),
+                &bundle.data,
+                algo,
+                SyncBarrier,
+                mk_cfg(streaming),
+            )
+            .run(),
+            "deadline" => Simulator::new(
+                bundle.model.as_ref(),
+                &bundle.data,
+                algo,
+                DeadlineOverSelect::new(1.5, 200.0),
+                mk_cfg(streaming),
+            )
+            .run(),
+            _ => Simulator::new(
+                bundle.model.as_ref(),
+                &bundle.data,
+                algo,
+                FedBuff::new(2, 3),
+                mk_cfg(streaming),
+            )
+            .run(),
+        }
+    };
+    for policy in ["sync", "deadline", "fedbuff"] {
+        let dense = run(policy, false);
+        let streaming = run(policy, true);
+        assert_logs_bit_identical(&dense.log, &streaming.log, &format!("sim/{policy}"));
+        assert_eq!(
+            dense.round_end_seconds, streaming.round_end_seconds,
+            "sim/{policy}: virtual clock"
+        );
+    }
+}

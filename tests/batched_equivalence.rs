@@ -117,6 +117,7 @@ fn assert_experiment_level_bitwise(workload: Workload, fedbiad: bool) {
         eval_topk: bundle.eval_topk,
         eval_every: 1,
         eval_max_samples: 0,
+        agg: Default::default(),
     };
     let run = |model: &dyn Model| -> ExperimentLog {
         if fedbiad {

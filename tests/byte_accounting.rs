@@ -3,11 +3,20 @@
 //! are verified analytically here — including at full paper scale, where
 //! no training is needed.
 
+use fedbiad::compress::codec::{encode_delta, encode_weights, encode_weights_delta};
+use fedbiad::compress::dgc::Dgc;
+use fedbiad::compress::fedpaq::FedPaq;
+use fedbiad::compress::none::NoCompression;
+use fedbiad::compress::signsgd::SignSgd;
+use fedbiad::compress::stc::Stc;
+use fedbiad::compress::{ClientState, Compressor};
+use fedbiad::core::combo::sketch_masked_weights;
 use fedbiad::core::pattern::{keep_count, DropPattern};
 use fedbiad::nn::lstm_lm::LstmLmModel;
 use fedbiad::nn::mlp::MlpModel;
 use fedbiad::nn::Model;
 use fedbiad::tensor::rng::{stream, StreamTag};
+use rand::Rng;
 
 #[test]
 fn fedbiad_upload_fraction_tracks_one_minus_p() {
@@ -90,6 +99,95 @@ fn dgc_paper_scale_save_ratio_matches_table2_order() {
         save > 300.0 && save < 340.0,
         "DGC paper-scale save {save:.0}x"
     );
+}
+
+/// The analytical `wire_bytes` every compressor reports must equal the
+/// *length of its real encoding* — the byte-accounting columns of
+/// Tables I/II are no longer a model, they are measurements of actual
+/// buffers. (Before the wire codec existed this file was analytical
+/// only.)
+#[test]
+fn every_compressor_encoding_length_equals_reported_wire_bytes() {
+    let n = 4096usize;
+    let mut rng = stream(11, StreamTag::Compress, 0, 0);
+    let delta: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let comps: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("none", Box::new(NoCompression)),
+        ("dgc", Box::new(Dgc::paper())),
+        ("signsgd", Box::new(SignSgd::default())),
+        ("stc", Box::new(Stc::paper())),
+        ("fedpaq-8", Box::new(FedPaq::paper())),
+        ("fedpaq-6", Box::new(FedPaq { bits: 6 })), // unaligned packing
+    ];
+    for (name, comp) in comps {
+        let mut st = ClientState::default();
+        let c = comp.compress(&mut st, &delta, 5, &mut rng);
+        // The structural payload reports the same count…
+        assert_eq!(c.payload.wire_bytes(), c.wire_bytes, "{name}: payload");
+        // …and the actual frame body has exactly that many bytes.
+        let msg = encode_delta(&c.payload);
+        assert_eq!(msg.body_bytes(), c.wire_bytes, "{name}: encoded body");
+    }
+}
+
+/// Masked-weights uploads: the encoded body (pattern bitmaps + kept
+/// values) is exactly `ModelMask::wire_bytes`, at paper scale.
+#[test]
+fn masked_weights_encoding_length_matches_mask_accounting() {
+    let model = MlpModel::new(784, 128, 10);
+    let params = model.init_params(&mut stream(21, StreamTag::Init, 0, 0));
+    let j = params.num_row_units();
+    let mut rng = stream(22, StreamTag::Pattern, 0, 0);
+    for p in [0.2f32, 0.5, 0.8] {
+        let pat = DropPattern::sample_global(j, keep_count(j, p), &mut rng);
+        let mask = pat.to_mask(&params);
+        let mut masked = params.clone();
+        mask.apply(&mut masked);
+        let msg = encode_weights(&masked, &mask);
+        assert_eq!(msg.body_bytes(), mask.wire_bytes(&masked), "p = {p}");
+    }
+}
+
+/// Fig. 5 combo frames: encoded body = compressed payload bytes +
+/// pattern-bit overhead, for every compressor.
+#[test]
+fn combo_encoding_length_matches_payload_plus_pattern() {
+    let model = MlpModel::new(64, 32, 10);
+    let global = model.init_params(&mut stream(31, StreamTag::Init, 0, 0));
+    let j = global.num_row_units();
+    let mut prng = stream(32, StreamTag::Pattern, 0, 0);
+    let pat = DropPattern::sample_global(j, keep_count(j, 0.5), &mut prng);
+    let mask = pat.to_mask(&global);
+    let mut masked_u = global.clone();
+    for v in masked_u.mat_mut(0).as_mut_slice() {
+        *v += 0.25;
+    }
+    mask.apply(&mut masked_u);
+
+    let comps: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("none", Box::new(NoCompression)),
+        ("dgc", Box::new(Dgc::paper())),
+        ("signsgd", Box::new(SignSgd::default())),
+        ("stc", Box::new(Stc::paper())),
+        ("fedpaq", Box::new(FedPaq::paper())),
+    ];
+    let overhead = mask.wire_bytes(&masked_u) - mask.kept_params(&masked_u) as u64 * 4;
+    for (name, comp) in comps {
+        let mut st = ClientState::default();
+        let mut rng = stream(33, StreamTag::Compress, 0, 0);
+        let out = sketch_masked_weights(
+            comp.as_ref(),
+            &mut st,
+            &masked_u,
+            &global,
+            &mask,
+            0,
+            &mut rng,
+            false,
+        );
+        let msg = encode_weights_delta(&mask, &out.payload);
+        assert_eq!(msg.body_bytes(), out.payload_bytes + overhead, "{name}");
+    }
 }
 
 #[test]

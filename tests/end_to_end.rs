@@ -14,6 +14,7 @@ fn smoke_cfg(rounds: usize, bundle: &fedbiad::fl::workload::WorkloadBundle) -> E
         eval_topk: bundle.eval_topk,
         eval_every: 1,
         eval_max_samples: 0,
+        agg: Default::default(),
     }
 }
 

@@ -89,3 +89,50 @@ fn fig2_two_round_trace_digest_is_pinned() {
          procedure in this file's header; otherwise a kernel change broke determinism."
     );
 }
+
+/// The same pinned digest must come out of the *streaming* sharded
+/// aggregation engine: the engine knob is bit-transparent, so no second
+/// golden constant exists — dense and streaming share this one.
+#[test]
+fn fig2_streaming_engine_reproduces_the_same_digest() {
+    let mut spec = ScenarioSpec::from_path(Path::new("scenarios/fig2.toml"))
+        .expect("bundled fig2 spec must load");
+    spec.apply_overrides(&Overrides {
+        rounds: Some(2),
+        scale: Some(fedbiad::fl::workload::Scale::Smoke),
+        eval_max: Some(200),
+        ..Default::default()
+    })
+    .expect("overrides must validate");
+    // Tiny shards maximise boundary coverage.
+    spec.aggregation.streaming = true;
+    spec.aggregation.shard_kb = Some(1);
+
+    let outcomes = execute(&spec).expect("fig2 streaming smoke run must execute");
+    let mut canon = String::new();
+    for o in &outcomes {
+        canon.push_str(&format!(
+            "run={};dataset={};method={};seed={};",
+            o.run.label, o.log.dataset, o.log.method, o.log.seed
+        ));
+        for r in &o.log.records {
+            canon.push_str(&format!(
+                "round={};train={:08x};test_loss={:016x};test_acc={:016x};up_mean={};up_max={};down={};",
+                r.round,
+                r.train_loss.to_bits(),
+                r.test_loss.to_bits(),
+                r.test_acc.to_bits(),
+                r.upload_bytes_mean,
+                r.upload_bytes_max,
+                r.download_bytes,
+            ));
+        }
+    }
+    let digest = fnv1a64(canon.as_bytes());
+    assert_eq!(
+        digest, GOLDEN_DIGEST,
+        "streaming aggregation drifted from the dense golden trace: {digest:#018X} != \
+         {GOLDEN_DIGEST:#018X} — the engines must move together (see \
+         tests/aggregation_equivalence.rs)."
+    );
+}

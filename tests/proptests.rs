@@ -62,7 +62,7 @@ proptest! {
         let up = Upload::full_weights(params.clone());
         for mode in [ZeroMode::ZerosPull, ZeroMode::HoldersOnly, ZeroMode::StaleFill] {
             let mut g = small_params(3, 2, &[0.0; 6]);
-            aggregate_weights(&mut g, &[(w, &up), (w, &up)], mode);
+            aggregate_weights(&mut g, &[(w, &up), (w, &up)], mode, Default::default()).unwrap();
             for (a, b) in g.flatten().iter().zip(params.flatten()) {
                 prop_assert!((a - b).abs() < 1e-5, "{mode:?}");
             }
@@ -76,7 +76,7 @@ proptest! {
         let ua = Upload::full_weights(small_params(2, 2, &[a; 4]));
         let ub = Upload::full_weights(small_params(2, 2, &[b; 4]));
         let mut g = small_params(2, 2, &[0.0; 4]);
-        aggregate_weights(&mut g, &[(wa, &ua), (wb, &ub)], ZeroMode::HoldersOnly);
+        aggregate_weights(&mut g, &[(wa, &ua), (wb, &ub)], ZeroMode::HoldersOnly, Default::default()).unwrap();
         let lo = a.min(b) - 1e-5;
         let hi = a.max(b) + 1e-5;
         for v in g.flatten() {

@@ -18,6 +18,7 @@ fn base_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, seed: u64) -> Experi
         eval_topk: bundle.eval_topk,
         eval_every: 1,
         eval_max_samples: 0,
+        agg: Default::default(),
     }
 }
 

@@ -27,6 +27,7 @@ fn run_once(seed: u64) -> ExperimentLog {
         eval_topk: 1,
         eval_every: 1,
         eval_max_samples: 0,
+        agg: Default::default(),
     };
     let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 2));
     Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()
@@ -90,6 +91,43 @@ fn single_thread_and_default_threading_agree_bitwise() {
     assert_logs_bit_identical(&single, &oversub, "1 thread vs 16 threads");
 }
 
+/// The streaming sharded aggregation engine parallelises over shards;
+/// the full experiment must stay bit-identical across thread counts —
+/// and to the dense-engine run (the cross-engine contract lives in
+/// `tests/aggregation_equivalence.rs`; this pins the thread axis on a
+/// whole training run with tiny 1 KiB shards, the raggedest schedule).
+fn run_once_streaming(seed: u64) -> ExperimentLog {
+    let bundle = build(Workload::MnistLike, Scale::Smoke, seed);
+    let cfg = ExperimentConfig {
+        rounds: 4,
+        client_fraction: 0.5,
+        seed,
+        train: bundle.train,
+        eval_topk: 1,
+        eval_every: 1,
+        eval_max_samples: 0,
+        agg: fedbiad::fl::AggSettings::sharded(1),
+    };
+    let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 2));
+    Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()
+}
+
+#[test]
+fn streaming_aggregation_is_bitwise_thread_invariant() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single = run_once_streaming(2024);
+    // Streaming and dense runs of the same experiment agree bitwise.
+    let dense = run_once(2024);
+    assert_logs_bit_identical(&single, &dense, "streaming vs dense engine");
+    for threads in ["2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let multi = run_once_streaming(2024);
+        assert_logs_bit_identical(&single, &multi, "streaming 1 thread vs more");
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
 /// One full discrete-event simulation: FedBuff (the policy with the most
 /// scheduling freedom) on a straggler cohort, FedBIAD as the algorithm
 /// (masked uploads of varying wire size feed back into arrival times).
@@ -104,6 +142,7 @@ fn run_sim_once(seed: u64) -> fedbiad::sim::SimReport {
         eval_topk: 1,
         eval_every: 1,
         eval_max_samples: 0,
+        agg: Default::default(),
     };
     let stragglers = HeterogeneityProfile::Stragglers {
         fraction: 0.3,
