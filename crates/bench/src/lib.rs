@@ -24,6 +24,7 @@
 //! live there too and are re-exported here under their old paths.
 
 pub mod cli;
+pub mod gate;
 pub mod output;
 
 pub use fedbiad_scenario::methods;

@@ -57,6 +57,7 @@
 
 use fedbiad_nn::mask::BitVec;
 use fedbiad_nn::{CoverageMask, ModelMask, ParamSet};
+use fedbiad_tensor::ops;
 
 /// Frame magic: "FedBiad Wire Codec".
 pub const MAGIC: [u8; 4] = *b"FBWC";
@@ -560,11 +561,39 @@ impl<'a> PayloadView<'a> {
             // beyond the transmitted scale (and `to_payload` would then
             // disagree with `decode_range`). Validating here keeps range
             // decoding infallible and the two decode paths identical.
-            let levels = (1u32 << (bits - 1)) - 1;
-            for i in 0..n {
-                if view.code_at(i) > 2 * levels {
-                    return Err(WireError::Inconsistent("quant code exceeds level range"));
+            // Since 2·levels = 2^bits − 2, the only out-of-range value a
+            // `bits`-wide field can hold is the all-ones pattern — so the
+            // scan reduces to "no code has every bit set". This runs once
+            // per upload on the aggregation hot path, so it uses a
+            // buffered bit cursor (byte scan at width 8), not the
+            // per-element `code_at`; the property test
+            // `quant_code_range_is_validated_at_parse` pins it.
+            let width = bits as usize;
+            let packed = &body[4..4 + (n * width).div_ceil(8)];
+            let all_ones = (1u64 << width) - 1;
+            let bad = if width == 8 {
+                packed.contains(&u8::MAX)
+            } else {
+                let mut acc = 0u64;
+                let mut have = 0usize;
+                let mut bytes = packed.iter();
+                let mut found = false;
+                for _ in 0..n {
+                    while have < width {
+                        acc |= (*bytes.next().expect("length checked") as u64) << have;
+                        have += 8;
+                    }
+                    if acc & all_ones == all_ones {
+                        found = true;
+                        break;
+                    }
+                    acc >>= width;
+                    have -= width;
                 }
+                found
+            };
+            if bad {
+                return Err(WireError::Inconsistent("quant code exceeds level range"));
             }
         }
         Ok(view)
@@ -573,6 +602,14 @@ impl<'a> PayloadView<'a> {
     /// Logical length of the decoded vector.
     pub fn logical_len(&self) -> usize {
         self.n
+    }
+
+    /// Raw little-endian value bytes of a dense (tag 0) payload — exactly
+    /// `4·n` bytes, value `i` at `[4i, 4i+4)` — or `None` for compressed
+    /// payloads. The streaming reducer fuses its accumulate directly over
+    /// these bytes, skipping the intermediate decode buffer.
+    pub fn dense_values(&self) -> Option<&'a [u8]> {
+        (self.tag == 0).then(|| &self.body[..4 * self.n])
     }
 
     fn pos_section(&self) -> usize {
@@ -650,15 +687,10 @@ impl<'a> PayloadView<'a> {
             }
             2 => {
                 let mu = self.f32_at(0);
-                let signs = &self.body[4..];
-                for (o, v) in out.iter_mut().enumerate() {
-                    let i = start + o;
-                    *v = if signs[i / 8] >> (i % 8) & 1 == 1 {
-                        -mu
-                    } else {
-                        mu
-                    };
-                }
+                // SIMD sign-expand; bit-identical to the scalar
+                // `if bit { -mu } else { mu }` loop (negation is an exact
+                // sign flip, which is what the vector body applies).
+                ops::sign_apply_from_bits(&self.body[4..], start, mu, out);
             }
             3 => {
                 out.fill(0.0);
@@ -682,8 +714,37 @@ impl<'a> PayloadView<'a> {
                 // `code · (scale / levels)`. Codes were range-checked at
                 // parse, so this matches `to_payload` exactly.
                 let inv_q = self.f32_at(0) / levels as f32;
-                for (o, v) in out.iter_mut().enumerate() {
-                    let code = self.code_at(start + o) as i32 - levels;
+                if out.is_empty() {
+                    return;
+                }
+                let packed = &self.body[4..];
+                if self.bits == 8 {
+                    // Byte-aligned width: each code is one byte — SIMD
+                    // widen/subtract/convert (exact per lane).
+                    ops::dequant_u8(&packed[start..end], levels, inv_q, out);
+                    return;
+                }
+                // Generic width: one buffered bit cursor across the range
+                // instead of recomputing the bit position per element
+                // (`code_at` stays as the parse-time validator). The
+                // accumulator shifts codes out LSB-first exactly as the
+                // per-element extraction assembled them.
+                let width = self.bits as usize;
+                let mask = (1u64 << width) - 1;
+                let phase = (start * width) % 8;
+                let mut byte = (start * width) / 8;
+                let mut acc = (packed[byte] >> phase) as u64;
+                let mut have = 8 - phase;
+                byte += 1;
+                for v in out.iter_mut() {
+                    while have < width {
+                        acc |= (packed[byte] as u64) << have;
+                        have += 8;
+                        byte += 1;
+                    }
+                    let code = (acc & mask) as u32 as i32 - levels;
+                    acc >>= width;
+                    have -= width;
                     *v = code as f32 * inv_q;
                 }
             }

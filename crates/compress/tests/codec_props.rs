@@ -5,7 +5,7 @@
 //! instead of panicking.
 
 use fedbiad_compress::codec::{
-    encode_delta, encode_weights, encode_weights_delta, BodyKind, WireMsg,
+    encode_delta, encode_weights, encode_weights_delta, BodyKind, Payload, WireMsg,
 };
 use fedbiad_compress::dgc::Dgc;
 use fedbiad_compress::fedpaq::FedPaq;
@@ -146,6 +146,41 @@ proptest! {
             assert_bits_eq(&lo, &c.decoded[..cut], "lo range");
             assert_bits_eq(&hi, &c.decoded[cut..], "hi range");
         }
+    }
+
+    /// The parse-time quantisation-range check (a buffered bit-cursor on
+    /// the hot path) agrees with the definition: a `bits`-wide field is
+    /// out of range exactly when it holds the all-ones pattern
+    /// (2·levels + 1). A clean payload parses; flipping any single code
+    /// to all-ones anywhere in the stream must be rejected.
+    #[test]
+    fn quant_code_range_is_validated_at_parse(
+        n in 1usize..300,
+        bits in 2u8..=16,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = stream(seed, StreamTag::Compress, 8, 8);
+        let mut p = ParamSet::new();
+        p.push_entry(
+            Matrix::full(1, n, 0.0),
+            None,
+            EntryMeta::new("flat", LayerKind::DenseHidden, false, true),
+        );
+        let levels = (1u32 << (bits - 1)) - 1;
+        let codes: Vec<u16> = (0..n)
+            .map(|_| rng.gen_range(0..=2 * levels) as u16)
+            .collect();
+        let payload = |codes: Vec<u16>| Payload::Quantized {
+            len: n,
+            bits,
+            scale: 1.0,
+            codes,
+        };
+        prop_assert!(encode_delta(&payload(codes.clone())).view(&p).is_ok());
+        let mut bad = codes;
+        let j = rng.gen_range(0..n);
+        bad[j] = (2 * levels + 1) as u16; // the all-ones pattern
+        prop_assert!(encode_delta(&payload(bad)).view(&p).is_err(), "code {} at {}", 2 * levels + 1, j);
     }
 
     /// Masked-weights frames round-trip the mask and the kept values for

@@ -20,6 +20,14 @@
 //! so thread count cannot affect results either
 //! (`tests/thread_determinism.rs`).
 //!
+//! The per-shard inner loops run through the shared SIMD kernels in
+//! [`fedbiad_tensor::ops`] — all purely vertical operations, so the
+//! vector widths carry the exact scalar bits — and the coverage walk
+//! tracks kept-value ranks **incrementally** (one counter per shard
+//! walk; see [`walk_runs`]) instead of issuing a popcount rank query per
+//! matrix/bias section. Dense-f32 payloads accumulate straight from
+//! their wire bytes with no intermediate decode buffer.
+//!
 //! ## Memory
 //!
 //! The dense path holds one dense `ParamSet` per client
@@ -38,7 +46,7 @@ use fedbiad_compress::codec::{
     BodyKind, Payload, WireError, WireMsg, WireView,
 };
 use fedbiad_nn::{CoverageMask, ParamSet};
-use fedbiad_tensor::Workspace;
+use fedbiad_tensor::{ops, Workspace};
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -181,9 +189,17 @@ enum Run {
 /// rows of `Rows`/`Full` masks — the hot case — surface as whole-row
 /// runs, so consumers reduce them with tight slice loops instead of
 /// per-element dispatch.
+///
+/// The kept-value index `ki` handed to each covered run is tracked
+/// **incrementally**: the kept-value stream follows flat order, so the
+/// rank of any position inside the walk equals the shard-start rank plus
+/// the covered elements seen so far. One counter therefore replaces the
+/// per-section `KeptMeta::rank_at` queries the walk used to issue (each
+/// a popcount scan over the mask words), making the walk O(shard) with
+/// no rank queries at all — callers resolve the single shard-start rank
+/// themselves when they need an absolute payload offset.
 fn walk_runs(
     view: &WireView<'_>,
-    kmeta: &KeptMeta,
     layout: &FlatLayout,
     start: usize,
     len: usize,
@@ -192,9 +208,10 @@ fn walk_runs(
     if len == 0 {
         return;
     }
-    let kr0 = kmeta.rank_at(start, &view.masks, layout);
     let end = start + len;
     let first = layout.entry_of(start);
+    // Covered elements seen since `start` — the incremental rank.
+    let mut ki = 0usize;
     for (e, span) in layout.spans.iter().enumerate().skip(first) {
         if span.mat_start >= end {
             break;
@@ -204,13 +221,15 @@ fn walk_runs(
         let m0 = span.mat_start.max(start);
         let m1 = span.bias_start.min(end);
         if m0 < m1 {
-            let mut ki = kmeta.rank_at(m0, &view.masks, layout) - kr0;
             match mask {
-                CoverageMask::Full => f(Run::Covered {
-                    local: m0 - start,
-                    ki,
-                    n: m1 - m0,
-                }),
+                CoverageMask::Full => {
+                    f(Run::Covered {
+                        local: m0 - start,
+                        ki,
+                        n: m1 - m0,
+                    });
+                    ki += m1 - m0;
+                }
                 CoverageMask::Rows(rb) => {
                     let mut o = m0;
                     while o < m1 {
@@ -285,7 +304,6 @@ fn walk_runs(
         let b0 = span.bias_start.max(start);
         let b1 = span.end().min(end);
         if b0 < b1 {
-            let mut ki = kmeta.rank_at(b0, &view.masks, layout) - kr0;
             for o in b0..b1 {
                 let br = o - span.bias_start;
                 let covered = match mask {
@@ -468,9 +486,18 @@ fn decode_kept<'k>(
 /// Fused decode + numerator/denominator accumulation for one upload on
 /// one shard (the sync weights path): the client's dense contribution is
 /// never materialised — covered runs stream straight from the wire into
-/// `num[j] += w·v`, and dropped elements receive the reference path's
-/// `num[j] += w·0.0` (as `+= 0.0`, its bit-exact value), so even −0.0
-/// accumulators normalise exactly as the dense engine's axpy does.
+/// `num[j] += w·v`, and dropped elements are skipped outright. Skipping
+/// is bit-exact, not an approximation: the dense engine adds
+/// `w·0.0 = +0.0` there, and under round-to-nearest `x + (+0.0)` changes
+/// nothing unless `x` is `−0.0` — which `num` can never be, because it
+/// starts at `+0.0` and an IEEE sum is `−0.0` only when *both* operands
+/// are (`tests/aggregation_equivalence.rs` pins this end to end).
+///
+/// Dense-f32 payloads — the hot masked-weights shape — skip the
+/// kept-scratch decode entirely: the single shard-start rank query gives
+/// the payload byte offset, and covered runs accumulate straight from the
+/// wire bytes ([`ops::axpy_from_le_bytes`]). Compressed payloads decode
+/// the shard's kept values once into scratch and accumulate from there.
 #[allow(clippy::too_many_arguments)]
 fn accumulate_weights_shard(
     view: &WireView<'_>,
@@ -487,44 +514,104 @@ fn accumulate_weights_shard(
     if len == 0 {
         return;
     }
-    let (ks, _) = decode_kept(view, kmeta, layout, start, len, kept_scratch);
     let delta_mode = view.kind == BodyKind::WeightsDelta;
-    walk_runs(view, kmeta, layout, start, len, |run| match run {
+    let dense = if delta_mode {
+        None
+    } else {
+        view.payload.dense_values()
+    };
+    let (ks, kr0): (&[f32], usize) = match dense {
+        Some(_) => (&[], kmeta.rank_at(start, &view.masks, layout)),
+        None => {
+            let (ks, kr0) = decode_kept(view, kmeta, layout, start, len, kept_scratch);
+            (ks, kr0)
+        }
+    };
+    walk_runs(view, layout, start, len, |run| match run {
         Run::Covered { local, ki, n } => {
             let nseg = &mut num[local..local + n];
-            let kseg = &ks[ki..ki + n];
             if delta_mode {
                 // WeightsDelta reconstructs g + δ exactly as the dense
                 // client did (`rec_flat[i] += decoded[pos]`).
-                let bseg = &base[local..local + n];
-                for i in 0..n {
-                    nseg[i] += w * (bseg[i] + kseg[i]);
-                }
+                ops::axpy_sum2(w, &base[local..local + n], &ks[ki..ki + n], nseg);
+            } else if let Some(bytes) = dense {
+                let o = 4 * (kr0 + ki);
+                ops::axpy_from_le_bytes(w, &bytes[o..o + 4 * n], nseg);
             } else {
-                for i in 0..n {
-                    nseg[i] += w * kseg[i];
-                }
+                ops::axpy(w, &ks[ki..ki + n], nseg);
             }
             if let Some(den) = den.as_mut() {
-                for v in &mut den[local..local + n] {
-                    *v += w;
-                }
+                ops::add_assign_scalar(&mut den[local..local + n], w);
             }
         }
-        Run::Dropped { local, n } => {
-            for v in &mut num[local..local + n] {
-                *v += 0.0;
-            }
-        }
+        Run::Dropped { .. } => {}
     });
+}
+
+/// Denominator of entry `e`, row `r` for row-granular coverage (every
+/// mask `Full` or `Rows`): the scalar chain `0.0 + w_0 + w_1 + …` over
+/// the clients covering the row, in upload order — exactly the sum the
+/// dense engine builds element-wise (`den[i] += w` per covering client),
+/// so combining with it is bit-identical to combining with a den array.
+fn row_weight(uploads: &[(f32, &Upload)], views: &[WireView<'_>], e: usize, r: usize) -> f32 {
+    let mut d = 0.0f32;
+    for ((w, _), v) in uploads.iter().zip(views) {
+        let covered = match &v.masks[e] {
+            CoverageMask::Full => true,
+            CoverageMask::Rows(rb) => rb.get(r),
+            // Caller guarantees row granularity.
+            _ => unreachable!("row_weight on non-row-granular mask"),
+        };
+        if covered {
+            d += *w;
+        }
+    }
+    d
+}
+
+/// Call `f(lo, hi, e, r)` for every maximal extent of the flat range that
+/// lies within a single row: matrix rows clipped to the range, then each
+/// bias element (bias element `i` of an entry belongs to row `i`).
+/// `lo..hi` are range-local offsets.
+fn for_each_row_extent(
+    layout: &FlatLayout,
+    start: usize,
+    len: usize,
+    f: &mut impl FnMut(usize, usize, usize, usize),
+) {
+    if len == 0 {
+        return;
+    }
+    let end = start + len;
+    for (e, span) in layout.spans.iter().enumerate().skip(layout.entry_of(start)) {
+        if span.mat_start >= end {
+            break;
+        }
+        let m0 = span.mat_start.max(start);
+        let m1 = span.bias_start.min(end);
+        if m0 < m1 {
+            let r0 = (m0 - span.mat_start) / span.cols;
+            let r1 = (m1 - 1 - span.mat_start) / span.cols;
+            for r in r0..=r1 {
+                let lo = (span.mat_start + r * span.cols).max(m0);
+                let hi = (span.mat_start + (r + 1) * span.cols).min(m1);
+                f(lo - start, hi - start, e, r);
+            }
+        }
+        let b0 = span.bias_start.max(start);
+        let b1 = span.end().min(end);
+        for i in b0..b1 {
+            f(i - start, i + 1 - start, e, i - span.bias_start);
+        }
+    }
 }
 
 /// Decode one upload's masked values for a shard into `vals` (exact
 /// zeros on dropped positions), subtracting `sub` on covered elements —
 /// the staleness merge's Δ = (β∘U) − snapshot, with the dense path's
-/// exact expression `(v) + (−1.0)·sub[i]` (the `axpy(-1.0, …)` form;
-/// spelled out so the bit contract is visible, hence the lint allow).
-#[allow(clippy::too_many_arguments, clippy::neg_multiply)]
+/// exact expression `(v) + (−1.0)·sub[i]` (the `axpy(-1.0, …)` form,
+/// which [`ops::diff_into`]/[`ops::sum2_diff_into`] spell per lane).
+#[allow(clippy::too_many_arguments)]
 fn decode_weights_delta_shard(
     view: &WireView<'_>,
     kmeta: &KeptMeta,
@@ -541,19 +628,15 @@ fn decode_weights_delta_shard(
     }
     let (ks, _) = decode_kept(view, kmeta, layout, start, len, kept_scratch);
     let delta_mode = view.kind == BodyKind::WeightsDelta;
-    walk_runs(view, kmeta, layout, start, len, |run| match run {
+    walk_runs(view, layout, start, len, |run| match run {
         Run::Covered { local, ki, n } => {
             let seg = &mut vals[local..local + n];
             let kseg = &ks[ki..ki + n];
-            let bseg = &base[local..local + n];
             let sseg = &sub[local..local + n];
-            for i in 0..n {
-                let v = if delta_mode {
-                    bseg[i] + kseg[i]
-                } else {
-                    kseg[i]
-                };
-                seg[i] = v + (-1.0) * sseg[i];
+            if delta_mode {
+                ops::sum2_diff_into(&base[local..local + n], kseg, sseg, seg);
+            } else {
+                ops::diff_into(kseg, sseg, seg);
             }
         }
         Run::Dropped { local, n } => vals[local..local + n].fill(0.0),
@@ -586,9 +669,23 @@ pub(super) fn weights(
     // precomputed 1/W but divides biases directly — replicate both.
     let inv_w = 1.0f32 / total_w;
 
+    // Row-granular coverage (`Full`/`Rows` masks — the FedBIAD dropout
+    // shape) makes the denominator *row-constant* per client, so no den
+    // array is materialised at all: the combine step walks row extents
+    // and folds each row's scalar weight chain straight into the
+    // constant-den combine kernels, saving both the per-client
+    // `den += w` memory passes and the full-width den fill/read. Finer
+    // masks (`RowsCols`/`Elements`) keep the per-client accumulation.
+    let row_granular = views.iter().all(|v| {
+        v.masks
+            .iter()
+            .all(|m| matches!(m, CoverageMask::Full | CoverageMask::Rows(_)))
+    });
+    let fast_den = need_den && row_granular;
+
     let needs = Needs {
         num: true,
-        den: need_den,
+        den: need_den && !fast_den,
         vals: false,
         kept: true,
         snap: false,
@@ -607,46 +704,50 @@ pub(super) fn weights(
                 *w,
                 t.g,
                 t.num,
-                need_den.then_some(&mut *t.den),
+                (need_den && !fast_den).then_some(&mut *t.den),
                 t.kept,
             );
         }
         match mode {
             ZeroMode::ZerosPull => {
                 // Matrix elements: num·(1/W); biases: num/W — exactly the
-                // dense reference's two expressions.
-                let mut classify = |local: usize, is_bias: bool| {
-                    t.g[local] = if is_bias {
-                        t.num[local] / total_w
+                // dense reference's two expressions, applied per maximal
+                // matrix/bias section run.
+                for_each_section_range(&layout, t.start, len, &mut |lo, hi, is_bias| {
+                    if is_bias {
+                        ops::div_scalar_into(&t.num[lo..hi], total_w, &mut t.g[lo..hi]);
                     } else {
-                        t.num[local] * inv_w
-                    };
-                };
-                for_each_section(&layout, t.start, len, &mut classify);
+                        ops::scale_into(&t.num[lo..hi], inv_w, &mut t.g[lo..hi]);
+                    }
+                });
             }
-            ZeroMode::HoldersOnly => {
-                for j in 0..len {
-                    if t.den[j] > 0.0 {
-                        t.g[j] = t.num[j] / t.den[j];
-                    } // else: keep previous global value
-                }
+            // den = 0 keeps the previous global value.
+            ZeroMode::HoldersOnly if fast_den => {
+                for_each_row_extent(&layout, t.start, len, &mut |lo, hi, e, r| {
+                    let d = row_weight(uploads, &views, e, r);
+                    ops::holders_combine_scalar(&t.num[lo..hi], d, &mut t.g[lo..hi]);
+                });
             }
-            ZeroMode::StaleFill => {
-                for j in 0..len {
-                    t.g[j] = (t.num[j] + (total_w - t.den[j]) * t.g[j]) / total_w;
-                }
+            ZeroMode::HoldersOnly => ops::holders_combine(t.num, t.den, t.g),
+            ZeroMode::StaleFill if fast_den => {
+                for_each_row_extent(&layout, t.start, len, &mut |lo, hi, e, r| {
+                    let d = row_weight(uploads, &views, e, r);
+                    ops::stale_fill_combine_scalar(&t.num[lo..hi], d, total_w, &mut t.g[lo..hi]);
+                });
             }
+            ZeroMode::StaleFill => ops::stale_fill_combine(t.num, t.den, total_w, t.g),
         }
     });
     Ok(())
 }
 
-/// Call `f(local, is_bias)` for every flat element of the range.
-fn for_each_section(
+/// Call `f(lo, hi, is_bias)` for every maximal matrix/bias section run of
+/// the flat range (`lo..hi` are range-local offsets).
+fn for_each_section_range(
     layout: &FlatLayout,
     start: usize,
     len: usize,
-    f: &mut impl FnMut(usize, bool),
+    f: &mut impl FnMut(usize, usize, bool),
 ) {
     if len == 0 {
         return;
@@ -658,13 +759,13 @@ fn for_each_section(
         }
         let m0 = span.mat_start.max(start);
         let m1 = span.bias_start.min(end);
-        for o in m0..m1 {
-            f(o - start, false);
+        if m0 < m1 {
+            f(m0 - start, m1 - start, false);
         }
         let b0 = span.bias_start.max(start);
         let b1 = span.end().min(end);
-        for o in b0..b1 {
-            f(o - start, true);
+        if b0 < b1 {
+            f(b0 - start, b1 - start, true);
         }
     }
 }
@@ -692,11 +793,15 @@ pub(super) fn deltas(
     with_shards(global, shard_elems, needs, |t| {
         let len = t.g.len();
         for ((w, _), view) in uploads.iter().zip(&views) {
-            view.payload.decode_range(t.start, &mut t.vals[..len]);
             // Same per-upload coefficient the dense reference feeds axpy.
             let a = *w / total_w;
-            for j in 0..len {
-                t.g[j] += a * t.vals[j];
+            if let Some(bytes) = view.payload.dense_values() {
+                // Dense payload: fused decode + accumulate straight from
+                // the wire bytes, no intermediate buffer.
+                ops::axpy_from_le_bytes(a, &bytes[4 * t.start..4 * (t.start + len)], t.g);
+            } else {
+                view.payload.decode_range(t.start, &mut t.vals[..len]);
+                ops::axpy(a, &t.vals[..len], t.g);
             }
         }
     });
@@ -733,8 +838,14 @@ pub(super) fn staleness(
     with_shards(global, shard_elems, needs, |t| {
         let len = t.g.len();
         for ((it, view), kmeta) in items.iter().zip(&views).zip(&kmetas) {
+            let c = (server_lr * it.weight / total_w) as f32;
             match view.kind {
                 BodyKind::DeltaFull => {
+                    if let Some(bytes) = view.payload.dense_values() {
+                        // Fused decode + accumulate from the wire bytes.
+                        ops::axpy_from_le_bytes(c, &bytes[4 * t.start..4 * (t.start + len)], t.g);
+                        continue;
+                    }
                     view.payload.decode_range(t.start, &mut t.vals[..len]);
                 }
                 BodyKind::WeightsAbsolute | BodyKind::WeightsDelta => {
@@ -748,10 +859,7 @@ pub(super) fn staleness(
                     );
                 }
             }
-            let c = (server_lr * it.weight / total_w) as f32;
-            for j in 0..len {
-                t.g[j] += c * t.vals[j];
-            }
+            ops::axpy(c, &t.vals[..len], t.g);
         }
     });
     Ok(())

@@ -31,12 +31,77 @@ use crate::matrix::Matrix;
 use rayon::prelude::*;
 
 /// `y += alpha * x` over equal-length slices.
+///
+/// Vertical arithmetic: the SSE2/AVX bodies apply the identical per-lane
+/// `y[i] += alpha · x[i]` the scalar tail does, so every width produces
+/// the same bits.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 is baseline, AVX runtime-verified; accesses stay
+        // inside the equal-length slices.
+        unsafe {
+            done = if avx_available() {
+                axpy_avx(alpha, x, y)
+            } else {
+                axpy_sse(alpha, x, y)
+            };
+        }
     }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..y.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// SSE2 body of [`axpy`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn axpy_sse(alpha: f32, x: &[f32], y: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 4;
+    let av = _mm_set1_ps(alpha);
+    for c in 0..chunks {
+        let i = c * 4;
+        let p = y.as_mut_ptr().add(i);
+        let v = _mm_add_ps(
+            _mm_loadu_ps(p),
+            _mm_mul_ps(av, _mm_loadu_ps(x.as_ptr().add(i))),
+        );
+        _mm_storeu_ps(p, v);
+    }
+    chunks * 4
+}
+
+/// AVX body of [`axpy`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn axpy_avx(alpha: f32, x: &[f32], y: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 8;
+    let av = _mm256_set1_ps(alpha);
+    for c in 0..chunks {
+        let i = c * 8;
+        let p = y.as_mut_ptr().add(i);
+        let v = _mm256_add_ps(
+            _mm256_loadu_ps(p),
+            _mm256_mul_ps(av, _mm256_loadu_ps(x.as_ptr().add(i))),
+        );
+        _mm256_storeu_ps(p, v);
+    }
+    chunks * 8
 }
 
 /// Dot product of equal-length slices.
@@ -779,6 +844,943 @@ pub fn clip_norm(g: &mut [f32], max_norm: f32) -> f32 {
     } else {
         1.0
     }
+}
+
+// ---- fused decode + reduce helpers (streaming aggregation) -------------
+//
+// The server's sharded streaming reducer (`fedbiad-fl`) and the wire
+// codec's range decoders (`fedbiad-compress`) share these element-wise
+// kernels. Every operation here is purely *vertical* — output lane `i`
+// depends only on element `i` of each operand, with no cross-lane
+// arithmetic — so the SSE2/AVX bodies execute the exact same IEEE-754
+// operation per element as their scalar tails and produce bit-identical
+// results lane for lane. That is what lets the streaming engine run 4/8
+// lanes at a time while staying inside the bit-identical-to-dense
+// contract (`tests/aggregation_equivalence.rs`); the property suite in
+// `crates/tensor/tests/simd_props.rs` pins each kernel against its scalar
+// reference over awkward lengths and unaligned offsets.
+//
+// The two bit-manipulating decoders (`sign_apply_from_bits`,
+// `dequant_u8`) are SSE2-only: widening them needs 256-bit *integer*
+// lanes, which is AVX2 — outside the AVX1 runtime-detect contract the
+// rest of this file uses. Both are decode-bound on byte inputs, so the
+// 128-bit integer path already saturates them.
+
+/// `y[i] += w` for every element: the coverage-denominator update, and —
+/// with `w = 0.0` — the dense reference's `+= w·0` normalisation pass
+/// over dropped elements (it turns a `−0.0` accumulator into `+0.0`
+/// exactly like the reference axpy does).
+pub fn add_assign_scalar(y: &mut [f32], w: f32) {
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 is baseline, AVX runtime-verified; accesses stay
+        // inside `y`. Vertical arithmetic: identical bits at any width.
+        unsafe {
+            done = if avx_available() {
+                add_assign_scalar_avx(y, w)
+            } else {
+                add_assign_scalar_sse(y, w)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for v in &mut y[done..] {
+        *v += w;
+    }
+}
+
+/// SSE2 body of [`add_assign_scalar`]; returns elements processed.
+///
+/// # Safety
+/// x86_64 only (SSE2 baseline).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn add_assign_scalar_sse(y: &mut [f32], w: f32) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 4;
+    let wv = _mm_set1_ps(w);
+    for c in 0..chunks {
+        let p = y.as_mut_ptr().add(c * 4);
+        _mm_storeu_ps(p, _mm_add_ps(_mm_loadu_ps(p), wv));
+    }
+    chunks * 4
+}
+
+/// AVX body of [`add_assign_scalar`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn add_assign_scalar_avx(y: &mut [f32], w: f32) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 8;
+    let wv = _mm256_set1_ps(w);
+    for c in 0..chunks {
+        let p = y.as_mut_ptr().add(c * 8);
+        _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), wv));
+    }
+    chunks * 8
+}
+
+/// `y[i] += w·(a[i] + b[i])`: the WeightsDelta accumulate, where the
+/// client's absolute weights are reconstructed as base + delta on the fly.
+pub fn axpy_sum2(w: f32, a: &[f32], b: &[f32], y: &mut [f32]) {
+    assert!(
+        a.len() == y.len() && b.len() == y.len(),
+        "axpy_sum2 length mismatch"
+    );
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal-length
+        // slices checked above. Vertical arithmetic.
+        unsafe {
+            done = if avx_available() {
+                axpy_sum2_avx(w, a, b, y)
+            } else {
+                axpy_sum2_sse(w, a, b, y)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..y.len() {
+        y[i] += w * (a[i] + b[i]);
+    }
+}
+
+/// SSE2 body of [`axpy_sum2`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn axpy_sum2_sse(w: f32, a: &[f32], b: &[f32], y: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 4;
+    let wv = _mm_set1_ps(w);
+    for c in 0..chunks {
+        let i = c * 4;
+        let s = _mm_add_ps(
+            _mm_loadu_ps(a.as_ptr().add(i)),
+            _mm_loadu_ps(b.as_ptr().add(i)),
+        );
+        let p = y.as_mut_ptr().add(i);
+        _mm_storeu_ps(p, _mm_add_ps(_mm_loadu_ps(p), _mm_mul_ps(wv, s)));
+    }
+    chunks * 4
+}
+
+/// AVX body of [`axpy_sum2`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn axpy_sum2_avx(w: f32, a: &[f32], b: &[f32], y: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 8;
+    let wv = _mm256_set1_ps(w);
+    for c in 0..chunks {
+        let i = c * 8;
+        let s = _mm256_add_ps(
+            _mm256_loadu_ps(a.as_ptr().add(i)),
+            _mm256_loadu_ps(b.as_ptr().add(i)),
+        );
+        let p = y.as_mut_ptr().add(i);
+        _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), _mm256_mul_ps(wv, s)));
+    }
+    chunks * 8
+}
+
+/// `y[i] += alpha · f32::from_le_bytes(bytes[4i..4i+4])`: the fused
+/// decode + accumulate over a dense-f32 wire payload, skipping the
+/// intermediate decode buffer entirely. `bytes.len()` must be `4·y.len()`.
+///
+/// The little-endian byte-to-f32 reinterpretation is a pure bit copy, so
+/// on x86_64 (little-endian) an unaligned vector load over the byte
+/// stream yields exactly the lanes the scalar `from_le_bytes` loop sees.
+pub fn axpy_from_le_bytes(alpha: f32, bytes: &[u8], y: &mut [f32]) {
+    assert_eq!(
+        bytes.len(),
+        4 * y.len(),
+        "axpy_from_le_bytes length mismatch"
+    );
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; the length check
+        // above bounds every 4-byte group. Unaligned loads are explicit.
+        unsafe {
+            done = if avx_available() {
+                axpy_from_le_bytes_avx(alpha, bytes, y)
+            } else {
+                axpy_from_le_bytes_sse(alpha, bytes, y)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..y.len() {
+        let b = &bytes[4 * i..4 * i + 4];
+        y[i] += alpha * f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    }
+}
+
+/// SSE2 body of [`axpy_from_le_bytes`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees `bytes.len() == 4·y.len()`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn axpy_from_le_bytes_sse(alpha: f32, bytes: &[u8], y: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 4;
+    let av = _mm_set1_ps(alpha);
+    for c in 0..chunks {
+        let x = _mm_loadu_ps(bytes.as_ptr().add(c * 16) as *const f32);
+        let p = y.as_mut_ptr().add(c * 4);
+        _mm_storeu_ps(p, _mm_add_ps(_mm_loadu_ps(p), _mm_mul_ps(av, x)));
+    }
+    chunks * 4
+}
+
+/// AVX body of [`axpy_from_le_bytes`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees `bytes.len() == 4·y.len()` and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn axpy_from_le_bytes_avx(alpha: f32, bytes: &[u8], y: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = y.len() / 8;
+    let av = _mm256_set1_ps(alpha);
+    for c in 0..chunks {
+        let x = _mm256_loadu_ps(bytes.as_ptr().add(c * 32) as *const f32);
+        let p = y.as_mut_ptr().add(c * 8);
+        _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), _mm256_mul_ps(av, x)));
+    }
+    chunks * 8
+}
+
+/// `out[i] = x[i] · s`: the zeros-pull matrix combine (`num · (1/W)` with
+/// a precomputed reciprocal, exactly as the dense reference writes it).
+pub fn scale_into(x: &[f32], s: f32, out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "scale_into length mismatch");
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal lengths.
+        unsafe {
+            done = if avx_available() {
+                scale_into_avx(x, s, out)
+            } else {
+                scale_into_sse(x, s, out)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..out.len() {
+        out[i] = x[i] * s;
+    }
+}
+
+/// SSE2 body of [`scale_into`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn scale_into_sse(x: &[f32], s: f32, out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 4;
+    let sv = _mm_set1_ps(s);
+    for c in 0..chunks {
+        let i = c * 4;
+        _mm_storeu_ps(
+            out.as_mut_ptr().add(i),
+            _mm_mul_ps(_mm_loadu_ps(x.as_ptr().add(i)), sv),
+        );
+    }
+    chunks * 4
+}
+
+/// AVX body of [`scale_into`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn scale_into_avx(x: &[f32], s: f32, out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 8;
+    let sv = _mm256_set1_ps(s);
+    for c in 0..chunks {
+        let i = c * 8;
+        _mm256_storeu_ps(
+            out.as_mut_ptr().add(i),
+            _mm256_mul_ps(_mm256_loadu_ps(x.as_ptr().add(i)), sv),
+        );
+    }
+    chunks * 8
+}
+
+/// `out[i] = x[i] / w`: the zeros-pull bias combine (the dense reference
+/// divides biases directly instead of multiplying by the reciprocal).
+pub fn div_scalar_into(x: &[f32], w: f32, out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "div_scalar_into length mismatch");
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal lengths.
+        unsafe {
+            done = if avx_available() {
+                div_scalar_into_avx(x, w, out)
+            } else {
+                div_scalar_into_sse(x, w, out)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..out.len() {
+        out[i] = x[i] / w;
+    }
+}
+
+/// SSE2 body of [`div_scalar_into`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn div_scalar_into_sse(x: &[f32], w: f32, out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 4;
+    let wv = _mm_set1_ps(w);
+    for c in 0..chunks {
+        let i = c * 4;
+        _mm_storeu_ps(
+            out.as_mut_ptr().add(i),
+            _mm_div_ps(_mm_loadu_ps(x.as_ptr().add(i)), wv),
+        );
+    }
+    chunks * 4
+}
+
+/// AVX body of [`div_scalar_into`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn div_scalar_into_avx(x: &[f32], w: f32, out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 8;
+    let wv = _mm256_set1_ps(w);
+    for c in 0..chunks {
+        let i = c * 8;
+        _mm256_storeu_ps(
+            out.as_mut_ptr().add(i),
+            _mm256_div_ps(_mm256_loadu_ps(x.as_ptr().add(i)), wv),
+        );
+    }
+    chunks * 8
+}
+
+/// Holders-only combine: `g[i] = num[i] / den[i]` where `den[i] > 0.0`,
+/// untouched elsewhere. The vector bodies divide every lane and select
+/// with the comparison mask — masked-out lanes may compute ±inf/NaN but
+/// are discarded, and x86 float division does not trap.
+pub fn holders_combine(num: &[f32], den: &[f32], g: &mut [f32]) {
+    assert!(
+        num.len() == g.len() && den.len() == g.len(),
+        "holders_combine length mismatch"
+    );
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal lengths.
+        // Selected lanes compute the scalar expression exactly.
+        unsafe {
+            done = if avx_available() {
+                holders_combine_avx(num, den, g)
+            } else {
+                holders_combine_sse(num, den, g)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..g.len() {
+        if den[i] > 0.0 {
+            g[i] = num[i] / den[i];
+        }
+    }
+}
+
+/// SSE2 body of [`holders_combine`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn holders_combine_sse(num: &[f32], den: &[f32], g: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = g.len() / 4;
+    let zero = _mm_setzero_ps();
+    for c in 0..chunks {
+        let i = c * 4;
+        let d = _mm_loadu_ps(den.as_ptr().add(i));
+        let mask = _mm_cmpgt_ps(d, zero);
+        let q = _mm_div_ps(_mm_loadu_ps(num.as_ptr().add(i)), d);
+        let p = g.as_mut_ptr().add(i);
+        let old = _mm_loadu_ps(p);
+        _mm_storeu_ps(p, _mm_or_ps(_mm_and_ps(mask, q), _mm_andnot_ps(mask, old)));
+    }
+    chunks * 4
+}
+
+/// AVX body of [`holders_combine`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn holders_combine_avx(num: &[f32], den: &[f32], g: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = g.len() / 8;
+    let zero = _mm256_setzero_ps();
+    for c in 0..chunks {
+        let i = c * 8;
+        let d = _mm256_loadu_ps(den.as_ptr().add(i));
+        let mask = _mm256_cmp_ps::<{ _CMP_GT_OQ }>(d, zero);
+        let q = _mm256_div_ps(_mm256_loadu_ps(num.as_ptr().add(i)), d);
+        let p = g.as_mut_ptr().add(i);
+        _mm256_storeu_ps(p, _mm256_blendv_ps(_mm256_loadu_ps(p), q, mask));
+    }
+    chunks * 8
+}
+
+/// Stale-fill combine: `g[i] = (num[i] + (W − den[i]) · g[i]) / W`, the
+/// dense reference's exact expression and operation order.
+pub fn stale_fill_combine(num: &[f32], den: &[f32], total_w: f32, g: &mut [f32]) {
+    assert!(
+        num.len() == g.len() && den.len() == g.len(),
+        "stale_fill_combine length mismatch"
+    );
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal lengths.
+        unsafe {
+            done = if avx_available() {
+                stale_fill_combine_avx(num, den, total_w, g)
+            } else {
+                stale_fill_combine_sse(num, den, total_w, g)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..g.len() {
+        g[i] = (num[i] + (total_w - den[i]) * g[i]) / total_w;
+    }
+}
+
+/// SSE2 body of [`stale_fill_combine`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn stale_fill_combine_sse(num: &[f32], den: &[f32], total_w: f32, g: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = g.len() / 4;
+    let wv = _mm_set1_ps(total_w);
+    for c in 0..chunks {
+        let i = c * 4;
+        let p = g.as_mut_ptr().add(i);
+        let fill = _mm_mul_ps(
+            _mm_sub_ps(wv, _mm_loadu_ps(den.as_ptr().add(i))),
+            _mm_loadu_ps(p),
+        );
+        let v = _mm_div_ps(_mm_add_ps(_mm_loadu_ps(num.as_ptr().add(i)), fill), wv);
+        _mm_storeu_ps(p, v);
+    }
+    chunks * 4
+}
+
+/// AVX body of [`stale_fill_combine`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn stale_fill_combine_avx(num: &[f32], den: &[f32], total_w: f32, g: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = g.len() / 8;
+    let wv = _mm256_set1_ps(total_w);
+    for c in 0..chunks {
+        let i = c * 8;
+        let p = g.as_mut_ptr().add(i);
+        let fill = _mm256_mul_ps(
+            _mm256_sub_ps(wv, _mm256_loadu_ps(den.as_ptr().add(i))),
+            _mm256_loadu_ps(p),
+        );
+        let v = _mm256_div_ps(
+            _mm256_add_ps(_mm256_loadu_ps(num.as_ptr().add(i)), fill),
+            wv,
+        );
+        _mm256_storeu_ps(p, v);
+    }
+    chunks * 8
+}
+
+/// [`holders_combine`] with a constant denominator: `g[i] = num[i] / den`
+/// when `den > 0`, untouched otherwise. For row-granular coverage the
+/// denominator is constant over each row extent, so the caller can skip
+/// materialising (and re-reading) a full den array; per element this
+/// divides by the same value the array form would load, so results are
+/// bit-identical.
+pub fn holders_combine_scalar(num: &[f32], den: f32, g: &mut [f32]) {
+    assert!(
+        num.len() == g.len(),
+        "holders_combine_scalar length mismatch"
+    );
+    // No holder rows: leave `g` untouched, matching the array form's
+    // per-element `den[i] > 0.0` test (false for 0, negatives and NaN).
+    if den <= 0.0 || den.is_nan() {
+        return;
+    }
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal lengths.
+        unsafe {
+            done = if avx_available() {
+                holders_combine_scalar_avx(num, den, g)
+            } else {
+                holders_combine_scalar_sse(num, den, g)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..g.len() {
+        g[i] = num[i] / den;
+    }
+}
+
+/// SSE2 body of [`holders_combine_scalar`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn holders_combine_scalar_sse(num: &[f32], den: f32, g: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = g.len() / 4;
+    let d = _mm_set1_ps(den);
+    for c in 0..chunks {
+        let i = c * 4;
+        _mm_storeu_ps(
+            g.as_mut_ptr().add(i),
+            _mm_div_ps(_mm_loadu_ps(num.as_ptr().add(i)), d),
+        );
+    }
+    chunks * 4
+}
+
+/// AVX body of [`holders_combine_scalar`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn holders_combine_scalar_avx(num: &[f32], den: f32, g: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = g.len() / 8;
+    let d = _mm256_set1_ps(den);
+    for c in 0..chunks {
+        let i = c * 8;
+        _mm256_storeu_ps(
+            g.as_mut_ptr().add(i),
+            _mm256_div_ps(_mm256_loadu_ps(num.as_ptr().add(i)), d),
+        );
+    }
+    chunks * 8
+}
+
+/// [`stale_fill_combine`] with a constant denominator:
+/// `g[i] = (num[i] + (W − den) · g[i]) / W`. Same bit-identity argument
+/// as [`holders_combine_scalar`]: `W − den` matches `W − den[i]` exactly
+/// when the array would hold `den` everywhere.
+pub fn stale_fill_combine_scalar(num: &[f32], den: f32, total_w: f32, g: &mut [f32]) {
+    assert!(
+        num.len() == g.len(),
+        "stale_fill_combine_scalar length mismatch"
+    );
+    let fill_w = total_w - den;
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal lengths.
+        unsafe {
+            done = if avx_available() {
+                stale_fill_combine_scalar_avx(num, fill_w, total_w, g)
+            } else {
+                stale_fill_combine_scalar_sse(num, fill_w, total_w, g)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..g.len() {
+        g[i] = (num[i] + fill_w * g[i]) / total_w;
+    }
+}
+
+/// SSE2 body of [`stale_fill_combine_scalar`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn stale_fill_combine_scalar_sse(
+    num: &[f32],
+    fill_w: f32,
+    total_w: f32,
+    g: &mut [f32],
+) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = g.len() / 4;
+    let fw = _mm_set1_ps(fill_w);
+    let wv = _mm_set1_ps(total_w);
+    for c in 0..chunks {
+        let i = c * 4;
+        let p = g.as_mut_ptr().add(i);
+        let fill = _mm_mul_ps(fw, _mm_loadu_ps(p));
+        let v = _mm_div_ps(_mm_add_ps(_mm_loadu_ps(num.as_ptr().add(i)), fill), wv);
+        _mm_storeu_ps(p, v);
+    }
+    chunks * 4
+}
+
+/// AVX body of [`stale_fill_combine_scalar`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn stale_fill_combine_scalar_avx(
+    num: &[f32],
+    fill_w: f32,
+    total_w: f32,
+    g: &mut [f32],
+) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = g.len() / 8;
+    let fw = _mm256_set1_ps(fill_w);
+    let wv = _mm256_set1_ps(total_w);
+    for c in 0..chunks {
+        let i = c * 8;
+        let p = g.as_mut_ptr().add(i);
+        let fill = _mm256_mul_ps(fw, _mm256_loadu_ps(p));
+        let v = _mm256_div_ps(
+            _mm256_add_ps(_mm256_loadu_ps(num.as_ptr().add(i)), fill),
+            wv,
+        );
+        _mm256_storeu_ps(p, v);
+    }
+    chunks * 8
+}
+
+/// `out[i] = x[i] + (−1.0) · s[i]` — the staleness merge's Δ = value −
+/// snapshot, spelled in the dense reference's `axpy(-1.0, …)` form (which
+/// is bit-identical to subtraction: negation is an exact sign flip).
+#[allow(clippy::neg_multiply)]
+pub fn diff_into(x: &[f32], s: &[f32], out: &mut [f32]) {
+    assert!(
+        x.len() == out.len() && s.len() == out.len(),
+        "diff_into length mismatch"
+    );
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal lengths.
+        unsafe {
+            done = if avx_available() {
+                diff_into_avx(x, s, out)
+            } else {
+                diff_into_sse(x, s, out)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..out.len() {
+        out[i] = x[i] + (-1.0) * s[i];
+    }
+}
+
+/// SSE2 body of [`diff_into`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn diff_into_sse(x: &[f32], s: &[f32], out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 4;
+    let neg = _mm_set1_ps(-1.0);
+    for c in 0..chunks {
+        let i = c * 4;
+        let v = _mm_add_ps(
+            _mm_loadu_ps(x.as_ptr().add(i)),
+            _mm_mul_ps(neg, _mm_loadu_ps(s.as_ptr().add(i))),
+        );
+        _mm_storeu_ps(out.as_mut_ptr().add(i), v);
+    }
+    chunks * 4
+}
+
+/// AVX body of [`diff_into`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn diff_into_avx(x: &[f32], s: &[f32], out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 8;
+    let neg = _mm256_set1_ps(-1.0);
+    for c in 0..chunks {
+        let i = c * 8;
+        let v = _mm256_add_ps(
+            _mm256_loadu_ps(x.as_ptr().add(i)),
+            _mm256_mul_ps(neg, _mm256_loadu_ps(s.as_ptr().add(i))),
+        );
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), v);
+    }
+    chunks * 8
+}
+
+/// `out[i] = (b[i] + k[i]) + (−1.0) · s[i]` — the WeightsDelta variant of
+/// [`diff_into`]: reconstruct base + delta, then subtract the snapshot.
+#[allow(clippy::neg_multiply)]
+pub fn sum2_diff_into(b: &[f32], k: &[f32], s: &[f32], out: &mut [f32]) {
+    assert!(
+        b.len() == out.len() && k.len() == out.len() && s.len() == out.len(),
+        "sum2_diff_into length mismatch"
+    );
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 baseline / AVX runtime-verified; equal lengths.
+        unsafe {
+            done = if avx_available() {
+                sum2_diff_into_avx(b, k, s, out)
+            } else {
+                sum2_diff_into_sse(b, k, s, out)
+            };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..out.len() {
+        out[i] = (b[i] + k[i]) + (-1.0) * s[i];
+    }
+}
+
+/// SSE2 body of [`sum2_diff_into`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn sum2_diff_into_sse(b: &[f32], k: &[f32], s: &[f32], out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 4;
+    let neg = _mm_set1_ps(-1.0);
+    for c in 0..chunks {
+        let i = c * 4;
+        let rec = _mm_add_ps(
+            _mm_loadu_ps(b.as_ptr().add(i)),
+            _mm_loadu_ps(k.as_ptr().add(i)),
+        );
+        let v = _mm_add_ps(rec, _mm_mul_ps(neg, _mm_loadu_ps(s.as_ptr().add(i))));
+        _mm_storeu_ps(out.as_mut_ptr().add(i), v);
+    }
+    chunks * 4
+}
+
+/// AVX body of [`sum2_diff_into`]; returns elements processed.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths and AVX support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn sum2_diff_into_avx(b: &[f32], k: &[f32], s: &[f32], out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 8;
+    let neg = _mm256_set1_ps(-1.0);
+    for c in 0..chunks {
+        let i = c * 8;
+        let rec = _mm256_add_ps(
+            _mm256_loadu_ps(b.as_ptr().add(i)),
+            _mm256_loadu_ps(k.as_ptr().add(i)),
+        );
+        let v = _mm256_add_ps(rec, _mm256_mul_ps(neg, _mm256_loadu_ps(s.as_ptr().add(i))));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), v);
+    }
+    chunks * 8
+}
+
+/// Sign-expand decode: `out[o] = −mu` if bit `start_bit + o` of the
+/// LSB-first bitmap `signs` is set, else `mu` — the signSGD payload's
+/// decode loop. Negation is an exact sign-bit flip, so the vector body
+/// XORs the sign bit under the bitmap-derived mask instead of blending.
+///
+/// SSE2-only (see module note: byte→lane expansion at 256 bits is AVX2).
+pub fn sign_apply_from_bits(signs: &[u8], start_bit: usize, mu: f32, out: &mut [f32]) {
+    assert!(
+        (start_bit + out.len()).div_ceil(8) <= signs.len(),
+        "sign_apply_from_bits bitmap too short"
+    );
+    let mut o = 0usize;
+    // Scalar up to the first byte boundary so the vector body reads whole
+    // bytes (8 lanes each).
+    while o < out.len() && !(start_bit + o).is_multiple_of(8) {
+        let i = start_bit + o;
+        out[o] = if signs[i / 8] >> (i % 8) & 1 == 1 {
+            -mu
+        } else {
+            mu
+        };
+        o += 1;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 is baseline; the assertion above bounds every
+        // byte access, and `o` is byte-aligned here.
+        o += unsafe { sign_apply_sse(&signs[(start_bit + o) / 8..], mu, &mut out[o..]) };
+    }
+    for (rel, v) in out[o..].iter_mut().enumerate() {
+        let i = start_bit + o + rel;
+        *v = if signs[i / 8] >> (i % 8) & 1 == 1 {
+            -mu
+        } else {
+            mu
+        };
+    }
+}
+
+/// SSE2 body of [`sign_apply_from_bits`] over a byte-aligned window;
+/// returns elements processed (a multiple of 8).
+///
+/// # Safety
+/// Caller guarantees `signs` holds at least `out.len() / 8` bytes.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn sign_apply_sse(signs: &[u8], mu: f32, out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let bytes = out.len() / 8;
+    let mu_v = _mm_set1_ps(mu);
+    let signbit = _mm_castsi128_ps(_mm_set1_epi32(i32::MIN));
+    let lo_bits = _mm_set_epi32(8, 4, 2, 1);
+    let hi_bits = _mm_set_epi32(128, 64, 32, 16);
+    for (c, &sign_byte) in signs.iter().enumerate().take(bytes) {
+        let b = _mm_set1_epi32(sign_byte as i32);
+        // All-ones lane mask where the lane's bit is set in byte `b`.
+        let m_lo = _mm_cmpeq_epi32(_mm_and_si128(b, lo_bits), lo_bits);
+        let m_hi = _mm_cmpeq_epi32(_mm_and_si128(b, hi_bits), hi_bits);
+        // bit set ⇒ flip mu's sign bit (exactly `-mu`).
+        let v_lo = _mm_xor_ps(mu_v, _mm_and_ps(_mm_castsi128_ps(m_lo), signbit));
+        let v_hi = _mm_xor_ps(mu_v, _mm_and_ps(_mm_castsi128_ps(m_hi), signbit));
+        _mm_storeu_ps(out.as_mut_ptr().add(c * 8), v_lo);
+        _mm_storeu_ps(out.as_mut_ptr().add(c * 8 + 4), v_hi);
+    }
+    bytes * 8
+}
+
+/// 8-bit dequantize: `out[i] = (codes[i] as i32 − levels) as f32 · inv_q`
+/// — the FedPAQ decode at the byte-aligned width, where each code is one
+/// byte. Integer→f32 conversion of values this small is exact, and the
+/// multiply rounds identically per lane.
+///
+/// SSE2-only (see module note).
+pub fn dequant_u8(codes: &[u8], levels: i32, inv_q: f32, out: &mut [f32]) {
+    assert_eq!(codes.len(), out.len(), "dequant_u8 length mismatch");
+    let done;
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Safety: SSE2 is baseline; equal lengths checked above.
+        done = unsafe { dequant_u8_sse(codes, levels, inv_q, out) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        done = 0;
+    }
+    for i in done..out.len() {
+        out[i] = (codes[i] as i32 - levels) as f32 * inv_q;
+    }
+}
+
+/// SSE2 body of [`dequant_u8`]; returns elements processed (a multiple
+/// of 8): load 8 codes, widen u8→u16→i32, subtract, convert, scale.
+///
+/// # Safety
+/// Caller guarantees equal slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn dequant_u8_sse(codes: &[u8], levels: i32, inv_q: f32, out: &mut [f32]) -> usize {
+    use std::arch::x86_64::*;
+    let chunks = out.len() / 8;
+    let lv = _mm_set1_epi32(levels);
+    let qv = _mm_set1_ps(inv_q);
+    let zero = _mm_setzero_si128();
+    for c in 0..chunks {
+        let raw = _mm_loadl_epi64(codes.as_ptr().add(c * 8) as *const __m128i);
+        let w16 = _mm_unpacklo_epi8(raw, zero);
+        let lo = _mm_sub_epi32(_mm_unpacklo_epi16(w16, zero), lv);
+        let hi = _mm_sub_epi32(_mm_unpackhi_epi16(w16, zero), lv);
+        _mm_storeu_ps(
+            out.as_mut_ptr().add(c * 8),
+            _mm_mul_ps(_mm_cvtepi32_ps(lo), qv),
+        );
+        _mm_storeu_ps(
+            out.as_mut_ptr().add(c * 8 + 4),
+            _mm_mul_ps(_mm_cvtepi32_ps(hi), qv),
+        );
+    }
+    chunks * 8
 }
 
 #[cfg(test)]

@@ -47,12 +47,16 @@ fn env_lock() -> std::sync::MutexGuard<'static, ()> {
 /// built-in set so the leg adds coverage instead of repeating it).
 fn shard_kbs() -> Vec<u32> {
     let mut kbs = vec![2, 64, 4096];
-    if let Ok(v) = std::env::var("FEDBIAD_SHARD_KB") {
-        if let Ok(kb) = v.trim().parse::<u32>() {
+    // Validated parse: a CI leg exporting a broken value must fail the
+    // suite loudly, not silently test the built-in set only.
+    match fedbiad_fl::aggregate::env_shard_kb() {
+        Ok(Some(kb)) => {
             if !kbs.contains(&kb) {
                 kbs.push(kb);
             }
         }
+        Ok(None) => {}
+        Err(e) => panic!("invalid FEDBIAD_SHARD_KB: {e}"),
     }
     kbs
 }

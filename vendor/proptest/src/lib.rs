@@ -120,10 +120,39 @@ pub mod collection {
     }
 }
 
+pub mod sample {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from a fixed list of options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `proptest::sample::select(options)` — uniform choice from a
+    /// non-empty list.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "empty select strategy");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::collection;
     pub use crate::Strategy;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Real proptest re-exports the crate root as `prop` from its
+    /// prelude, enabling `prop::sample::select(..)` etc.
+    pub use crate as prop;
 }
 
 /// Property assertion (no shrinking: plain `assert!` under the hood).

@@ -5,7 +5,7 @@
 //!
 //! ## Determinism contract (stronger than upstream rayon)
 //!
-//! Work items are claimed from an atomic counter by a pool of scoped
+//! Work items are claimed from an atomic counter by a pool of worker
 //! threads, each result is written into its own index slot, and all
 //! combining (`collect` order, `reduce` fold order) happens **sequentially
 //! in item-index order** after the parallel phase. Consequently the result
@@ -13,12 +13,40 @@
 //! across thread counts and scheduling orders. The repo's reproducibility
 //! tests (`tests/determinism*.rs`) rely on this.
 //!
+//! ## Execution model
+//!
+//! Workers are **persistent**: they are spawned lazily the first time a
+//! call asks for them and then park on a condvar between calls. The
+//! previous implementation spawned fresh OS threads inside
+//! `std::thread::scope` on every parallel call, which charged each call
+//! tens of microseconds of spawn/join cost per requested thread — enough
+//! to make `RAYON_NUM_THREADS=8` *slower* than 1 on small workloads (and
+//! on single-core machines, where the extra threads can never pay for
+//! themselves). With the persistent pool, asking for more threads than the
+//! machine can use costs only a condvar broadcast.
+//!
+//! The calling thread always participates in the claim loop, so every call
+//! makes progress even if all workers are busy with another job; this also
+//! makes nested parallel calls deadlock-free (each caller drains its own
+//! job before waiting). A panic inside a work item is caught on the
+//! executing thread, recorded, and re-raised on the calling thread after
+//! the job completes, so workers survive and the caller's closure is never
+//! used after its stack frame dies.
+//!
 //! Thread count: `RAYON_NUM_THREADS` (read on every call, so tests can
-//! toggle it), else `std::thread::available_parallelism()`.
+//! toggle it), else `std::thread::available_parallelism()`. Either way
+//! the *executing* thread count is capped at the machine's available
+//! parallelism: the work here is CPU-bound and deterministic regardless
+//! of thread count (see above), so oversubscribing cores can only add
+//! scheduling overhead — `RAYON_NUM_THREADS=8` on a 1-core box must cost
+//! the same as 1, not anti-scale. `current_num_threads()` still reports
+//! the requested count, matching upstream rayon's env semantics.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Import target mirroring `rayon::prelude::*`.
 pub mod prelude {
@@ -75,32 +103,179 @@ impl<R> Slots<R> {
     }
 }
 
-/// Run `f(i)` for every `i < len` on a pool of scoped threads and return the
-/// results in index order. The backbone of every combinator in this crate.
+/// One parallel call's shared state, handed to the persistent workers.
+///
+/// `f` is a lifetime-erased pointer to the caller's closure. Safety rests on
+/// two invariants: workers dereference `f` only after claiming an index
+/// `i < len`, and the caller does not return from [`run_parallel`] until
+/// `done == len` — at which point every claimed index has finished and any
+/// later `next.fetch_add` yields `i >= len`, so `f` is never touched again
+/// even though stale `Arc<Job>` handles may outlive the caller's frame.
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    len: usize,
+    /// Claim counter: `fetch_add` hands out each index exactly once.
+    next: AtomicUsize,
+    /// Completion counter: incremented (`AcqRel`) after each item finishes,
+    /// so the thread that observes `done == len` has acquired every item's
+    /// writes.
+    done: AtomicUsize,
+    /// Set when any item panicked; the caller re-raises after the job ends.
+    panicked: AtomicBool,
+    /// Completion flag + condvar the caller waits on.
+    fin: Mutex<bool>,
+    fin_cv: Condvar,
+}
+
+// Safety: `f` is only dereferenced under the claim/done protocol documented
+// on the struct; everything else is already Send + Sync.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and execute items until the claim counter runs out. Called by
+    /// workers and by the submitting thread alike.
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return;
+            }
+            // Safety: `i < len` was claimed exactly once, and the caller
+            // keeps the closure alive until `done == len` (see struct doc).
+            let f = unsafe { &*self.f };
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.len {
+                let mut fin = self.fin.lock().unwrap();
+                *fin = true;
+                self.fin_cv.notify_all();
+            }
+        }
+    }
+
+    /// Whether every index has been handed out already.
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.len
+    }
+}
+
+/// The global worker pool: a single published-job slot plus the number of
+/// workers spawned so far. Workers park on `work_cv` when the slot is empty
+/// or exhausted.
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            job: None,
+            workers: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+/// Body of each persistent worker: park until a live job is published, help
+/// drain it, repeat. Workers never exit; they spend idle time blocked on the
+/// condvar, so an oversized pool costs memory, not CPU.
+fn worker_loop() {
+    let p = pool();
+    loop {
+        let job = {
+            let mut st = p.state.lock().unwrap();
+            loop {
+                match st.job.as_ref() {
+                    Some(j) if !j.exhausted() => break Arc::clone(j),
+                    Some(_) => st.job = None, // stale: all indices claimed
+                    None => {}
+                }
+                st = p.work_cv.wait(st).unwrap();
+            }
+        };
+        job.run();
+    }
+}
+
+/// Publish `f` over `len` indices to `extra` helper workers and run it to
+/// completion on the calling thread. Single-job slot: a concurrent call
+/// simply replaces the published job, which is safe (each submitter drains
+/// its own job) and only costs the first job its helpers.
+fn run_parallel(extra: usize, len: usize, f: &(dyn Fn(usize) + Sync)) {
+    // Safety of the lifetime erasure: see the invariants on `Job::f` — the
+    // pointer is only dereferenced while this frame is alive.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let job = Arc::new(Job {
+        f: f_static as *const (dyn Fn(usize) + Sync),
+        len,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        fin: Mutex::new(false),
+        fin_cv: Condvar::new(),
+    });
+    let p = pool();
+    {
+        let mut st = p.state.lock().unwrap();
+        while st.workers < extra {
+            if std::thread::Builder::new()
+                .name(format!("fedbiad-par-{}", st.workers))
+                .spawn(worker_loop)
+                .is_err()
+            {
+                break; // fewer helpers is still correct: the caller drains
+            }
+            st.workers += 1;
+        }
+        st.job = Some(Arc::clone(&job));
+    }
+    p.work_cv.notify_all();
+    job.run();
+    let mut fin = job.fin.lock().unwrap();
+    while !*fin {
+        fin = job.fin_cv.wait(fin).unwrap();
+    }
+    drop(fin);
+    // Unpublish our job if a later call has not already replaced it, so
+    // parked workers do not wake for it again.
+    let mut st = p.state.lock().unwrap();
+    if st.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
+        st.job = None;
+    }
+    drop(st);
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("a parallel work item panicked");
+    }
+}
+
+/// Run `f(i)` for every `i < len` on the persistent worker pool and return
+/// the results in index order. The backbone of every combinator here.
 fn par_map_indexed<R, F>(len: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = current_num_threads().min(len.max(1));
+    // Cap at real parallelism: results are thread-count-invariant by
+    // construction, so threads beyond the core count are pure overhead.
+    let threads = current_num_threads().min(default_threads()).min(len.max(1));
     if threads <= 1 || len <= 1 {
         return (0..len).map(f).collect();
     }
     let slots = Slots::new(len);
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
-                    break;
-                }
-                // Safety: `i` is claimed exactly once across all threads.
-                unsafe { slots.write(i, f(i)) };
-            });
-        }
+    run_parallel(threads - 1, len, &|i| {
+        // Safety: `i` is claimed exactly once across all threads.
+        unsafe { slots.write(i, f(i)) };
     });
-    // Safety: the claim counter ran past `len`, so every index was written.
+    // Safety: run_parallel returns only after every index was written.
     unsafe { slots.into_vec() }
 }
 
@@ -381,6 +556,59 @@ mod tests {
                 }
             });
         assert_eq!(v, [1, 1, 1, 2, 2, 2, 3, 3, 3, 0]);
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // Each outer item issues its own parallel call; the submitting
+        // thread drains its own job, so this must not deadlock even when
+        // every worker is busy with outer items.
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&o| {
+                let inner: Vec<usize> = (0..32).collect();
+                inner
+                    .par_iter()
+                    .map(|&x| x * o)
+                    .reduce(|| 0usize, |a, b| a + b)
+            })
+            .collect();
+        let want: Vec<usize> = (0..8).map(|o| (0..32).sum::<usize>() * o).collect();
+        assert_eq!(sums, want);
+    }
+
+    // The panic tests call `run_parallel` directly so they exercise the
+    // worker pool even on single-core machines (where `par_iter` takes the
+    // inline fast path and a panic propagates naturally anyway).
+
+    #[test]
+    #[should_panic(expected = "a parallel work item panicked")]
+    fn item_panic_is_reraised_on_the_caller() {
+        crate::run_parallel(3, 64, &|i| {
+            if i == 13 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_an_item_panic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let first = std::panic::catch_unwind(|| {
+            crate::run_parallel(3, 64, &|i| {
+                if i % 2 == 0 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(first.is_err());
+        // Workers caught the panic and parked again: later calls still work.
+        let hits = AtomicUsize::new(0);
+        crate::run_parallel(3, 64, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
     }
 
     #[test]
