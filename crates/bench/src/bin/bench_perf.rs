@@ -428,6 +428,52 @@ fn aggregation_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) {
     }
 }
 
+/// The telemetry zero-overhead contract, as a gate entry: a hot loop of
+/// ~10 ns FNV mixing steps, bare (reference) vs instrumented with
+/// `span!` + `counter!` (batched). The bench harness compiles the
+/// collector in, but no capture is active, so each macro must cost one
+/// relaxed atomic load and nothing else — the recorded speedup sits at
+/// ≈ 1.0 and the gate pins it there. A regression here means someone
+/// made the disabled path allocate, lock or evaluate arguments.
+fn telemetry_noop_entry(samples: usize, out: &mut Vec<BenchEntry>) {
+    use std::hint::black_box;
+    // The harness must have the collector compiled in, or both sides
+    // would measure the literal no-op and the entry would pin nothing.
+    assert!(
+        fedbiad_telemetry::compiled(),
+        "bench harness built without the telemetry `enabled` feature"
+    );
+    const ITERS: usize = 100_000;
+    fn mix(i: usize) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325 ^ i as u64;
+        for _ in 0..6 {
+            h ^= h >> 33;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+    let (r, b) = time_pair_ns(
+        samples,
+        || {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                acc = acc.wrapping_add(mix(black_box(i)));
+            }
+            black_box(acc);
+        },
+        || {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                let _span = fedbiad_telemetry::span!("bench.noop", iter = i);
+                fedbiad_telemetry::counter!("bench.noop_bytes", 8u64);
+                acc = acc.wrapping_add(mix(black_box(i)));
+            }
+            black_box(acc);
+        },
+    );
+    out.push(entry("telemetry/disabled_noop_100k", r, b));
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_kernels.json".to_string();
@@ -492,6 +538,8 @@ fn main() {
     kernel_entries(if smoke { samples } else { samples * 8 }, &mut entries);
     local_update_entries(smoke, samples, &mut entries);
     aggregation_entries(smoke, samples, &mut entries);
+    // Sub-ms loop: extra samples are nearly free, minima converge better.
+    telemetry_noop_entry(if smoke { samples } else { samples * 8 }, &mut entries);
 
     let report = BenchReport {
         schema: gate::SCHEMA.to_string(),

@@ -12,11 +12,17 @@
 //! CLI flags override the corresponding spec fields (see
 //! `scenarios/README.md` for the schema). Outputs land in
 //! `target/experiments/scenario/<name>/`.
+//!
+//! With `--trace-out DIR` the runs execute serially under the telemetry
+//! collector (results are bit-identical — see `execute_traced`), and each
+//! run additionally emits `run_NNN.trace.json` (Chrome/Perfetto trace) and
+//! `run_NNN.jsonl` (raw event stream) into DIR, plus a per-span p50/p95
+//! summary on stdout.
 
 use fedbiad_bench::cli::Cli;
 use fedbiad_bench::output::{experiments_dir, Table};
 use fedbiad_fl::metrics::fmt_bytes;
-use fedbiad_scenario::{execute, RunOutcome, ScenarioSpec};
+use fedbiad_scenario::{execute, execute_traced, RunOutcome, ScenarioSpec};
 use serde::Serialize;
 use std::path::Path;
 
@@ -50,7 +56,8 @@ fn main() {
         eprintln!(
             "usage: scenario SPEC.toml [SPEC.toml ...] [--rounds N --seed N \
              --scale smoke|lab --eval-max N --fraction F --workloads a,b \
-             --methods a,b --policies a,b --profiles a,b --target A]"
+             --methods a,b --policies a,b --profiles a,b --target A \
+             --trace-out DIR]"
         );
         std::process::exit(2);
     }
@@ -69,11 +76,11 @@ fn main() {
             eprintln!("{path}: {e}");
             std::process::exit(2);
         });
-        run_spec(&spec);
+        run_spec(&spec, cli.trace_out.as_deref());
     }
 }
 
-fn run_spec(spec: &ScenarioSpec) {
+fn run_spec(spec: &ScenarioSpec, trace_out: Option<&Path>) {
     let n_runs = fedbiad_scenario::expand(spec).map(|r| r.len()).unwrap_or(0);
     println!(
         "=== scenario `{}` — {} run(s), mode {}, {} round(s) ===",
@@ -82,7 +89,18 @@ fn run_spec(spec: &ScenarioSpec) {
         spec.mode.name(),
         spec.run.rounds
     );
-    let outcomes = execute(spec).unwrap_or_else(|e| {
+    let outcomes = if trace_out.is_some() {
+        if !fedbiad_telemetry::compiled() {
+            eprintln!(
+                "warning: --trace-out given but the telemetry collector is not \
+                 compiled in; traces will be empty"
+            );
+        }
+        execute_traced(spec)
+    } else {
+        execute(spec)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -99,12 +117,51 @@ fn run_spec(spec: &ScenarioSpec) {
     let body = serde_json::to_string_pretty(&rows).expect("serialise summary");
     std::fs::write(dir.join("summary.json"), body).expect("write summary");
 
+    if let Some(trace_dir) = trace_out {
+        write_traces(&outcomes, trace_dir);
+    }
     print_rollup(&outcomes);
     println!(
         "{} per-run log(s) + summary.json written to {}",
         outcomes.len(),
         dir.display()
     );
+}
+
+/// Emit `run_NNN.trace.json` + `run_NNN.jsonl` per captured run and print
+/// each run's per-span p50/p95 summary table.
+fn write_traces(outcomes: &[RunOutcome], trace_dir: &Path) {
+    std::fs::create_dir_all(trace_dir).expect("create trace output dir");
+    let mut written = 0usize;
+    for o in outcomes {
+        let Some(cap) = &o.capture else { continue };
+        let trace_file = trace_dir.join(format!("run_{:03}.trace.json", o.run.index));
+        std::fs::write(&trace_file, cap.chrome_trace()).expect("write chrome trace");
+        let jsonl_file = trace_dir.join(format!("run_{:03}.jsonl", o.run.index));
+        std::fs::write(&jsonl_file, cap.jsonl()).expect("write jsonl event stream");
+        written += 1;
+        println!(
+            "--- run {:03} `{}` span summary ({}) ---",
+            o.run.index,
+            o.run.label,
+            trace_file.display()
+        );
+        println!("{}", cap.summary().render_table());
+    }
+    println!(
+        "{written} trace(s) written to {} (load *.trace.json in ui.perfetto.dev \
+         or chrome://tracing)",
+        trace_dir.display()
+    );
+}
+
+/// Total wall-clock of `span` across a run's capture, in milliseconds,
+/// rendered for the roll-up's per-stage breakdown column.
+fn stage_ms(s: &fedbiad_telemetry::Summary, span: &str) -> String {
+    match s.span(span) {
+        Some(st) => format!("{:.0}", st.total_ns as f64 / 1e6),
+        None => "-".into(),
+    }
 }
 
 fn summary_row(o: &RunOutcome, log_file: String) -> SummaryRow {
@@ -124,10 +181,16 @@ fn summary_row(o: &RunOutcome, log_file: String) -> SummaryRow {
 
 fn print_rollup(outcomes: &[RunOutcome]) {
     let any_sim = outcomes.iter().any(|o| o.sim.is_some());
+    let traced = outcomes
+        .iter()
+        .any(|o| o.capture.as_ref().is_some_and(|c| !c.is_empty()));
     let mut headers = vec!["#", "Run", "Seed", "final acc%", "best acc%", "mean upload"];
     if any_sim {
         headers.push("TTA (virt s)");
         headers.push("total (virt s)");
+    }
+    if traced {
+        headers.push("sel/trn/upl/agg/evl (ms)");
     }
     let mut t = Table::new(&headers);
     for o in outcomes {
@@ -153,6 +216,21 @@ fn print_rollup(outcomes: &[RunOutcome]) {
                     row.push("-".into());
                     row.push("-".into());
                 }
+            }
+        }
+        if traced {
+            match &o.capture {
+                Some(c) if !c.is_empty() => {
+                    let s = c.summary();
+                    row.push(
+                        ["select", "train", "upload", "aggregate", "eval"]
+                            .iter()
+                            .map(|stage| stage_ms(&s, &format!("round.{stage}")))
+                            .collect::<Vec<_>>()
+                            .join("/"),
+                    );
+                }
+                _ => row.push("-".into()),
             }
         }
         t.row(row);

@@ -37,6 +37,9 @@ pub struct Cli {
     pub fraction: Option<f32>,
     /// `--target A`: TTA target accuracy override (sim binaries only).
     pub target: Option<f64>,
+    /// `--trace-out DIR` (`scenario` only): capture telemetry and write
+    /// one Chrome trace + JSONL stream per run into DIR.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Cli {
@@ -128,6 +131,7 @@ impl Cli {
             profiles: None,
             fraction: None,
             target: None,
+            trace_out: None,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -170,6 +174,7 @@ impl Cli {
                 }
                 "--fraction" => cli.fraction = Some(val().parse().expect("--fraction: float")),
                 "--target" => cli.target = Some(val().parse().expect("--target: float")),
+                "--trace-out" => cli.trace_out = Some(PathBuf::from(val())),
                 "--workloads" => {
                     let list = val();
                     cli.workloads = Some(
@@ -190,7 +195,7 @@ impl Cli {
                          --methods fedavg,fedbiad,...  --eval-max N  \
                          --json-out PATH  --policies sync,deadline,fedbuff  \
                          --profiles homogeneous,mixed,stragglers  \
-                         --fraction F  --target A"
+                         --fraction F  --target A  --trace-out DIR"
                     );
                     std::process::exit(0);
                 }
@@ -264,6 +269,18 @@ mod tests {
         );
         assert_eq!(c.profiles, Some(vec!["stragglers".to_string()]));
         assert_eq!(Cli::parse_from(vec![]).json_out, None);
+    }
+
+    #[test]
+    fn trace_out_parses() {
+        let c = Cli::parse_from(
+            ["--trace-out", "/tmp/traces"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(c.trace_out, Some(PathBuf::from("/tmp/traces")));
+        assert_eq!(Cli::parse_from(vec![]).trace_out, None);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use fedbiad_compress::codec::{
     BodyKind, Payload, WireError, WireMsg, WireView,
 };
 use fedbiad_nn::{CoverageMask, ParamSet};
+use fedbiad_telemetry::{counter, gauge, span};
 use fedbiad_tensor::{ops, Workspace};
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -452,7 +453,11 @@ where
 
         // Parallel across shards; per shard, clients reduce in the fixed
         // upload order (the determinism contract).
-        tasks.par_iter_mut().for_each(|t| body(t));
+        counter!("agg.shards_reduced", tasks.len());
+        tasks.par_iter_mut().for_each(|t| {
+            let _shard_span = span!("agg.shard", shard = t.start / se, elems = t.g.len());
+            body(t)
+        });
         drop(tasks);
 
         global.unflatten_from(&g);
@@ -463,6 +468,7 @@ where
         a.give(vals);
         a.give(kept);
         a.give(snap);
+        gauge!("agg.arena_churn", a.churn());
     });
 }
 
@@ -655,7 +661,9 @@ pub(super) fn weights(
     let layout = FlatLayout::of(global);
     let msgs: Vec<PreparedMsg> = uploads.iter().map(|(_, u)| prepare_msg(u)).collect();
     let mut views = Vec::with_capacity(msgs.len());
-    for (m, (_, u)) in msgs.iter().zip(uploads) {
+    for (i, (m, (_, u))) in msgs.iter().zip(uploads).enumerate() {
+        let _client_span = span!("agg.client", client = i);
+        counter!("agg.decode_bytes", m.get().as_bytes().len());
         let v = m.get().view(global)?;
         check_kind(&v, u.kind)?;
         views.push(v);
@@ -778,7 +786,9 @@ pub(super) fn deltas(
 ) -> Result<(), AggError> {
     let msgs: Vec<PreparedMsg> = uploads.iter().map(|(_, u)| prepare_msg(u)).collect();
     let mut views = Vec::with_capacity(msgs.len());
-    for (m, (_, u)) in msgs.iter().zip(uploads) {
+    for (i, (m, (_, u))) in msgs.iter().zip(uploads).enumerate() {
+        let _client_span = span!("agg.client", client = i);
+        counter!("agg.decode_bytes", m.get().as_bytes().len());
         let v = m.get().view(global)?;
         check_kind(&v, u.kind)?;
         views.push(v);
@@ -818,7 +828,9 @@ pub(super) fn staleness(
     let layout = FlatLayout::of(global);
     let msgs: Vec<PreparedMsg> = items.iter().map(|it| prepare_msg(it.upload)).collect();
     let mut views = Vec::with_capacity(msgs.len());
-    for (m, it) in msgs.iter().zip(items) {
+    for (i, (m, it)) in msgs.iter().zip(items).enumerate() {
+        let _client_span = span!("agg.client", client = i);
+        counter!("agg.decode_bytes", m.get().as_bytes().len());
         let v = m.get().view(global)?;
         check_kind(&v, it.upload.kind)?;
         views.push(v);

@@ -8,13 +8,14 @@
 //! identity.
 
 use crate::algorithm::TrainConfig;
+use crate::timing::Stopwatch;
 use fedbiad_data::ClientData;
 use fedbiad_nn::optimizer::Sgd;
 use fedbiad_nn::{Batch, Model, ParamSet};
+use fedbiad_telemetry::gauge;
 use fedbiad_tensor::rng::{stream, StreamTag};
 use fedbiad_tensor::Workspace;
 use rand::Rng;
-use std::time::Instant;
 
 /// Per-iteration customisation points.
 pub trait LocalHooks {
@@ -91,7 +92,7 @@ pub fn run_local_training(
     u: &mut ParamSet,
     hooks: &mut impl LocalHooks,
 ) -> LocalRunStats {
-    let start = Instant::now();
+    let sw = Stopwatch::start();
     let mut rng = stream(id.seed, StreamTag::Batch, id.round as u64, id.client as u64);
     let sgd = Sgd {
         lr: cfg.lr,
@@ -163,11 +164,15 @@ pub fn run_local_training(
         last_loss = loss;
     }
 
+    // Arena behaviour over the whole run: after warm-up the loop should
+    // re-use checked-out buffers, so churn stays flat per iteration.
+    gauge!("train.ws_churn", ws.churn());
+
     LocalRunStats {
         mean_loss: loss_sum / cfg.local_iters.max(1) as f32,
         first_loss,
         last_loss,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: sw.seconds(),
     }
 }
 

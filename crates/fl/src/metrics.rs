@@ -27,6 +27,39 @@ pub struct RoundRecord {
     pub local_seconds_max: f64,
     /// Server aggregation seconds.
     pub agg_seconds: f64,
+    /// Process peak resident-set size when the round finished, in bytes
+    /// (`VmHWM` from `/proc/self/status`; 0 on non-Linux platforms).
+    /// Observability only: like the wall-clock fields, it is excluded
+    /// from determinism digests and cross-run comparisons.
+    pub peak_rss_bytes: u64,
+}
+
+/// Process peak resident-set size in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, 0 on platforms without procfs. A
+/// high-water mark, so it is monotone over the life of the process.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                // Format: "VmHWM:      123456 kB"
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
 }
 
 /// A complete experiment log.
@@ -114,6 +147,7 @@ mod tests {
             local_seconds_mean: 0.5,
             local_seconds_max: 0.6,
             agg_seconds: 0.01,
+            peak_rss_bytes: 0,
         }
     }
 
@@ -148,6 +182,19 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512B");
         assert_eq!(fmt_bytes(530 * 1024 + 500), "530KB");
         assert_eq!(fmt_bytes(31_250_000), "29.8MB");
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux_and_monotone() {
+        let a = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(a > 0, "VmHWM should be readable on Linux");
+        }
+        // Touch some memory; the high-water mark can only grow.
+        let v = vec![1u8; 4 << 20];
+        std::hint::black_box(&v);
+        let b = peak_rss_bytes();
+        assert!(b >= a);
     }
 
     #[test]

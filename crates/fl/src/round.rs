@@ -11,12 +11,13 @@
 
 use crate::algorithm::{FlAlgorithm, LocalResult, RoundInfo, TrainConfig};
 use crate::metrics::RoundRecord;
+use crate::timing::Stopwatch;
 use fedbiad_data::{ClientData, FedDataset};
 use fedbiad_nn::{Batch, EvalAccum, Model, ParamSet};
+use fedbiad_telemetry::span;
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Number of clients selected per round: `max(⌊κK⌋, 1)` (Algorithm 1).
 pub fn cohort_size(num_clients: usize, fraction: f32) -> usize {
@@ -93,7 +94,8 @@ pub fn run_local_updates<A: FlAlgorithm>(
 ) -> Vec<(usize, LocalResult)> {
     work.par_iter_mut()
         .map(|(id, st)| {
-            let t0 = Instant::now();
+            let _client_span = span!("train.client", client = *id);
+            let sw = Stopwatch::start();
             let mut res = algo.local_update(
                 info,
                 rctx,
@@ -106,7 +108,7 @@ pub fn run_local_updates<A: FlAlgorithm>(
             );
             // LTTR includes everything the client computed this round
             // (pattern search, score updates, compression).
-            res.local_seconds = t0.elapsed().as_secs_f64();
+            res.local_seconds = sw.seconds();
             (*id, res)
         })
         .collect()

@@ -12,16 +12,17 @@
 
 use crate::aggregate::AggSettings;
 use crate::algorithm::{FlAlgorithm, RoundInfo, TrainConfig};
-use crate::metrics::{ExperimentLog, RoundRecord};
+use crate::metrics::{peak_rss_bytes, ExperimentLog, RoundRecord};
 use crate::round::{
     cohort_size, eval_due, eval_or_carry, run_local_updates, sample_clients, summarize_results,
     ClientStates,
 };
+use crate::timing::Stopwatch;
 use fedbiad_data::FedDataset;
 use fedbiad_nn::Model;
+use fedbiad_telemetry::{counter, span};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 pub use crate::round::evaluate_model;
 
@@ -117,6 +118,7 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
 
         let mut records: Vec<RoundRecord> = Vec::with_capacity(self.cfg.rounds);
         for round in 0..self.cfg.rounds {
+            let _round_span = span!("round", round = round);
             let info = RoundInfo {
                 round,
                 total_rounds: self.cfg.rounds,
@@ -125,7 +127,10 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             };
 
             // --- client sampling (uniform without replacement) ---
-            let ids = sample_clients(self.cfg.seed, round, k, c);
+            let ids = {
+                let _stage = span!("round.select", cohort = c);
+                sample_clients(self.cfg.seed, round, k, c)
+            };
 
             let rctx = self.algo.begin_round(info, &global);
 
@@ -133,36 +138,54 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             // Move each selected client's state out of the table so rayon
             // workers get disjoint &mut access.
             let mut work = states.checkout(&ids, &self.algo, self.model, &global);
-            let results = run_local_updates(
-                &self.algo,
-                self.model,
-                self.data,
-                &self.cfg.train,
-                info,
-                &rctx,
-                &global,
-                &mut work,
-            );
+            let results = {
+                let _stage = span!("round.train", clients = ids.len());
+                run_local_updates(
+                    &self.algo,
+                    self.model,
+                    self.data,
+                    &self.cfg.train,
+                    info,
+                    &rctx,
+                    &global,
+                    &mut work,
+                )
+            };
             states.restore(work);
 
-            // --- aggregation ---
-            let t_agg = Instant::now();
-            self.algo.aggregate(info, &rctx, &mut global, &results);
-            let agg_seconds = t_agg.elapsed().as_secs_f64();
+            // --- upload accounting ---
+            // Pure over &results, so summarising before aggregation is
+            // bit-identical to the historical after-aggregation order.
+            let stats = {
+                let _stage = span!("round.upload");
+                let stats = summarize_results(&results);
+                counter!("round.upload_bytes_max", stats.upload_bytes_max);
+                stats
+            };
 
-            // --- bookkeeping ---
-            let stats = summarize_results(&results);
+            // --- aggregation ---
+            let sw_agg = Stopwatch::start();
+            let agg_seconds = {
+                let _stage = span!("round.aggregate", clients = results.len());
+                self.algo.aggregate(info, &rctx, &mut global, &results);
+                sw_agg.seconds()
+            };
+
+            // --- evaluation ---
             let due = eval_due(round, self.cfg.rounds, self.cfg.eval_every);
-            let (test_loss, test_acc) = eval_or_carry(
-                &self.algo,
-                self.model,
-                &global,
-                &self.data.test,
-                self.cfg.eval_topk,
-                self.cfg.eval_max_samples,
-                due,
-                records.last(),
-            );
+            let (test_loss, test_acc) = {
+                let _stage = span!("round.eval", due = due);
+                eval_or_carry(
+                    &self.algo,
+                    self.model,
+                    &global,
+                    &self.data.test,
+                    self.cfg.eval_topk,
+                    self.cfg.eval_max_samples,
+                    due,
+                    records.last(),
+                )
+            };
 
             records.push(RoundRecord {
                 round,
@@ -178,6 +201,7 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
                 local_seconds_mean: stats.local_seconds_mean,
                 local_seconds_max: stats.local_seconds_max,
                 agg_seconds,
+                peak_rss_bytes: peak_rss_bytes(),
             });
         }
 

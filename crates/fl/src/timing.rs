@@ -11,6 +11,40 @@
 
 use crate::metrics::RoundRecord;
 use crate::network::NetworkModel;
+use std::time::Instant;
+
+/// Shared **wall-clock** stopwatch for the observational timing fields
+/// (`local_seconds_*`, `agg_seconds` in lockstep mode).
+///
+/// Two clocks coexist in this workspace and must not be conflated:
+///
+/// * the **virtual clock** — the simulator's deterministic event time
+///   and the cost-model seconds fed into LTTR/TTA ([`round_seconds`],
+///   [`time_to_accuracy`]); bit-identical across machines and runs;
+/// * the **wall clock** — `Instant`-measured host time, recorded for
+///   observability only and explicitly *excluded* from determinism
+///   digests and cross-run comparisons.
+///
+/// Every wall-clock measurement goes through this one helper instead of
+/// ad-hoc `Instant` arithmetic so the exclusion rule has a single home.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Monotonic seconds since [`Stopwatch::start`].
+    pub fn seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
 
 /// Wall-clock duration of one round's critical path.
 pub fn round_seconds(rec: &RoundRecord, net: &NetworkModel) -> f64 {
@@ -57,6 +91,7 @@ mod tests {
             local_seconds_mean: local,
             local_seconds_max: local,
             agg_seconds: 0.0,
+            peak_rss_bytes: 0,
         }
     }
 

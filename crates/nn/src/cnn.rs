@@ -253,6 +253,8 @@ impl Model for CnnModel {
         assert_eq!(dim, self.side * self.side, "input must be side²");
         let n = y.len();
         assert!(n > 0);
+        let _gemm_span = fedbiad_telemetry::span!("nn.batch.loss_grad", n = n);
+        fedbiad_telemetry::gauge!("nn.ws_churn", ws.churn());
         let inv_n = 1.0 / n as f32;
         let mut fwd = self.forward_batched(params, x, n, ws);
 
@@ -332,6 +334,8 @@ impl Model for CnnModel {
         };
         assert_eq!(dim, self.side * self.side, "input must be side²");
         let n = y.len();
+        let _gemm_span = fedbiad_telemetry::span!("nn.batch.eval", n = n);
+        fedbiad_telemetry::gauge!("nn.ws_churn", ws.churn());
         let mut fwd = self.forward_batched(params, x, n, ws);
         let mut acc = EvalAccum::default();
         for (s, &label) in y.iter().enumerate() {

@@ -324,6 +324,8 @@ impl Model for LstmLmModel {
             return self.loss_grad(params, batch, grads);
         };
         let (n, s) = (fwd.n, fwd.s);
+        let _gemm_span = fedbiad_telemetry::span!("nn.batch.loss_grad", n = n, steps = s);
+        fedbiad_telemetry::gauge!("nn.ws_churn", ws.churn());
         let (h, e) = (self.hidden, self.embed);
         let inv = 1.0 / (n * s) as f32;
 
@@ -487,6 +489,8 @@ impl Model for LstmLmModel {
             return self.evaluate(params, batch, k);
         };
         let (n, s) = (fwd.n, fwd.s);
+        let _gemm_span = fedbiad_telemetry::span!("nn.batch.eval", n = n, steps = s);
+        fedbiad_telemetry::gauge!("nn.ws_churn", ws.churn());
         // The reference folds loss window-major, step-ascending; stage
         // per-row losses and replay that order.
         let mut loss_buf = ws.take(s * n);

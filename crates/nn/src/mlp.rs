@@ -155,6 +155,8 @@ impl Model for MlpModel {
         assert_eq!(dim, self.input_dim, "feature dim mismatch");
         let n = y.len();
         assert!(n > 0, "empty batch");
+        let _gemm_span = fedbiad_telemetry::span!("nn.batch.loss_grad", n = n);
+        fedbiad_telemetry::gauge!("nn.ws_churn", ws.churn());
         let inv_n = 1.0 / n as f32;
 
         // Whole-batch forward: two GEMMs instead of 2n GEMVs.
@@ -230,6 +232,8 @@ impl Model for MlpModel {
         };
         assert_eq!(dim, self.input_dim, "feature dim mismatch");
         let n = y.len();
+        let _gemm_span = fedbiad_telemetry::span!("nn.batch.eval", n = n);
+        fedbiad_telemetry::gauge!("nn.ws_churn", ws.churn());
         let mut h = ws.take(n * self.hidden);
         let mut logits = ws.take(n * self.classes);
         dense::forward_batch(

@@ -44,24 +44,26 @@ pub struct RunOutcome {
     pub log: ExperimentLog,
     /// Virtual-clock extras (sim mode only).
     pub sim: Option<SimMeta>,
+    /// This run's telemetry capture ([`execute_traced`] only; empty when
+    /// the collector is not compiled in).
+    pub capture: Option<fedbiad_telemetry::Capture>,
 }
 
-/// Expand `spec` and execute every run; outcomes come back in grid
-/// order regardless of scheduling.
-pub fn execute(spec: &ScenarioSpec) -> Result<Vec<RunOutcome>, SpecError> {
-    let runs = expand(spec)?;
+/// One bundle per distinct (workload, seed): in shared-seed mode every
+/// method/policy cell reuses the same data, exactly like the legacy
+/// binaries that build once per workload. Per-run seed mode can imply
+/// as many bundles as runs, so assembly is parallel too (through the
+/// same deterministic shim — build order cannot affect contents; each
+/// bundle is a pure function of its key).
+fn build_bundles(
+    spec: &ScenarioSpec,
+    runs: &[MaterializedRun],
+) -> HashMap<(&'static str, u64), Arc<WorkloadBundle>> {
     let overrides = WorkloadOverrides {
         image_partition: spec.partition.clone(),
     };
-
-    // One bundle per distinct (workload, seed): in shared-seed mode every
-    // method/policy cell reuses the same data, exactly like the legacy
-    // binaries that build once per workload. Per-run seed mode can imply
-    // as many bundles as runs, so assembly is parallel too (through the
-    // same deterministic shim — build order cannot affect contents; each
-    // bundle is a pure function of its key).
     let mut distinct: Vec<(Workload, u64)> = Vec::new();
-    for r in &runs {
+    for r in runs {
         if !distinct
             .iter()
             .any(|&(w, s)| w == r.workload && s == r.opts.seed)
@@ -73,12 +75,18 @@ pub fn execute(spec: &ScenarioSpec) -> Result<Vec<RunOutcome>, SpecError> {
         .par_iter()
         .map(|&(w, seed)| Arc::new(build_with(w, spec.run.scale, seed, &overrides)))
         .collect();
-    let bundles: HashMap<(&'static str, u64), Arc<WorkloadBundle>> = distinct
+    distinct
         .iter()
         .zip(built)
         .map(|(&(w, seed), b)| ((w.name(), seed), b))
-        .collect();
+        .collect()
+}
 
+/// Expand `spec` and execute every run; outcomes come back in grid
+/// order regardless of scheduling.
+pub fn execute(spec: &ScenarioSpec) -> Result<Vec<RunOutcome>, SpecError> {
+    let runs = expand(spec)?;
+    let bundles = build_bundles(spec, &runs);
     let outcomes: Vec<RunOutcome> = runs
         .par_iter()
         .map(|r| {
@@ -89,12 +97,40 @@ pub fn execute(spec: &ScenarioSpec) -> Result<Vec<RunOutcome>, SpecError> {
     Ok(outcomes)
 }
 
+/// Like [`execute`], but capture one telemetry trace per run.
+///
+/// Runs execute **serially** here: the normal parallel engine shares its
+/// worker pool across runs, which would make per-run event attribution
+/// impossible. Serial execution changes scheduling only — results are
+/// bit-identical to [`execute`] by the workspace determinism contract —
+/// and worker-thread spans recorded inside a run's window land in that
+/// run's capture.
+pub fn execute_traced(spec: &ScenarioSpec) -> Result<Vec<RunOutcome>, SpecError> {
+    let runs = expand(spec)?;
+    // Bundle assembly happens outside any capture window: it is shared
+    // setup, not attributable to a single run.
+    let bundles = build_bundles(spec, &runs);
+    let mut outcomes = Vec::with_capacity(runs.len());
+    for (i, r) in runs.iter().enumerate() {
+        let bundle = &bundles[&(r.workload.name(), r.opts.seed)];
+        fedbiad_telemetry::begin_capture();
+        let mut out = {
+            let _run_span = fedbiad_telemetry::span!("run", index = i);
+            execute_one(spec, r, bundle)
+        };
+        out.capture = Some(fedbiad_telemetry::end_capture());
+        outcomes.push(out);
+    }
+    Ok(outcomes)
+}
+
 fn execute_one(spec: &ScenarioSpec, run: &MaterializedRun, bundle: &WorkloadBundle) -> RunOutcome {
     match run.mode {
         Mode::Lockstep => RunOutcome {
             run: run.clone(),
             log: run_method_composed(run.method, bundle, run.opts, run.compressor),
             sim: None,
+            capture: None,
         },
         Mode::Sim => {
             let policy = run.policy.expect("sim run has a policy");
@@ -120,6 +156,7 @@ fn execute_one(spec: &ScenarioSpec, run: &MaterializedRun, bundle: &WorkloadBund
                 run: run.clone(),
                 log: report.log,
                 sim: Some(sim),
+                capture: None,
             }
         }
     }

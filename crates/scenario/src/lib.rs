@@ -64,7 +64,7 @@ pub mod simrun;
 pub mod spec;
 pub mod toml;
 
-pub use engine::{execute, RunOutcome, SimMeta};
+pub use engine::{execute, execute_traced, RunOutcome, SimMeta};
 pub use grid::{expand, spec_hash, MaterializedRun};
 pub use methods::{run_method, run_method_composed, CompressorChoice, Method, RunOpts};
 pub use simrun::{run_sim_method, run_sim_method_composed, PolicyChoice};

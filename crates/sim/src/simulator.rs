@@ -39,6 +39,7 @@ use fedbiad_fl::round::{
 };
 use fedbiad_fl::runner::ExperimentConfig;
 use fedbiad_nn::{Model, ParamSet};
+use fedbiad_telemetry::{counter, gauge, span};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -229,6 +230,8 @@ impl<'a, A: FlAlgorithm, P: ServerPolicy> Simulator<'a, A, P> {
         let mut processed = 0usize;
         while engine.records.len() < engine.cfg.base.rounds {
             let Some(ev) = engine.queue.pop() else { break };
+            counter!("sim.events_dequeued", 1u64);
+            gauge!("sim.queue_depth", engine.queue.len());
             processed += 1;
             assert!(
                 processed <= engine.cfg.max_events,
@@ -348,6 +351,7 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
                         pending.push_back(PolicyEvent::Recorded { round });
                     }
                     Action::DropInFlight => {
+                        counter!("sim.clients_dropped", self.in_flight.len());
                         for e in self.in_flight.drain(..) {
                             self.dropped.insert(e.dispatch_id, e.client);
                         }
@@ -399,16 +403,19 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
         let mut work = self
             .states
             .checkout(ids, &self.algo, self.model, &self.global);
-        let results = run_local_updates(
-            &self.algo,
-            self.model,
-            self.data,
-            &self.cfg.base.train,
-            info,
-            &rctx,
-            &self.global,
-            &mut work,
-        );
+        let results = {
+            let _stage = span!("round.train", clients = ids.len());
+            run_local_updates(
+                &self.algo,
+                self.model,
+                self.data,
+                &self.cfg.base.train,
+                info,
+                &rctx,
+                &self.global,
+                &mut work,
+            )
+        };
         self.states.restore(work);
         self.last_rctx = Some(rctx);
 
@@ -474,7 +481,11 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
             .last_rctx
             .as_ref()
             .expect("aggregate before any dispatch");
-        self.algo.aggregate(info, rctx, &mut self.global, &results);
+        {
+            let _stage = span!("round.aggregate", clients = results.len());
+            counter!("sim.merges_sync", 1u64);
+            self.algo.aggregate(info, rctx, &mut self.global, &results);
+        }
         self.commit_round(round, &results)
     }
 
@@ -501,8 +512,12 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
                 }
             })
             .collect();
-        merge_staleness_weighted(&mut self.global, &items, server_lr, self.cfg.base.agg)
-            .expect("buffered-async merge failed");
+        {
+            let _stage = span!("round.aggregate", clients = items.len());
+            counter!("sim.merges_staleness", 1u64);
+            merge_staleness_weighted(&mut self.global, &items, server_lr, self.cfg.base.agg)
+                .expect("buffered-async merge failed");
+        }
         drop(items);
         let round = self.records.len();
         let results: Vec<(usize, LocalResult)> =
@@ -515,18 +530,24 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
     fn commit_round(&mut self, round: usize, results: &[(usize, LocalResult)]) -> usize {
         self.version += 1;
         self.now += self.cfg.cost.agg_seconds;
-        let stats = summarize_results(results);
+        let stats = {
+            let _stage = span!("round.upload");
+            summarize_results(results)
+        };
         let due = eval_due(round, self.cfg.base.rounds, self.cfg.base.eval_every);
-        let (test_loss, test_acc) = eval_or_carry(
-            &self.algo,
-            self.model,
-            &self.global,
-            &self.data.test,
-            self.cfg.base.eval_topk,
-            self.cfg.base.eval_max_samples,
-            due,
-            self.records.last(),
-        );
+        let (test_loss, test_acc) = {
+            let _stage = span!("round.eval", due = due);
+            eval_or_carry(
+                &self.algo,
+                self.model,
+                &self.global,
+                &self.data.test,
+                self.cfg.base.eval_topk,
+                self.cfg.base.eval_max_samples,
+                due,
+                self.records.last(),
+            )
+        };
         self.records.push(RoundRecord {
             round,
             train_loss: stats.train_loss,
@@ -537,7 +558,10 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
             download_bytes: self.global.total_bytes(),
             local_seconds_mean: stats.local_seconds_mean,
             local_seconds_max: stats.local_seconds_max,
+            // The simulator's agg_seconds is *virtual* (cost model), not
+            // wall clock — see fl::timing's clock taxonomy.
             agg_seconds: self.cfg.cost.agg_seconds,
+            peak_rss_bytes: fedbiad_fl::metrics::peak_rss_bytes(),
         });
         self.round_end_seconds.push(self.now);
         self.push_trace(TraceKind::Aggregate, usize::MAX);

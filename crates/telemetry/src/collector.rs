@@ -1,0 +1,282 @@
+//! The global collector: per-thread event buffers behind a runtime
+//! enable flag, with the whole implementation swapped for inert stubs
+//! when the `enabled` cargo feature is off.
+
+use crate::export::Capture;
+
+/// One recorded telemetry event, stamped with the monotonic nanosecond
+/// timestamp (relative to the process-wide telemetry epoch) and the
+/// recording thread's telemetry tid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the telemetry epoch (first telemetry touch).
+    pub ts_ns: u64,
+    /// Telemetry thread id (small dense integers, first touch order).
+    pub tid: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened. `args` carries the `key = value` pairs from the
+    /// `span!` call site.
+    Begin {
+        /// Span name (static call-site string, e.g. `"agg.shard"`).
+        name: &'static str,
+        /// Call-site arguments, in call-site order.
+        args: Vec<(&'static str, i64)>,
+    },
+    /// The span of the same name (innermost open one on this thread)
+    /// closed.
+    End {
+        /// Span name matching the `Begin`.
+        name: &'static str,
+    },
+    /// An additive counter increment.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Amount added.
+        delta: u64,
+    },
+    /// One gauge/histogram sample.
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// RAII guard returned by [`span!`](crate::span): records the span's
+/// `End` event when dropped. Inert (a ZST in feature-off builds) when no
+/// capture was active at the `Begin`.
+#[must_use = "binding the guard defines the span's extent; an unbound guard drops immediately"]
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    name: Option<&'static str>,
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{Capture, Event, EventKind, SpanGuard};
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+    use std::time::Instant;
+
+    /// Runtime capture gate; every macro checks this first.
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    /// Dense telemetry tids, assigned on each thread's first event.
+    static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+    /// All thread buffers ever registered (threads may outlive captures,
+    /// so buffers are kept and cleared rather than removed).
+    static REGISTRY: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+    /// Timestamp origin: the first telemetry touch in the process.
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    struct ThreadBuf {
+        tid: u32,
+        events: Mutex<Vec<(u64, EventKind)>>,
+    }
+
+    thread_local! {
+        static LOCAL: Arc<ThreadBuf> = {
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                events: Mutex::new(Vec::new()),
+            });
+            lock(&REGISTRY).push(Arc::clone(&buf));
+            buf
+        };
+    }
+
+    /// Poison-tolerant lock: a panicking instrumented thread must not
+    /// wedge telemetry for the rest of the process (tests rely on this).
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn now_ns() -> u64 {
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    fn push(kind: EventKind) {
+        let ts_ns = now_ns();
+        LOCAL.with(|buf| lock(&buf.events).push((ts_ns, kind)));
+    }
+
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub fn begin_capture() {
+        EPOCH.get_or_init(Instant::now);
+        for buf in lock(&REGISTRY).iter() {
+            lock(&buf.events).clear();
+        }
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn end_capture() -> Capture {
+        ENABLED.store(false, Ordering::SeqCst);
+        let mut events = Vec::new();
+        // Concatenate per-thread buffers in tid order, then stable-sort
+        // by timestamp: per-thread program order survives timestamp
+        // ties, and cross-thread ties resolve by tid — deterministic for
+        // any given set of recorded (ts, tid) pairs.
+        let mut bufs: Vec<_> = lock(&REGISTRY).iter().cloned().collect();
+        bufs.sort_by_key(|b| b.tid);
+        for buf in bufs {
+            let drained: Vec<_> = std::mem::take(&mut *lock(&buf.events));
+            events.extend(drained.into_iter().map(|(ts_ns, kind)| Event {
+                ts_ns,
+                tid: buf.tid,
+                kind,
+            }));
+        }
+        events.sort_by_key(|e| e.ts_ns);
+        Capture { events }
+    }
+
+    impl SpanGuard {
+        pub(super) fn begin_impl(name: &'static str, args: &[(&'static str, i64)]) -> SpanGuard {
+            push(EventKind::Begin {
+                name,
+                args: args.to_vec(),
+            });
+            SpanGuard { name: Some(name) }
+        }
+
+        pub(super) const fn inert_impl() -> SpanGuard {
+            SpanGuard { name: None }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            // Only close spans that opened inside a capture, and only
+            // while that capture is still running: a span straddling
+            // `end_capture` must not leak its `End` into the next one.
+            if let Some(name) = self.name {
+                if is_enabled() {
+                    push(EventKind::End { name });
+                }
+            }
+        }
+    }
+
+    pub fn add_counter(name: &'static str, delta: u64) {
+        push(EventKind::Counter { name, delta });
+    }
+
+    pub fn record_gauge(name: &'static str, value: f64) {
+        push(EventKind::Gauge { name, value });
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use enabled_api::*;
+
+#[cfg(feature = "enabled")]
+mod enabled_api {
+    use super::{imp, Capture, SpanGuard};
+
+    /// Whether the collector is compiled into this build (the `enabled`
+    /// cargo feature). Here: `true`.
+    pub const fn compiled() -> bool {
+        true
+    }
+
+    /// Whether a capture is currently running. One relaxed atomic load;
+    /// the macros check this before evaluating any arguments.
+    pub fn is_enabled() -> bool {
+        imp::is_enabled()
+    }
+
+    /// Clear all per-thread buffers and start recording.
+    pub fn begin_capture() {
+        imp::begin_capture()
+    }
+
+    /// Stop recording and drain every thread's buffer into a [`Capture`]
+    /// sorted by timestamp (per-thread order preserved on ties).
+    pub fn end_capture() -> Capture {
+        imp::end_capture()
+    }
+
+    /// Record a counter increment. Prefer the [`counter!`](crate::counter)
+    /// macro, which skips the call (and the delta expression) when no
+    /// capture is active.
+    pub fn add_counter(name: &'static str, delta: u64) {
+        imp::add_counter(name, delta)
+    }
+
+    /// Record a gauge sample. Prefer the [`gauge!`](crate::gauge) macro,
+    /// which skips the call (and the value expression) when no capture
+    /// is active.
+    pub fn record_gauge(name: &'static str, value: f64) {
+        imp::record_gauge(name, value)
+    }
+
+    impl SpanGuard {
+        /// Record a `Begin` event now; the guard records the matching
+        /// `End` on drop. Prefer the [`span!`](crate::span) macro.
+        pub fn begin(name: &'static str, args: &[(&'static str, i64)]) -> SpanGuard {
+            SpanGuard::begin_impl(name, args)
+        }
+
+        /// A guard that records nothing.
+        pub const fn inert() -> SpanGuard {
+            SpanGuard::inert_impl()
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use disabled_api::*;
+
+#[cfg(not(feature = "enabled"))]
+mod disabled_api {
+    use super::{Capture, SpanGuard};
+
+    /// Whether the collector is compiled into this build (the `enabled`
+    /// cargo feature). Here: `false` — every macro folds to a no-op.
+    pub const fn compiled() -> bool {
+        false
+    }
+
+    /// Always `false` in a feature-off build: `const`, so the
+    /// `if is_enabled()` inside each macro is dead code the optimiser
+    /// deletes along with the instrumentation body.
+    pub const fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op in a feature-off build.
+    pub fn begin_capture() {}
+
+    /// Returns an empty [`Capture`] in a feature-off build.
+    pub fn end_capture() -> Capture {
+        Capture { events: Vec::new() }
+    }
+
+    /// No-op in a feature-off build.
+    pub fn add_counter(_name: &'static str, _delta: u64) {}
+
+    /// No-op in a feature-off build.
+    pub fn record_gauge(_name: &'static str, _value: f64) {}
+
+    impl SpanGuard {
+        /// No-op in a feature-off build (the guard is a ZST).
+        pub const fn begin(_name: &'static str, _args: &[(&'static str, i64)]) -> SpanGuard {
+            SpanGuard {}
+        }
+
+        /// No-op in a feature-off build (the guard is a ZST).
+        pub const fn inert() -> SpanGuard {
+            SpanGuard {}
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! Exporters over a drained [`Capture`]: Chrome trace JSON, a JSONL
+//! event stream, and a plain-text summary (p50/p95/max per span,
+//! counter totals, gauge distributions). All JSON is hand-written —
+//! this crate is deliberately dependency-free.
+
+use crate::collector::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// All events recorded between one `begin_capture`/`end_capture` pair,
+/// sorted by timestamp (per-thread order preserved on ties).
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    /// The recorded events.
+    pub events: Vec<Event>,
+}
+
+/// Duration statistics for one span name within a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Completed (Begin/End-paired) instances.
+    pub count: u64,
+    /// Median duration, nanoseconds (nearest-rank).
+    pub p50_ns: u64,
+    /// 95th-percentile duration, nanoseconds (nearest-rank).
+    pub p95_ns: u64,
+    /// Longest instance, nanoseconds.
+    pub max_ns: u64,
+    /// Sum over all instances, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Per-capture total for one counter name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTotal {
+    /// Counter name.
+    pub name: String,
+    /// Sum of all deltas, across threads.
+    pub total: u64,
+}
+
+/// Sample statistics for one gauge name within a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeStats {
+    /// Gauge name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Median sample (nearest-rank).
+    pub p50: f64,
+    /// 95th-percentile sample (nearest-rank).
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Aggregated view of a [`Capture`]: spans, counters and gauges, each
+/// sorted by name for deterministic output.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Per-span duration statistics, sorted by name.
+    pub spans: Vec<SpanStats>,
+    /// Per-counter totals, sorted by name.
+    pub counters: Vec<CounterTotal>,
+    /// Per-gauge sample statistics, sorted by name.
+    pub gauges: Vec<GaugeStats>,
+}
+
+impl Capture {
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render as a Chrome trace (the JSON object format), loadable in
+    /// Perfetto / `chrome://tracing`. Spans become `ph:"B"`/`ph:"E"`
+    /// duration events; counters and gauges become `ph:"C"` counter
+    /// events. Timestamps are microseconds with nanosecond precision.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut running: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ts_us = ev.ts_ns as f64 / 1000.0;
+            match &ev.kind {
+                EventKind::Begin { name, args } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"fedbiad\",\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{:.3}",
+                        json_str(name),
+                        ev.tid,
+                        ts_us
+                    );
+                    if !args.is_empty() {
+                        out.push_str(",\"args\":{");
+                        for (j, (k, v)) in args.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{}:{}", json_str(k), v);
+                        }
+                        out.push('}');
+                    }
+                    out.push('}');
+                }
+                EventKind::End { name } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"fedbiad\",\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{:.3}}}",
+                        json_str(name),
+                        ev.tid,
+                        ts_us
+                    );
+                }
+                EventKind::Counter { name, delta } => {
+                    // Chrome counter tracks plot the running value, so
+                    // accumulate deltas into a monotone series.
+                    let total = running.entry(name).or_insert(0);
+                    *total += delta;
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"fedbiad\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"args\":{{\"value\":{}}}}}",
+                        json_str(name),
+                        ev.tid,
+                        ts_us,
+                        total
+                    );
+                }
+                EventKind::Gauge { name, value } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"fedbiad\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"args\":{{\"value\":{}}}}}",
+                        json_str(name),
+                        ev.tid,
+                        ts_us,
+                        json_f64(*value)
+                    );
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render as a JSONL event stream: one JSON object per line, in
+    /// capture order, with `ts_ns`, `tid`, `type` and type-specific
+    /// fields. Empty captures render as an empty string.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 80);
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::Begin { name, args } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ts_ns\":{},\"tid\":{},\"type\":\"begin\",\"name\":{}",
+                        ev.ts_ns,
+                        ev.tid,
+                        json_str(name)
+                    );
+                    if !args.is_empty() {
+                        out.push_str(",\"args\":{");
+                        for (j, (k, v)) in args.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{}:{}", json_str(k), v);
+                        }
+                        out.push('}');
+                    }
+                    out.push('}');
+                }
+                EventKind::End { name } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ts_ns\":{},\"tid\":{},\"type\":\"end\",\"name\":{}}}",
+                        ev.ts_ns,
+                        ev.tid,
+                        json_str(name)
+                    );
+                }
+                EventKind::Counter { name, delta } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ts_ns\":{},\"tid\":{},\"type\":\"counter\",\"name\":{},\"delta\":{}}}",
+                        ev.ts_ns,
+                        ev.tid,
+                        json_str(name),
+                        delta
+                    );
+                }
+                EventKind::Gauge { name, value } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ts_ns\":{},\"tid\":{},\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+                        ev.ts_ns,
+                        ev.tid,
+                        json_str(name),
+                        json_f64(*value)
+                    );
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Aggregate into a [`Summary`]. Span instances are matched per
+    /// thread: an `End` closes the innermost open `Begin` of the same
+    /// name on its thread; unmatched events (spans cut off by
+    /// `end_capture`) are dropped from the statistics.
+    pub fn summary(&self) -> Summary {
+        let mut durations: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+        // Per-thread stack of open (name, start_ts) pairs.
+        let mut stacks: BTreeMap<u32, Vec<(&'static str, u64)>> = BTreeMap::new();
+
+        for ev in &self.events {
+            match &ev.kind {
+                EventKind::Begin { name, .. } => {
+                    stacks.entry(ev.tid).or_default().push((name, ev.ts_ns));
+                }
+                EventKind::End { name } => {
+                    let stack = stacks.entry(ev.tid).or_default();
+                    if let Some(pos) = stack.iter().rposition(|(n, _)| n == name) {
+                        let (_, start) = stack.remove(pos);
+                        durations
+                            .entry(name)
+                            .or_default()
+                            .push(ev.ts_ns.saturating_sub(start));
+                    }
+                }
+                EventKind::Counter { name, delta } => {
+                    *counters.entry(name).or_insert(0) += delta;
+                }
+                EventKind::Gauge { name, value } => {
+                    gauges.entry(name).or_default().push(*value);
+                }
+            }
+        }
+
+        Summary {
+            spans: durations
+                .into_iter()
+                .map(|(name, mut ds)| {
+                    ds.sort_unstable();
+                    SpanStats {
+                        name: name.to_string(),
+                        count: ds.len() as u64,
+                        p50_ns: nearest_rank(&ds, 50),
+                        p95_ns: nearest_rank(&ds, 95),
+                        max_ns: *ds.last().unwrap_or(&0),
+                        total_ns: ds.iter().sum(),
+                    }
+                })
+                .collect(),
+            counters: counters
+                .into_iter()
+                .map(|(name, total)| CounterTotal {
+                    name: name.to_string(),
+                    total,
+                })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(name, mut vs)| {
+                    vs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    GaugeStats {
+                        name: name.to_string(),
+                        count: vs.len() as u64,
+                        p50: nearest_rank_f(&vs, 50),
+                        p95: nearest_rank_f(&vs, 95),
+                        max: *vs.last().unwrap_or(&0.0),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Summary {
+    /// Look up one span's statistics by name.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Look up one counter's total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.total)
+    }
+
+    /// Render the end-of-run plain-text summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty() {
+            out.push_str("telemetry: no spans recorded\n");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            let name_w = self
+                .spans
+                .iter()
+                .map(|s| s.name.len())
+                .chain(["span".len()])
+                .max()
+                .unwrap_or(4);
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+                "span", "count", "p50", "p95", "max", "total"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+                    s.name,
+                    s.count,
+                    fmt_ns(s.p50_ns),
+                    fmt_ns(s.p95_ns),
+                    fmt_ns(s.max_ns),
+                    fmt_ns(s.total_ns)
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounter totals:");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<28} {}", c.name, c.total);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges (p50 / p95 / max over samples):");
+            for g in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} n={:<6} {:.3} / {:.3} / {:.3}",
+                    g.name, g.count, g.p50, g.p95, g.max
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn nearest_rank(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice of floats.
+fn nearest_rank_f(sorted: &[f64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (pct * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// Human duration: picks ns/µs/ms/s to keep 3-4 significant digits.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// JSON string literal with escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number for an `f64`: finite values print losslessly via `{}`,
+/// non-finite values (invalid JSON) degrade to 0.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits the decimal point for integral floats; keep it so
+        // strict parsers see a float where the schema expects one.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&v, 50), 50);
+        assert_eq!(nearest_rank(&v, 95), 95);
+        assert_eq!(nearest_rank(&[7], 50), 7);
+        assert_eq!(nearest_rank(&[], 95), 0);
+    }
+
+    #[test]
+    fn json_str_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_always_prints_a_float() {
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+    }
+
+    #[test]
+    fn summary_matches_innermost_open_span_and_drops_unmatched() {
+        let ev = |ts_ns, kind| Event {
+            ts_ns,
+            tid: 1,
+            kind,
+        };
+        let cap = Capture {
+            events: vec![
+                ev(
+                    0,
+                    EventKind::Begin {
+                        name: "outer",
+                        args: vec![],
+                    },
+                ),
+                ev(
+                    10,
+                    EventKind::Begin {
+                        name: "inner",
+                        args: vec![],
+                    },
+                ),
+                ev(30, EventKind::End { name: "inner" }),
+                ev(100, EventKind::End { name: "outer" }),
+                // Unmatched Begin: capture ended mid-span.
+                ev(
+                    110,
+                    EventKind::Begin {
+                        name: "cut",
+                        args: vec![],
+                    },
+                ),
+                // Unmatched End: no open span of this name.
+                ev(120, EventKind::End { name: "stray" }),
+            ],
+        };
+        let s = cap.summary();
+        assert_eq!(s.span("outer").unwrap().total_ns, 100);
+        assert_eq!(s.span("inner").unwrap().total_ns, 20);
+        assert!(s.span("cut").is_none());
+        assert!(s.span("stray").is_none());
+    }
+}

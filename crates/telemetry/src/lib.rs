@@ -1,0 +1,213 @@
+//! # fedbiad-telemetry
+//!
+//! Zero-overhead instrumentation for the FedBIAD workspace: hierarchical
+//! **spans**, additive **counters**, and sampled **gauges/histograms**,
+//! recorded into per-thread buffers and exported as a Chrome-trace
+//! `trace.json` (openable in Perfetto / `chrome://tracing`), a JSONL
+//! event stream, or a plain-text summary table (p50/p95/max per span).
+//!
+//! ## The two gates
+//!
+//! * **Compile-time** — the `enabled` cargo feature (off by default).
+//!   Without it every macro expands to a branch on a `const false`, so
+//!   the optimiser deletes the instrumentation outright: hot kernels pay
+//!   *zero* cost, pinned by the `telemetry/*` entries in
+//!   `BENCH_kernels.json`. `fedbiad-bench` turns the feature on, so the
+//!   harness binaries (and, via feature unification, any workspace-wide
+//!   build) carry the collector.
+//! * **Run-time** — [`begin_capture`]/[`end_capture`]. Even when
+//!   compiled in, a macro costs one relaxed atomic load while no capture
+//!   is active; its value arguments are not evaluated.
+//!
+//! ## Determinism contract
+//!
+//! Telemetry is *observational*: it records monotonic timestamps and
+//! values but never branches the computation, draws from an experiment
+//! RNG stream, or reorders work. Experiment results are therefore
+//! bit-identical with capture on or off, at any thread count — pinned by
+//! `tests/golden_trace.rs` and `tests/thread_determinism.rs` at the
+//! workspace root.
+//!
+//! ## Usage
+//!
+//! ```
+//! use fedbiad_telemetry as telemetry;
+//!
+//! telemetry::begin_capture();
+//! {
+//!     let _round = telemetry::span!("round", round = 0);
+//!     let _stage = telemetry::span!("round.train");
+//!     telemetry::counter!("round.upload_bytes", 4096u64);
+//!     telemetry::gauge!("sim.queue_depth", 3.0);
+//! }
+//! let capture = telemetry::end_capture();
+//! let trace_json = capture.chrome_trace();
+//! let summary = capture.summary();
+//! if telemetry::compiled() {
+//!     assert!(summary.span("round.train").is_some());
+//!     assert!(trace_json.contains("\"ph\":\"B\""));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod collector;
+mod export;
+
+pub use collector::{
+    add_counter, begin_capture, compiled, end_capture, is_enabled, record_gauge, Event, EventKind,
+    SpanGuard,
+};
+pub use export::{Capture, CounterTotal, GaugeStats, SpanStats, Summary};
+
+/// Open a span: records a `Begin` event now and the matching `End` when
+/// the returned guard drops. Optional `key = value` arguments (cast to
+/// `i64`) are attached to the `Begin` event and surface in the Chrome
+/// trace's `args`.
+///
+/// Bind the guard — `let _span = span!("name");` — or the span closes
+/// immediately. Argument expressions are **not evaluated** unless a
+/// capture is active.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::is_enabled() {
+            $crate::SpanGuard::begin($name, &[$((stringify!($k), ($v) as i64)),*])
+        } else {
+            $crate::SpanGuard::inert()
+        }
+    };
+}
+
+/// Add `delta` (cast to `u64`) to the named counter. Counters are
+/// additive across threads; the exporters report per-capture totals.
+/// The delta expression is **not evaluated** unless a capture is active.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {
+        if $crate::is_enabled() {
+            $crate::add_counter($name, ($delta) as u64);
+        }
+    };
+}
+
+/// Record one sample (cast to `f64`) of the named gauge/histogram; the
+/// summary reports p50/p95/max over a capture's samples. The value
+/// expression is **not evaluated** unless a capture is active.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        if $crate::is_enabled() {
+            $crate::record_gauge($name, ($value) as f64);
+        }
+    };
+}
+
+#[cfg(all(test, not(feature = "enabled")))]
+mod disabled_tests {
+    //! The no-op contract of the default (feature-off) build.
+
+    #[test]
+    fn disabled_build_reports_not_compiled_and_never_enabled() {
+        assert!(!crate::compiled());
+        assert!(!crate::is_enabled());
+        crate::begin_capture();
+        assert!(!crate::is_enabled(), "begin_capture must stay inert");
+    }
+
+    #[test]
+    fn disabled_macros_record_nothing_and_evaluate_nothing() {
+        crate::begin_capture();
+        let mut evaluated = false;
+        {
+            let _span = crate::span!(
+                "agg.shard",
+                shard = {
+                    evaluated = true;
+                    7
+                }
+            );
+            crate::counter!("bytes", {
+                evaluated = true;
+                123u64
+            });
+            crate::gauge!("depth", {
+                evaluated = true;
+                1.0
+            });
+        }
+        let cap = crate::end_capture();
+        assert!(!evaluated, "disabled macros must not evaluate arguments");
+        assert!(cap.events.is_empty());
+        assert!(cap.summary().spans.is_empty());
+    }
+
+    #[test]
+    fn disabled_span_guard_is_a_zst() {
+        assert_eq!(std::mem::size_of::<crate::SpanGuard>(), 0);
+    }
+
+    #[test]
+    fn disabled_exporters_emit_valid_empty_artifacts() {
+        crate::begin_capture();
+        let cap = crate::end_capture();
+        let trace = cap.chrome_trace();
+        assert!(trace.contains("\"traceEvents\""));
+        assert_eq!(cap.jsonl(), "");
+        assert!(cap.summary().render_table().contains("no spans recorded"));
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod enabled_tests {
+    /// The collector is process-global; capture-touching tests must not
+    /// interleave.
+    static CAPTURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn enabled_build_round_trips_spans_and_counters() {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::begin_capture();
+        {
+            let _outer = crate::span!("outer", idx = 1);
+            let _inner = crate::span!("inner");
+            crate::counter!("n", 2u64);
+            crate::counter!("n", 3u64);
+            crate::gauge!("depth", 4.0);
+        }
+        let cap = crate::end_capture();
+        assert!(!crate::is_enabled(), "end_capture disables");
+        let summary = cap.summary();
+        assert_eq!(summary.span("outer").unwrap().count, 1);
+        assert_eq!(summary.span("inner").unwrap().count, 1);
+        let n = summary
+            .counters
+            .iter()
+            .find(|c| c.name == "n")
+            .expect("counter n");
+        assert_eq!(n.total, 5);
+        let d = summary.gauges.iter().find(|g| g.name == "depth").unwrap();
+        assert_eq!(d.count, 1);
+        assert_eq!(d.max, 4.0);
+    }
+
+    #[test]
+    fn no_capture_means_no_events_and_no_argument_evaluation() {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!crate::is_enabled());
+        let mut evaluated = false;
+        {
+            let _s = crate::span!(
+                "s",
+                v = {
+                    evaluated = true;
+                    1
+                }
+            );
+        }
+        assert!(!evaluated);
+        crate::begin_capture();
+        let cap = crate::end_capture();
+        assert!(cap.events.is_empty(), "pre-capture events must not leak in");
+    }
+}

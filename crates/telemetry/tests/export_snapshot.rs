@@ -1,0 +1,167 @@
+//! Exporter snapshot tests (feature `enabled` only): a small multi-thread
+//! capture must round-trip through the Chrome-trace and JSONL exporters
+//! into *parseable, schema-valid* JSON — every event carries `pid`/`tid`,
+//! `B`/`E` events pair up per thread, counters plot as `C` phases, and
+//! the text summary renders the p50/p95 columns.
+#![cfg(feature = "enabled")]
+
+use fedbiad_telemetry as tele;
+use serde_json::Value;
+use std::sync::Mutex;
+
+/// The collector is process-global; capture-touching tests must not
+/// interleave.
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+fn field<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
+    v.as_object()?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+}
+
+fn as_num(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::UInt(u) => *u as f64,
+        Value::Float(f) => *f,
+        other => panic!("expected a number, got {other:?}"),
+    }
+}
+
+/// A deterministic-shape workload: nested round spans on the main thread
+/// plus shard spans and counters from two worker threads.
+fn sample_capture() -> tele::Capture {
+    tele::begin_capture();
+    {
+        let _run = tele::span!("run", index = 0);
+        for round in 0..3i64 {
+            let _round = tele::span!("round", round = round);
+            {
+                let _agg = tele::span!("round.aggregate", clients = 4);
+                tele::counter!("agg.decode_bytes", 128u64);
+            }
+            tele::gauge!("sim.queue_depth", round * 2);
+        }
+        let workers: Vec<_> = (0..2i64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _shard = tele::span!("agg.shard", shard = i);
+                    tele::counter!("agg.shards_reduced", 1u64);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+    tele::end_capture()
+}
+
+#[test]
+fn chrome_trace_is_schema_valid_with_paired_events_and_pid_tid() {
+    let cap = {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        sample_capture()
+    };
+    let root = serde_json::parse_value_str(&cap.chrome_trace()).expect("trace JSON must parse");
+
+    assert_eq!(
+        field(&root, "displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ms")
+    );
+    let events = field(&root, "traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Per-tid stacks: every E closes the innermost open B of that thread.
+    let mut stacks: std::collections::HashMap<i64, Vec<String>> = Default::default();
+    let mut span_names = std::collections::HashSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for e in events {
+        let name = field(e, "name")
+            .and_then(|v| v.as_str())
+            .expect("every event has a name");
+        let ph = field(e, "ph").and_then(|v| v.as_str()).expect("phase");
+        assert_eq!(as_num(field(e, "pid").expect("pid present")), 1.0);
+        let tid = as_num(field(e, "tid").expect("tid present")) as i64;
+        let ts = as_num(field(e, "ts").expect("ts present"));
+        assert!(ts >= 0.0);
+        assert!(ts >= last_ts, "events must be emitted in time order");
+        last_ts = ts;
+        match ph {
+            "B" => {
+                stacks.entry(tid).or_default().push(name.to_string());
+                span_names.insert(name.to_string());
+            }
+            "E" => {
+                let top = stacks
+                    .get_mut(&tid)
+                    .and_then(|s| s.pop())
+                    .unwrap_or_else(|| panic!("E `{name}` on tid {tid} with no open B"));
+                assert_eq!(top, name, "E must close the innermost B (tid {tid})");
+            }
+            "C" => {
+                // Counter samples plot running totals; args must exist.
+                assert!(field(e, "args").is_some(), "counter `{name}` lacks args");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid} left unclosed spans: {stack:?}");
+    }
+    for expected in ["run", "round", "round.aggregate", "agg.shard"] {
+        assert!(span_names.contains(expected), "span `{expected}` missing");
+    }
+
+    // The two worker spans come from distinct threads, distinct from main.
+    let shard_tids: std::collections::HashSet<i64> = events
+        .iter()
+        .filter(|e| field(e, "name").and_then(|v| v.as_str()) == Some("agg.shard"))
+        .map(|e| as_num(field(e, "tid").unwrap()) as i64)
+        .collect();
+    assert_eq!(shard_tids.len(), 2, "one tid per worker thread");
+}
+
+#[test]
+fn jsonl_stream_parses_line_by_line_with_monotonic_timestamps() {
+    let cap = {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        sample_capture()
+    };
+    let jsonl = cap.jsonl();
+    let mut last_ns = 0.0f64;
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        let v = serde_json::parse_value_str(line).expect("each JSONL line parses");
+        let ts = as_num(field(&v, "ts_ns").expect("ts_ns present"));
+        assert!(ts >= last_ns, "JSONL must be time-ordered");
+        last_ns = ts;
+        lines += 1;
+    }
+    assert_eq!(lines, cap.events.len(), "one line per event");
+}
+
+#[test]
+fn summary_table_renders_percentile_columns() {
+    let cap = {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        sample_capture()
+    };
+    let table = cap.summary().render_table();
+    for needle in [
+        "p50",
+        "p95",
+        "round.aggregate",
+        "agg.shard",
+        "counter totals",
+    ] {
+        assert!(table.contains(needle), "summary lacks `{needle}`:\n{table}");
+    }
+    let s = cap.summary();
+    assert_eq!(s.span("round").unwrap().count, 3);
+    assert_eq!(s.counter("agg.decode_bytes"), Some(384));
+    assert_eq!(s.counter("agg.shards_reduced"), Some(2));
+}

@@ -1,0 +1,113 @@
+//! Property tests on the collector invariants (feature `enabled` only):
+//!
+//! 1. **Nesting well-formedness** — for any randomly shaped span tree,
+//!    every recorded `End` closes the innermost open `Begin` of the same
+//!    name on its thread, and nothing is left open.
+//! 2. **Monotonic timestamps** — captured events are globally
+//!    non-decreasing in `ts_ns` (the drain sorts stably), and each
+//!    span's duration is non-negative.
+//! 3. **Counter additivity across threads** — the summary total of a
+//!    counter equals the arithmetic sum of every delta added, no matter
+//!    how the adds are split across threads.
+#![cfg(feature = "enabled")]
+
+use fedbiad_telemetry as tele;
+use fedbiad_telemetry::EventKind;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The collector is process-global; capture-touching tests must not
+/// interleave (proptest cases in one binary run on multiple threads).
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Open `depths[i]` nested spans, then close them, recursively — a cheap
+/// way to realise an arbitrary nesting shape from a flat seed vector.
+fn nest(depths: &[u8]) {
+    let Some((&d, rest)) = depths.split_first() else {
+        return;
+    };
+    // Span names cycle through a small static set (names are &'static str).
+    const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+    let _span = tele::span!(NAMES[(d % 4) as usize], depth = d);
+    if d % 2 == 0 {
+        tele::counter!("work", d as u64);
+    }
+    nest(rest);
+}
+
+proptest! {
+    #[test]
+    fn spans_nest_well_formed_for_any_shape(depths in proptest::collection::vec(0u8..8, 0..24)) {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        tele::begin_capture();
+        nest(&depths);
+        let cap = tele::end_capture();
+
+        // Replay the event stream with a per-tid stack.
+        let mut stacks: std::collections::HashMap<u32, Vec<&'static str>> = Default::default();
+        let mut begins = 0usize;
+        for ev in &cap.events {
+            match &ev.kind {
+                EventKind::Begin { name, .. } => {
+                    stacks.entry(ev.tid).or_default().push(name);
+                    begins += 1;
+                }
+                EventKind::End { name } => {
+                    let top = stacks.get_mut(&ev.tid).and_then(|s| s.pop());
+                    prop_assert_eq!(top, Some(*name), "End must close the innermost Begin");
+                }
+                _ => {}
+            }
+        }
+        for stack in stacks.values() {
+            prop_assert!(stack.is_empty(), "capture left spans open: {:?}", stack);
+        }
+        prop_assert_eq!(begins, depths.len(), "one span per seed element");
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_durations_non_negative(depths in proptest::collection::vec(0u8..8, 1..16)) {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        tele::begin_capture();
+        nest(&depths);
+        let cap = tele::end_capture();
+
+        let mut last = 0u64;
+        for ev in &cap.events {
+            prop_assert!(ev.ts_ns >= last, "capture order must be time order");
+            last = ev.ts_ns;
+        }
+        for s in &cap.summary().spans {
+            prop_assert!(s.max_ns >= s.p50_ns, "percentiles out of order for {}", s.name);
+            prop_assert!(s.total_ns > 0 || s.count == 0 || s.max_ns == 0);
+        }
+    }
+
+    #[test]
+    fn counter_totals_are_additive_across_threads(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000, 0..8), 1..5)
+    ) {
+        let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        tele::begin_capture();
+        let workers: Vec<_> = per_thread
+            .iter()
+            .map(|deltas| {
+                let deltas = deltas.clone();
+                std::thread::spawn(move || {
+                    for d in deltas {
+                        tele::counter!("bytes", d);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let cap = tele::end_capture();
+
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let total = cap.summary().counter("bytes").unwrap_or(0);
+        prop_assert_eq!(total, expected, "counter total must equal the sum of all deltas");
+    }
+}

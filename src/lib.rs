@@ -41,6 +41,11 @@
 //! `crates/bench/src/bin/` for the binaries that regenerate every table and
 //! figure of the paper.
 
+/// Zero-overhead tracing spans, counters and trace exporters (re-export
+/// of `fedbiad-telemetry`). No-op unless built with the crate's
+/// `enabled` feature (the bench harness turns it on).
+pub use fedbiad_telemetry as telemetry;
+
 /// Dense linear algebra (re-export of `fedbiad-tensor`).
 pub use fedbiad_tensor as tensor;
 

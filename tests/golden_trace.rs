@@ -26,7 +26,7 @@
 //! A failure here with *no* intentional numeric change means a kernel
 //! regression — do not update the constant; find the bug.
 
-use fedbiad::scenario::{execute, Overrides, ScenarioSpec};
+use fedbiad::scenario::{execute, Overrides, RunOutcome, ScenarioSpec};
 use std::path::Path;
 
 /// Pinned digest of the 2-round smoke fig2 trace (see module docs for
@@ -43,11 +43,10 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-#[test]
-fn fig2_two_round_trace_digest_is_pinned() {
+/// The CI smoke configuration: 2 rounds, smoke scale, 200 eval samples.
+fn smoke_spec() -> ScenarioSpec {
     let mut spec = ScenarioSpec::from_path(Path::new("scenarios/fig2.toml"))
         .expect("bundled fig2 spec must load");
-    // The CI smoke configuration: 2 rounds, smoke scale, 200 eval samples.
     spec.apply_overrides(&Overrides {
         rounds: Some(2),
         scale: Some(fedbiad::fl::workload::Scale::Smoke),
@@ -55,15 +54,15 @@ fn fig2_two_round_trace_digest_is_pinned() {
         ..Default::default()
     })
     .expect("overrides must validate");
+    spec
+}
 
-    let outcomes = execute(&spec).expect("fig2 smoke run must execute");
-    assert_eq!(outcomes.len(), 5, "fig2 sweeps five methods");
-
-    // Canonical byte string: run labels in grid order, then per round the
-    // deterministic fields as raw bits; wall-clock fields zeroed (i.e.
-    // omitted — appending zeros would add no information).
+/// Canonical byte string: run labels in grid order, then per round the
+/// deterministic fields as raw bits; wall-clock and RSS fields zeroed
+/// (i.e. omitted — appending zeros would add no information).
+fn digest_of(outcomes: &[RunOutcome]) -> u64 {
     let mut canon = String::new();
-    for o in &outcomes {
+    for o in outcomes {
         canon.push_str(&format!(
             "run={};dataset={};method={};seed={};",
             o.run.label, o.log.dataset, o.log.method, o.log.seed
@@ -81,7 +80,22 @@ fn fig2_two_round_trace_digest_is_pinned() {
             ));
         }
     }
-    let digest = fnv1a64(canon.as_bytes());
+    fnv1a64(canon.as_bytes())
+}
+
+#[test]
+fn fig2_two_round_trace_digest_is_pinned() {
+    let mut spec = smoke_spec();
+    // The bundled spec turns the streaming engine on (execution-only
+    // knob); pin the dense reference engine here so both code paths keep
+    // golden coverage — the streaming test below re-enables it.
+    spec.aggregation.streaming = false;
+    spec.aggregation.shard_kb = None;
+
+    let outcomes = execute(&spec).expect("fig2 smoke run must execute");
+    assert_eq!(outcomes.len(), 5, "fig2 sweeps five methods");
+
+    let digest = digest_of(&outcomes);
     assert_eq!(
         digest, GOLDEN_DIGEST,
         "fig2 smoke trace drifted: computed digest {digest:#018X} != pinned \
@@ -95,44 +109,53 @@ fn fig2_two_round_trace_digest_is_pinned() {
 /// golden constant exists — dense and streaming share this one.
 #[test]
 fn fig2_streaming_engine_reproduces_the_same_digest() {
-    let mut spec = ScenarioSpec::from_path(Path::new("scenarios/fig2.toml"))
-        .expect("bundled fig2 spec must load");
-    spec.apply_overrides(&Overrides {
-        rounds: Some(2),
-        scale: Some(fedbiad::fl::workload::Scale::Smoke),
-        eval_max: Some(200),
-        ..Default::default()
-    })
-    .expect("overrides must validate");
+    let mut spec = smoke_spec();
     // Tiny shards maximise boundary coverage.
     spec.aggregation.streaming = true;
     spec.aggregation.shard_kb = Some(1);
 
     let outcomes = execute(&spec).expect("fig2 streaming smoke run must execute");
-    let mut canon = String::new();
-    for o in &outcomes {
-        canon.push_str(&format!(
-            "run={};dataset={};method={};seed={};",
-            o.run.label, o.log.dataset, o.log.method, o.log.seed
-        ));
-        for r in &o.log.records {
-            canon.push_str(&format!(
-                "round={};train={:08x};test_loss={:016x};test_acc={:016x};up_mean={};up_max={};down={};",
-                r.round,
-                r.train_loss.to_bits(),
-                r.test_loss.to_bits(),
-                r.test_acc.to_bits(),
-                r.upload_bytes_mean,
-                r.upload_bytes_max,
-                r.download_bytes,
-            ));
-        }
-    }
-    let digest = fnv1a64(canon.as_bytes());
+    let digest = digest_of(&outcomes);
     assert_eq!(
         digest, GOLDEN_DIGEST,
         "streaming aggregation drifted from the dense golden trace: {digest:#018X} != \
          {GOLDEN_DIGEST:#018X} — the engines must move together (see \
          tests/aggregation_equivalence.rs)."
     );
+}
+
+/// The telemetry inertness contract: running the identical experiment
+/// under an **active** telemetry capture — workspace builds compile the
+/// collector in via the bench harness — must reproduce the exact same
+/// pinned digest at 1, 2 and 8 worker threads. The capture-off runs
+/// above already pin the quiescent path, so together the three states
+/// (not compiled / compiled-idle / capturing) share one golden constant.
+#[test]
+fn fig2_digest_is_unchanged_under_active_telemetry_capture() {
+    if !fedbiad::telemetry::compiled() {
+        // `cargo test -p`-style builds without the bench harness in the
+        // graph get the no-op collector; nothing to capture.
+        eprintln!("telemetry not compiled in; capture leg skipped");
+        return;
+    }
+    let spec = smoke_spec(); // streaming on, per the bundled spec
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        fedbiad::telemetry::begin_capture();
+        let outcomes = execute(&spec).expect("fig2 smoke run must execute");
+        let capture = fedbiad::telemetry::end_capture();
+        std::env::remove_var("RAYON_NUM_THREADS");
+
+        assert!(
+            !capture.is_empty(),
+            "capture recorded nothing — instrumentation went missing"
+        );
+        let digest = digest_of(&outcomes);
+        assert_eq!(
+            digest, GOLDEN_DIGEST,
+            "telemetry capture perturbed the trace at {threads} thread(s): \
+             {digest:#018X} != {GOLDEN_DIGEST:#018X} — spans/counters must be \
+             purely observational (no RNG draws, no reordering)."
+        );
+    }
 }

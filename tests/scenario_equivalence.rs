@@ -5,12 +5,13 @@
 //!
 //! Wall-clock caveat: the lock-step runner measures `local_seconds_*`
 //! and `agg_seconds` with `Instant::now()`, and the repository's
-//! reproducibility contract (README) explicitly excludes those fields.
-//! They are zeroed on both sides before comparing; every other byte —
-//! losses, accuracies, upload/download bytes, round indices, config ids
-//! — must match exactly. The sim-mode comparison (`sim_tta.toml`) has a
-//! fully virtual clock, so there the JSON must match with **no**
-//! exclusions at all.
+//! reproducibility contract (README) explicitly excludes those fields —
+//! as it does `peak_rss_bytes`, a process-wide high-water mark sampled
+//! at record time. They are zeroed on both sides before comparing; every
+//! other byte — losses, accuracies, upload/download bytes, round
+//! indices, config ids — must match exactly. The sim-mode comparison
+//! (`sim_tta.toml`) has a fully virtual clock, so there the JSON must
+//! match with no exclusions beyond the RSS sample.
 
 use fedbiad::fl::workload::build;
 use fedbiad::fl::ExperimentLog;
@@ -30,6 +31,14 @@ fn strip_wall_clock(log: &mut ExperimentLog) {
         r.local_seconds_mean = 0.0;
         r.local_seconds_max = 0.0;
         r.agg_seconds = 0.0;
+        r.peak_rss_bytes = 0;
+    }
+}
+
+/// Zero only the RSS sample — sim logs are otherwise fully virtual.
+fn strip_rss(log: &mut ExperimentLog) {
+    for r in &mut log.records {
+        r.peak_rss_bytes = 0;
     }
 }
 
@@ -95,7 +104,7 @@ fn sim_tta_spec_reproduces_the_legacy_sim_runner_with_no_exclusions() {
         let mut opts = RunOpts::for_rounds(spec.run.rounds, spec.run.seed);
         opts.eval_max_samples = spec.run.eval_max;
         opts.client_fraction = spec.run.fraction;
-        let report = run_sim_method(
+        let mut report = run_sim_method(
             o.run.method,
             &bundle,
             opts,
@@ -103,9 +112,12 @@ fn sim_tta_spec_reproduces_the_legacy_sim_runner_with_no_exclusions() {
             o.run.profile.unwrap().resolve(None),
         );
         // Virtual clock ⇒ the whole log (timing fields included) must be
-        // byte-identical.
+        // byte-identical; only the process-RSS sample is excluded.
+        let mut engine_log = o.log;
+        strip_rss(&mut engine_log);
+        strip_rss(&mut report.log);
         assert_eq!(
-            serde_json::to_string(&o.log).unwrap(),
+            serde_json::to_string(&engine_log).unwrap(),
             serde_json::to_string(&report.log).unwrap(),
             "sim engine diverges under policy {}",
             report.policy

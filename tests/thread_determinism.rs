@@ -128,6 +128,35 @@ fn streaming_aggregation_is_bitwise_thread_invariant() {
     std::env::remove_var("RAYON_NUM_THREADS");
 }
 
+/// Telemetry inertness on the thread axis: the same experiment run under
+/// an **active** capture must stay bit-identical to the quiescent run at
+/// every pool width. Workspace builds compile the collector in (the
+/// bench harness enables it); `-p`-scoped builds get the no-op version
+/// and skip this leg.
+#[test]
+fn active_telemetry_capture_is_bitwise_thread_invariant() {
+    if !fedbiad::telemetry::compiled() {
+        eprintln!("telemetry not compiled in; capture leg skipped");
+        return;
+    }
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let quiescent = run_once(2024);
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        fedbiad::telemetry::begin_capture();
+        let captured = run_once(2024);
+        let capture = fedbiad::telemetry::end_capture();
+        assert!(!capture.is_empty(), "capture recorded nothing");
+        assert_logs_bit_identical(
+            &quiescent,
+            &captured,
+            &format!("quiescent vs captured at {threads} thread(s)"),
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
 /// One full discrete-event simulation: FedBuff (the policy with the most
 /// scheduling freedom) on a straggler cohort, FedBIAD as the algorithm
 /// (masked uploads of varying wire size feed back into arrival times).
