@@ -428,6 +428,68 @@ fn aggregation_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) {
     }
 }
 
+/// One full simulated round over a lazily registered million-client
+/// population (10⁵ in smoke mode — the name changes, gate at matching
+/// fidelity). Reference = the legacy `Shuffle` sampler, which is O(K)
+/// per round (it enumerates and shuffles every registered id); batched
+/// = the `Sparse` (Floyd's) sampler, O(cohort). Everything else —
+/// lazy shard derivation, on-demand profiles, tree-reduced streaming
+/// aggregation — is identical on both sides, so the pinned speedup
+/// measures exactly the cost of touching the registered population, and
+/// collapses toward 1.0 if an O(K)-per-round scan creeps back into the
+/// sparse path.
+fn sim_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) {
+    use fedbiad_fl::aggregate::AggSettings;
+    use fedbiad_fl::round::SamplerKind;
+    use fedbiad_fl::runner::ExperimentConfig;
+    use fedbiad_fl::workload::{build_with, PopulationOverride, WorkloadOverrides};
+    use fedbiad_sim::{HeterogeneityProfile, SimConfig, Simulator, SyncBarrier};
+
+    let (clients, label) = if smoke {
+        (100_000usize, "sim/million_round_smoke")
+    } else {
+        (1_000_000usize, "sim/million_round")
+    };
+    let overrides = WorkloadOverrides {
+        population: Some(PopulationOverride {
+            clients,
+            samples_per_client: 60,
+        }),
+        ..Default::default()
+    };
+    let bundle = build_with(Workload::MnistLike, Scale::Smoke, 42, &overrides);
+    let cfg = |sampler: SamplerKind| ExperimentConfig {
+        rounds: 1,
+        client_fraction: 0.1,
+        seed: 42,
+        train: bundle.train,
+        eval_topk: bundle.eval_topk,
+        eval_every: 1,
+        eval_max_samples: 64,
+        agg: AggSettings::sharded_tree(64, 16),
+        cohort: Some(64),
+        sampler,
+    };
+    let run = |sampler: SamplerKind| {
+        let sim_cfg = SimConfig::new(cfg(sampler), HeterogeneityProfile::homogeneous_5g());
+        let report = Simulator::new(
+            bundle.model.as_ref(),
+            &bundle.data,
+            fedbiad_core::baselines::FedAvg::new(),
+            SyncBarrier,
+            sim_cfg,
+        )
+        .run();
+        assert_eq!(report.log.records.len(), 1);
+    };
+    let (r, b) = time_pair_ns(
+        samples,
+        || run(SamplerKind::Shuffle),
+        || run(SamplerKind::Sparse),
+    );
+    out.push(entry(label, r, b));
+}
+
 /// The telemetry zero-overhead contract, as a gate entry: a hot loop of
 /// ~10 ns FNV mixing steps, bare (reference) vs instrumented with
 /// `span!` + `counter!` (batched). The bench harness compiles the
@@ -538,6 +600,7 @@ fn main() {
     kernel_entries(if smoke { samples } else { samples * 8 }, &mut entries);
     local_update_entries(smoke, samples, &mut entries);
     aggregation_entries(smoke, samples, &mut entries);
+    sim_entries(smoke, samples, &mut entries);
     // Sub-ms loop: extra samples are nearly free, minima converge better.
     telemetry_noop_entry(if smoke { samples } else { samples * 8 }, &mut entries);
 

@@ -33,6 +33,8 @@ fn main() {
         eval_every: 2,
         eval_max_samples: cli.eval_max,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
 
     println!("=== Fig. 8 — {} ({} rounds) ===", bundle.data.name, rounds);

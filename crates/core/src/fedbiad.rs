@@ -623,6 +623,7 @@ mod tests {
         let fd = FedDataset {
             name: "toy".into(),
             clients,
+            lazy: None,
             test,
         };
         let cfg = ExperimentConfig {
@@ -639,6 +640,8 @@ mod tests {
             eval_every: 1,
             eval_max_samples: 0,
             agg: Default::default(),
+            cohort: None,
+            sampler: Default::default(),
         };
         let algo = FedBiad::new(FedBiadConfig::paper(0.3, 12));
         let log = Experiment::new(&model, &fd, algo, cfg).run();

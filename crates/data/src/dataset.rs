@@ -1,6 +1,8 @@
 //! Dataset containers: image sets, token streams, and the federated bundle.
 
+use crate::synth_image::LazyClients;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// A labelled image dataset (features flattened row-major).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -119,12 +121,26 @@ impl ClientData {
 
 /// A complete federated benchmark dataset: per-client shards + a held-out
 /// global test set.
+///
+/// Two storage strategies share this container:
+///
+/// * **eager** (`lazy = None`) — every client's shard lives in `clients`,
+///   O(K · samples) memory; the historical layout, unchanged.
+/// * **lazy** (`lazy = Some(..)`) — `clients` is empty and shards are
+///   derived on demand from the generator handle, O(1) memory in K. This
+///   is what lets the simulator register 10^6 clients while holding only
+///   the active cohort.
+///
+/// All consumers go through [`FedDataset::client`] /
+/// [`FedDataset::num_clients`], which dispatch on the strategy.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FedDataset {
     /// Dataset name (for logs), e.g. `"mnist-like"`.
     pub name: String,
-    /// One shard per client.
+    /// One shard per client (empty when `lazy` is set).
     pub clients: Vec<ClientData>,
+    /// On-demand shard generator for huge registered populations.
+    pub lazy: Option<LazyClients>,
     /// Global test set.
     pub test: ClientData,
 }
@@ -132,16 +148,47 @@ pub struct FedDataset {
 impl FedDataset {
     /// Number of clients K.
     pub fn num_clients(&self) -> usize {
-        self.clients.len()
+        match &self.lazy {
+            Some(l) => l.num_clients,
+            None => self.clients.len(),
+        }
     }
 
-    /// min_k |D_k| — the quantity entering m_r in Theorem 1.
+    /// Client `id`'s shard: borrowed from the eager table, or generated
+    /// on demand (bit-identical on every lookup) in lazy mode.
+    pub fn client(&self, id: usize) -> Cow<'_, ClientData> {
+        match &self.lazy {
+            Some(l) => Cow::Owned(l.client_data(id)),
+            None => Cow::Borrowed(&self.clients[id]),
+        }
+    }
+
+    /// min_k |D_k| — the quantity entering m_r in Theorem 1. Analytic in
+    /// lazy mode (every lazy client holds the same sample count).
     pub fn min_client_samples(&self) -> usize {
-        self.clients
-            .iter()
-            .map(ClientData::num_samples)
-            .min()
-            .unwrap_or(0)
+        match &self.lazy {
+            Some(l) => l.samples_per_client,
+            None => self
+                .clients
+                .iter()
+                .map(ClientData::num_samples)
+                .min()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Materialize every shard eagerly — the reference the differential
+    /// tests compare the lazy path against. A no-op copy in eager mode.
+    pub fn materialize(&self) -> FedDataset {
+        match &self.lazy {
+            Some(l) => FedDataset {
+                name: self.name.clone(),
+                clients: (0..l.num_clients).map(|c| l.client_data(c)).collect(),
+                lazy: None,
+                test: self.test.clone(),
+            },
+            None => self.clone(),
+        }
     }
 }
 
@@ -218,9 +265,103 @@ mod tests {
                     dim: 2,
                 }),
             ],
+            lazy: None,
             test: ClientData::Image(ImageSet::empty(2)),
         };
         assert_eq!(fd.num_clients(), 2);
         assert_eq!(fd.min_client_samples(), 2);
+        // Eager accessor borrows (no copy).
+        assert!(matches!(fd.client(1), Cow::Borrowed(_)));
+        assert_eq!(fd.client(1).num_samples(), 5);
+    }
+
+    #[test]
+    fn lazy_dataset_matches_its_materialization() {
+        use crate::synth_image::{LazyClients, SyntheticImageSpec};
+        let spec = SyntheticImageSpec {
+            classes: 4,
+            side: 6,
+            train_n: 0,
+            test_n: 0,
+            prototypes_per_class: 2,
+            bumps: 3,
+            distinctiveness: 0.9,
+            noise: 0.1,
+            shift_max: 1,
+        };
+        let lazy = LazyClients::new(spec, 11, 17, 8);
+        let fd = FedDataset {
+            name: "lazy".into(),
+            clients: Vec::new(),
+            lazy: Some(lazy.clone()),
+            test: lazy.test_set(20),
+        };
+        assert_eq!(fd.num_clients(), 17);
+        assert_eq!(fd.min_client_samples(), 8);
+        // On-demand lookups are owned, deterministic, and agree with the
+        // eager materialization element-wise.
+        let eager = fd.materialize();
+        assert_eq!(eager.num_clients(), 17);
+        assert!(eager.lazy.is_none());
+        for id in [0usize, 7, 16] {
+            let a = fd.client(id);
+            let b = fd.client(id);
+            let e = eager.client(id);
+            match (a.as_ref(), b.as_ref(), e.as_ref()) {
+                (ClientData::Image(x), ClientData::Image(y), ClientData::Image(z)) => {
+                    assert_eq!(x.x, y.x, "lazy lookup not reproducible at {id}");
+                    assert_eq!(x.x, z.x, "materialization diverges at {id}");
+                    assert_eq!(x.y, z.y);
+                }
+                _ => panic!("image data expected"),
+            }
+            assert_eq!(a.num_samples(), 8);
+        }
+        // Distinct clients draw from distinct streams.
+        match (fd.client(0).as_ref(), fd.client(1).as_ref()) {
+            (ClientData::Image(x), ClientData::Image(y)) => assert_ne!(x.x, y.x),
+            _ => panic!("image data expected"),
+        }
+    }
+
+    #[test]
+    fn lazy_dataset_round_trips_through_serde_and_old_json_still_loads() {
+        use crate::synth_image::{LazyClients, SyntheticImageSpec};
+        let spec = SyntheticImageSpec {
+            classes: 2,
+            side: 4,
+            train_n: 0,
+            test_n: 0,
+            prototypes_per_class: 1,
+            bumps: 2,
+            distinctiveness: 0.8,
+            noise: 0.05,
+            shift_max: 0,
+        };
+        let lazy = LazyClients::new(spec, 3, 5, 4);
+        let fd = FedDataset {
+            name: "lazy".into(),
+            clients: Vec::new(),
+            lazy: Some(lazy.clone()),
+            test: lazy.test_set(6),
+        };
+        let s = serde_json::to_string(&fd).unwrap();
+        let back: FedDataset = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.num_clients(), 5);
+        match (fd.client(2).as_ref(), back.client(2).as_ref()) {
+            (ClientData::Image(x), ClientData::Image(y)) => assert_eq!(x.x, y.x),
+            _ => panic!("image data expected"),
+        }
+        // An eager dataset serializes `lazy` as null and round-trips.
+        let eager = FedDataset {
+            name: "t".into(),
+            clients: Vec::new(),
+            lazy: None,
+            test: ClientData::Image(ImageSet::empty(2)),
+        };
+        let s = serde_json::to_string(&eager).unwrap();
+        let old: FedDataset = serde_json::from_str(&s).unwrap();
+        assert!(old.lazy.is_none());
+        assert_eq!(old.num_clients(), 0);
     }
 }

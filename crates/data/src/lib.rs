@@ -27,3 +27,4 @@ pub mod synth_image;
 pub mod synth_text;
 
 pub use dataset::{ClientData, FedDataset, ImageSet, TextSet};
+pub use synth_image::LazyClients;

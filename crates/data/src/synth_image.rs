@@ -11,7 +11,7 @@
 //! * FMNIST-like: low distinctiveness, higher noise → measurably harder
 //!   (low-80s), matching the paper's ordering (Table I: 95% vs 81-83%).
 
-use crate::dataset::ImageSet;
+use crate::dataset::{ClientData, ImageSet};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -90,7 +90,7 @@ impl SyntheticImageSpec {
     }
 
     /// Prototype images per class (blend of shared and class bumps).
-    fn build_prototypes(&self, rng: &mut impl Rng) -> Vec<Vec<Vec<f32>>> {
+    pub(crate) fn build_prototypes(&self, rng: &mut impl Rng) -> Vec<Vec<Vec<f32>>> {
         let dim = self.dim();
         // Shared bumps: one pool reused by every class.
         let shared: Vec<Vec<f32>> = (0..self.prototypes_per_class)
@@ -139,7 +139,12 @@ impl SyntheticImageSpec {
         img
     }
 
-    fn sample_set(&self, n: usize, protos: &[Vec<Vec<f32>>], rng: &mut impl Rng) -> ImageSet {
+    pub(crate) fn sample_set(
+        &self,
+        n: usize,
+        protos: &[Vec<Vec<f32>>],
+        rng: &mut impl Rng,
+    ) -> ImageSet {
         let mut set = ImageSet::empty(self.dim());
         let mut buf = vec![0.0f32; self.dim()];
         for i in 0..n {
@@ -164,6 +169,85 @@ impl SyntheticImageSpec {
             set.push(&buf, class as u32);
         }
         set
+    }
+}
+
+/// Sub-stream of `StreamTag::Data` feeding lazy client `c`'s samples
+/// (the eager `generate` path owns sub-stream 0).
+const LAZY_CLIENT_STREAM: u64 = 1;
+
+/// Sub-stream of `StreamTag::Data` feeding the lazy held-out test set.
+const LAZY_TEST_STREAM: u64 = 2;
+
+/// Lazily generated per-client image shards for huge registered
+/// populations.
+///
+/// The eager path materializes every client's `ClientData` up front —
+/// O(K · samples) memory, which is what caps the simulator at ~10^4
+/// registered clients. `LazyClients` stores only the generator inputs
+/// (spec + seed + the class prototypes, a few kB) and derives any
+/// client's shard on demand from its dedicated RNG stream
+/// `stream(seed, StreamTag::Data, 1, client_id)`, so a lookup costs
+/// O(samples_per_client) and the handle itself is O(1) in K.
+///
+/// Every client holds `samples_per_client` samples with balanced classes
+/// (`class = i % classes` inside the shard), so `num_samples` and
+/// `min_client_samples` are analytic — no enumeration is ever needed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LazyClients {
+    /// Generator parameters shared by every client.
+    pub spec: SyntheticImageSpec,
+    /// Seed feeding the per-client streams.
+    pub seed: u64,
+    /// Registered client count K.
+    pub num_clients: usize,
+    /// Samples per client (constant across clients by construction).
+    pub samples_per_client: usize,
+    /// Class prototypes, built once (classes × prototypes_per_class
+    /// images — kilobytes, not gigabytes).
+    protos: Vec<Vec<Vec<f32>>>,
+}
+
+impl LazyClients {
+    /// Build the shared prototypes and the lazy handle; no per-client
+    /// state is allocated.
+    pub fn new(
+        spec: SyntheticImageSpec,
+        seed: u64,
+        num_clients: usize,
+        samples_per_client: usize,
+    ) -> Self {
+        let mut rng = stream(seed, StreamTag::Data, 0, 0);
+        let protos = spec.build_prototypes(&mut rng);
+        Self {
+            spec,
+            seed,
+            num_clients,
+            samples_per_client,
+            protos,
+        }
+    }
+
+    /// Client `c`'s shard, generated on demand — a pure function of
+    /// (spec, seed, c), so repeated lookups are bit-identical.
+    pub fn client_data(&self, c: usize) -> ClientData {
+        assert!(
+            c < self.num_clients,
+            "client {c} out of range (K = {})",
+            self.num_clients
+        );
+        let mut rng = stream(self.seed, StreamTag::Data, LAZY_CLIENT_STREAM, c as u64);
+        ClientData::Image(
+            self.spec
+                .sample_set(self.samples_per_client, &self.protos, &mut rng),
+        )
+    }
+
+    /// The held-out test set — its own sub-stream, disjoint from every
+    /// client's.
+    pub fn test_set(&self, test_n: usize) -> ClientData {
+        let mut rng = stream(self.seed, StreamTag::Data, LAZY_TEST_STREAM, 0);
+        ClientData::Image(self.spec.sample_set(test_n, &self.protos, &mut rng))
     }
 }
 

@@ -89,6 +89,17 @@ pub struct AggSettings {
     /// Shard size in KiB of f32 parameters (≥ 1). Ignored by the dense
     /// engine.
     pub shard_kb: u32,
+    /// Hierarchical (tree) reduction fan-in for the streaming weights
+    /// path: uploads reduce in groups of `tree_fanin` whose partial sums
+    /// combine in fixed group order, so the per-shard client merge is no
+    /// longer one serial chain over the whole cohort. `0` (default)
+    /// disables the tree. **Changes f32 association**, so unlike the
+    /// engine knobs above this is *not* bit-identical to the serial
+    /// reduction — an explicit opt-in for large cohorts, fed into the
+    /// scenario seed hash when set. Requires `streaming = true`; applies
+    /// to the sync weights path (delta/staleness merges keep the serial
+    /// order). Still deterministic across thread counts.
+    pub tree_fanin: u32,
 }
 
 impl Default for AggSettings {
@@ -96,6 +107,7 @@ impl Default for AggSettings {
         Self {
             streaming: false,
             shard_kb: 64,
+            tree_fanin: 0,
         }
     }
 }
@@ -106,6 +118,16 @@ impl AggSettings {
         Self {
             streaming: true,
             shard_kb,
+            tree_fanin: 0,
+        }
+    }
+
+    /// The streaming engine with hierarchical reduction at `fanin`.
+    pub fn sharded_tree(shard_kb: u32, fanin: u32) -> Self {
+        Self {
+            streaming: true,
+            shard_kb,
+            tree_fanin: fanin,
         }
     }
 
@@ -284,7 +306,19 @@ pub fn aggregate_weights(
 ) -> Result<(), AggError> {
     let total_w = validate(uploads, UploadKind::Weights)?;
     if settings.streaming {
-        streaming::weights(global, uploads, mode, total_w, settings.shard_elems())
+        let fanin = settings.tree_fanin as usize;
+        if fanin >= 2 && uploads.len() > fanin {
+            streaming::weights_tree(
+                global,
+                uploads,
+                mode,
+                total_w,
+                settings.shard_elems(),
+                fanin,
+            )
+        } else {
+            streaming::weights(global, uploads, mode, total_w, settings.shard_elems())
+        }
     } else {
         dense::weights(global, uploads, mode, total_w)
     }
@@ -399,6 +433,7 @@ mod tests {
     const DENSE: AggSettings = AggSettings {
         streaming: false,
         shard_kb: 64,
+        tree_fanin: 0,
     };
 
     #[test]
@@ -479,6 +514,66 @@ mod tests {
             assert_eq!(g.mat(0).get(0, 0), 5.0, "{mode:?}");
             assert_eq!(g.bias(0)[0], 5.0);
         }
+    }
+
+    #[test]
+    fn tree_reduction_matches_serial_streaming_and_is_deterministic() {
+        // 7 uploads with mixed masks and distinct weights; fanin 2 gives
+        // four groups, so both the grouped phase and the ragged tail are
+        // exercised. The tree changes only the f32 association of the
+        // numerator sum, so results must agree to round-off (and the tree
+        // itself must be bit-stable across repeated runs).
+        let ups: Vec<Upload> = (0..7)
+            .map(|i| {
+                let v = 0.7 * (i as f32 + 1.0);
+                masked_upload(v, [i % 2 == 0, i % 3 != 0])
+            })
+            .collect();
+        let weighted: Vec<(f32, &Upload)> = ups
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (1.0 + i as f32, u))
+            .collect();
+        for mode in [
+            ZeroMode::ZerosPull,
+            ZeroMode::HoldersOnly,
+            ZeroMode::StaleFill,
+        ] {
+            let mut serial = param(2.0);
+            aggregate_weights(&mut serial, &weighted, mode, AggSettings::sharded(1)).unwrap();
+            let mut tree = param(2.0);
+            aggregate_weights(&mut tree, &weighted, mode, AggSettings::sharded_tree(1, 2)).unwrap();
+            let (s, t) = (serial.flatten(), tree.flatten());
+            for (i, (a, b)) in s.iter().zip(&t).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                    "{mode:?} elem {i}: serial {a} vs tree {b}"
+                );
+            }
+            let mut tree2 = param(2.0);
+            aggregate_weights(&mut tree2, &weighted, mode, AggSettings::sharded_tree(1, 2))
+                .unwrap();
+            assert_eq!(t, tree2.flatten(), "{mode:?}: tree must be bit-stable");
+        }
+        // fanin above the cohort size falls back to the serial reducer —
+        // bit-identical, not merely close.
+        let mut serial = param(2.0);
+        aggregate_weights(
+            &mut serial,
+            &weighted,
+            ZeroMode::StaleFill,
+            AggSettings::sharded(1),
+        )
+        .unwrap();
+        let mut wide = param(2.0);
+        aggregate_weights(
+            &mut wide,
+            &weighted,
+            ZeroMode::StaleFill,
+            AggSettings::sharded_tree(1, 64),
+        )
+        .unwrap();
+        assert_eq!(serial.flatten(), wide.flatten());
     }
 
     #[test]

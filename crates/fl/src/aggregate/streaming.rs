@@ -673,9 +673,6 @@ pub(super) fn weights(
         .map(|v| KeptMeta::of(&v.masks, &layout))
         .collect();
     let need_den = mode != ZeroMode::ZerosPull;
-    // The dense reference divides matrix elements by multiplying with a
-    // precomputed 1/W but divides biases directly — replicate both.
-    let inv_w = 1.0f32 / total_w;
 
     // Row-granular coverage (`Full`/`Rows` masks — the FedBIAD dropout
     // shape) makes the denominator *row-constant* per client, so no den
@@ -716,35 +713,228 @@ pub(super) fn weights(
                 t.kept,
             );
         }
-        match mode {
-            ZeroMode::ZerosPull => {
-                // Matrix elements: num·(1/W); biases: num/W — exactly the
-                // dense reference's two expressions, applied per maximal
-                // matrix/bias section run.
-                for_each_section_range(&layout, t.start, len, &mut |lo, hi, is_bias| {
-                    if is_bias {
-                        ops::div_scalar_into(&t.num[lo..hi], total_w, &mut t.g[lo..hi]);
-                    } else {
-                        ops::scale_into(&t.num[lo..hi], inv_w, &mut t.g[lo..hi]);
-                    }
-                });
-            }
-            // den = 0 keeps the previous global value.
-            ZeroMode::HoldersOnly if fast_den => {
-                for_each_row_extent(&layout, t.start, len, &mut |lo, hi, e, r| {
-                    let d = row_weight(uploads, &views, e, r);
-                    ops::holders_combine_scalar(&t.num[lo..hi], d, &mut t.g[lo..hi]);
-                });
-            }
-            ZeroMode::HoldersOnly => ops::holders_combine(t.num, t.den, t.g),
-            ZeroMode::StaleFill if fast_den => {
-                for_each_row_extent(&layout, t.start, len, &mut |lo, hi, e, r| {
-                    let d = row_weight(uploads, &views, e, r);
-                    ops::stale_fill_combine_scalar(&t.num[lo..hi], d, total_w, &mut t.g[lo..hi]);
-                });
-            }
-            ZeroMode::StaleFill => ops::stale_fill_combine(t.num, t.den, total_w, t.g),
+        combine_mode(
+            mode, fast_den, &layout, uploads, &views, total_w, t.start, t.num, t.den, t.g,
+        );
+    });
+    Ok(())
+}
+
+/// Apply one shard's [`ZeroMode`] combine — shared verbatim by the serial
+/// reduction above and the tree reduction in [`weights_tree`], so the two
+/// paths can never drift in the combine expressions (only the numerator
+/// *association* differs between them).
+#[allow(clippy::too_many_arguments)]
+fn combine_mode(
+    mode: ZeroMode,
+    fast_den: bool,
+    layout: &FlatLayout,
+    uploads: &[(f32, &Upload)],
+    views: &[WireView<'_>],
+    total_w: f32,
+    start: usize,
+    num: &[f32],
+    den: &[f32],
+    g: &mut [f32],
+) {
+    let len = g.len();
+    let inv_w = 1.0f32 / total_w;
+    match mode {
+        ZeroMode::ZerosPull => {
+            // Matrix elements: num·(1/W); biases: num/W — exactly the
+            // dense reference's two expressions, applied per maximal
+            // matrix/bias section run.
+            for_each_section_range(layout, start, len, &mut |lo, hi, is_bias| {
+                if is_bias {
+                    ops::div_scalar_into(&num[lo..hi], total_w, &mut g[lo..hi]);
+                } else {
+                    ops::scale_into(&num[lo..hi], inv_w, &mut g[lo..hi]);
+                }
+            });
         }
+        // den = 0 keeps the previous global value.
+        ZeroMode::HoldersOnly if fast_den => {
+            for_each_row_extent(layout, start, len, &mut |lo, hi, e, r| {
+                let d = row_weight(uploads, views, e, r);
+                ops::holders_combine_scalar(&num[lo..hi], d, &mut g[lo..hi]);
+            });
+        }
+        ZeroMode::HoldersOnly => ops::holders_combine(num, den, g),
+        ZeroMode::StaleFill if fast_den => {
+            for_each_row_extent(layout, start, len, &mut |lo, hi, e, r| {
+                let d = row_weight(uploads, views, e, r);
+                ops::stale_fill_combine_scalar(&num[lo..hi], d, total_w, &mut g[lo..hi]);
+            });
+        }
+        ZeroMode::StaleFill => ops::stale_fill_combine(num, den, total_w, g),
+    }
+}
+
+/// Hierarchical (tree) reduction for the sync weights path: uploads
+/// reduce in fixed groups of `fanin`, and each shard folds the group
+/// partials in ascending group order before the shared [`combine_mode`]
+/// step. Phase 1 parallelises over (group × shard) — the cohort axis as
+/// well as the shard axis — so a large cohort is no longer one serial
+/// merge chain per shard.
+///
+/// Changes the f32 numerator *association* (an explicit opt-in; see
+/// `AggSettings::tree_fanin`) but stays deterministic across thread
+/// counts: every partial is a pure function of its group's uploads, and
+/// the phase-2 fold walks groups in fixed order.
+///
+/// Memory: O(⌈cohort/fanin⌉ · model) for the partials — between the
+/// dense engine's O(cohort · model) and the serial streaming path's
+/// O(model); `fanin` trades merge parallelism against partial memory.
+pub(super) fn weights_tree(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    mode: ZeroMode,
+    total_w: f32,
+    shard_elems: usize,
+    fanin: usize,
+) -> Result<(), AggError> {
+    let layout = FlatLayout::of(global);
+    let msgs: Vec<PreparedMsg> = uploads.iter().map(|(_, u)| prepare_msg(u)).collect();
+    let mut views = Vec::with_capacity(msgs.len());
+    for (i, (m, (_, u))) in msgs.iter().zip(uploads).enumerate() {
+        let _client_span = span!("agg.client", client = i);
+        counter!("agg.decode_bytes", m.get().as_bytes().len());
+        let v = m.get().view(global)?;
+        check_kind(&v, u.kind)?;
+        views.push(v);
+    }
+    let kmetas: Vec<KeptMeta> = views
+        .iter()
+        .map(|v| KeptMeta::of(&v.masks, &layout))
+        .collect();
+    let need_den = mode != ZeroMode::ZerosPull;
+    let row_granular = views.iter().all(|v| {
+        v.masks
+            .iter()
+            .all(|m| matches!(m, CoverageMask::Full | CoverageMask::Rows(_)))
+    });
+    let fast_den = need_den && row_granular;
+    let per_client_den = need_den && !fast_den;
+
+    let total = global.total_params();
+    let se = shard_elems.max(1);
+    let fanin = fanin.max(2);
+    let groups: Vec<(usize, usize)> = (0..uploads.len())
+        .step_by(fanin)
+        .map(|lo| (lo, (lo + fanin).min(uploads.len())))
+        .collect();
+    let rows = groups.len();
+
+    // Partial buffers: one model-sized row per group (checked out of the
+    // arena like every other data-sized buffer, so steady-state rounds
+    // with a fixed cohort/fanin allocate nothing).
+    let (mut gflat, mut pnum, mut pden, mut pkept) = ARENA.with(|arena| {
+        let mut a = arena.borrow_mut();
+        (
+            a.take(total),
+            a.take(rows * total),
+            a.take(if per_client_den { rows * total } else { 0 }),
+            a.take(rows * total),
+        )
+    });
+    global.copy_flat_range(0, &mut gflat);
+
+    // Phase 1: one task per (group, shard); disjoint `&mut` partial
+    // slices, so tasks are order-independent and thread-count cannot
+    // affect their contents.
+    struct TreeTask<'a> {
+        lo: usize,
+        hi: usize,
+        start: usize,
+        pnum: &'a mut [f32],
+        pden: &'a mut [f32],
+        pkept: &'a mut [f32],
+    }
+    let mut tasks: Vec<TreeTask> = Vec::with_capacity(rows * total.div_ceil(se));
+    {
+        let mut pnum_rows = pnum.chunks_mut(total);
+        let mut pden_rows = pden.chunks_mut(total);
+        let mut pkept_rows = pkept.chunks_mut(total);
+        for &(lo, hi) in &groups {
+            let nrow = pnum_rows.next().expect("partial row");
+            let drow = pden_rows.next().unwrap_or_default();
+            let krow = pkept_rows.next().expect("scratch row");
+            let mut nchunks = nrow.chunks_mut(se);
+            let mut dchunks = drow.chunks_mut(se);
+            let mut kchunks = krow.chunks_mut(se);
+            let mut start = 0usize;
+            while start < total {
+                tasks.push(TreeTask {
+                    lo,
+                    hi,
+                    start,
+                    pnum: nchunks.next().expect("chunk"),
+                    pden: dchunks.next().unwrap_or_default(),
+                    pkept: kchunks.next().expect("chunk"),
+                });
+                start += se;
+            }
+        }
+    }
+    counter!("agg.tree_partials", tasks.len());
+    tasks.par_iter_mut().for_each(|t| {
+        let _span = span!("agg.tree_partial", group = t.lo, shard = t.start / se);
+        let len = t.pnum.len();
+        // `Workspace::take` hands out zero-filled buffers, but rows may
+        // be recycled within one process lifetime — clear explicitly.
+        t.pnum.fill(0.0);
+        t.pden.fill(0.0);
+        for i in t.lo..t.hi {
+            let (w, _) = uploads[i];
+            accumulate_weights_shard(
+                &views[i],
+                &kmetas[i],
+                &layout,
+                t.start,
+                len,
+                w,
+                &gflat[t.start..t.start + len],
+                t.pnum,
+                per_client_den.then_some(&mut *t.pden),
+                t.pkept,
+            );
+        }
+    });
+    drop(tasks);
+
+    // Phase 2: per shard, fold the group partials in ascending group
+    // order, then apply the shared ZeroMode combine.
+    let needs = Needs {
+        num: true,
+        den: per_client_den,
+        vals: false,
+        kept: false,
+        snap: false,
+    };
+    let pnum_ref = &pnum;
+    let pden_ref = &pden;
+    with_shards(global, shard_elems, needs, |t| {
+        let len = t.g.len();
+        t.num.fill(0.0);
+        t.den.fill(0.0);
+        for ci in 0..rows {
+            let off = ci * total + t.start;
+            ops::axpy(1.0, &pnum_ref[off..off + len], t.num);
+            if per_client_den {
+                ops::axpy(1.0, &pden_ref[off..off + len], t.den);
+            }
+        }
+        combine_mode(
+            mode, fast_den, &layout, uploads, &views, total_w, t.start, t.num, t.den, t.g,
+        );
+    });
+
+    ARENA.with(|arena| {
+        let mut a = arena.borrow_mut();
+        a.give(gflat);
+        a.give(pnum);
+        a.give(pden);
+        a.give(pkept);
     });
     Ok(())
 }

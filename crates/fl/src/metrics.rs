@@ -27,23 +27,34 @@ pub struct RoundRecord {
     pub local_seconds_max: f64,
     /// Server aggregation seconds.
     pub agg_seconds: f64,
-    /// Process peak resident-set size when the round finished, in bytes
-    /// (`VmHWM` from `/proc/self/status`; 0 on non-Linux platforms).
-    /// Observability only: like the wall-clock fields, it is excluded
-    /// from determinism digests and cross-run comparisons.
+    /// **Process-lifetime** peak resident-set size when the round
+    /// finished, in bytes (`VmHWM` from `/proc/self/status`; 0 on
+    /// non-Linux platforms). A high-water mark: monotone across rounds
+    /// and *not* attributable to this round — an allocation spike
+    /// anywhere earlier in the process keeps it elevated forever. Use
+    /// [`RoundRecord::rss_bytes`] for what this round actually held.
+    /// Observability only: like the wall-clock fields, both RSS fields
+    /// are excluded from determinism digests and cross-run comparisons.
     pub peak_rss_bytes: u64,
+    /// **Current** resident-set size when the round finished, in bytes
+    /// (`VmRSS` from `/proc/self/status`; 0 on non-Linux platforms).
+    /// Unlike the high-water mark this rises *and falls*, so per-round
+    /// deltas reflect what the round itself retained. Excluded from
+    /// digests.
+    pub rss_bytes: u64,
 }
 
-/// Process peak resident-set size in bytes: `VmHWM` from
-/// `/proc/self/status` on Linux, 0 on platforms without procfs. A
-/// high-water mark, so it is monotone over the life of the process.
-pub fn peak_rss_bytes() -> u64 {
+/// Parse one `kB` field of `/proc/self/status` (e.g. `"VmHWM:"`),
+/// returning bytes; 0 when the field is absent or the platform has no
+/// procfs.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn proc_status_bytes(prefix: &str) -> u64 {
     #[cfg(target_os = "linux")]
     {
         if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
             for line in status.lines() {
                 // Format: "VmHWM:      123456 kB"
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                if let Some(rest) = line.strip_prefix(prefix) {
                     let kb: u64 = rest
                         .trim()
                         .trim_end_matches("kB")
@@ -58,8 +69,26 @@ pub fn peak_rss_bytes() -> u64 {
     }
     #[cfg(not(target_os = "linux"))]
     {
+        let _ = prefix;
         0
     }
+}
+
+/// Process-lifetime peak resident-set size in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, 0 on platforms without procfs. A
+/// high-water mark — monotone over the life of the process, so it can
+/// only bound memory use from above; it never shows a later phase using
+/// *less*. Pair with [`current_rss_bytes`] when attribution matters.
+pub fn peak_rss_bytes() -> u64 {
+    proc_status_bytes("VmHWM:")
+}
+
+/// Current resident-set size in bytes: `VmRSS` from `/proc/self/status`
+/// on Linux, 0 on platforms without procfs. Rises and falls with live
+/// allocations, so deltas between two samples attribute memory to the
+/// work between them.
+pub fn current_rss_bytes() -> u64 {
+    proc_status_bytes("VmRSS:")
 }
 
 /// A complete experiment log.
@@ -148,6 +177,7 @@ mod tests {
             local_seconds_max: 0.6,
             agg_seconds: 0.01,
             peak_rss_bytes: 0,
+            rss_bytes: 0,
         }
     }
 
@@ -195,6 +225,20 @@ mod tests {
         std::hint::black_box(&v);
         let b = peak_rss_bytes();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn current_rss_is_positive_and_bounded_by_the_peak() {
+        let cur = current_rss_bytes();
+        let peak = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(cur > 0, "VmRSS should be readable on Linux");
+            // The defining difference from the high-water mark: current
+            // can never exceed it.
+            assert!(cur <= peak, "VmRSS {cur} above VmHWM {peak}");
+        } else {
+            assert_eq!(cur, 0);
+        }
     }
 
     #[test]

@@ -17,11 +17,97 @@ use fedbiad_nn::{Batch, EvalAccum, Model, ParamSet};
 use fedbiad_telemetry::span;
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::seq::SliceRandom;
+use rand::Rng;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 
-/// Number of clients selected per round: `max(⌊κK⌋, 1)` (Algorithm 1).
+/// Number of clients selected per round: `max(⌊κK⌋, 1)`, clamped to K
+/// (Algorithm 1).
+///
+/// The product is computed in f64: at million-client scale the old
+/// `fraction * num_clients as f32` product could land one ulp below the
+/// exact value and floor a client short (f32 resolves only ~0.008 at
+/// 10^5, ~0.06 at 10^6), and nothing clamped the result to K. Because
+/// `fraction` itself arrives through f32, a mathematically integral κK
+/// can still sit half an ulp below its integer (64 × 10⁻⁶ quantizes to
+/// 6.3999998…e-5, so κK = 63.99999983…), so anything within the f32
+/// half-ulp band of an integer is credited before flooring.
 pub fn cohort_size(num_clients: usize, fraction: f32) -> usize {
-    ((fraction * num_clients as f32).floor() as usize).max(1)
+    let x = fraction as f64 * num_clients as f64;
+    let half_ulp = x * (f32::EPSILON as f64) * 0.5;
+    let c = (x + half_ulp).floor() as usize;
+    c.clamp(1, num_clients.max(1))
+}
+
+/// Why a cohort could not be resolved ([`resolve_cohort`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CohortError {
+    /// The dataset registers no clients at all.
+    NoClients,
+    /// An explicit cohort override of zero was requested.
+    ZeroCohort,
+    /// An explicit cohort override exceeds the registered population.
+    CohortExceedsClients {
+        /// The requested cohort.
+        cohort: usize,
+        /// Registered clients K.
+        num_clients: usize,
+    },
+}
+
+impl std::fmt::Display for CohortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CohortError::NoClients => write!(f, "no clients registered"),
+            CohortError::ZeroCohort => write!(f, "cohort size must be at least 1"),
+            CohortError::CohortExceedsClients {
+                cohort,
+                num_clients,
+            } => write!(
+                f,
+                "cohort {cohort} exceeds the registered population K = {num_clients}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CohortError {}
+
+/// Resolve the per-round cohort: an explicit override wins over
+/// `⌊κK⌋`; both paths reject the degenerate regimes as structured
+/// errors instead of panicking deep inside a million-client run.
+pub fn resolve_cohort(
+    num_clients: usize,
+    fraction: f32,
+    explicit: Option<usize>,
+) -> Result<usize, CohortError> {
+    if num_clients == 0 {
+        return Err(CohortError::NoClients);
+    }
+    match explicit {
+        Some(0) => Err(CohortError::ZeroCohort),
+        Some(c) if c > num_clients => Err(CohortError::CohortExceedsClients {
+            cohort: c,
+            num_clients,
+        }),
+        Some(c) => Ok(c),
+        None => Ok(cohort_size(num_clients, fraction)),
+    }
+}
+
+/// How the per-round cohort is drawn from the registered population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// Shuffle all K ids and truncate — O(K) time and memory per round.
+    /// The legacy sampler, pinned by the golden digests.
+    #[default]
+    Shuffle,
+    /// Floyd's uniform sampling — O(cohort) time and memory, independent
+    /// of K. Same distribution, different draw sequence, so cohorts
+    /// differ bit-wise from `Shuffle`: an explicit opt-in for huge
+    /// registered populations.
+    Sparse,
 }
 
 /// Uniform-without-replacement client selection for `round`, returned in
@@ -35,23 +121,71 @@ pub fn sample_clients(seed: u64, round: usize, num_clients: usize, cohort: usize
     ids
 }
 
+/// Floyd's algorithm: a uniform `cohort`-subset of `0..num_clients` in
+/// O(cohort) time and memory — the registered population is never
+/// enumerated. Ascending id order, like [`sample_clients`].
+pub fn sample_clients_sparse(
+    seed: u64,
+    round: usize,
+    num_clients: usize,
+    cohort: usize,
+) -> Vec<usize> {
+    let cohort = cohort.min(num_clients);
+    let mut srng = stream(seed, StreamTag::ClientSampling, round as u64, 0);
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(cohort);
+    for j in (num_clients - cohort)..num_clients {
+        let t = srng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut ids: Vec<usize> = chosen.into_iter().collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Dispatch on [`SamplerKind`].
+pub fn sample_clients_with(
+    kind: SamplerKind,
+    seed: u64,
+    round: usize,
+    num_clients: usize,
+    cohort: usize,
+) -> Vec<usize> {
+    match kind {
+        SamplerKind::Shuffle => sample_clients(seed, round, num_clients, cohort),
+        SamplerKind::Sparse => sample_clients_sparse(seed, round, num_clients, cohort),
+    }
+}
+
 /// Per-client persistent state table. States are *checked out* for the
 /// duration of a client's local work (so rayon workers — or in-flight
 /// simulated clients — hold disjoint `&mut` access) and restored after.
+///
+/// Keyed by client id: only clients that have actually participated hold
+/// an entry, so memory is O(touched clients), not O(K registered). Access
+/// is strictly keyed (never iterated), so the switch from the historical
+/// `Vec<Option<_>>` cannot reorder anything — checkout/restore sequences
+/// are bit-identical.
 pub struct ClientStates<A: FlAlgorithm> {
-    slots: Vec<Option<A::ClientState>>,
+    slots: HashMap<usize, A::ClientState>,
+}
+
+impl<A: FlAlgorithm> Default for ClientStates<A> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<A: FlAlgorithm> ClientStates<A> {
-    /// Empty table for `num_clients` clients (states are created lazily).
-    pub fn new(num_clients: usize) -> Self {
+    /// Empty table (states are created lazily on first checkout).
+    pub fn new() -> Self {
         Self {
-            slots: (0..num_clients).map(|_| None).collect(),
+            slots: HashMap::new(),
         }
     }
 
     /// Check out the states of `ids`, initialising first-time clients.
-    /// Panics if any id is already checked out.
     pub fn checkout(
         &mut self,
         ids: &[usize],
@@ -61,8 +195,9 @@ impl<A: FlAlgorithm> ClientStates<A> {
     ) -> Vec<(usize, A::ClientState)> {
         ids.iter()
             .map(|&id| {
-                let st = self.slots[id]
-                    .take()
+                let st = self
+                    .slots
+                    .remove(&id)
                     .unwrap_or_else(|| algo.init_client_state(id, model, global));
                 (id, st)
             })
@@ -72,7 +207,7 @@ impl<A: FlAlgorithm> ClientStates<A> {
     /// Return checked-out states to the table.
     pub fn restore(&mut self, work: Vec<(usize, A::ClientState)>) {
         for (id, st) in work {
-            self.slots[id] = Some(st);
+            self.slots.insert(id, st);
         }
     }
 }
@@ -96,16 +231,11 @@ pub fn run_local_updates<A: FlAlgorithm>(
         .map(|(id, st)| {
             let _client_span = span!("train.client", client = *id);
             let sw = Stopwatch::start();
-            let mut res = algo.local_update(
-                info,
-                rctx,
-                *id,
-                st,
-                global,
-                &data.clients[*id],
-                model,
-                train,
-            );
+            // Borrowed from the eager table, or generated on demand in
+            // lazy mode — either way dropped when the client finishes,
+            // so resident data stays O(cohort).
+            let shard = data.client(*id);
+            let mut res = algo.local_update(info, rctx, *id, st, global, &shard, model, train);
             // LTTR includes everything the client computed this round
             // (pattern search, score updates, compression).
             res.local_seconds = sw.seconds();
@@ -265,6 +395,63 @@ mod tests {
         assert_eq!(cohort_size(100, 0.1), 10);
         assert_eq!(cohort_size(9, 0.1), 1); // ⌊0.9⌋ = 0 → 1
         assert_eq!(cohort_size(25, 0.5), 12);
+    }
+
+    #[test]
+    fn cohort_size_is_exact_and_clamped_at_million_scale() {
+        // 64/10^6 as f32 is 6.4000001e-5; the old f32 product floored to
+        // 63 at K = 10^6. f64 keeps the product above 64.
+        assert_eq!(cohort_size(1_000_000, 64e-6), 64);
+        assert_eq!(cohort_size(1_000_000, 0.1), 100_000);
+        // fraction = 1 must never exceed K, nor can rounding push past it.
+        assert_eq!(cohort_size(1_000_000, 1.0), 1_000_000);
+        assert_eq!(cohort_size(3, 1.0), 3);
+    }
+
+    #[test]
+    fn resolve_cohort_rejects_degenerate_regimes() {
+        assert_eq!(resolve_cohort(0, 0.1, None), Err(CohortError::NoClients));
+        assert_eq!(
+            resolve_cohort(10, 0.1, Some(0)),
+            Err(CohortError::ZeroCohort)
+        );
+        assert_eq!(
+            resolve_cohort(10, 0.1, Some(11)),
+            Err(CohortError::CohortExceedsClients {
+                cohort: 11,
+                num_clients: 10
+            })
+        );
+        // Boundaries: 1, K, and the implicit ⌊κK⌋ path.
+        assert_eq!(resolve_cohort(10, 0.1, Some(1)), Ok(1));
+        assert_eq!(resolve_cohort(10, 0.1, Some(10)), Ok(10));
+        assert_eq!(resolve_cohort(1_000_000, 64e-6, None), Ok(64));
+        let msg = resolve_cohort(10, 0.1, Some(11)).unwrap_err().to_string();
+        assert!(msg.contains("cohort 11") && msg.contains("K = 10"), "{msg}");
+    }
+
+    #[test]
+    fn sparse_sampling_is_sorted_unique_deterministic_and_o_cohort() {
+        let a = sample_clients_sparse(7, 3, 1_000_000, 64);
+        let b = sample_clients_sparse(7, 3, 1_000_000, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "{a:?}");
+        assert!(a.iter().all(|&id| id < 1_000_000));
+        let c = sample_clients_sparse(7, 4, 1_000_000, 64);
+        assert_ne!(a, c, "different rounds should differ");
+        // Full-population edge: cohort = K yields exactly 0..K.
+        let all = sample_clients_sparse(7, 0, 5, 5);
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sampler_kinds_draw_the_same_cohort_sizes() {
+        for kind in [SamplerKind::Shuffle, SamplerKind::Sparse] {
+            let ids = sample_clients_with(kind, 3, 1, 50, 10);
+            assert_eq!(ids.len(), 10, "{kind:?}");
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]

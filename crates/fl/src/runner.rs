@@ -12,10 +12,10 @@
 
 use crate::aggregate::AggSettings;
 use crate::algorithm::{FlAlgorithm, RoundInfo, TrainConfig};
-use crate::metrics::{peak_rss_bytes, ExperimentLog, RoundRecord};
+use crate::metrics::{current_rss_bytes, peak_rss_bytes, ExperimentLog, RoundRecord};
 use crate::round::{
-    cohort_size, eval_due, eval_or_carry, run_local_updates, sample_clients, summarize_results,
-    ClientStates,
+    eval_due, eval_or_carry, resolve_cohort, run_local_updates, sample_clients_with,
+    summarize_results, ClientStates, CohortError, SamplerKind,
 };
 use crate::timing::Stopwatch;
 use fedbiad_data::FedDataset;
@@ -47,6 +47,13 @@ pub struct ExperimentConfig {
     /// Aggregation-engine selection (dense reference vs sharded
     /// streaming). Bit-identical either way; a pure execution knob.
     pub agg: AggSettings,
+    /// Explicit per-round cohort size; overrides `⌊κK⌋` when set.
+    /// Validated against K at startup ([`CohortError`]).
+    pub cohort: Option<usize>,
+    /// How the cohort is drawn. `Shuffle` (default) is the legacy O(K)
+    /// sampler pinned by the golden digests; `Sparse` is the O(cohort)
+    /// sampler for huge registered populations.
+    pub sampler: SamplerKind,
 }
 
 impl Default for ExperimentConfig {
@@ -60,6 +67,8 @@ impl Default for ExperimentConfig {
             eval_every: 1,
             eval_max_samples: 0,
             agg: AggSettings::default(),
+            cohort: None,
+            sampler: SamplerKind::Shuffle,
         }
     }
 }
@@ -106,15 +115,23 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
         }
     }
 
-    /// Run all rounds and return the log.
-    pub fn run(mut self) -> ExperimentLog {
+    /// Run all rounds and return the log. Panics on a degenerate cohort
+    /// configuration; use [`Experiment::try_run`] for the structured
+    /// error.
+    pub fn run(self) -> ExperimentLog {
+        self.try_run().expect("cohort configuration invalid")
+    }
+
+    /// Run all rounds, rejecting degenerate cohort configurations
+    /// (no clients, zero cohort, cohort > K) up front as a
+    /// [`CohortError`] instead of panicking mid-run.
+    pub fn try_run(mut self) -> Result<ExperimentLog, CohortError> {
         let k = self.data.num_clients();
-        assert!(k > 0, "no clients");
-        let c = cohort_size(k, self.cfg.client_fraction);
+        let c = resolve_cohort(k, self.cfg.client_fraction, self.cfg.cohort)?;
 
         let mut init_rng = stream(self.cfg.seed, StreamTag::Init, 0, 0);
         let mut global = self.model.init_params(&mut init_rng);
-        let mut states = ClientStates::<A>::new(k);
+        let mut states = ClientStates::<A>::new();
 
         let mut records: Vec<RoundRecord> = Vec::with_capacity(self.cfg.rounds);
         for round in 0..self.cfg.rounds {
@@ -129,7 +146,7 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             // --- client sampling (uniform without replacement) ---
             let ids = {
                 let _stage = span!("round.select", cohort = c);
-                sample_clients(self.cfg.seed, round, k, c)
+                sample_clients_with(self.cfg.sampler, self.cfg.seed, round, k, c)
             };
 
             let rctx = self.algo.begin_round(info, &global);
@@ -202,15 +219,16 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
                 local_seconds_max: stats.local_seconds_max,
                 agg_seconds,
                 peak_rss_bytes: peak_rss_bytes(),
+                rss_bytes: current_rss_bytes(),
             });
         }
 
-        ExperimentLog {
+        Ok(ExperimentLog {
             dataset: self.data.name.clone(),
             method: self.algo.name(),
             seed: self.cfg.seed,
             records,
-        }
+        })
     }
 }
 #[cfg(test)]
@@ -309,6 +327,7 @@ mod tests {
         let fd = FedDataset {
             name: "tiny".into(),
             clients: shards.into_iter().map(ClientData::Image).collect(),
+            lazy: None,
             test: ClientData::Image(test),
         };
         (fd, MlpModel::new(36, 12, 4))
@@ -331,6 +350,8 @@ mod tests {
             eval_every: 1,
             eval_max_samples: 0,
             agg: Default::default(),
+            cohort: None,
+            sampler: SamplerKind::Shuffle,
         };
         let log = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
         assert_eq!(log.records.len(), 12);
@@ -365,12 +386,74 @@ mod tests {
             eval_every: 1,
             eval_max_samples: 0,
             agg: Default::default(),
+            cohort: None,
+            sampler: SamplerKind::Shuffle,
         };
         let a = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
         let b = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
         for (ra, rb) in a.records.iter().zip(&b.records) {
             assert_eq!(ra.test_acc, rb.test_acc);
             assert_eq!(ra.train_loss, rb.train_loss);
+        }
+    }
+
+    #[test]
+    fn try_run_rejects_degenerate_cohorts_with_structured_errors() {
+        let (fd, model) = tiny_fed_dataset(3);
+        let mk = |cohort| ExperimentConfig {
+            rounds: 1,
+            client_fraction: 0.5,
+            cohort,
+            ..Default::default()
+        };
+        // Override above K = 6 is an error, not an index panic mid-round.
+        let err = Experiment::new(&model, &fd, MiniFedAvg, mk(Some(7)))
+            .try_run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CohortError::CohortExceedsClients {
+                cohort: 7,
+                num_clients: 6
+            }
+        );
+        assert_eq!(
+            Experiment::new(&model, &fd, MiniFedAvg, mk(Some(0)))
+                .try_run()
+                .unwrap_err(),
+            CohortError::ZeroCohort
+        );
+        // A valid override really drives the cohort: full participation.
+        let log = Experiment::new(&model, &fd, MiniFedAvg, mk(Some(6)))
+            .try_run()
+            .unwrap();
+        assert_eq!(log.records.len(), 1);
+    }
+
+    #[test]
+    fn sparse_sampler_runs_and_matches_shuffle_statistically() {
+        // Same seed, both samplers: results differ bit-wise (different
+        // draw sequences) but both train successfully on the same data.
+        let (fd, model) = tiny_fed_dataset(29);
+        let mk = |sampler| ExperimentConfig {
+            rounds: 3,
+            client_fraction: 0.5,
+            seed: 29,
+            train: TrainConfig {
+                local_iters: 3,
+                batch_size: 8,
+                lr: 0.2,
+                ..Default::default()
+            },
+            eval_max_samples: 0,
+            sampler,
+            ..Default::default()
+        };
+        let a = Experiment::new(&model, &fd, MiniFedAvg, mk(SamplerKind::Sparse)).run();
+        let b = Experiment::new(&model, &fd, MiniFedAvg, mk(SamplerKind::Sparse)).run();
+        assert_eq!(a.records.len(), 3);
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.test_acc, rb.test_acc, "sparse sampler not deterministic");
         }
     }
 

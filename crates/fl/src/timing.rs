@@ -92,6 +92,7 @@ mod tests {
             local_seconds_max: local,
             agg_seconds: 0.0,
             peak_rss_bytes: 0,
+            rss_bytes: 0,
         }
     }
 

@@ -202,6 +202,7 @@ mod tests {
         let agg = AggSettings {
             streaming: true,
             shard_kb: 64,
+            tree_fanin: 0,
         };
         let u = Upload::masked_weights_with(p.clone(), mask.clone(), agg);
         let msg = u.wire_msg().expect("wire body under streaming");
@@ -220,6 +221,7 @@ mod tests {
         let agg = AggSettings {
             streaming: true,
             shard_kb: 1,
+            tree_fanin: 0,
         };
         let u = Upload::full_weights_with(p, agg);
         let _ = u.params();

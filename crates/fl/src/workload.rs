@@ -12,7 +12,7 @@ use fedbiad_data::dataset::{ClientData, FedDataset};
 use fedbiad_data::partition::{
     partition_images, partition_text_contiguous, reddit_user_sizes, ImagePartition,
 };
-use fedbiad_data::synth_image::SyntheticImageSpec;
+use fedbiad_data::synth_image::{LazyClients, SyntheticImageSpec};
 use fedbiad_data::synth_text::SyntheticTextSpec;
 use fedbiad_nn::lstm_lm::LstmLmModel;
 use fedbiad_nn::mlp::MlpModel;
@@ -143,6 +143,21 @@ pub struct WorkloadOverrides {
     /// Replace the paper's Dirichlet(0.3) image partitioner (ignored by
     /// text workloads, whose partitioning is part of the data model).
     pub image_partition: Option<ImagePartition>,
+    /// Replace the scale's registered population with a lazily
+    /// materialised one (image workloads only; text workloads ignore it).
+    /// Client shards are derived on demand from the seed, so memory stays
+    /// O(cohort) instead of O(registered clients) — this is what lets a
+    /// scenario register 10⁶ clients.
+    pub population: Option<PopulationOverride>,
+}
+
+/// Lazily materialised population for [`WorkloadOverrides::population`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PopulationOverride {
+    /// Registered clients K (each derivable on demand, never all live).
+    pub clients: usize,
+    /// Samples per client shard (constant across clients).
+    pub samples_per_client: usize,
 }
 
 /// Build a workload at the given scale, deterministically from `seed`.
@@ -210,18 +225,36 @@ fn build_image(
             (s, 200usize, if hard { 256 } else { 128 })
         }
     };
-    let (train, test) = spec.generate(seed);
-    // Paper §V-A: non-IID partitioning strategy of [28] (Dirichlet, with a
-    // small α for pronounced label skew) — unless a scenario overrides it.
-    let partition = overrides
-        .image_partition
-        .clone()
-        .unwrap_or(ImagePartition::Dirichlet { alpha: 0.3 });
-    let shards = partition_images(&train, clients, &partition, seed);
-    let data = FedDataset {
-        name: workload.name().into(),
-        clients: shards.into_iter().map(ClientData::Image).collect(),
-        test: ClientData::Image(test),
+    let data = if let Some(pop) = overrides.population {
+        // Lazy population: shards derive on demand from the seed (balanced
+        // classes, constant size), so registering 10⁶ clients costs only
+        // the class prototypes. The Dirichlet partitioner needs the whole
+        // training pool in memory, so a population override supersedes any
+        // partition override.
+        let lazy = LazyClients::new(spec.clone(), seed, pop.clients, pop.samples_per_client);
+        let test = lazy.test_set(spec.test_n);
+        FedDataset {
+            name: workload.name().into(),
+            clients: Vec::new(),
+            lazy: Some(lazy),
+            test,
+        }
+    } else {
+        let (train, test) = spec.generate(seed);
+        // Paper §V-A: non-IID partitioning strategy of [28] (Dirichlet,
+        // with a small α for pronounced label skew) — unless a scenario
+        // overrides it.
+        let partition = overrides
+            .image_partition
+            .clone()
+            .unwrap_or(ImagePartition::Dirichlet { alpha: 0.3 });
+        let shards = partition_images(&train, clients, &partition, seed);
+        FedDataset {
+            name: workload.name().into(),
+            clients: shards.into_iter().map(ClientData::Image).collect(),
+            lazy: None,
+            test: ClientData::Image(test),
+        }
     };
     let model = Box::new(MlpModel::new(spec.dim(), hidden, spec.classes));
     WorkloadBundle {
@@ -288,6 +321,7 @@ fn build_text(workload: Workload, scale: Scale, seed: u64) -> WorkloadBundle {
         FedDataset {
             name: workload.name().into(),
             clients: users,
+            lazy: None,
             test: ClientData::Text(fedbiad_data::TextSet {
                 tokens: test_tokens,
                 seq_len: spec.seq_len,
@@ -299,6 +333,7 @@ fn build_text(workload: Workload, scale: Scale, seed: u64) -> WorkloadBundle {
         FedDataset {
             name: workload.name().into(),
             clients: shards.into_iter().map(ClientData::Text).collect(),
+            lazy: None,
             test: ClientData::Text(test),
         }
     };
@@ -379,6 +414,7 @@ mod tests {
             5,
             &WorkloadOverrides {
                 image_partition: Some(ImagePartition::Iid),
+                population: None,
             },
         );
         // Same total data, same test set, different per-client shards.
@@ -396,6 +432,50 @@ mod tests {
             &WorkloadOverrides::default(),
         );
         assert_eq!(sizes(&base), sizes(&same));
+    }
+
+    #[test]
+    fn population_override_builds_a_lazy_image_dataset() {
+        let pop = PopulationOverride {
+            clients: 5_000,
+            samples_per_client: 12,
+        };
+        let b = build_with(
+            Workload::MnistLike,
+            Scale::Smoke,
+            11,
+            &WorkloadOverrides {
+                image_partition: None,
+                population: Some(pop),
+            },
+        );
+        assert!(b.data.lazy.is_some());
+        assert!(b.data.clients.is_empty(), "no eager shards materialised");
+        assert_eq!(b.data.num_clients(), 5_000);
+        assert_eq!(b.data.min_client_samples(), 12);
+        // Shards materialise on demand and deterministically.
+        let a = b.data.client(4_999);
+        let a2 = b.data.client(4_999);
+        match (&*a, &*a2) {
+            (ClientData::Image(x), ClientData::Image(y)) => {
+                assert_eq!(x.y, y.y);
+                assert_eq!(x.x, y.x);
+                assert_eq!(x.y.len(), 12);
+            }
+            _ => panic!("expected image shards"),
+        }
+        // Text workloads ignore the override entirely.
+        let t = build_with(
+            Workload::PtbLike,
+            Scale::Smoke,
+            11,
+            &WorkloadOverrides {
+                image_partition: None,
+                population: Some(pop),
+            },
+        );
+        assert!(t.data.lazy.is_none());
+        assert!(!t.data.clients.is_empty());
     }
 
     #[test]

@@ -11,7 +11,9 @@ use crate::grid::{expand, MaterializedRun};
 use crate::methods::run_method_composed;
 use crate::simrun::run_sim_method_composed;
 use crate::spec::{Mode, ScenarioSpec, SpecError};
-use fedbiad_fl::workload::{build_with, Workload, WorkloadBundle, WorkloadOverrides};
+use fedbiad_fl::workload::{
+    build_with, PopulationOverride, Workload, WorkloadBundle, WorkloadOverrides,
+};
 use fedbiad_fl::ExperimentLog;
 use rayon::prelude::*;
 use serde::Serialize;
@@ -61,6 +63,10 @@ fn build_bundles(
 ) -> HashMap<(&'static str, u64), Arc<WorkloadBundle>> {
     let overrides = WorkloadOverrides {
         image_partition: spec.partition.clone(),
+        population: spec.population.map(|p| PopulationOverride {
+            clients: p.clients,
+            samples_per_client: p.samples_per_client,
+        }),
     };
     let mut distinct: Vec<(Workload, u64)> = Vec::new();
     for r in runs {

@@ -113,6 +113,15 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<MaterializedRun>, SpecError> {
                                 dropout_override: spec.fedbiad.dropout_rate,
                                 batch_size: spec.training.batch_size,
                                 agg: spec.aggregation.resolve(),
+                                cohort: spec.population.and_then(|p| p.cohort),
+                                // A lazy population implies the O(cohort)
+                                // sparse sampler: the whole point is never
+                                // touching all K registered clients.
+                                sampler: if spec.population.is_some() {
+                                    fedbiad_fl::round::SamplerKind::Sparse
+                                } else {
+                                    fedbiad_fl::round::SamplerKind::Shuffle
+                                },
                             };
                             let mut label = format!("{}/{}", workload.name(), method.name());
                             if let Some(c) = compressor {

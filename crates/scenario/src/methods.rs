@@ -227,8 +227,15 @@ pub struct RunOpts {
     /// SGD genuinely differ here, so this is an explicit opt-in knob.
     pub batch_size: Option<usize>,
     /// Aggregation-engine selection (scenario `[aggregation]` section).
-    /// Bit-identical either way; never feeds the seed hash.
+    /// `streaming`/`shard_kb` are bit-identical and never feed the seed
+    /// hash; `tree_fanin` changes the f32 association and does.
     pub agg: fedbiad_fl::AggSettings,
+    /// Explicit per-round cohort override (scenario `[population]`
+    /// section); `None` derives ⌊κK⌋ from `client_fraction`.
+    pub cohort: Option<usize>,
+    /// Cohort sampler: `Shuffle` is the legacy O(K) permutation,
+    /// `Sparse` the O(cohort) draw for million-client populations.
+    pub sampler: fedbiad_fl::round::SamplerKind,
 }
 
 impl RunOpts {
@@ -244,6 +251,8 @@ impl RunOpts {
             dropout_override: None,
             batch_size: None,
             agg: fedbiad_fl::AggSettings::default(),
+            cohort: None,
+            sampler: fedbiad_fl::round::SamplerKind::Shuffle,
         }
     }
 }
@@ -280,6 +289,8 @@ pub fn run_method_composed(
         eval_every: opts.eval_every,
         eval_max_samples: opts.eval_max_samples,
         agg: opts.agg,
+        cohort: opts.cohort,
+        sampler: opts.sampler,
     };
     let p = opts.dropout_override.unwrap_or(bundle.dropout_rate);
     let driver = LockstepDriver {

@@ -8,7 +8,7 @@
 
 use crate::methods::{with_algorithm, AlgorithmVisitor, CompressorChoice, Method, RunOpts};
 use fedbiad_data::FedDataset;
-use fedbiad_fl::round::cohort_size;
+use fedbiad_fl::round::resolve_cohort;
 use fedbiad_fl::runner::ExperimentConfig;
 use fedbiad_fl::workload::WorkloadBundle;
 use fedbiad_fl::FlAlgorithm;
@@ -124,9 +124,12 @@ pub fn run_sim_method_composed(
         eval_every: opts.eval_every,
         eval_max_samples: opts.eval_max_samples,
         agg: opts.agg,
+        cohort: opts.cohort,
+        sampler: opts.sampler,
     };
     let cfg = SimConfig::new(base, profile);
-    let cohort = cohort_size(bundle.data.num_clients(), base.client_fraction);
+    let cohort = resolve_cohort(bundle.data.num_clients(), base.client_fraction, base.cohort)
+        .expect("cohort configuration invalid");
     let pol = policy.build(cohort, nominal_round_seconds(bundle, &cfg.cost));
 
     let p = opts.dropout_override.unwrap_or(bundle.dropout_rate);

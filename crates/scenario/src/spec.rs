@@ -193,16 +193,25 @@ pub struct FedBiadSection {
 ///
 /// `streaming = true` turns on the sharded streaming engine (clients
 /// encode real wire bytes, the server decodes shard by shard);
-/// `shard_kb` sets the shard size. The engines are **bit-identical**
-/// (`tests/aggregation_equivalence.rs`), so — unlike `[training]` — this
-/// section deliberately does *not* feed the canonical seed hash: flipping
-/// it can never change results, only speed and memory.
+/// `shard_kb` sets the shard size. These two knobs are **bit-identical**
+/// (`tests/aggregation_equivalence.rs`), so — unlike `[training]` — they
+/// deliberately do *not* feed the canonical seed hash: flipping them can
+/// never change results, only speed and memory.
+///
+/// `tree_fanin` layers a hierarchical reduction over the streaming
+/// engine (requires `streaming = true`). Unlike the other two knobs it
+/// changes the f32 summation *association*, so it is **not**
+/// bit-identical — and therefore *does* feed the canonical seed hash
+/// when set, like `[training] batch_size`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AggregationSection {
     /// Run the sharded streaming engine.
     pub streaming: bool,
     /// Shard size in KiB (requires `streaming = true`; default 64).
     pub shard_kb: Option<u32>,
+    /// Tree-reduction fan-in ≥ 2 (requires `streaming = true`; omitted =
+    /// the serial streaming reducer).
+    pub tree_fanin: Option<u32>,
 }
 
 impl AggregationSection {
@@ -211,8 +220,28 @@ impl AggregationSection {
         fedbiad_fl::AggSettings {
             streaming: self.streaming,
             shard_kb: self.shard_kb.unwrap_or(64),
+            tree_fanin: self.tree_fanin.unwrap_or(0),
         }
     }
+}
+
+/// The `[population]` section: replace the workload scale's registered
+/// population with a lazily materialised one (image workloads only).
+///
+/// Client shards and heterogeneity profiles derive on demand from the
+/// seed, and cohorts are drawn with the O(cohort) sparse sampler, so a
+/// spec can register 10⁶ clients while the process holds only the active
+/// cohort. Changing any field changes the data every client sees, so the
+/// whole section feeds the canonical seed hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PopulationSection {
+    /// Registered clients K.
+    pub clients: usize,
+    /// Per-round cohort override (default: ⌊κK⌋ from `[run] fraction`).
+    pub cohort: Option<usize>,
+    /// Samples per client shard (default 60 — the paper's 60k/1000
+    /// per-client scarcity).
+    pub samples_per_client: usize,
 }
 
 /// The `[training]` section: local-training overrides applied on top of
@@ -250,6 +279,8 @@ pub struct ScenarioSpec {
     pub training: TrainingSection,
     /// Aggregation-engine selection (`[aggregation]`).
     pub aggregation: AggregationSection,
+    /// Lazy registered-population override (`[population]`).
+    pub population: Option<PopulationSection>,
     /// TTA target-accuracy override (`[sim] target_acc`).
     pub target_acc: Option<f64>,
 }
@@ -332,6 +363,7 @@ impl ScenarioSpec {
                 "fedbiad",
                 "training",
                 "aggregation",
+                "population",
                 "sim",
             ],
         )?;
@@ -370,6 +402,10 @@ impl ScenarioSpec {
         let fedbiad = decode_fedbiad(get(root, "fedbiad"))?;
         let training = decode_training(get(root, "training"))?;
         let aggregation = decode_aggregation(get(root, "aggregation"))?;
+        let population = match get(root, "population") {
+            None => None,
+            Some(v) => Some(decode_population(v)?),
+        };
         let target_acc = match get(root, "sim") {
             None => None,
             Some(v) => decode_sim(v)?,
@@ -390,6 +426,7 @@ impl ScenarioSpec {
             fedbiad,
             training,
             aggregation,
+            population,
             target_acc,
         };
         spec.validate()?;
@@ -533,6 +570,31 @@ impl ScenarioSpec {
                 )));
             }
         }
+        if let Some(pop) = self.population {
+            if let Some(w) = self.sweep.workloads.iter().find(|w| w.is_text()) {
+                return Err(SpecError::new(format!(
+                    "[population] applies to image workloads only; `{}` is a text workload \
+                     (its partitioning is part of the data model)",
+                    w.name()
+                )));
+            }
+            if self.partition.is_some() {
+                return Err(SpecError::new(
+                    "[population] and [partition] are mutually exclusive: the lazy population \
+                     derives balanced per-client shards and never materialises the pool the \
+                     partitioner would split",
+                ));
+            }
+            if let Some(c) = pop.cohort {
+                if c == 0 || c > pop.clients {
+                    return Err(SpecError::new(format!(
+                        "[population] cohort = {c} is out of range; the cohort must be in \
+                         [1, clients = {}]",
+                        pop.clients
+                    )));
+                }
+            }
+        }
         if let Some(p) = self.fedbiad.dropout_rate {
             if !(p > 0.0 && p < 1.0) {
                 return Err(SpecError::new(format!(
@@ -616,6 +678,20 @@ impl ScenarioSpec {
         );
         if let Some(bs) = self.training.batch_size {
             s.push_str(&format!(";training={bs}"));
+        }
+        // Appended only when set (same append-only precedent as
+        // [training]): a lazy population changes every client's data, and
+        // a tree fan-in changes the f32 summation association, so both
+        // must move the derived seeds — but specs without them keep the
+        // seeds they had before the knobs existed.
+        if let Some(pop) = self.population {
+            s.push_str(&format!(
+                ";population={},{:?},{}",
+                pop.clients, pop.cohort, pop.samples_per_client
+            ));
+        }
+        if let Some(fanin) = self.aggregation.tree_fanin {
+            s.push_str(&format!(";tree_fanin={fanin}"));
         }
         s
     }
@@ -1046,7 +1122,7 @@ fn decode_aggregation(v: Option<&Value>) -> Result<AggregationSection, SpecError
     let mut agg = AggregationSection::default();
     let Some(v) = v else { return Ok(agg) };
     let t = table_of(v, "aggregation")?;
-    check_fields(t, "aggregation", &["streaming", "shard_kb"])?;
+    check_fields(t, "aggregation", &["streaming", "shard_kb", "tree_fanin"])?;
     if let Some(x) = get(t, "streaming") {
         agg.streaming = match x {
             Value::Bool(b) => *b,
@@ -1067,13 +1143,66 @@ fn decode_aggregation(v: Option<&Value>) -> Result<AggregationSection, SpecError
         }
         agg.shard_kb = Some(kb as u32);
     }
+    if let Some(x) = get(t, "tree_fanin") {
+        let fanin = usize_of(x, "aggregation", "tree_fanin", 1)?;
+        if fanin < 2 {
+            return Err(SpecError::new(format!(
+                "[aggregation] tree_fanin = {fanin} is out of range; a hierarchical \
+                 reduction needs a fan-in of at least 2"
+            )));
+        }
+        if fanin > 1 << 16 {
+            return Err(SpecError::new(format!(
+                "[aggregation] tree_fanin = {fanin} is out of range; fan-ins above 65536 \
+                 degenerate to the serial reducer"
+            )));
+        }
+        agg.tree_fanin = Some(fanin as u32);
+    }
     if agg.shard_kb.is_some() && !agg.streaming {
         return Err(SpecError::new(
             "[aggregation] shard_kb requires streaming = true; the dense reference engine \
              has no shards",
         ));
     }
+    if agg.tree_fanin.is_some() && !agg.streaming {
+        return Err(SpecError::new(
+            "[aggregation] tree_fanin requires streaming = true; the dense reference engine \
+             has no shard reduction to layer a tree over",
+        ));
+    }
     Ok(agg)
+}
+
+fn decode_population(v: &Value) -> Result<PopulationSection, SpecError> {
+    let t = table_of(v, "population")?;
+    check_fields(
+        t,
+        "population",
+        &["clients", "cohort", "samples_per_client"],
+    )?;
+    let clients = match get(t, "clients") {
+        None => {
+            return Err(SpecError::new(
+                "missing required field `clients` in [population] (the registered \
+                 population size K)",
+            ))
+        }
+        Some(x) => usize_of(x, "population", "clients", 1)?,
+    };
+    let cohort = match get(t, "cohort") {
+        None => None,
+        Some(x) => Some(usize_of(x, "population", "cohort", 1)?),
+    };
+    let samples_per_client = match get(t, "samples_per_client") {
+        None => 60,
+        Some(x) => usize_of(x, "population", "samples_per_client", 1)?,
+    };
+    Ok(PopulationSection {
+        clients,
+        cohort,
+        samples_per_client,
+    })
 }
 
 fn decode_training(v: Option<&Value>) -> Result<TrainingSection, SpecError> {
@@ -1232,7 +1361,7 @@ mod tests {
             .unwrap_err();
         assert!(
             err.to_string()
-                .contains("expected one of: streaming, shard_kb"),
+                .contains("expected one of: streaming, shard_kb, tree_fanin"),
             "{err}"
         );
         // The engine knob is bit-transparent, so — unlike [training] — it
@@ -1243,6 +1372,92 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(base.canonical_string(), with.canonical_string());
+    }
+
+    #[test]
+    fn population_section_is_validated_and_feeds_the_seed() {
+        // Decode with defaults and with every field spelled.
+        let s = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[population]\nclients = 100000\n"))
+            .unwrap();
+        let pop = s.population.expect("decoded");
+        assert_eq!(pop.clients, 100_000);
+        assert_eq!(pop.cohort, None);
+        assert_eq!(pop.samples_per_client, 60);
+        let s = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[population]\nclients = 1000000\ncohort = 64\nsamples_per_client = 16\n"
+        ))
+        .unwrap();
+        let pop = s.population.expect("decoded");
+        assert_eq!(
+            (pop.clients, pop.cohort, pop.samples_per_client),
+            (1_000_000, Some(64), 16)
+        );
+        // Text workloads have no synthetic image population to replace.
+        let err = ScenarioSpec::from_toml_str(
+            "name = \"t\"\n[sweep]\nworkload = \"ptb\"\nmethod = \"fedavg\"\n\
+             [population]\nclients = 1000\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("image workloads only"), "{err}");
+        // [population] supersedes the Dirichlet pool — the two can't coexist.
+        let err = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[partition]\nkind = \"iid\"\n[population]\nclients = 1000\n"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        // Cohort must fit inside the registered population.
+        let err = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[population]\nclients = 10\ncohort = 11\n"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // A lazy population changes every client's data, so it must move
+        // the canonical string (and therefore derived seeds); absent, the
+        // string is byte-identical to the legacy spec.
+        let base = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        let with = ScenarioSpec::from_toml_str(&format!("{MINIMAL}[population]\nclients = 1000\n"))
+            .unwrap();
+        assert_ne!(base.canonical_string(), with.canonical_string());
+    }
+
+    #[test]
+    fn tree_fanin_is_gated_and_feeds_the_seed() {
+        let s = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[aggregation]\nstreaming = true\nshard_kb = 4\ntree_fanin = 32\n"
+        ))
+        .unwrap();
+        assert_eq!(s.aggregation.resolve().tree_fanin, 32);
+        // Requires the streaming engine — there is no shard reduction to
+        // layer a tree over in the dense path.
+        let err =
+            ScenarioSpec::from_toml_str(&format!("{MINIMAL}[aggregation]\ntree_fanin = 32\n"))
+                .unwrap_err();
+        assert!(
+            err.to_string().contains("requires streaming = true"),
+            "{err}"
+        );
+        // Degenerate fan-ins are rejected at both ends.
+        let err = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[aggregation]\nstreaming = true\ntree_fanin = 1\n"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("at least 2"), "{err}");
+        let err = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[aggregation]\nstreaming = true\ntree_fanin = 65537\n"
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // Unlike streaming/shard_kb, the fan-in regroups f32 sums and is
+        // NOT bit-transparent — it must move the canonical string.
+        let base = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[aggregation]\nstreaming = true\nshard_kb = 4\n"
+        ))
+        .unwrap();
+        let with = ScenarioSpec::from_toml_str(&format!(
+            "{MINIMAL}[aggregation]\nstreaming = true\nshard_kb = 4\ntree_fanin = 32\n"
+        ))
+        .unwrap();
+        assert_ne!(base.canonical_string(), with.canonical_string());
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn unknown_fields_list_the_expected_ones() {
     assert_eq!(
         err_of(&format!("name = \"t\"\nsweeps = 1\n{OK_SWEEP}")),
         "unknown field `sweeps` at top level; expected one of: name, mode, run, sweep, \
-         partition, network, fedbiad, training, aggregation, sim"
+         partition, network, fedbiad, training, aggregation, population, sim"
     );
     assert_eq!(
         err_of(&format!("name = \"t\"\n[run]\nfrraction = 0.5\n{OK_SWEEP}")),

@@ -17,11 +17,12 @@
 //!   as staleness-weighted deltas and the finished client is immediately
 //!   re-dispatched on the *new* global.
 
-use fedbiad_fl::round::sample_clients;
+use fedbiad_fl::round::{sample_clients_with, SamplerKind};
 use fedbiad_tensor::rng::{stream, StreamTag};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::collections::HashSet;
 
 /// What the simulator tells a policy.
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +90,11 @@ pub struct ServerView<'a> {
     pub num_clients: usize,
     /// The lock-step cohort size ⌊κK⌋ ∨ 1.
     pub cohort: usize,
+    /// How cohorts are drawn from the population. [`SamplerKind::Shuffle`]
+    /// is the legacy O(K) permutation (bit-identical to the lock-step
+    /// runner); [`SamplerKind::Sparse`] draws in O(cohort) for
+    /// million-client populations.
+    pub sampler: SamplerKind,
     /// Rounds the experiment will record in total.
     pub rounds_total: usize,
     /// Round records committed so far.
@@ -150,7 +156,8 @@ impl ServerPolicy for SyncBarrier {
         match ev {
             PolicyEvent::Start | PolicyEvent::Recorded { .. } => {
                 if view.rounds_done < view.rounds_total {
-                    vec![Action::Dispatch(sample_clients(
+                    vec![Action::Dispatch(sample_clients_with(
+                        view.sampler,
                         view.seed,
                         view.rounds_done,
                         view.num_clients,
@@ -207,7 +214,13 @@ impl DeadlineOverSelect {
         self.epoch += 1;
         // A dropped straggler whose upload is still in transit sits this
         // round out — it cannot transmit two uploads at once.
-        let mut ids = sample_clients(view.seed, view.rounds_done, view.num_clients, n);
+        let mut ids = sample_clients_with(
+            view.sampler,
+            view.seed,
+            view.rounds_done,
+            view.num_clients,
+            n,
+        );
         ids.retain(|id| !view.transit_dropped.contains(id));
         vec![
             Action::Dispatch(ids),
@@ -315,6 +328,19 @@ impl FedBuff {
             return None;
         }
         let rng = self.rng.as_mut().expect("rng initialised at Start");
+        if view.sampler == SamplerKind::Sparse {
+            // Rejection sampling against the (sorted, cohort-sized) busy
+            // set: expected O(K/idle) draws and no O(K) scan, which is
+            // what keeps FedBuff usable at K = 10⁶. The draw sequence
+            // differs from the legacy scan below — Sparse is a new
+            // opt-in regime with no historical digests to preserve.
+            loop {
+                let c = rng.gen_range(0..view.num_clients);
+                if view.in_flight.binary_search(&c).is_err() {
+                    return Some(c);
+                }
+            }
+        }
         let mut nth = rng.gen_range(0..idle);
         let mut busy = view.in_flight.iter().peekable();
         for id in 0..view.num_clients {
@@ -344,9 +370,25 @@ impl ServerPolicy for FedBuff {
         match ev {
             PolicyEvent::Start => {
                 let mut rng = stream(view.seed, StreamTag::SimPolicy, 0, 0);
-                let mut ids: Vec<usize> = (0..view.num_clients).collect();
-                ids.shuffle(&mut rng);
-                ids.truncate(self.concurrency.min(view.num_clients));
+                let want = self.concurrency.min(view.num_clients);
+                let mut ids: Vec<usize> = if view.sampler == SamplerKind::Sparse {
+                    // Floyd's sampling: the initial cohort costs
+                    // O(concurrency), not an O(K) shuffle.
+                    let k = view.num_clients;
+                    let mut set = HashSet::with_capacity(want);
+                    for j in (k - want)..k {
+                        let t = rng.gen_range(0..=j);
+                        if !set.insert(t) {
+                            set.insert(j);
+                        }
+                    }
+                    set.into_iter().collect()
+                } else {
+                    let mut all: Vec<usize> = (0..view.num_clients).collect();
+                    all.shuffle(&mut rng);
+                    all.truncate(want);
+                    all
+                };
                 ids.sort_unstable();
                 self.rng = Some(rng);
                 vec![Action::Dispatch(ids)]
@@ -383,6 +425,7 @@ mod tests {
             seed: 1,
             num_clients: 10,
             cohort: 3,
+            sampler: SamplerKind::Shuffle,
             rounds_total: 5,
             rounds_done: 0,
             buffered: 0,
@@ -452,6 +495,56 @@ mod tests {
         let acts = p.react(PolicyEvent::Arrived { client: 1 }, &v);
         assert!(matches!(acts[0], Action::AggregateBuffered { .. }));
         assert!(matches!(acts[1], Action::Dispatch(_)));
+    }
+
+    #[test]
+    fn over_selection_beyond_population_clamps_to_k() {
+        // γ·cohort above K must dispatch exactly K clients, not panic or
+        // sample out of range: 3 × 4 = 12 > K = 10.
+        let mut p = DeadlineOverSelect::new(4.0, 10.0);
+        let acts = p.react(PolicyEvent::Start, &view(&[]));
+        let Action::Dispatch(ids) = &acts[0] else {
+            panic!("expected dispatch")
+        };
+        assert_eq!(ids.len(), 10);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "every client exactly once");
+    }
+
+    #[test]
+    fn sparse_fedbuff_start_and_idle_sampling_stay_o_cohort() {
+        // A million-client view: the Shuffle path would allocate a 10⁶
+        // permutation here; Sparse must finish instantly with just the
+        // concurrency-sized cohort.
+        let mut p = FedBuff::new(2, 16);
+        let mut v = view(&[]);
+        v.num_clients = 1_000_000;
+        v.sampler = SamplerKind::Sparse;
+        let acts = p.react(PolicyEvent::Start, &v);
+        let Action::Dispatch(ids) = &acts[0] else {
+            panic!("expected dispatch")
+        };
+        assert_eq!(ids.len(), 16);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        assert!(ids.iter().all(|&c| c < 1_000_000));
+        // Determinism: the same seed draws the same initial cohort.
+        let mut p2 = FedBuff::new(2, 16);
+        let acts2 = p2.react(PolicyEvent::Start, &v);
+        let Action::Dispatch(ids2) = &acts2[0] else {
+            panic!("expected dispatch")
+        };
+        assert_eq!(ids, ids2);
+        // Idle sampling rejects the busy set without scanning 0..K.
+        let busy: Vec<usize> = ids.clone();
+        let mut bv = view(&busy);
+        bv.num_clients = 1_000_000;
+        bv.sampler = SamplerKind::Sparse;
+        for _ in 0..32 {
+            let c = p.sample_idle(&bv).expect("plenty idle");
+            assert!(busy.binary_search(&c).is_err(), "{c} is busy");
+        }
     }
 
     #[test]

@@ -107,43 +107,55 @@ impl HeterogeneityProfile {
         }
     }
 
-    /// Sample the cohort's static profiles (deterministic in `seed`).
+    /// One client's static profile, derived on demand (deterministic in
+    /// `(seed, client)` — each client owns its own
+    /// `StreamTag::SimProfile` stream, so materialising client 10⁶ − 1
+    /// never touches the other 10⁶ − 1 profiles). This is the simulator's
+    /// O(cohort)-memory entry point; [`HeterogeneityProfile::sample`] is a
+    /// thin eager wrapper over it.
+    pub fn profile_for(&self, seed: u64, client: usize) -> ClientProfile {
+        let mut rng = stream(seed, StreamTag::SimProfile, 0, client as u64);
+        match *self {
+            HeterogeneityProfile::Homogeneous { net } => ClientProfile {
+                compute_multiplier: 1.0,
+                net,
+            },
+            HeterogeneityProfile::MixedMobile { compute_spread, .. } => {
+                let u: f64 = rng.gen();
+                let link = if u < 0.40 {
+                    LinkClass::FiveG
+                } else if u < 0.75 {
+                    LinkClass::Lte
+                } else {
+                    LinkClass::WiFi
+                };
+                let v: f64 = rng.gen();
+                let mult = (v * compute_spread.max(1.0).ln()).exp();
+                ClientProfile {
+                    compute_multiplier: mult,
+                    net: link.network(),
+                }
+            }
+            HeterogeneityProfile::Stragglers {
+                fraction, slowdown, ..
+            } => {
+                let u: f64 = rng.gen();
+                ClientProfile {
+                    compute_multiplier: if u < fraction { slowdown } else { 1.0 },
+                    net: LinkClass::FiveG.network(),
+                }
+            }
+        }
+    }
+
+    /// Sample the whole population's static profiles eagerly
+    /// (deterministic in `seed`; element `c` is exactly
+    /// [`HeterogeneityProfile::profile_for`]`(seed, c)`). Fine for tests
+    /// and small cohorts; at million-client scale use `profile_for`
+    /// directly.
     pub fn sample(&self, seed: u64, num_clients: usize) -> Vec<ClientProfile> {
         (0..num_clients)
-            .map(|c| {
-                let mut rng = stream(seed, StreamTag::SimProfile, 0, c as u64);
-                match *self {
-                    HeterogeneityProfile::Homogeneous { net } => ClientProfile {
-                        compute_multiplier: 1.0,
-                        net,
-                    },
-                    HeterogeneityProfile::MixedMobile { compute_spread, .. } => {
-                        let u: f64 = rng.gen();
-                        let link = if u < 0.40 {
-                            LinkClass::FiveG
-                        } else if u < 0.75 {
-                            LinkClass::Lte
-                        } else {
-                            LinkClass::WiFi
-                        };
-                        let v: f64 = rng.gen();
-                        let mult = (v * compute_spread.max(1.0).ln()).exp();
-                        ClientProfile {
-                            compute_multiplier: mult,
-                            net: link.network(),
-                        }
-                    }
-                    HeterogeneityProfile::Stragglers {
-                        fraction, slowdown, ..
-                    } => {
-                        let u: f64 = rng.gen();
-                        ClientProfile {
-                            compute_multiplier: if u < fraction { slowdown } else { 1.0 },
-                            net: LinkClass::FiveG.network(),
-                        }
-                    }
-                }
-            })
+            .map(|c| self.profile_for(seed, c))
             .collect()
     }
 }
@@ -203,6 +215,42 @@ mod tests {
         }
         let n_slow = a.iter().filter(|c| c.compute_multiplier > 1.0).count();
         assert!(n_slow > 5 && n_slow < 40, "{n_slow} stragglers of 64");
+    }
+
+    #[test]
+    fn sample_is_elementwise_profile_for() {
+        // The eager wrapper and the on-demand accessor must stay
+        // bit-identical per element — `sample` is documented as a thin
+        // wrapper, and the simulator's lazy path depends on it.
+        for p in [
+            HeterogeneityProfile::homogeneous_5g(),
+            HeterogeneityProfile::MixedMobile {
+                compute_spread: 8.0,
+                jitter: 0.1,
+            },
+            HeterogeneityProfile::Stragglers {
+                fraction: 0.3,
+                slowdown: 10.0,
+                jitter: 0.1,
+            },
+        ] {
+            let eager = p.sample(13, 97);
+            for (c, e) in eager.iter().enumerate() {
+                let lazy = p.profile_for(13, c);
+                assert_eq!(
+                    e.compute_multiplier.to_bits(),
+                    lazy.compute_multiplier.to_bits(),
+                    "{} client {c}",
+                    p.name()
+                );
+                assert_eq!(e.net.uplink_mbps.to_bits(), lazy.net.uplink_mbps.to_bits());
+                assert_eq!(
+                    e.net.downlink_mbps.to_bits(),
+                    lazy.net.downlink_mbps.to_bits()
+                );
+                assert_eq!(e.net.rtt_seconds.to_bits(), lazy.net.rtt_seconds.to_bits());
+            }
+        }
     }
 
     #[test]

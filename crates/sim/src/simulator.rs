@@ -29,13 +29,14 @@
 
 use crate::event::{EventQueue, TraceEvent, TraceKind};
 use crate::policy::{Action, PolicyEvent, ServerPolicy, ServerView};
-use crate::profile::{ClientProfile, CostModel, HeterogeneityProfile};
+use crate::profile::{CostModel, HeterogeneityProfile};
 use fedbiad_data::FedDataset;
 use fedbiad_fl::aggregate::{merge_staleness_weighted, StalenessUpload};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo};
 use fedbiad_fl::metrics::{ExperimentLog, RoundRecord};
 use fedbiad_fl::round::{
-    cohort_size, eval_due, eval_or_carry, run_local_updates, summarize_results, ClientStates,
+    eval_due, eval_or_carry, resolve_cohort, run_local_updates, summarize_results, ClientStates,
+    CohortError,
 };
 use fedbiad_fl::runner::ExperimentConfig;
 use fedbiad_nn::{Model, ParamSet};
@@ -151,7 +152,6 @@ struct Engine<'a, A: FlAlgorithm> {
     data: &'a FedDataset,
     algo: A,
     cfg: SimConfig,
-    profiles: Vec<ClientProfile>,
     cohort: usize,
     /// Whether dispatches must snapshot the global (policy merges deltas).
     snapshots_enabled: bool,
@@ -190,10 +190,18 @@ impl<'a, A: FlAlgorithm, P: ServerPolicy> Simulator<'a, A, P> {
     }
 
     /// Run until `cfg.base.rounds` rounds are recorded (or the event
-    /// queue drains) and return the report.
+    /// queue drains) and return the report. Panics on a degenerate cohort
+    /// configuration; use [`Simulator::try_run`] for the structured error.
     pub fn run(self) -> SimReport {
+        self.try_run().expect("cohort configuration invalid")
+    }
+
+    /// [`Simulator::run`] with structured cohort errors instead of
+    /// panics — a million-client scenario would rather learn `cohort 0`
+    /// at startup than deep inside the event loop.
+    pub fn try_run(self) -> Result<SimReport, CohortError> {
         let k = self.data.num_clients();
-        assert!(k > 0, "no clients");
+        let cohort = resolve_cohort(k, self.cfg.base.client_fraction, self.cfg.base.cohort)?;
         let seed = self.cfg.base.seed;
 
         // Same initialisation stream as the lock-step runner.
@@ -204,12 +212,11 @@ impl<'a, A: FlAlgorithm, P: ServerPolicy> Simulator<'a, A, P> {
             model: self.model,
             data: self.data,
             algo: self.algo,
-            profiles: self.cfg.heterogeneity.sample(seed, k),
-            cohort: cohort_size(k, self.cfg.base.client_fraction),
+            cohort,
             snapshots_enabled: self.policy.needs_snapshots(),
             cfg: self.cfg,
             global,
-            states: ClientStates::new(k),
+            states: ClientStates::new(),
             last_rctx: None,
             queue: EventQueue::new(),
             now: 0.0,
@@ -271,7 +278,7 @@ impl<'a, A: FlAlgorithm, P: ServerPolicy> Simulator<'a, A, P> {
             }
         }
 
-        SimReport {
+        Ok(SimReport {
             log: ExperimentLog {
                 dataset: engine.data.name.clone(),
                 method: engine.algo.name(),
@@ -283,7 +290,7 @@ impl<'a, A: FlAlgorithm, P: ServerPolicy> Simulator<'a, A, P> {
             round_end_seconds: engine.round_end_seconds,
             total_virtual_seconds: engine.now,
             trace: engine.trace,
-        }
+        })
     }
 }
 
@@ -328,6 +335,7 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
                     seed: self.cfg.base.seed,
                     num_clients: self.data.num_clients(),
                     cohort: self.cohort,
+                    sampler: self.cfg.base.sampler,
                     rounds_total: self.cfg.base.rounds,
                     rounds_done: self.records.len(),
                     buffered: self.buffer.len(),
@@ -426,7 +434,9 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
         let total_weights = self.model.arch().total_weights;
         let jitter = self.cfg.heterogeneity.jitter();
         for (id, mut res) in results {
-            let prof = &self.profiles[id];
+            // Profiles derive on demand from the per-client stream: the
+            // engine holds no O(registered-clients) profile table.
+            let prof = self.cfg.heterogeneity.profile_for(seed, id);
             let jitter_mult = if jitter > 0.0 {
                 let mut jrng = stream(seed, StreamTag::SimJitter, dispatch_idx, id as u64);
                 1.0 + jitter * (2.0 * jrng.gen::<f64>() - 1.0)
@@ -562,6 +572,7 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
             // wall clock — see fl::timing's clock taxonomy.
             agg_seconds: self.cfg.cost.agg_seconds,
             peak_rss_bytes: fedbiad_fl::metrics::peak_rss_bytes(),
+            rss_bytes: fedbiad_fl::metrics::current_rss_bytes(),
         });
         self.round_end_seconds.push(self.now);
         self.push_trace(TraceKind::Aggregate, usize::MAX);

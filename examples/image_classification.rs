@@ -24,6 +24,8 @@ fn run(
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     vec![
         Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run(),

@@ -35,6 +35,8 @@ fn main() {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
 
     let p = bundle.dropout_rate;

@@ -25,6 +25,8 @@ fn main() {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let stragglers = HeterogeneityProfile::Stragglers {
         fraction: 0.4,

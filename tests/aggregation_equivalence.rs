@@ -515,6 +515,8 @@ fn e2e_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, streaming: bool) -> E
         } else {
             AggSettings::default()
         },
+        cohort: None,
+        sampler: Default::default(),
     }
 }
 

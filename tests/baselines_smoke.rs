@@ -15,6 +15,8 @@ fn smoke_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, seed: u64) -> Exper
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     }
 }
 

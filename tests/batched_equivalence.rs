@@ -118,6 +118,8 @@ fn assert_experiment_level_bitwise(workload: Workload, fedbiad: bool) {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let run = |model: &dyn Model| -> ExperimentLog {
         if fedbiad {

@@ -17,6 +17,8 @@ fn fedavg_and_fedbiad_both_learn_mnist_like() {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let avg = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
     let biad = Experiment::new(
@@ -55,6 +57,8 @@ fn lstm_learns_above_unigram_baseline() {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let avg = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
     let first = avg.records[0].test_loss;
@@ -76,6 +80,8 @@ fn train_loss_trends_down_for_fedbiad() {
         eval_every: 4,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let log = Experiment::new(
         bundle.model.as_ref(),
@@ -121,6 +127,8 @@ fn tta_improves_with_smaller_uploads_all_else_equal() {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let net = NetworkModel::t_mobile_5g();
     let avg = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();

@@ -14,6 +14,8 @@ fn run_once(seed: u64) -> ExperimentLog {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 3));
     Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()

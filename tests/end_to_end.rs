@@ -15,6 +15,8 @@ fn smoke_cfg(rounds: usize, bundle: &fedbiad::fl::workload::WorkloadBundle) -> E
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     }
 }
 

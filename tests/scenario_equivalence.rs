@@ -32,13 +32,15 @@ fn strip_wall_clock(log: &mut ExperimentLog) {
         r.local_seconds_max = 0.0;
         r.agg_seconds = 0.0;
         r.peak_rss_bytes = 0;
+        r.rss_bytes = 0;
     }
 }
 
-/// Zero only the RSS sample — sim logs are otherwise fully virtual.
+/// Zero only the RSS samples — sim logs are otherwise fully virtual.
 fn strip_rss(log: &mut ExperimentLog) {
     for r in &mut log.records {
         r.peak_rss_bytes = 0;
+        r.rss_bytes = 0;
     }
 }
 

@@ -19,6 +19,8 @@ fn base_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, seed: u64) -> Experi
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     }
 }
 

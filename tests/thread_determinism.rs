@@ -28,6 +28,8 @@ fn run_once(seed: u64) -> ExperimentLog {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 2));
     Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()
@@ -107,6 +109,8 @@ fn run_once_streaming(seed: u64) -> ExperimentLog {
         eval_every: 1,
         eval_max_samples: 0,
         agg: fedbiad::fl::AggSettings::sharded(1),
+        cohort: None,
+        sampler: Default::default(),
     };
     let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 2));
     Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()
@@ -172,6 +176,8 @@ fn run_sim_once(seed: u64) -> fedbiad::sim::SimReport {
         eval_every: 1,
         eval_max_samples: 0,
         agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
     };
     let stragglers = HeterogeneityProfile::Stragglers {
         fraction: 0.3,
