@@ -164,6 +164,8 @@ fn run_variant(
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let mut log = Experiment::new(bundle.model.as_ref(), &bundle.data, algo, ecfg).run();
     log.method = format!("fedbiad[{}]", v.name);

@@ -346,7 +346,9 @@ fn delta_uploads(
 fn aggregation_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) {
     use fedbiad_compress::dgc::Dgc;
     use fedbiad_compress::fedpaq::FedPaq;
-    use fedbiad_fl::aggregate::{aggregate_deltas, aggregate_weights, AggSettings, ZeroMode};
+    use fedbiad_fl::aggregate::{
+        aggregate_deltas, aggregate_weights, AggSettings, RobustKind, ZeroMode,
+    };
     use fedbiad_fl::upload::{Upload, UploadBody, UploadKind};
     use fedbiad_nn::mlp::MlpModel;
     use fedbiad_nn::{Model, ModelMask};
@@ -376,6 +378,44 @@ fn aggregation_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) {
                 let ups: Vec<(f32, &Upload)> = wire_ups.iter().map(|u| (1.0, u)).collect();
                 aggregate_weights(&mut g, &ups, ZeroMode::StaleFill, AggSettings::sharded(64))
                     .unwrap();
+            },
+            out,
+        );
+    }
+
+    // The robust estimator family: the per-coordinate trimmed mean (20%
+    // per tail) is an order statistic, so neither engine can stream it as
+    // a fold — both gather per-coordinate columns and sort. This entry
+    // pins the streaming engine's per-shard gather (fused wire decode,
+    // arena scratch) against the dense gather, the robust analogue of the
+    // stalefill entries above.
+    {
+        let (dense_ups, wire_ups) = masked_uploads(&global, clients);
+        let trimmed = RobustKind::TrimmedMean { trim_frac: 0.2 };
+        threaded_entries(
+            samples,
+            &format!("aggregate/trimmed_mean_{clients}c"),
+            || {
+                let mut g = global.clone();
+                let ups: Vec<(f32, &Upload)> = dense_ups.iter().map(|u| (1.0, u)).collect();
+                aggregate_weights(
+                    &mut g,
+                    &ups,
+                    ZeroMode::StaleFill,
+                    AggSettings::default().with_robust(trimmed),
+                )
+                .unwrap();
+            },
+            || {
+                let mut g = global.clone();
+                let ups: Vec<(f32, &Upload)> = wire_ups.iter().map(|u| (1.0, u)).collect();
+                aggregate_weights(
+                    &mut g,
+                    &ups,
+                    ZeroMode::StaleFill,
+                    AggSettings::sharded(64).with_robust(trimmed),
+                )
+                .unwrap();
             },
             out,
         );
@@ -469,6 +509,8 @@ fn sim_entries(smoke: bool, samples: usize, out: &mut Vec<BenchEntry>) {
         agg: AggSettings::sharded_tree(64, 16),
         cohort: Some(64),
         sampler,
+        adversary: None,
+        churn: None,
     };
     let run = |sampler: SamplerKind| {
         let sim_cfg = SimConfig::new(cfg(sampler), HeterogeneityProfile::homogeneous_5g());

@@ -35,6 +35,8 @@ fn main() {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
 
     println!("=== Fig. 8 — {} ({} rounds) ===", bundle.data.name, rounds);

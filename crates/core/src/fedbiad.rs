@@ -642,6 +642,8 @@ mod tests {
             agg: Default::default(),
             cohort: None,
             sampler: Default::default(),
+            adversary: None,
+            churn: None,
         };
         let algo = FedBiad::new(FedBiadConfig::paper(0.3, 12));
         let log = Experiment::new(&model, &fd, algo, cfg).run();

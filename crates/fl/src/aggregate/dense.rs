@@ -3,7 +3,7 @@
 //! is the bit-exactness contract the streaming engine reproduces — change
 //! the two together or `tests/aggregation_equivalence.rs` fails.
 
-use super::{dense_params, AggError, StalenessUpload, ZeroMode};
+use super::{dense_params, robust, AggError, StalenessUpload, ZeroMode};
 use crate::upload::{Upload, UploadKind};
 use fedbiad_nn::{CoverageMask, ParamSet};
 use fedbiad_tensor::Matrix;
@@ -150,6 +150,97 @@ pub(super) fn weights(
             }
         }
     }
+    Ok(())
+}
+
+/// Robust weights combine, dense reference: flatten every upload, gather
+/// each coordinate's `(value, covered, weight)` column in upload order,
+/// and defer to the shared per-coordinate estimator. The streaming twin
+/// gathers the same column from the wire decode and calls the same
+/// estimator, which is the bit-exactness argument.
+pub(super) fn robust_weights(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    mode: ZeroMode,
+    est: robust::Estimator,
+    total_w: f32,
+) -> Result<(), AggError> {
+    let params: Vec<&ParamSet> = uploads
+        .iter()
+        .enumerate()
+        .map(|(i, (_, u))| dense_params(u, i))
+        .collect::<Result<_, _>>()?;
+    let n = uploads.len();
+    let flats: Vec<Vec<f32>> = params.iter().map(|p| p.flatten()).collect();
+    let covs: Vec<Vec<f32>> = uploads
+        .iter()
+        .map(|(_, u)| robust::flat_coverage(global, &u.coverage))
+        .collect();
+    let ws: Vec<f32> = uploads.iter().map(|(w, _)| *w).collect();
+    let mut g = global.flatten();
+    let mut scratch = Vec::with_capacity(n + 1);
+    for (j, gj) in g.iter_mut().enumerate() {
+        *gj = robust::weights_coord(
+            &mut scratch,
+            (0..n).map(|i| (flats[i][j], covs[i][j] != 0.0, ws[i])),
+            est,
+            mode,
+            total_w,
+            *gj,
+        );
+    }
+    global.unflatten_from(&g);
+    Ok(())
+}
+
+/// Robust deltas combine, dense reference: the per-coordinate robust
+/// location estimate of the deltas is added to the global.
+pub(super) fn robust_deltas(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    est: robust::Estimator,
+) -> Result<(), AggError> {
+    let params: Vec<&ParamSet> = uploads
+        .iter()
+        .enumerate()
+        .map(|(i, (_, u))| dense_params(u, i))
+        .collect::<Result<_, _>>()?;
+    let n = uploads.len();
+    let flats: Vec<Vec<f32>> = params.iter().map(|p| p.flatten()).collect();
+    let ws: Vec<f32> = uploads.iter().map(|(w, _)| *w).collect();
+    let mut g = global.flatten();
+    let mut scratch = Vec::with_capacity(n);
+    for (j, gj) in g.iter_mut().enumerate() {
+        *gj += robust::delta_move_coord(&mut scratch, (0..n).map(|i| (flats[i][j], ws[i])), est);
+    }
+    global.unflatten_from(&g);
+    Ok(())
+}
+
+/// Robust FedBuff merge, dense reference: per coordinate, the robust
+/// location estimate of the buffered Δ values (all items participate;
+/// uncovered positions are exact-zero "no change" votes) scaled by the
+/// server learning rate.
+pub(super) fn robust_staleness(
+    global: &mut ParamSet,
+    items: &[StalenessUpload<'_>],
+    server_lr: f64,
+    est: robust::Estimator,
+) -> Result<(), AggError> {
+    let deltas = robust::dense_staleness_deltas(items)?;
+    let n = items.len();
+    let ws: Vec<f64> = items.iter().map(|it| it.weight).collect();
+    let mut g = global.flatten();
+    let mut scratch = Vec::with_capacity(n);
+    for (j, gj) in g.iter_mut().enumerate() {
+        *gj += robust::staleness_move_coord(
+            &mut scratch,
+            (0..n).map(|i| (deltas[i][j], ws[i])),
+            est,
+            server_lr,
+        );
+    }
+    global.unflatten_from(&g);
     Ok(())
 }
 

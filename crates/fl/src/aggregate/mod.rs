@@ -50,6 +50,7 @@
 //! now names the offending upload.
 
 mod dense;
+mod robust;
 mod streaming;
 
 pub use streaming::arena_churn;
@@ -79,9 +80,42 @@ pub enum ZeroMode {
     StaleFill,
 }
 
+/// Robust-estimator family of the per-coordinate combine (ROADMAP
+/// item 4). Unlike the engine knobs in [`AggSettings`], the estimator
+/// **changes results**, so the scenario spec feeds it into the seed hash.
+/// See `aggregate::robust` for the exact semantics of each estimator and
+/// how dense ≡ streaming is maintained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum RobustKind {
+    /// The weighted mean — the exact historical maths, bit for bit.
+    #[default]
+    Mean,
+    /// Per coordinate, drop the `⌊trim_frac·cohort⌋` smallest and largest
+    /// participants, then the weighted mean of the survivors. A resolved
+    /// trim depth of zero (`trim_frac = 0`, or a cohort too small to
+    /// trim) *is* the weighted mean and routes to it verbatim —
+    /// `trim_frac = 0` reproduces the mean results bitwise. Valid range
+    /// `[0, 0.5)`.
+    TrimmedMean {
+        /// Fraction of the cohort trimmed from *each* tail.
+        trim_frac: f32,
+    },
+    /// Weighted lower coordinate-wise median.
+    CoordinateMedian,
+    /// L2-clip each upload's delta against the reference point to `tau`,
+    /// then the ordinary weighted mean. Uploads inside the ball pass
+    /// through bitwise untouched.
+    NormClip {
+        /// The clipping radius (must be finite and positive).
+        tau: f32,
+    },
+}
+
 /// Aggregation-engine selection, broadcast to clients and server through
-/// `RoundInfo` so both sides of the wire always agree.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// `RoundInfo` so both sides of the wire always agree. The `streaming`/
+/// `shard_kb` knobs are pure execution choices; `robust` selects the
+/// estimator and changes results.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AggSettings {
     /// Run the sharded streaming engine (clients encode real wire bytes,
     /// the server decodes shard by shard). `false` = the dense reference.
@@ -100,6 +134,10 @@ pub struct AggSettings {
     /// to the sync weights path (delta/staleness merges keep the serial
     /// order). Still deterministic across thread counts.
     pub tree_fanin: u32,
+    /// The robust-estimator family ([`RobustKind::Mean`] = historical
+    /// behaviour). Works under both engines; *changes results* when not
+    /// `Mean`, so it feeds the scenario seed hash.
+    pub robust: RobustKind,
 }
 
 impl Default for AggSettings {
@@ -108,6 +146,7 @@ impl Default for AggSettings {
             streaming: false,
             shard_kb: 64,
             tree_fanin: 0,
+            robust: RobustKind::Mean,
         }
     }
 }
@@ -118,7 +157,7 @@ impl AggSettings {
         Self {
             streaming: true,
             shard_kb,
-            tree_fanin: 0,
+            ..Self::default()
         }
     }
 
@@ -128,7 +167,13 @@ impl AggSettings {
             streaming: true,
             shard_kb,
             tree_fanin: fanin,
+            ..Self::default()
         }
+    }
+
+    /// These settings with the robust estimator replaced.
+    pub fn with_robust(self, robust: RobustKind) -> Self {
+        Self { robust, ..self }
     }
 
     /// Shard size in f32 elements (at least 1).
@@ -223,6 +268,14 @@ pub enum AggError {
         /// Position in the upload list.
         index: usize,
     },
+    /// Upload `index` carries a non-finite payload *value* (NaN/Inf
+    /// inside a structurally-valid frame). The PR 5 boundary check only
+    /// covered aggregation weights; this extends it to the value stream —
+    /// see [`screen_upload_values`].
+    NonFiniteValue {
+        /// Position in the upload list.
+        index: usize,
+    },
     /// An encoded upload failed structural validation.
     Wire(WireError),
     /// A buffered-async weights merge is missing the dispatched-global
@@ -256,6 +309,10 @@ impl std::fmt::Display for AggError {
             AggError::DenseBodyRequired { index } => write!(
                 f,
                 "dense aggregation engine received an encoded (wire) upload at {index}"
+            ),
+            AggError::NonFiniteValue { index } => write!(
+                f,
+                "payload of upload {index} carries a non-finite value (NaN/Inf)"
             ),
             AggError::Wire(e) => write!(f, "wire decode failed: {e}"),
             AggError::MissingSnapshot { index } => write!(
@@ -297,6 +354,24 @@ fn validate(uploads: &[(f32, &Upload)], expected: UploadKind) -> Result<f32, Agg
     Ok(total)
 }
 
+/// The order-statistic estimator actually run for a cohort of `n`
+/// uploads. `TrimmedMean` resolves its per-coordinate trim depth
+/// `k = ⌊trim_frac·n⌋` here, and a depth of zero *is* the weighted
+/// mean — such calls route to the mean engines verbatim, which is what
+/// pins `trim_frac = 0` (and cohorts too small to trim) bitwise to the
+/// historical results. `NormClip` is a pre-pass, not an estimator, and
+/// also returns `None`.
+fn resolve_robust(robust: RobustKind, n: usize) -> Option<robust::Estimator> {
+    match robust {
+        RobustKind::Mean | RobustKind::NormClip { .. } => None,
+        RobustKind::TrimmedMean { trim_frac } => {
+            let k = (trim_frac as f64 * n as f64).floor() as usize;
+            (k > 0).then_some(robust::Estimator::Trim { k })
+        }
+        RobustKind::CoordinateMedian => Some(robust::Estimator::Median),
+    }
+}
+
 /// Aggregate `Weights` uploads into `global`. `weights[k]` is |D_k|.
 pub fn aggregate_weights(
     global: &mut ParamSet,
@@ -305,6 +380,44 @@ pub fn aggregate_weights(
     settings: AggSettings,
 ) -> Result<(), AggError> {
     let total_w = validate(uploads, UploadKind::Weights)?;
+    if let RobustKind::NormClip { tau } = settings.robust {
+        let clipped = robust::clip_weights_uploads(global, uploads, tau)?;
+        let patched: Vec<(f32, &Upload)> = uploads
+            .iter()
+            .zip(&clipped)
+            .map(|((w, u), t)| (*w, t.as_ref().unwrap_or(u)))
+            .collect();
+        return weights_mean(global, &patched, mode, settings, total_w);
+    }
+    match resolve_robust(settings.robust, uploads.len()) {
+        None => weights_mean(global, uploads, mode, settings, total_w),
+        Some(est) => {
+            if settings.streaming {
+                streaming::robust_weights(
+                    global,
+                    uploads,
+                    mode,
+                    est,
+                    total_w,
+                    settings.shard_elems(),
+                )
+            } else {
+                dense::robust_weights(global, uploads, mode, est, total_w)
+            }
+        }
+    }
+}
+
+/// The historical weighted-mean weights dispatch (dense reference /
+/// serial streaming / tree streaming), shared by the `Mean` path, the
+/// `trim_frac = 0` route, and the post-clip `NormClip` merge.
+fn weights_mean(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    mode: ZeroMode,
+    settings: AggSettings,
+    total_w: f32,
+) -> Result<(), AggError> {
     if settings.streaming {
         let fanin = settings.tree_fanin as usize;
         if fanin >= 2 && uploads.len() > fanin {
@@ -324,13 +437,41 @@ pub fn aggregate_weights(
     }
 }
 
-/// Apply `Delta` uploads: `global += Σ w_k Δ_k / Σ w_k`.
+/// Apply `Delta` uploads: `global += Σ w_k Δ_k / Σ w_k` (or the robust
+/// location estimate of the deltas under a robust estimator).
 pub fn aggregate_deltas(
     global: &mut ParamSet,
     uploads: &[(f32, &Upload)],
     settings: AggSettings,
 ) -> Result<(), AggError> {
     let total_w = validate(uploads, UploadKind::Delta)?;
+    if let RobustKind::NormClip { tau } = settings.robust {
+        let clipped = robust::clip_delta_uploads(global, uploads, tau)?;
+        let patched: Vec<(f32, &Upload)> = uploads
+            .iter()
+            .zip(&clipped)
+            .map(|((w, u), t)| (*w, t.as_ref().unwrap_or(u)))
+            .collect();
+        return deltas_mean(global, &patched, settings, total_w);
+    }
+    match resolve_robust(settings.robust, uploads.len()) {
+        None => deltas_mean(global, uploads, settings, total_w),
+        Some(est) => {
+            if settings.streaming {
+                streaming::robust_deltas(global, uploads, est, settings.shard_elems())
+            } else {
+                dense::robust_deltas(global, uploads, est)
+            }
+        }
+    }
+}
+
+fn deltas_mean(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    settings: AggSettings,
+    total_w: f32,
+) -> Result<(), AggError> {
     if settings.streaming {
         streaming::deltas(global, uploads, total_w, settings.shard_elems())
     } else {
@@ -379,11 +520,95 @@ pub fn merge_staleness_weighted(
     if !total_w.is_finite() || total_w <= 0.0 {
         return Err(AggError::ZeroTotalWeight);
     }
+    if let RobustKind::NormClip { tau } = settings.robust {
+        let clipped = robust::clip_staleness_uploads(global, items, tau)?;
+        let patched: Vec<StalenessUpload> = items
+            .iter()
+            .zip(&clipped)
+            .map(|(it, t)| StalenessUpload {
+                weight: it.weight,
+                upload: t.as_ref().unwrap_or(it.upload),
+                snapshot: it.snapshot,
+            })
+            .collect();
+        return staleness_mean(global, &patched, server_lr, settings, total_w);
+    }
+    match resolve_robust(settings.robust, items.len()) {
+        None => staleness_mean(global, items, server_lr, settings, total_w),
+        Some(est) => {
+            if settings.streaming {
+                streaming::robust_staleness(global, items, server_lr, est, settings.shard_elems())
+            } else {
+                dense::robust_staleness(global, items, server_lr, est)
+            }
+        }
+    }
+}
+
+fn staleness_mean(
+    global: &mut ParamSet,
+    items: &[StalenessUpload<'_>],
+    server_lr: f64,
+    settings: AggSettings,
+    total_w: f64,
+) -> Result<(), AggError> {
     if settings.streaming {
         streaming::staleness(global, items, server_lr, total_w, settings.shard_elems())
     } else {
         dense::staleness(global, items, server_lr, total_w)
     }
+}
+
+/// Dense twin of an upload: dense bodies are cloned, wire bodies decoded
+/// against `base` (the current global for sync rounds, the dispatched
+/// snapshot for buffered `WeightsDelta` bodies) with exact zeros on
+/// dropped positions — the same reconstruction the equivalence tests
+/// build. Used by the adversary corruption hook and by tests.
+pub fn decode_dense(base: &ParamSet, u: &Upload) -> Result<ParamSet, AggError> {
+    match &u.body {
+        UploadBody::Dense(p) => Ok(p.clone()),
+        UploadBody::Wire(_) => {
+            let base_flat = base.flatten();
+            let flat = streaming::decode_dense_flat(base, &base_flat, u)?;
+            let mut ps = base.clone();
+            ps.unflatten_from(&flat);
+            Ok(ps)
+        }
+    }
+}
+
+/// `true` iff the upload's decoded value stream contains a non-finite
+/// value. Dense bodies scan their parameters; wire bodies decode the
+/// payload stream in fixed-size chunks without materialising the model —
+/// quantised/sign payloads surface a poisoned `mu`/`scale` as non-finite
+/// decoded values, so one check covers every payload kind.
+pub fn upload_has_non_finite(base: &ParamSet, u: &Upload) -> Result<bool, AggError> {
+    match &u.body {
+        UploadBody::Dense(p) => Ok((0..p.num_entries()).any(|e| {
+            p.mat(e)
+                .as_slice()
+                .iter()
+                .chain(p.bias(e).iter())
+                .any(|v| !v.is_finite())
+        })),
+        UploadBody::Wire(_) => streaming::wire_has_non_finite(base, u),
+    }
+}
+
+/// Boundary screen extending the PR 5 weight validation to payload
+/// *values*: a structurally-valid frame whose dense-f32/sparse-f32 values
+/// (or sign `mu` / quantiser `scale`) decode to NaN/Inf used to sail
+/// through both engines and silently poison the model. The first
+/// offending upload is named in a structured
+/// [`AggError::NonFiniteValue`]; the round layer calls this per upload
+/// and *drops* offenders instead of failing the round.
+pub fn screen_upload_values(base: &ParamSet, uploads: &[(f32, &Upload)]) -> Result<(), AggError> {
+    for (i, (_, u)) in uploads.iter().enumerate() {
+        if upload_has_non_finite(base, u)? {
+            return Err(AggError::NonFiniteValue { index: i });
+        }
+    }
+    Ok(())
 }
 
 /// Dense body of an upload, or the structured error the dense engine
@@ -434,6 +659,7 @@ mod tests {
         streaming: false,
         shard_kb: 64,
         tree_fanin: 0,
+        robust: RobustKind::Mean,
     };
 
     #[test]

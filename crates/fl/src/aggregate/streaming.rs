@@ -39,7 +39,7 @@
 //! constant, i.e. steady-state aggregation performs **no data-sized
 //! allocations**.
 
-use super::{AggError, StalenessUpload, ZeroMode};
+use super::{robust, AggError, StalenessUpload, ZeroMode};
 use crate::upload::{Upload, UploadBody, UploadKind};
 use fedbiad_compress::codec::{
     bias_kept as codec_bias_kept, encode_delta, encode_weights, mat_kept as codec_mat_kept,
@@ -613,6 +613,127 @@ fn for_each_row_extent(
 }
 
 /// Decode one upload's masked values for a shard into `vals` (exact
+/// zeros on dropped positions) with a parallel coverage indicator in
+/// `cov` (1.0 covered / 0.0 dropped) — the per-client column material of
+/// the robust per-coordinate combine. `WeightsDelta` bodies reconstruct
+/// the client's absolute values `base + δ` elementwise, the same
+/// expression the fused mean path feeds `axpy_sum2`.
+#[allow(clippy::too_many_arguments)]
+fn decode_masked_shard(
+    view: &WireView<'_>,
+    kmeta: &KeptMeta,
+    layout: &FlatLayout,
+    start: usize,
+    len: usize,
+    base: &[f32],
+    vals: &mut [f32],
+    cov: &mut [f32],
+    kept_scratch: &mut [f32],
+) {
+    if len == 0 {
+        return;
+    }
+    let (ks, _) = decode_kept(view, kmeta, layout, start, len, kept_scratch);
+    let delta_mode = view.kind == BodyKind::WeightsDelta;
+    walk_runs(view, layout, start, len, |run| match run {
+        Run::Covered { local, ki, n } => {
+            let seg = &mut vals[local..local + n];
+            let kseg = &ks[ki..ki + n];
+            if delta_mode {
+                for ((o, b), k) in seg.iter_mut().zip(&base[local..local + n]).zip(kseg) {
+                    *o = *b + *k;
+                }
+            } else {
+                seg.copy_from_slice(kseg);
+            }
+            cov[local..local + n].fill(1.0);
+        }
+        Run::Dropped { local, n } => {
+            vals[local..local + n].fill(0.0);
+            cov[local..local + n].fill(0.0);
+        }
+    });
+}
+
+/// Decode an encoded upload into its dense flat values: covered positions
+/// carry the client's reconstructed values (`base + δ` for `WeightsDelta`
+/// bodies), dropped positions exact zero — the dense-engine twin of the
+/// wire body. Delta payloads decode the full flat stream directly. Used
+/// by the norm-clip pre-pass and the public `decode_dense`.
+pub(super) fn decode_dense_flat(
+    shape: &ParamSet,
+    base_flat: &[f32],
+    u: &Upload,
+) -> Result<Vec<f32>, AggError> {
+    let msg = match &u.body {
+        UploadBody::Wire(m) => m,
+        UploadBody::Dense(p) => return Ok(p.flatten()),
+    };
+    let layout = FlatLayout::of(shape);
+    let view = msg.view(shape)?;
+    let mut out = vec![0.0f32; layout.total];
+    if view.kind == BodyKind::DeltaFull {
+        view.payload.decode_range(0, &mut out);
+        return Ok(out);
+    }
+    let kmeta = KeptMeta::of(&view.masks, &layout);
+    let total_kept = *kmeta.prefix.last().expect("non-empty prefix");
+    let mut ks = vec![0.0f32; total_kept];
+    view.payload.decode_range(0, &mut ks);
+    let delta_mode = view.kind == BodyKind::WeightsDelta;
+    walk_runs(&view, &layout, 0, layout.total, |run| match run {
+        Run::Covered { local, ki, n } => {
+            let seg = &mut out[local..local + n];
+            if delta_mode {
+                for ((o, b), k) in seg
+                    .iter_mut()
+                    .zip(&base_flat[local..local + n])
+                    .zip(&ks[ki..ki + n])
+                {
+                    *o = *b + *k;
+                }
+            } else {
+                seg.copy_from_slice(&ks[ki..ki + n]);
+            }
+        }
+        Run::Dropped { .. } => {}
+    });
+    Ok(out)
+}
+
+/// Scan an encoded upload's decoded value stream for non-finite values in
+/// fixed-size chunks, never materialising the model. Sign/quantised
+/// payloads decode a poisoned `mu`/`scale` into non-finite values, so
+/// this single decode-level check covers every payload kind.
+pub(super) fn wire_has_non_finite(base: &ParamSet, u: &Upload) -> Result<bool, AggError> {
+    let msg = match &u.body {
+        UploadBody::Wire(m) => m,
+        UploadBody::Dense(_) => unreachable!("dense bodies are scanned directly"),
+    };
+    let layout = FlatLayout::of(base);
+    let view = msg.view(base)?;
+    let total = if view.kind == BodyKind::DeltaFull {
+        layout.total
+    } else {
+        *KeptMeta::of(&view.masks, &layout)
+            .prefix
+            .last()
+            .expect("non-empty prefix")
+    };
+    let mut buf = [0.0f32; 512];
+    let mut i = 0usize;
+    while i < total {
+        let n = (total - i).min(buf.len());
+        view.payload.decode_range(i, &mut buf[..n]);
+        if buf[..n].iter().any(|v| !v.is_finite()) {
+            return Ok(true);
+        }
+        i += n;
+    }
+    Ok(false)
+}
+
+/// Decode one upload's masked values for a shard into `vals` (exact
 /// zeros on dropped positions), subtracting `sub` on covered elements —
 /// the staleness merge's Δ = (β∘U) − snapshot, with the dense path's
 /// exact expression `(v) + (−1.0)·sub[i]` (the `axpy(-1.0, …)` form,
@@ -1063,6 +1184,196 @@ pub(super) fn staleness(
             }
             ops::axpy(c, &t.vals[..len], t.g);
         }
+    });
+    Ok(())
+}
+
+// ---- the robust engines ------------------------------------------------
+//
+// Order-statistic estimators cannot stream as a fold: each shard decodes
+// every client's column material into an (n × shard) block from the
+// worker thread's arena, then walks coordinates through the shared
+// per-coordinate estimator in `super::robust` — the same function the
+// dense engine calls on the same column bits, which is the bit-exactness
+// argument. Peak memory is O(cohort × shard) per worker, not
+// O(cohort × model).
+
+/// Robust weights combine, streaming engine.
+pub(super) fn robust_weights(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    mode: ZeroMode,
+    est: robust::Estimator,
+    total_w: f32,
+    shard_elems: usize,
+) -> Result<(), AggError> {
+    let layout = FlatLayout::of(global);
+    let msgs: Vec<PreparedMsg> = uploads.iter().map(|(_, u)| prepare_msg(u)).collect();
+    let mut views = Vec::with_capacity(msgs.len());
+    for (i, (m, (_, u))) in msgs.iter().zip(uploads).enumerate() {
+        let _client_span = span!("agg.client", client = i);
+        counter!("agg.decode_bytes", m.get().as_bytes().len());
+        let v = m.get().view(global)?;
+        check_kind(&v, u.kind)?;
+        views.push(v);
+    }
+    let kmetas: Vec<KeptMeta> = views
+        .iter()
+        .map(|v| KeptMeta::of(&v.masks, &layout))
+        .collect();
+    let n = uploads.len();
+    let ws: Vec<f32> = uploads.iter().map(|(w, _)| *w).collect();
+    let needs = Needs {
+        num: false,
+        den: false,
+        vals: false,
+        kept: false,
+        snap: false,
+    };
+    with_shards(global, shard_elems, needs, |t| {
+        let len = t.g.len();
+        // Column blocks come from the *worker thread's* arena — the
+        // round-loop thread's borrow was released before the parallel
+        // region, and each worker owns its own thread-local workspace.
+        let (mut vals, mut cov, mut kept) = ARENA.with(|arena| {
+            let mut a = arena.borrow_mut();
+            (a.take(n * len), a.take(n * len), a.take(len))
+        });
+        for i in 0..n {
+            let (row, crow) = (
+                &mut vals[i * len..(i + 1) * len],
+                &mut cov[i * len..(i + 1) * len],
+            );
+            decode_masked_shard(
+                &views[i], &kmetas[i], &layout, t.start, len, t.g, row, crow, &mut kept,
+            );
+        }
+        let mut scratch: Vec<(f32, f32)> = Vec::with_capacity(n + 1);
+        for j in 0..len {
+            t.g[j] = robust::weights_coord(
+                &mut scratch,
+                (0..n).map(|i| (vals[i * len + j], cov[i * len + j] != 0.0, ws[i])),
+                est,
+                mode,
+                total_w,
+                t.g[j],
+            );
+        }
+        ARENA.with(|arena| {
+            let mut a = arena.borrow_mut();
+            a.give(vals);
+            a.give(cov);
+            a.give(kept);
+        });
+    });
+    Ok(())
+}
+
+/// Robust deltas combine, streaming engine.
+pub(super) fn robust_deltas(
+    global: &mut ParamSet,
+    uploads: &[(f32, &Upload)],
+    est: robust::Estimator,
+    shard_elems: usize,
+) -> Result<(), AggError> {
+    let msgs: Vec<PreparedMsg> = uploads.iter().map(|(_, u)| prepare_msg(u)).collect();
+    let mut views = Vec::with_capacity(msgs.len());
+    for (i, (m, (_, u))) in msgs.iter().zip(uploads).enumerate() {
+        let _client_span = span!("agg.client", client = i);
+        counter!("agg.decode_bytes", m.get().as_bytes().len());
+        let v = m.get().view(global)?;
+        check_kind(&v, u.kind)?;
+        views.push(v);
+    }
+    let n = uploads.len();
+    let ws: Vec<f32> = uploads.iter().map(|(w, _)| *w).collect();
+    let needs = Needs {
+        num: false,
+        den: false,
+        vals: false,
+        kept: false,
+        snap: false,
+    };
+    with_shards(global, shard_elems, needs, |t| {
+        let len = t.g.len();
+        let mut vals = ARENA.with(|a| a.borrow_mut().take(n * len));
+        for (i, view) in views.iter().enumerate() {
+            view.payload
+                .decode_range(t.start, &mut vals[i * len..i * len + len]);
+        }
+        let mut scratch: Vec<(f32, f32)> = Vec::with_capacity(n);
+        for j in 0..len {
+            t.g[j] += robust::delta_move_coord(
+                &mut scratch,
+                (0..n).map(|i| (vals[i * len + j], ws[i])),
+                est,
+            );
+        }
+        ARENA.with(|a| a.borrow_mut().give(vals));
+    });
+    Ok(())
+}
+
+/// Robust FedBuff merge, streaming engine: per shard, every buffered Δ
+/// column decodes through the exact mean-path expressions
+/// ([`decode_weights_delta_shard`]), then coordinates walk the shared
+/// estimator.
+pub(super) fn robust_staleness(
+    global: &mut ParamSet,
+    items: &[StalenessUpload<'_>],
+    server_lr: f64,
+    est: robust::Estimator,
+    shard_elems: usize,
+) -> Result<(), AggError> {
+    let layout = FlatLayout::of(global);
+    let msgs: Vec<PreparedMsg> = items.iter().map(|it| prepare_msg(it.upload)).collect();
+    let mut views = Vec::with_capacity(msgs.len());
+    for (i, (m, it)) in msgs.iter().zip(items).enumerate() {
+        let _client_span = span!("agg.client", client = i);
+        counter!("agg.decode_bytes", m.get().as_bytes().len());
+        let v = m.get().view(global)?;
+        check_kind(&v, it.upload.kind)?;
+        views.push(v);
+    }
+    let kmetas: Vec<KeptMeta> = views
+        .iter()
+        .map(|v| KeptMeta::of(&v.masks, &layout))
+        .collect();
+    let n = items.len();
+    let ws: Vec<f64> = items.iter().map(|it| it.weight).collect();
+    let needs = Needs {
+        num: false,
+        den: false,
+        vals: false,
+        kept: true,
+        snap: true,
+    };
+    with_shards(global, shard_elems, needs, |t| {
+        let len = t.g.len();
+        let mut vals = ARENA.with(|a| a.borrow_mut().take(n * len));
+        for (i, (it, view)) in items.iter().zip(&views).enumerate() {
+            let row = &mut vals[i * len..i * len + len];
+            match view.kind {
+                BodyKind::DeltaFull => view.payload.decode_range(t.start, row),
+                BodyKind::WeightsAbsolute | BodyKind::WeightsDelta => {
+                    let snapshot = it.snapshot.expect("validated in mod.rs");
+                    snapshot.copy_flat_range(t.start, &mut t.snap[..len]);
+                    decode_weights_delta_shard(
+                        view, &kmetas[i], &layout, t.start, len, t.snap, t.snap, row, t.kept,
+                    );
+                }
+            }
+        }
+        let mut scratch: Vec<(f32, f64)> = Vec::with_capacity(n);
+        for j in 0..len {
+            t.g[j] += robust::staleness_move_coord(
+                &mut scratch,
+                (0..n).map(|i| (vals[i * len + j], ws[i])),
+                est,
+                server_lr,
+            );
+        }
+        ARENA.with(|a| a.borrow_mut().give(vals));
     });
     Ok(())
 }

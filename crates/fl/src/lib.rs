@@ -24,6 +24,7 @@
 //! * [`workload`] — assembles the five benchmark workloads (dataset +
 //!   model + per-dataset hyper-parameters) at smoke/lab/paper scales.
 
+pub mod adversary;
 pub mod aggregate;
 pub mod algorithm;
 pub mod client;
@@ -35,7 +36,8 @@ pub mod timing;
 pub mod upload;
 pub mod workload;
 
-pub use aggregate::{AggError, AggSettings};
+pub use adversary::{AdversarySpec, AttackMode, ChurnSpec, GarbageKind};
+pub use aggregate::{AggError, AggSettings, RobustKind};
 pub use algorithm::{FlAlgorithm, LocalResult, RoundInfo};
 pub use metrics::{ExperimentLog, RoundRecord};
 pub use network::NetworkModel;

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// What the runner records after each round — everything needed to rebuild
 /// the paper's tables and figures (accuracy/loss curves, upload sizes,
 /// LTTR, TTA).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: usize,
@@ -42,6 +42,50 @@ pub struct RoundRecord {
     /// deltas reflect what the round itself retained. Excluded from
     /// digests.
     pub rss_bytes: u64,
+    /// Uploads that actually reached this round's aggregation — the
+    /// cohort minus offline/dropped-out clients and screened-out hostile
+    /// uploads. Equal to the cohort size when churn and adversary models
+    /// are off; **0 marks a defined no-op round** (every surviving upload
+    /// was lost, the global is unchanged). Deserialization defaults the
+    /// field to 0 so logs written before it existed still parse (the
+    /// hand-written impl below — the vendored serde shim has no
+    /// `#[serde(default)]`).
+    pub contributors: usize,
+}
+
+// Deserialize is written by hand (the derive requires every field present):
+// `contributors` was appended after experiment logs already existed on
+// disk, so a missing field must read back as 0, not fail.
+impl serde::Deserialize for RoundRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::msg("expected object for RoundRecord"))?;
+        fn req<T: serde::Deserialize>(
+            obj: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            serde::Deserialize::from_value(serde::field(obj, name, "RoundRecord")?)
+        }
+        Ok(Self {
+            round: req(obj, "round")?,
+            train_loss: req(obj, "train_loss")?,
+            test_loss: req(obj, "test_loss")?,
+            test_acc: req(obj, "test_acc")?,
+            upload_bytes_mean: req(obj, "upload_bytes_mean")?,
+            upload_bytes_max: req(obj, "upload_bytes_max")?,
+            download_bytes: req(obj, "download_bytes")?,
+            local_seconds_mean: req(obj, "local_seconds_mean")?,
+            local_seconds_max: req(obj, "local_seconds_max")?,
+            agg_seconds: req(obj, "agg_seconds")?,
+            peak_rss_bytes: req(obj, "peak_rss_bytes")?,
+            rss_bytes: req(obj, "rss_bytes")?,
+            contributors: match obj.iter().find(|(k, _)| k == "contributors") {
+                Some((_, val)) => serde::Deserialize::from_value(val)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 /// Parse one `kB` field of `/proc/self/status` (e.g. `"VmHWM:"`),
@@ -178,6 +222,7 @@ mod tests {
             agg_seconds: 0.01,
             peak_rss_bytes: 0,
             rss_bytes: 0,
+            contributors: 1,
         }
     }
 

@@ -10,7 +10,10 @@
 //! the discrete-event simulator (`fedbiad-sim`), whose synchronous-barrier
 //! policy reproduces this loop bit-for-bit.
 
-use crate::aggregate::AggSettings;
+use crate::adversary::{
+    churn_fate, corrupt_upload, is_adversary, AdversarySpec, ChurnFate, ChurnSpec,
+};
+use crate::aggregate::{upload_has_non_finite, AggSettings};
 use crate::algorithm::{FlAlgorithm, RoundInfo, TrainConfig};
 use crate::metrics::{current_rss_bytes, peak_rss_bytes, ExperimentLog, RoundRecord};
 use crate::round::{
@@ -54,6 +57,12 @@ pub struct ExperimentConfig {
     /// sampler pinned by the golden digests; `Sparse` is the O(cohort)
     /// sampler for huge registered populations.
     pub sampler: SamplerKind,
+    /// Static byzantine adversary model (`None` = every client honest;
+    /// the historical behaviour, bit for bit).
+    pub adversary: Option<AdversarySpec>,
+    /// Mid-round churn model (`None` = no churn; the historical
+    /// behaviour, bit for bit).
+    pub churn: Option<ChurnSpec>,
 }
 
 impl Default for ExperimentConfig {
@@ -69,6 +78,8 @@ impl Default for ExperimentConfig {
             agg: AggSettings::default(),
             cohort: None,
             sampler: SamplerKind::Shuffle,
+            adversary: None,
+            churn: None,
         }
     }
 }
@@ -144,10 +155,14 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             };
 
             // --- client sampling (uniform without replacement) ---
-            let ids = {
+            let mut ids = {
                 let _stage = span!("round.select", cohort = c);
                 sample_clients_with(self.cfg.sampler, self.cfg.seed, round, k, c)
             };
+            // Offline churn: the client never starts the round.
+            if let Some(ch) = self.cfg.churn {
+                ids.retain(|&id| churn_fate(self.cfg.seed, round, id, ch) != ChurnFate::Offline);
+            }
 
             let rctx = self.algo.begin_round(info, &global);
 
@@ -155,7 +170,7 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             // Move each selected client's state out of the table so rayon
             // workers get disjoint &mut access.
             let mut work = states.checkout(&ids, &self.algo, self.model, &global);
-            let results = {
+            let mut results = {
                 let _stage = span!("round.train", clients = ids.len());
                 run_local_updates(
                     &self.algo,
@@ -170,6 +185,28 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             };
             states.restore(work);
 
+            // Mid-round dropout: the client did the work, the upload is
+            // lost on the wire.
+            if let Some(ch) = self.cfg.churn {
+                results.retain(|(id, _)| {
+                    churn_fate(self.cfg.seed, round, *id, ch) != ChurnFate::Dropout
+                });
+            }
+            // Byzantine corruption happens on the wire, after honest
+            // training; the value-finiteness screen then drops hostile
+            // non-finite uploads instead of letting them poison the model
+            // (or fail the round with AggError::NonFiniteValue).
+            if let Some(adv) = self.cfg.adversary {
+                for (id, res) in results.iter_mut() {
+                    if is_adversary(self.cfg.seed, adv.fraction, *id) {
+                        res.upload = corrupt_upload(&global, &res.upload, adv.mode)
+                            .expect("corrupting a well-formed upload");
+                    }
+                }
+                results.retain(|(_, r)| !upload_has_non_finite(&global, &r.upload).unwrap_or(true));
+            }
+            let contributors = results.len();
+
             // --- upload accounting ---
             // Pure over &results, so summarising before aggregation is
             // bit-identical to the historical after-aggregation order.
@@ -181,8 +218,14 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
             };
 
             // --- aggregation ---
+            // A round whose entire surviving upload set was lost to churn
+            // or screening is a defined no-op: the global is unchanged and
+            // the record notes 0 contributors — never a panic out of the
+            // engines' `total_w > 0` guards.
             let sw_agg = Stopwatch::start();
-            let agg_seconds = {
+            let agg_seconds = if results.is_empty() {
+                0.0
+            } else {
                 let _stage = span!("round.aggregate", clients = results.len());
                 self.algo.aggregate(info, &rctx, &mut global, &results);
                 sw_agg.seconds()
@@ -220,6 +263,7 @@ impl<'a, A: FlAlgorithm> Experiment<'a, A> {
                 agg_seconds,
                 peak_rss_bytes: peak_rss_bytes(),
                 rss_bytes: current_rss_bytes(),
+                contributors,
             });
         }
 
@@ -349,9 +393,7 @@ mod tests {
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,
-            agg: Default::default(),
-            cohort: None,
-            sampler: SamplerKind::Shuffle,
+            ..Default::default()
         };
         let log = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
         assert_eq!(log.records.len(), 12);
@@ -385,9 +427,7 @@ mod tests {
             eval_topk: 1,
             eval_every: 1,
             eval_max_samples: 0,
-            agg: Default::default(),
-            cohort: None,
-            sampler: SamplerKind::Shuffle,
+            ..Default::default()
         };
         let a = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();
         let b = Experiment::new(&model, &fd, MiniFedAvg, cfg).run();

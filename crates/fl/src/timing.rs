@@ -93,6 +93,7 @@ mod tests {
             agg_seconds: 0.0,
             peak_rss_bytes: 0,
             rss_bytes: 0,
+            contributors: 1,
         }
     }
 

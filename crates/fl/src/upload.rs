@@ -199,11 +199,7 @@ mod tests {
         let mut beta = BitVec::new(4, true);
         beta.set(2, false);
         let mask = fedbiad_nn::ModelMask::from_row_pattern(&p, &beta);
-        let agg = AggSettings {
-            streaming: true,
-            shard_kb: 64,
-            tree_fanin: 0,
-        };
+        let agg = AggSettings::sharded(64);
         let u = Upload::masked_weights_with(p.clone(), mask.clone(), agg);
         let msg = u.wire_msg().expect("wire body under streaming");
         assert_eq!(msg.body_bytes(), u.wire_bytes);
@@ -218,11 +214,7 @@ mod tests {
     #[should_panic(expected = "wire bytes")]
     fn dense_accessor_panics_on_wire_bodies() {
         let p = params();
-        let agg = AggSettings {
-            streaming: true,
-            shard_kb: 1,
-            tree_fanin: 0,
-        };
+        let agg = AggSettings::sharded(1);
         let u = Upload::full_weights_with(p, agg);
         let _ = u.params();
     }

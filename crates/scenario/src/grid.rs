@@ -122,6 +122,8 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<MaterializedRun>, SpecError> {
                                 } else {
                                     fedbiad_fl::round::SamplerKind::Shuffle
                                 },
+                                adversary: spec.adversary,
+                                churn: spec.churn,
                             };
                             let mut label = format!("{}/{}", workload.name(), method.name());
                             if let Some(c) = compressor {

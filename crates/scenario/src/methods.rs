@@ -236,6 +236,12 @@ pub struct RunOpts {
     /// Cohort sampler: `Shuffle` is the legacy O(K) permutation,
     /// `Sparse` the O(cohort) draw for million-client populations.
     pub sampler: fedbiad_fl::round::SamplerKind,
+    /// Byzantine adversary model (scenario `[adversary]` section);
+    /// `None` means every client is honest.
+    pub adversary: Option<fedbiad_fl::AdversarySpec>,
+    /// Client churn model (scenario `[churn]` section); `None` means
+    /// every selected client completes its round.
+    pub churn: Option<fedbiad_fl::ChurnSpec>,
 }
 
 impl RunOpts {
@@ -253,6 +259,8 @@ impl RunOpts {
             agg: fedbiad_fl::AggSettings::default(),
             cohort: None,
             sampler: fedbiad_fl::round::SamplerKind::Shuffle,
+            adversary: None,
+            churn: None,
         }
     }
 }
@@ -291,6 +299,8 @@ pub fn run_method_composed(
         agg: opts.agg,
         cohort: opts.cohort,
         sampler: opts.sampler,
+        adversary: opts.adversary,
+        churn: opts.churn,
     };
     let p = opts.dropout_override.unwrap_or(bundle.dropout_rate);
     let driver = LockstepDriver {

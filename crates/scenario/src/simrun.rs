@@ -126,6 +126,8 @@ pub fn run_sim_method_composed(
         agg: opts.agg,
         cohort: opts.cohort,
         sampler: opts.sampler,
+        adversary: opts.adversary,
+        churn: opts.churn,
     };
     let cfg = SimConfig::new(base, profile);
     let cohort = resolve_cohort(bundle.data.num_clients(), base.client_fraction, base.cohort)

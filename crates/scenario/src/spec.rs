@@ -212,6 +212,42 @@ pub struct AggregationSection {
     /// Tree-reduction fan-in ≥ 2 (requires `streaming = true`; omitted =
     /// the serial streaming reducer).
     pub tree_fanin: Option<u32>,
+    /// Robust estimator: `"mean"` (default), `"trimmed_mean"`,
+    /// `"coordinate_median"`, or `"norm_clip"`. Robust estimators change
+    /// results, so a non-mean selection **does** feed the canonical seed
+    /// hash (the two engines stay bit-identical within a selection).
+    pub robust: Option<RobustChoice>,
+    /// Per-tail trim fraction for `robust = "trimmed_mean"` (default 0.1;
+    /// must lie in `[0, 0.5)`).
+    pub trim_frac: Option<f32>,
+    /// Clip radius for `robust = "norm_clip"` (must be finite and > 0).
+    pub tau: Option<f32>,
+}
+
+/// The `[aggregation] robust` estimator axis values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RobustChoice {
+    /// The historical weighted mean (the default; bit-identical to specs
+    /// written before the knob existed).
+    Mean,
+    /// Per-coordinate trimmed mean (knob: `trim_frac`).
+    TrimmedMean,
+    /// Per-coordinate weighted lower median.
+    CoordinateMedian,
+    /// Per-upload update-norm clipping before the plain mean (knob: `tau`).
+    NormClip,
+}
+
+impl RobustChoice {
+    /// The spec-file spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            RobustChoice::Mean => "mean",
+            RobustChoice::TrimmedMean => "trimmed_mean",
+            RobustChoice::CoordinateMedian => "coordinate_median",
+            RobustChoice::NormClip => "norm_clip",
+        }
+    }
 }
 
 impl AggregationSection {
@@ -221,6 +257,21 @@ impl AggregationSection {
             streaming: self.streaming,
             shard_kb: self.shard_kb.unwrap_or(64),
             tree_fanin: self.tree_fanin.unwrap_or(0),
+            robust: self.robust_kind(),
+        }
+    }
+
+    /// The resolved robust-estimator selection (`Mean` when unset).
+    pub fn robust_kind(&self) -> fedbiad_fl::RobustKind {
+        match self.robust {
+            None | Some(RobustChoice::Mean) => fedbiad_fl::RobustKind::Mean,
+            Some(RobustChoice::TrimmedMean) => fedbiad_fl::RobustKind::TrimmedMean {
+                trim_frac: self.trim_frac.unwrap_or(0.1),
+            },
+            Some(RobustChoice::CoordinateMedian) => fedbiad_fl::RobustKind::CoordinateMedian,
+            Some(RobustChoice::NormClip) => fedbiad_fl::RobustKind::NormClip {
+                tau: self.tau.unwrap_or(1.0),
+            },
         }
     }
 }
@@ -281,6 +332,12 @@ pub struct ScenarioSpec {
     pub aggregation: AggregationSection,
     /// Lazy registered-population override (`[population]`).
     pub population: Option<PopulationSection>,
+    /// Byzantine adversary model (`[adversary]`): a static fraction of
+    /// the population corrupts its uploads every round.
+    pub adversary: Option<fedbiad_fl::AdversarySpec>,
+    /// Client churn model (`[churn]`): per-round offline and mid-round
+    /// dropout probabilities.
+    pub churn: Option<fedbiad_fl::ChurnSpec>,
     /// TTA target-accuracy override (`[sim] target_acc`).
     pub target_acc: Option<f64>,
 }
@@ -364,6 +421,8 @@ impl ScenarioSpec {
                 "training",
                 "aggregation",
                 "population",
+                "adversary",
+                "churn",
                 "sim",
             ],
         )?;
@@ -406,6 +465,14 @@ impl ScenarioSpec {
             None => None,
             Some(v) => Some(decode_population(v)?),
         };
+        let adversary = match get(root, "adversary") {
+            None => None,
+            Some(v) => Some(decode_adversary(v)?),
+        };
+        let churn = match get(root, "churn") {
+            None => None,
+            Some(v) => Some(decode_churn(v)?),
+        };
         let target_acc = match get(root, "sim") {
             None => None,
             Some(v) => decode_sim(v)?,
@@ -427,6 +494,8 @@ impl ScenarioSpec {
             training,
             aggregation,
             population,
+            adversary,
+            churn,
             target_acc,
         };
         spec.validate()?;
@@ -692,6 +761,23 @@ impl ScenarioSpec {
         }
         if let Some(fanin) = self.aggregation.tree_fanin {
             s.push_str(&format!(";tree_fanin={fanin}"));
+        }
+        // Robust estimators change results (unlike streaming/shard_kb), so
+        // a non-mean selection feeds the seed hash. `Mean` — implicit or
+        // an explicit `robust = "mean"` — appends nothing, preserving
+        // every pre-existing derived seed.
+        match self.aggregation.robust_kind() {
+            fedbiad_fl::RobustKind::Mean => {}
+            k => s.push_str(&format!(";robust={k:?}")),
+        }
+        // Both models change which uploads reach aggregation (and what
+        // they contain), so they feed the seed hash whenever present;
+        // specs without the sections keep their pre-existing seeds.
+        if let Some(adv) = self.adversary {
+            s.push_str(&format!(";adversary={},{:?}", adv.fraction, adv.mode));
+        }
+        if let Some(ch) = self.churn {
+            s.push_str(&format!(";churn={},{}", ch.offline, ch.dropout));
         }
         s
     }
@@ -1122,7 +1208,18 @@ fn decode_aggregation(v: Option<&Value>) -> Result<AggregationSection, SpecError
     let mut agg = AggregationSection::default();
     let Some(v) = v else { return Ok(agg) };
     let t = table_of(v, "aggregation")?;
-    check_fields(t, "aggregation", &["streaming", "shard_kb", "tree_fanin"])?;
+    check_fields(
+        t,
+        "aggregation",
+        &[
+            "streaming",
+            "shard_kb",
+            "tree_fanin",
+            "robust",
+            "trim_frac",
+            "tau",
+        ],
+    )?;
     if let Some(x) = get(t, "streaming") {
         agg.streaming = match x {
             Value::Bool(b) => *b,
@@ -1158,6 +1255,53 @@ fn decode_aggregation(v: Option<&Value>) -> Result<AggregationSection, SpecError
             )));
         }
         agg.tree_fanin = Some(fanin as u32);
+    }
+    if let Some(x) = get(t, "robust") {
+        let r = str_of(x, "aggregation", "robust")?;
+        agg.robust = Some(match r.as_str() {
+            "mean" => RobustChoice::Mean,
+            "trimmed_mean" => RobustChoice::TrimmedMean,
+            "coordinate_median" => RobustChoice::CoordinateMedian,
+            "norm_clip" => RobustChoice::NormClip,
+            other => {
+                return Err(SpecError::new(format!(
+                    "[aggregation] robust = \"{other}\" is unknown; expected \"mean\", \
+                     \"trimmed_mean\", \"coordinate_median\", or \"norm_clip\""
+                )))
+            }
+        });
+    }
+    if let Some(x) = get(t, "trim_frac") {
+        let f = f64_of(x, "aggregation", "trim_frac")? as f32;
+        if !(f.is_finite() && (0.0..0.5).contains(&f)) {
+            return Err(SpecError::new(format!(
+                "[aggregation] trim_frac = {f} is out of range; the per-tail trim fraction \
+                 must lie in [0, 0.5) or the trim empties every cohort"
+            )));
+        }
+        agg.trim_frac = Some(f);
+    }
+    if let Some(x) = get(t, "tau") {
+        let f = f64_of(x, "aggregation", "tau")? as f32;
+        if !(f.is_finite() && f > 0.0) {
+            return Err(SpecError::new(format!(
+                "[aggregation] tau = {f} is out of range; the clip radius must be a finite \
+                 positive number"
+            )));
+        }
+        agg.tau = Some(f);
+    }
+    if agg.trim_frac.is_some() && agg.robust != Some(RobustChoice::TrimmedMean) {
+        return Err(SpecError::new(
+            "[aggregation] trim_frac requires robust = \"trimmed_mean\"; no other estimator \
+             trims",
+        ));
+    }
+    if agg.tau.is_some() && agg.robust != Some(RobustChoice::NormClip) {
+        return Err(SpecError::new(
+            "[aggregation] tau requires robust = \"norm_clip\"; no other estimator clips \
+             update norms",
+        ));
     }
     if agg.shard_kb.is_some() && !agg.streaming {
         return Err(SpecError::new(
@@ -1203,6 +1347,117 @@ fn decode_population(v: &Value) -> Result<PopulationSection, SpecError> {
         cohort,
         samples_per_client,
     })
+}
+
+fn decode_adversary(v: &Value) -> Result<fedbiad_fl::AdversarySpec, SpecError> {
+    use fedbiad_fl::{AttackMode, GarbageKind};
+    let t = table_of(v, "adversary")?;
+    check_fields(t, "adversary", &["fraction", "mode", "factor", "garbage"])?;
+    let fraction = match get(t, "fraction") {
+        None => {
+            return Err(SpecError::new(
+                "missing required field `fraction` in [adversary] (the byzantine client \
+                 fraction, in (0, 1])",
+            ))
+        }
+        Some(x) => f64_of(x, "adversary", "fraction")? as f32,
+    };
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(SpecError::new(format!(
+            "[adversary] fraction = {fraction} is out of range; the byzantine fraction must \
+             lie in (0, 1] (omit the section for an honest population)"
+        )));
+    }
+    let mode_name = match get(t, "mode") {
+        None => {
+            return Err(SpecError::new(
+                "missing required field `mode` in [adversary]; expected \"sign_flip\", \
+                 \"scale\" or \"garbage\"",
+            ))
+        }
+        Some(x) => str_of(x, "adversary", "mode")?,
+    };
+    if get(t, "factor").is_some() && mode_name != "scale" {
+        return Err(SpecError::new(
+            "[adversary] factor requires mode = \"scale\"; no other attack scales",
+        ));
+    }
+    if get(t, "garbage").is_some() && mode_name != "garbage" {
+        return Err(SpecError::new(
+            "[adversary] garbage requires mode = \"garbage\"; no other attack transmits \
+             garbage values",
+        ));
+    }
+    let mode = match mode_name.as_str() {
+        "sign_flip" => AttackMode::SignFlip,
+        "scale" => {
+            let factor = match get(t, "factor") {
+                None => 10.0,
+                Some(x) => f64_of(x, "adversary", "factor")? as f32,
+            };
+            if !factor.is_finite() {
+                return Err(SpecError::new(
+                    "[adversary] factor must be finite; use mode = \"garbage\" for \
+                     non-finite payloads",
+                ));
+            }
+            AttackMode::Scale { factor }
+        }
+        "garbage" => {
+            let kind = match get(t, "garbage") {
+                None => GarbageKind::Nan,
+                Some(x) => match str_of(x, "adversary", "garbage")?.as_str() {
+                    "nan" => GarbageKind::Nan,
+                    "inf" => GarbageKind::Inf,
+                    "huge" => GarbageKind::Huge,
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "[adversary] garbage = \"{other}\" is unknown; expected \"nan\", \
+                             \"inf\" or \"huge\""
+                        )))
+                    }
+                },
+            };
+            AttackMode::Garbage { kind }
+        }
+        other => {
+            return Err(SpecError::new(format!(
+                "[adversary] mode = \"{other}\" is unknown; expected \"sign_flip\", \
+                 \"scale\" or \"garbage\""
+            )))
+        }
+    };
+    Ok(fedbiad_fl::AdversarySpec { fraction, mode })
+}
+
+fn decode_churn(v: &Value) -> Result<fedbiad_fl::ChurnSpec, SpecError> {
+    let t = table_of(v, "churn")?;
+    check_fields(t, "churn", &["offline", "dropout"])?;
+    let mut ch = fedbiad_fl::ChurnSpec {
+        offline: 0.0,
+        dropout: 0.0,
+    };
+    if let Some(x) = get(t, "offline") {
+        ch.offline = f64_of(x, "churn", "offline")? as f32;
+    }
+    if let Some(x) = get(t, "dropout") {
+        ch.dropout = f64_of(x, "churn", "dropout")? as f32;
+    }
+    for (key, p) in [("offline", ch.offline), ("dropout", ch.dropout)] {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(SpecError::new(format!(
+                "[churn] {key} = {p} is out of range; the per-round probability must lie \
+                 in [0, 1]"
+            )));
+        }
+    }
+    if ch.offline == 0.0 && ch.dropout == 0.0 {
+        return Err(SpecError::new(
+            "[churn] sets neither offline nor dropout above 0; omit the section for a \
+             churn-free population",
+        ));
+    }
+    Ok(ch)
 }
 
 fn decode_training(v: Option<&Value>) -> Result<TrainingSection, SpecError> {

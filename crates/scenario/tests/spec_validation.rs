@@ -32,7 +32,7 @@ fn unknown_fields_list_the_expected_ones() {
     assert_eq!(
         err_of(&format!("name = \"t\"\nsweeps = 1\n{OK_SWEEP}")),
         "unknown field `sweeps` at top level; expected one of: name, mode, run, sweep, \
-         partition, network, fedbiad, training, aggregation, population, sim"
+         partition, network, fedbiad, training, aggregation, population, adversary, churn, sim"
     );
     assert_eq!(
         err_of(&format!("name = \"t\"\n[run]\nfrraction = 0.5\n{OK_SWEEP}")),
@@ -164,6 +164,87 @@ fn partition_parameters_are_kind_checked() {
         )),
         "[partition] kind = \"iid\" takes no parameters"
     );
+}
+
+#[test]
+fn adversary_section_is_strictly_validated() {
+    assert_eq!(
+        err_of(&format!(
+            "name = \"t\"\n{OK_SWEEP}[adversary]\nmode = \"sign_flip\"\n"
+        )),
+        "missing required field `fraction` in [adversary] (the byzantine client fraction, \
+         in (0, 1])"
+    );
+    assert_eq!(
+        err_of(&format!(
+            "name = \"t\"\n{OK_SWEEP}[adversary]\nfraction = 1.5\nmode = \"sign_flip\"\n"
+        )),
+        "[adversary] fraction = 1.5 is out of range; the byzantine fraction must lie in \
+         (0, 1] (omit the section for an honest population)"
+    );
+    assert_eq!(
+        err_of(&format!(
+            "name = \"t\"\n{OK_SWEEP}[adversary]\nfraction = 0.2\nmode = \"flip\"\n"
+        )),
+        "[adversary] mode = \"flip\" is unknown; expected \"sign_flip\", \"scale\" or \
+         \"garbage\""
+    );
+    assert_eq!(
+        err_of(&format!(
+            "name = \"t\"\n{OK_SWEEP}[adversary]\nfraction = 0.2\nmode = \"sign_flip\"\n\
+             factor = 5.0\n"
+        )),
+        "[adversary] factor requires mode = \"scale\"; no other attack scales"
+    );
+    assert_eq!(
+        err_of(&format!(
+            "name = \"t\"\n{OK_SWEEP}[adversary]\nfraction = 0.2\nmode = \"garbage\"\n\
+             garbage = \"zero\"\n"
+        )),
+        "[adversary] garbage = \"zero\" is unknown; expected \"nan\", \"inf\" or \"huge\""
+    );
+}
+
+#[test]
+fn churn_section_is_strictly_validated() {
+    assert_eq!(
+        err_of(&format!("name = \"t\"\n{OK_SWEEP}[churn]\ndropout = 1.2\n")),
+        "[churn] dropout = 1.2 is out of range; the per-round probability must lie in [0, 1]"
+    );
+    assert_eq!(
+        err_of(&format!(
+            "name = \"t\"\n{OK_SWEEP}[churn]\noffline = 0.0\ndropout = 0.0\n"
+        )),
+        "[churn] sets neither offline nor dropout above 0; omit the section for a \
+         churn-free population"
+    );
+    assert_eq!(
+        err_of(&format!("name = \"t\"\n{OK_SWEEP}[churn]\ndrop = 0.5\n")),
+        "unknown field `drop` in [churn]; expected one of: offline, dropout"
+    );
+}
+
+#[test]
+fn adversary_and_churn_feed_the_seed_hash() {
+    // The attack model changes results, so it must change the canonical
+    // string (and therefore every derived per-run seed); re-ordering
+    // knobs or adding comments must not.
+    let base = ScenarioSpec::from_toml_str(&format!("name = \"t\"\n{OK_SWEEP}")).unwrap();
+    let attacked = ScenarioSpec::from_toml_str(&format!(
+        "name = \"t\"\n{OK_SWEEP}[adversary]\nfraction = 0.2\nmode = \"sign_flip\"\n"
+    ))
+    .unwrap();
+    let churned =
+        ScenarioSpec::from_toml_str(&format!("name = \"t\"\n{OK_SWEEP}[churn]\ndropout = 0.3\n"))
+            .unwrap();
+    assert_ne!(base.canonical_string(), attacked.canonical_string());
+    assert_ne!(base.canonical_string(), churned.canonical_string());
+    assert_ne!(attacked.canonical_string(), churned.canonical_string());
+    // Append-only discipline: an honest, churn-free spec's canonical
+    // string is byte-identical to what it was before these sections
+    // existed (it mentions neither knob).
+    assert!(!base.canonical_string().contains("adversary"));
+    assert!(!base.canonical_string().contains("churn"));
 }
 
 #[test]

@@ -114,6 +114,10 @@ pub enum TraceKind {
     Arrival,
     /// A client upload arrived after its round was closed and was dropped.
     LateArrival,
+    /// A client's upload was lost to mid-round churn (or rejected by the
+    /// value-finiteness screen): the transmission window elapsed but
+    /// nothing entered the buffer.
+    ChurnLost,
     /// A policy timer fired.
     Timer,
     /// An aggregation committed a round record.

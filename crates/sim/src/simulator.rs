@@ -31,7 +31,8 @@ use crate::event::{EventQueue, TraceEvent, TraceKind};
 use crate::policy::{Action, PolicyEvent, ServerPolicy, ServerView};
 use crate::profile::{CostModel, HeterogeneityProfile};
 use fedbiad_data::FedDataset;
-use fedbiad_fl::aggregate::{merge_staleness_weighted, StalenessUpload};
+use fedbiad_fl::adversary::{churn_fate, corrupt_upload, is_adversary, ChurnFate};
+use fedbiad_fl::aggregate::{merge_staleness_weighted, upload_has_non_finite, StalenessUpload};
 use fedbiad_fl::algorithm::{FlAlgorithm, LocalResult, RoundInfo};
 use fedbiad_fl::metrics::{ExperimentLog, RoundRecord};
 use fedbiad_fl::round::{
@@ -138,6 +139,11 @@ struct InFlightEntry {
     /// The dispatched global, for delta-based staleness merging. `None`
     /// when the policy never buffers deltas (`needs_snapshots()` false).
     snapshot: Option<Arc<ParamSet>>,
+    /// The upload never reaches the buffer: lost to mid-round churn, or
+    /// rejected by the value-finiteness screen on receipt. Decided at
+    /// dispatch (the draws are deterministic); the arrival event still
+    /// fires so policies observe the client finishing.
+    lost: bool,
 }
 
 struct Buffered {
@@ -236,7 +242,23 @@ impl<'a, A: FlAlgorithm, P: ServerPolicy> Simulator<'a, A, P> {
 
         let mut processed = 0usize;
         while engine.records.len() < engine.cfg.base.rounds {
-            let Some(ev) = engine.queue.pop() else { break };
+            let Some(ev) = engine.queue.pop() else {
+                // Queue drained with rounds still owed. Under an active
+                // churn/adversary model that is a legitimate stall — every
+                // upload of the open round was lost, so no event is left
+                // for the policy to react to. Commit a defined no-op round
+                // and let the policy reopen on `Recorded`. Without those
+                // models, a drained queue means the policy stopped making
+                // progress: preserve the historical truncated-log exit.
+                let models_active =
+                    engine.cfg.base.churn.is_some() || engine.cfg.base.adversary.is_some();
+                if models_active && engine.in_flight.is_empty() && engine.buffer.is_empty() {
+                    let round = engine.commit_round(engine.records.len(), &[]);
+                    engine.drive(&mut policy, PolicyEvent::Recorded { round });
+                    continue;
+                }
+                break;
+            };
             counter!("sim.events_dequeued", 1u64);
             gauge!("sim.queue_depth", engine.queue.len());
             processed += 1;
@@ -254,14 +276,22 @@ impl<'a, A: FlAlgorithm, P: ServerPolicy> Simulator<'a, A, P> {
                         .position(|e| e.dispatch_id == dispatch_id)
                     {
                         let entry = engine.in_flight.remove(pos);
-                        engine.push_trace(TraceKind::Arrival, entry.client);
-                        engine.buffer.push(Buffered {
-                            client: entry.client,
-                            version: entry.version,
-                            result: entry.result,
-                            snapshot: entry.snapshot,
-                        });
                         let client = entry.client;
+                        if entry.lost {
+                            // Churn ate the upload (or the screen rejected
+                            // it): nothing enters the buffer, but the
+                            // policy still observes the client finishing —
+                            // barriers must close on lost clients too.
+                            engine.push_trace(TraceKind::ChurnLost, client);
+                        } else {
+                            engine.push_trace(TraceKind::Arrival, client);
+                            engine.buffer.push(Buffered {
+                                client: entry.client,
+                                version: entry.version,
+                                result: entry.result,
+                                snapshot: entry.snapshot,
+                            });
+                        }
                         engine.drive(&mut policy, PolicyEvent::Arrived { client });
                     } else if let Some(client) = engine.dropped.remove(&dispatch_id) {
                         // The round this upload belonged to was closed by
@@ -349,7 +379,11 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
                     return;
                 }
                 match action {
-                    Action::Dispatch(ids) => self.dispatch(&ids),
+                    Action::Dispatch(ids) => {
+                        if let Some(round) = self.dispatch(&ids) {
+                            pending.push_back(PolicyEvent::Recorded { round });
+                        }
+                    }
                     Action::AggregateRound => {
                         let round = self.aggregate_round();
                         pending.push_back(PolicyEvent::Recorded { round });
@@ -376,10 +410,30 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
     /// Broadcast the current global to `ids`, run their local updates
     /// (in parallel), and schedule each upload's arrival on the virtual
     /// clock.
-    fn dispatch(&mut self, ids: &[usize]) {
+    ///
+    /// Returns `Some(round)` only when an active churn model collapsed a
+    /// non-empty dispatch to nothing with the server otherwise idle: the
+    /// round can never close on its own, so a defined no-op round is
+    /// committed on the spot and the caller must drive `Recorded`.
+    fn dispatch(&mut self, ids: &[usize]) -> Option<usize> {
         if ids.is_empty() {
-            return;
+            return None;
         }
+        let seed = self.cfg.base.seed;
+        let round_now = self.records.len();
+        let mut ids: Vec<usize> = ids.to_vec();
+        if let Some(ch) = self.cfg.base.churn {
+            // Offline clients never even start: the policy's selection is
+            // thinned before any work (or virtual traffic) happens.
+            ids.retain(|&id| churn_fate(seed, round_now, id, ch) != ChurnFate::Offline);
+        }
+        if ids.is_empty() {
+            if self.in_flight.is_empty() && self.buffer.is_empty() {
+                return Some(self.commit_round(round_now, &[]));
+            }
+            return None;
+        }
+        let ids = &ids[..];
         debug_assert!(
             ids.iter()
                 .all(|id| self.in_flight.iter().all(|e| e.client != *id)),
@@ -389,7 +443,6 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
             ids.iter().all(|id| !self.dropped.values().any(|c| c == id)),
             "dispatching a client whose dropped upload is still in transit"
         );
-        let seed = self.cfg.base.seed;
         // The algorithm's RoundInfo tracks *committed* rounds, so
         // round-scheduled behavior (FedBIAD's stage boundary, data
         // growth, anything keyed on round/total_rounds) advances exactly
@@ -411,7 +464,7 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
         let mut work = self
             .states
             .checkout(ids, &self.algo, self.model, &self.global);
-        let results = {
+        let mut results = {
             let _stage = span!("round.train", clients = ids.len());
             run_local_updates(
                 &self.algo,
@@ -426,6 +479,15 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
         };
         self.states.restore(work);
         self.last_rctx = Some(rctx);
+
+        if let Some(adv) = self.cfg.base.adversary {
+            for (id, res) in results.iter_mut() {
+                if is_adversary(seed, adv.fraction, *id) {
+                    res.upload = corrupt_upload(&self.global, &res.upload, adv.mode)
+                        .expect("corrupting a well-formed upload");
+                }
+            }
+        }
 
         let snapshot = self
             .snapshots_enabled
@@ -455,6 +517,18 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
                 + prof.net.download_message_seconds(download_bytes)
                 + compute
                 + prof.net.upload_message_seconds(res.upload.wire_bytes);
+            // Loss is decided now (the draws are deterministic in
+            // (round, client)), but takes effect only when the arrival
+            // event fires — the wire still carries the bytes, the link
+            // still spends the time, and the policy still sees the
+            // client finish.
+            let dropout = self
+                .cfg
+                .base
+                .churn
+                .is_some_and(|ch| churn_fate(seed, round_now, id, ch) == ChurnFate::Dropout);
+            let screened = self.cfg.base.adversary.is_some()
+                && upload_has_non_finite(&self.global, &res.upload).unwrap_or(true);
             let dispatch_id = self.next_dispatch_id;
             self.next_dispatch_id += 1;
             self.queue.push(arrival, SimEvent::Arrival { dispatch_id });
@@ -464,16 +538,23 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
                 version: self.version,
                 result: res,
                 snapshot: snapshot.clone(),
+                lost: dropout || screened,
             });
             self.push_trace(TraceKind::Dispatch, id);
         }
+        None
     }
 
     /// Drain the buffer into the algorithm's own aggregation (inputs in
     /// ascending client-id order — the lock-step runner's order), then
     /// evaluate and commit a round record. Returns the round index.
     fn aggregate_round(&mut self) -> usize {
-        assert!(!self.buffer.is_empty(), "aggregate with empty buffer");
+        if self.buffer.is_empty() {
+            // Every upload of the round was lost to churn or rejected by
+            // the value screen: a defined no-op — the global is untouched
+            // and the record notes zero contributors.
+            return self.commit_round(self.records.len(), &[]);
+        }
         self.buffer.sort_by_key(|b| b.client);
         let results: Vec<(usize, LocalResult)> = self
             .buffer
@@ -508,7 +589,11 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
     /// [`fedbiad_fl::aggregate::merge_staleness_weighted`], shared between
     /// the dense reference and the sharded streaming engine.
     fn aggregate_buffered(&mut self, alpha: f64, server_lr: f64) -> usize {
-        assert!(!self.buffer.is_empty(), "aggregate with empty buffer");
+        if self.buffer.is_empty() {
+            // Same defined no-op as `aggregate_round`: nothing survived,
+            // nothing merges, the version does not advance.
+            return self.commit_round(self.records.len(), &[]);
+        }
         self.buffer.sort_by_key(|b| b.client);
         let drained: Vec<Buffered> = self.buffer.drain(..).collect();
         let items: Vec<StalenessUpload> = drained
@@ -538,8 +623,16 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
     /// Shared bookkeeping after any aggregation: version bump, virtual
     /// aggregation cost, evaluation (or carry-forward), round record.
     fn commit_round(&mut self, round: usize, results: &[(usize, LocalResult)]) -> usize {
-        self.version += 1;
-        self.now += self.cfg.cost.agg_seconds;
+        // A no-op round (zero contributors) leaves the global — and hence
+        // the staleness version — untouched and spends no virtual
+        // aggregation time; there was nothing to merge.
+        let agg_seconds = if results.is_empty() {
+            0.0
+        } else {
+            self.version += 1;
+            self.now += self.cfg.cost.agg_seconds;
+            self.cfg.cost.agg_seconds
+        };
         let stats = {
             let _stage = span!("round.upload");
             summarize_results(results)
@@ -570,9 +663,10 @@ impl<'a, A: FlAlgorithm> Engine<'a, A> {
             local_seconds_max: stats.local_seconds_max,
             // The simulator's agg_seconds is *virtual* (cost model), not
             // wall clock — see fl::timing's clock taxonomy.
-            agg_seconds: self.cfg.cost.agg_seconds,
+            agg_seconds,
             peak_rss_bytes: fedbiad_fl::metrics::peak_rss_bytes(),
             rss_bytes: fedbiad_fl::metrics::current_rss_bytes(),
+            contributors: results.len(),
         });
         self.round_end_seconds.push(self.now);
         self.push_trace(TraceKind::Aggregate, usize::MAX);

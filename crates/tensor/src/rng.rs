@@ -47,6 +47,12 @@ pub enum StreamTag {
     /// (`fedbiad-scenario`): `round` carries the run index, `client` the
     /// replicate index.
     Scenario = 13,
+    /// Static byzantine-membership draw (`round` is always 0 — adversaries
+    /// do not rotate between rounds).
+    Adversary = 14,
+    /// Per-`(round, client)` churn draws: offline first, mid-round dropout
+    /// second, in that fixed order.
+    Churn = 15,
 }
 
 /// SplitMix64 finaliser: scrambles a 64-bit state into a well-mixed output.

@@ -86,6 +86,57 @@ pub fn top_k_abs_indices(xs: &[f32], k: usize) -> Vec<usize> {
     top_k_indices_by(xs, k, |v| v.abs())
 }
 
+/// Stable in-place sort of weighted samples `(value, weight)` by value
+/// under the IEEE total order (`f32::total_cmp`). Stability makes the
+/// outcome a pure function of the input sequence even with tied values,
+/// which is what lets the dense and streaming robust-aggregation engines
+/// stay bit-identical: both feed the column in upload order and run this
+/// exact sort. NaN values order last deterministically instead of
+/// poisoning the comparison.
+pub fn sort_weighted_by_value(pairs: &mut [(f32, f32)]) {
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+/// Weighted numerator and denominator of the trimmed range
+/// `sorted[k..len−k]`: `(Σ wᵢvᵢ, Σ wᵢ)` folded serially in sorted order
+/// (the robust engines' bit-exactness contract — both engines call this
+/// one kernel). Panics if trimming exceeds the sample (`2k ≥ len`);
+/// callers guard that case (it means "keep the previous value").
+pub fn trimmed_weighted_sum(sorted: &[(f32, f32)], k: usize) -> (f32, f32) {
+    assert!(
+        2 * k < sorted.len(),
+        "trim depth {k} empties {} samples",
+        sorted.len()
+    );
+    let mut num = 0.0f32;
+    let mut den = 0.0f32;
+    for &(v, w) in &sorted[k..sorted.len() - k] {
+        num += w * v;
+        den += w;
+    }
+    (num, den)
+}
+
+/// Weighted lower median of value-sorted samples: the first value whose
+/// cumulative weight reaches half the total weight. With unit weights and
+/// odd `n` this is the classic median; with even `n` it is the lower of
+/// the two middle values (no interpolation — the estimate is always one
+/// of the inputs, the property that gives the median its breakdown
+/// point). Panics on empty input.
+pub fn weighted_lower_median(sorted: &[(f32, f32)]) -> f32 {
+    assert!(!sorted.is_empty(), "weighted median of empty slice");
+    let total: f32 = sorted.iter().map(|p| p.1).sum();
+    let half = 0.5 * total;
+    let mut cum = 0.0f32;
+    for &(v, w) in sorted {
+        cum += w;
+        if cum >= half {
+            return v;
+        }
+    }
+    sorted[sorted.len() - 1].0
+}
+
 /// `true` iff the top-`k` set of `logits` contains `target` (top-k accuracy,
 /// the paper uses k=3 for next-word prediction and k=1 for images).
 pub fn in_top_k(logits: &[f32], target: usize, k: usize) -> bool {
@@ -148,6 +199,49 @@ mod tests {
     #[test]
     fn top_k_clamps_k() {
         assert_eq!(top_k_indices(&[1.0], 5), vec![0]);
+    }
+
+    #[test]
+    fn sort_weighted_is_stable_and_total() {
+        let mut pairs = vec![(2.0, 10.0), (1.0, 20.0), (2.0, 30.0), (f32::NAN, 40.0)];
+        sort_weighted_by_value(&mut pairs);
+        // Ties keep input order (stability), NaN sorts last.
+        assert_eq!(pairs[0], (1.0, 20.0));
+        assert_eq!(pairs[1], (2.0, 10.0));
+        assert_eq!(pairs[2], (2.0, 30.0));
+        assert!(pairs[3].0.is_nan());
+    }
+
+    #[test]
+    fn trimmed_sum_drops_both_tails() {
+        let sorted = [(-100.0, 1.0), (1.0, 2.0), (3.0, 2.0), (900.0, 1.0)];
+        let (num, den) = trimmed_weighted_sum(&sorted, 1);
+        assert_eq!(num, 2.0 * 1.0 + 2.0 * 3.0);
+        assert_eq!(den, 4.0);
+        // k = 0 is the plain weighted sum.
+        let (num0, den0) = trimmed_weighted_sum(&sorted, 0);
+        assert_eq!(num0, -100.0 + 2.0 + 6.0 + 900.0);
+        assert_eq!(den0, 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim depth")]
+    fn trimmed_sum_rejects_emptying_trims() {
+        trimmed_weighted_sum(&[(1.0, 1.0), (2.0, 1.0)], 1);
+    }
+
+    #[test]
+    fn weighted_median_lower_convention() {
+        // Odd count, unit weights: the middle value.
+        let s = [(1.0, 1.0), (2.0, 1.0), (9.0, 1.0)];
+        assert_eq!(weighted_lower_median(&s), 2.0);
+        // Even count: the lower middle value, never an interpolation.
+        let s = [(1.0, 1.0), (2.0, 1.0), (3.0, 1.0), (9.0, 1.0)];
+        assert_eq!(weighted_lower_median(&s), 2.0);
+        // Weights shift the mass: one heavy sample owns the median.
+        let s = [(1.0, 1.0), (5.0, 10.0), (9.0, 1.0)];
+        assert_eq!(weighted_lower_median(&s), 5.0);
+        assert_eq!(weighted_lower_median(&[(7.0, 3.0)]), 7.0);
     }
 
     #[test]

@@ -26,6 +26,8 @@ fn main() {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let p = bundle.dropout_rate;
     let dgc = || Arc::new(Dgc::paper());

@@ -26,6 +26,8 @@ fn run(
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     vec![
         Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run(),

@@ -37,6 +37,8 @@ fn main() {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
 
     let p = bundle.dropout_rate;

@@ -27,6 +27,8 @@ fn main() {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let stragglers = HeterogeneityProfile::Stragglers {
         fraction: 0.4,

@@ -18,7 +18,7 @@ use fedbiad::core::combo::sketch_masked_weights;
 use fedbiad::core::pattern::{keep_count, DropPattern};
 use fedbiad::fl::aggregate::{
     aggregate_deltas, aggregate_weights, arena_churn, merge_staleness_weighted, AggSettings,
-    StalenessUpload, ZeroMode,
+    RobustKind, StalenessUpload, ZeroMode,
 };
 use fedbiad::fl::upload::{Upload, UploadBody, UploadKind};
 use fedbiad::fl::workload::{build, Scale, Workload};
@@ -460,6 +460,380 @@ fn steady_state_streaming_allocates_nothing() {
     std::env::remove_var("RAYON_NUM_THREADS");
 }
 
+// ---- robust estimators: dense ≡ streaming ------------------------------
+
+/// The non-mean estimator family under differential test. The trim
+/// fraction and clip radius are chosen so both branches of each estimator
+/// actually fire on the 7-client fixtures (k = 1 trims something, τ = 0.5
+/// clips some uploads and passes others through).
+fn robust_kinds() -> Vec<(&'static str, RobustKind)> {
+    vec![
+        ("trim", RobustKind::TrimmedMean { trim_frac: 0.2 }),
+        ("median", RobustKind::CoordinateMedian),
+        ("clip", RobustKind::NormClip { tau: 0.5 }),
+    ]
+}
+
+/// Dense reference vs streaming under a robust estimator: every
+/// `ZeroMode` × shard size × 1/2/8 threads must agree bitwise (the
+/// tentpole pin: order statistics gather the same column bits in both
+/// engines).
+fn assert_robust_weights_equivalence(
+    uploads: &[(f32, Upload)],
+    reference_uploads: &[(f32, Upload)],
+    robust: RobustKind,
+    what: &str,
+) {
+    let _guard = env_lock();
+    let global0 = init_params(1);
+    let ups: Vec<(f32, &Upload)> = uploads.iter().map(|(w, u)| (*w, u)).collect();
+    let ref_ups: Vec<(f32, &Upload)> = reference_uploads.iter().map(|(w, u)| (*w, u)).collect();
+    for mode in [
+        ZeroMode::ZerosPull,
+        ZeroMode::HoldersOnly,
+        ZeroMode::StaleFill,
+    ] {
+        let mut reference = global0.clone();
+        aggregate_weights(
+            &mut reference,
+            &ref_ups,
+            mode,
+            AggSettings::default().with_robust(robust),
+        )
+        .unwrap();
+        for kb in shard_kbs() {
+            for threads in ["1", "2", "8"] {
+                std::env::set_var("RAYON_NUM_THREADS", threads);
+                let mut g = global0.clone();
+                aggregate_weights(
+                    &mut g,
+                    &ups,
+                    mode,
+                    AggSettings::sharded(kb).with_robust(robust),
+                )
+                .unwrap();
+                assert_params_bit_identical(
+                    &g,
+                    &reference,
+                    &format!("{what}/{mode:?}/{kb}KB/{threads}t"),
+                );
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn robust_weights_all_modes_shards_threads() {
+    let global = init_params(1);
+    // 7 clients cycle through every coverage shape, including the
+    // all-empty-coverage client — partial participant sets per coordinate
+    // exercise the trimmed-empty / empty-holder branches.
+    let uploads = weights_uploads(&global, 7);
+    let wired: Vec<(f32, Upload)> = uploads
+        .iter()
+        .map(|(w, u)| {
+            let msg = codec::encode_weights(u.params(), &u.coverage);
+            (
+                *w,
+                Upload::wire(UploadKind::Weights, msg, u.coverage.clone(), u.wire_bytes),
+            )
+        })
+        .collect();
+    for (name, robust) in robust_kinds() {
+        assert_robust_weights_equivalence(
+            &uploads,
+            &uploads,
+            robust,
+            &format!("robust/{name}/dense-body"),
+        );
+        assert_robust_weights_equivalence(
+            &wired,
+            &uploads,
+            robust,
+            &format!("robust/{name}/wire-body"),
+        );
+    }
+}
+
+#[test]
+fn robust_deltas_dense_vs_streaming() {
+    let _guard = env_lock();
+    let global = init_params(3);
+    let dgc = Dgc {
+        keep_fraction: 0.25,
+        momentum: 0.9,
+        warmup_rounds: 0,
+    };
+    for (cname, comp) in [
+        ("none", &NoCompression as &dyn Compressor),
+        ("dgc", &dgc as &dyn Compressor),
+    ] {
+        let pairs: Vec<(Upload, Upload)> = (0..6)
+            .map(|k| delta_upload_pair(&global, comp, k))
+            .collect();
+        let ups_d: Vec<(f32, &Upload)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (d, _))| ((i + 1) as f32, d))
+            .collect();
+        let ups_w: Vec<(f32, &Upload)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, w))| ((i + 1) as f32, w))
+            .collect();
+        for (name, robust) in robust_kinds() {
+            let mut reference = global.clone();
+            aggregate_deltas(
+                &mut reference,
+                &ups_d,
+                AggSettings::default().with_robust(robust),
+            )
+            .unwrap();
+            for kb in shard_kbs() {
+                for threads in ["1", "2", "8"] {
+                    std::env::set_var("RAYON_NUM_THREADS", threads);
+                    let mut g = global.clone();
+                    aggregate_deltas(&mut g, &ups_w, AggSettings::sharded(kb).with_robust(robust))
+                        .unwrap();
+                    assert_params_bit_identical(
+                        &g,
+                        &reference,
+                        &format!("robust-delta/{cname}/{name}/{kb}KB/{threads}t"),
+                    );
+                }
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn robust_staleness_merge_matches_dense() {
+    let _guard = env_lock();
+    let global = init_params(4);
+    let snapshots: Vec<ParamSet> = (0..3).map(|k| perturbed(&global, 700 + k)).collect();
+    let weights = weights_uploads(&global, 3);
+    let dgc = Dgc {
+        keep_fraction: 0.25,
+        momentum: 0.9,
+        warmup_rounds: 0,
+    };
+    let (delta_dense, delta_wire) = delta_upload_pair(&global, &dgc, 9);
+    let wired: Vec<Upload> = weights
+        .iter()
+        .map(|(_, u)| {
+            Upload::wire(
+                UploadKind::Weights,
+                codec::encode_weights(u.params(), &u.coverage),
+                u.coverage.clone(),
+                u.wire_bytes,
+            )
+        })
+        .collect();
+    for (name, robust) in robust_kinds() {
+        let dense_items: Vec<StalenessUpload> = weights
+            .iter()
+            .zip(&snapshots)
+            .map(|((w, u), s)| StalenessUpload {
+                weight: *w as f64 / 1.5,
+                upload: u,
+                snapshot: Some(s),
+            })
+            .chain(std::iter::once(StalenessUpload {
+                weight: 4.0,
+                upload: &delta_dense,
+                snapshot: None,
+            }))
+            .collect();
+        let mut reference = global.clone();
+        merge_staleness_weighted(
+            &mut reference,
+            &dense_items,
+            0.75,
+            AggSettings::default().with_robust(robust),
+        )
+        .unwrap();
+        for kb in shard_kbs() {
+            for threads in ["1", "2", "8"] {
+                std::env::set_var("RAYON_NUM_THREADS", threads);
+                let items: Vec<StalenessUpload> = wired
+                    .iter()
+                    .zip(&weights)
+                    .zip(&snapshots)
+                    .map(|((u, (w, _)), s)| StalenessUpload {
+                        weight: *w as f64 / 1.5,
+                        upload: u,
+                        snapshot: Some(s),
+                    })
+                    .chain(std::iter::once(StalenessUpload {
+                        weight: 4.0,
+                        upload: &delta_wire,
+                        snapshot: None,
+                    }))
+                    .collect();
+                let mut g = global.clone();
+                merge_staleness_weighted(
+                    &mut g,
+                    &items,
+                    0.75,
+                    AggSettings::sharded(kb).with_robust(robust),
+                )
+                .unwrap();
+                assert_params_bit_identical(
+                    &g,
+                    &reference,
+                    &format!("robust-staleness/{name}/{kb}KB/{threads}t"),
+                );
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+/// `trim_frac = 0` (and a cohort too small to trim) routes to the mean
+/// engines verbatim, and an all-honest `norm_clip` round with a radius
+/// larger than any delta passes every upload through untouched — both
+/// must reproduce the historical weighted mean **bitwise**, dense and
+/// streaming, which is what keeps the robust knob out of the golden
+/// digests when it is configured but inactive.
+#[test]
+fn inactive_robust_settings_reproduce_the_mean_bitwise() {
+    let _guard = env_lock();
+    let global0 = init_params(6);
+    let uploads = weights_uploads(&global0, 6);
+    let ups: Vec<(f32, &Upload)> = uploads.iter().map(|(w, u)| (*w, u)).collect();
+    let inactive = [
+        ("trim0", RobustKind::TrimmedMean { trim_frac: 0.0 }),
+        // ⌊0.12·6⌋ = 0: a cohort too small for the fraction to bite.
+        ("trim-small", RobustKind::TrimmedMean { trim_frac: 0.12 }),
+        ("clip-huge", RobustKind::NormClip { tau: 1e9 }),
+    ];
+    for mode in [
+        ZeroMode::ZerosPull,
+        ZeroMode::HoldersOnly,
+        ZeroMode::StaleFill,
+    ] {
+        let mut mean = global0.clone();
+        aggregate_weights(&mut mean, &ups, mode, AggSettings::default()).unwrap();
+        for (name, robust) in inactive {
+            for settings in [
+                AggSettings::default().with_robust(robust),
+                AggSettings::sharded(2).with_robust(robust),
+                AggSettings::sharded(64).with_robust(robust),
+            ] {
+                let mut g = global0.clone();
+                aggregate_weights(&mut g, &ups, mode, settings).unwrap();
+                assert_params_bit_identical(
+                    &g,
+                    &mean,
+                    &format!("inactive/{name}/{mode:?}/streaming={}", settings.streaming),
+                );
+            }
+        }
+    }
+}
+
+/// Satellite: elements whose holder set is empty — or emptied by the
+/// cohort-level trim depth — keep the previous global value under the
+/// robust engines, exactly like the mean engines' "no holders" rule.
+/// Differential across ZeroModes and both engines.
+#[test]
+fn robust_empty_holder_sets_keep_previous_global() {
+    let _guard = env_lock();
+    let global = init_params(8);
+    // Client 0 covers only row 0 of entry 0; clients 1 and 2 cover
+    // nothing at all. Every covered coordinate has exactly one holder.
+    let params = perturbed(&global, 901);
+    let mask = ModelMask {
+        per_entry: (0..params.num_entries())
+            .map(|e| {
+                let mut rb = BitVec::new(params.mat(e).rows(), false);
+                if e == 0 {
+                    rb.set(0, true);
+                }
+                CoverageMask::Rows(rb)
+            })
+            .collect(),
+    };
+    // Flat coverage indicator of client 0's mask (1.0 covered / 0.0 not).
+    let coverage: Vec<f32> = {
+        let mut ones = global.zeros_like();
+        let n = ones.flatten().len();
+        ones.unflatten_from(&vec![1.0f32; n]);
+        mask.apply(&mut ones);
+        ones.flatten()
+    };
+    assert!(coverage.iter().any(|&c| c != 0.0), "mask covers something");
+    assert!(coverage.contains(&0.0), "mask leaves gaps");
+    let uploads = [
+        (3.0f32, Upload::masked_weights(params.clone(), mask)),
+        (2.0f32, weights_uploads(&global, 5)[4].1.clone()),
+        (1.0f32, weights_uploads(&global, 5)[4].1.clone()),
+    ];
+    let ups: Vec<(f32, &Upload)> = uploads.iter().map(|(w, u)| (*w, u)).collect();
+    let engines = [AggSettings::default(), AggSettings::sharded(2)];
+
+    // ⌊0.34·3⌋ = 1 trims one from each tail: the single-holder coordinates
+    // trim *empty* and every uncovered coordinate has no holders at all —
+    // under HoldersOnly/StaleFill the whole global must survive bitwise.
+    let trim = RobustKind::TrimmedMean { trim_frac: 0.34 };
+    for mode in [ZeroMode::HoldersOnly, ZeroMode::StaleFill] {
+        for settings in engines {
+            let mut g = global.clone();
+            aggregate_weights(&mut g, &ups, mode, settings.with_robust(trim)).unwrap();
+            assert_params_bit_identical(
+                &g,
+                &global,
+                &format!("trim-empty/{mode:?}/streaming={}", settings.streaming),
+            );
+        }
+    }
+    // ZerosPull keeps all three uploads as exact zeros per coordinate, so
+    // the global *does* move — pin dense ≡ streaming on the degenerate
+    // coverage instead.
+    let mut zp_dense = global.clone();
+    aggregate_weights(
+        &mut zp_dense,
+        &ups,
+        ZeroMode::ZerosPull,
+        AggSettings::default().with_robust(trim),
+    )
+    .unwrap();
+    let mut zp_stream = global.clone();
+    aggregate_weights(
+        &mut zp_stream,
+        &ups,
+        ZeroMode::ZerosPull,
+        AggSettings::sharded(2).with_robust(trim),
+    )
+    .unwrap();
+    assert_params_bit_identical(&zp_dense, &zp_stream, "trim-empty/ZerosPull");
+
+    // Coordinate median under HoldersOnly: a single-holder coordinate's
+    // median is that holder's value; no-holder coordinates keep g_prev.
+    for settings in engines {
+        let mut g = global.clone();
+        aggregate_weights(
+            &mut g,
+            &ups,
+            ZeroMode::HoldersOnly,
+            settings.with_robust(RobustKind::CoordinateMedian),
+        )
+        .unwrap();
+        let (gf, pf, g0) = (g.flatten(), params.flatten(), global.flatten());
+        for j in 0..gf.len() {
+            let expect = if coverage[j] != 0.0 { pf[j] } else { g0[j] };
+            assert_eq!(
+                gf[j].to_bits(),
+                expect.to_bits(),
+                "median holders flat {j} (covered={})",
+                coverage[j] != 0.0
+            );
+        }
+    }
+}
+
 // ---- end-to-end: full experiments, dense vs streaming ------------------
 
 fn assert_logs_bit_identical(a: &ExperimentLog, b: &ExperimentLog, what: &str) {
@@ -517,6 +891,8 @@ fn e2e_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, streaming: bool) -> E
         },
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     }
 }
 

@@ -17,6 +17,8 @@ fn smoke_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, seed: u64) -> Exper
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     }
 }
 

@@ -120,6 +120,8 @@ fn assert_experiment_level_bitwise(workload: Workload, fedbiad: bool) {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let run = |model: &dyn Model| -> ExperimentLog {
         if fedbiad {

@@ -19,6 +19,8 @@ fn fedavg_and_fedbiad_both_learn_mnist_like() {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let avg = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
     let biad = Experiment::new(
@@ -59,6 +61,8 @@ fn lstm_learns_above_unigram_baseline() {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let avg = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
     let first = avg.records[0].test_loss;
@@ -82,6 +86,8 @@ fn train_loss_trends_down_for_fedbiad() {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let log = Experiment::new(
         bundle.model.as_ref(),
@@ -129,6 +135,8 @@ fn tta_improves_with_smaller_uploads_all_else_equal() {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let net = NetworkModel::t_mobile_5g();
     let avg = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();

@@ -16,6 +16,8 @@ fn run_once(seed: u64) -> ExperimentLog {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 3));
     Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()

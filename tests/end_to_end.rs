@@ -17,6 +17,8 @@ fn smoke_cfg(rounds: usize, bundle: &fedbiad::fl::workload::WorkloadBundle) -> E
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     }
 }
 

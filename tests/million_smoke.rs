@@ -43,6 +43,8 @@ fn population_cfg(
         agg: AggSettings::sharded_tree(64, 16),
         cohort: Some(cohort),
         sampler: SamplerKind::Sparse,
+        adversary: None,
+        churn: None,
     }
 }
 

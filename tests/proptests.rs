@@ -6,7 +6,7 @@ use fedbiad::compress::signsgd::SignSgd;
 use fedbiad::compress::stc::Stc;
 use fedbiad::compress::{ClientState, Compressor};
 use fedbiad::core::pattern::{keep_count, DropPattern};
-use fedbiad::fl::aggregate::{aggregate_weights, ZeroMode};
+use fedbiad::fl::aggregate::{aggregate_weights, AggSettings, RobustKind, ZeroMode};
 use fedbiad::fl::upload::Upload;
 use fedbiad::nn::mask::BitVec;
 use fedbiad::nn::mlp::MlpModel;
@@ -15,6 +15,7 @@ use fedbiad::nn::{Model, ModelMask};
 use fedbiad::tensor::rng::{stream, StreamTag};
 use fedbiad::tensor::{stats, Matrix};
 use proptest::prelude::*;
+use rand::Rng;
 
 fn small_params(rows: usize, cols: usize, vals: &[f32]) -> ParamSet {
     let mut p = ParamSet::new();
@@ -165,6 +166,128 @@ proptest! {
         let mut twice = once.clone();
         mask.apply(&mut twice);
         prop_assert_eq!(once.flatten(), twice.flatten());
+    }
+
+    /// Robust estimators are permutation invariant: shuffling the upload
+    /// list never changes the aggregate beyond f32 re-association noise.
+    #[test]
+    fn robust_aggregation_is_permutation_invariant(
+        vals in proptest::collection::vec(-5.0f32..5.0, 3..9),
+        seed in 0u64..64,
+    ) {
+        // Strictly increasing by construction: a value tie between
+        // clients of different weights would legitimately resolve by
+        // upload order, which is exactly what this test must not depend on.
+        let mut acc = -5.0f32;
+        let vals: Vec<f32> = vals
+            .iter()
+            .map(|v| {
+                acc += 1e-3 + v.abs() * 0.2;
+                acc
+            })
+            .collect();
+
+        let uploads: Vec<(f32, Upload)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i + 1) as f32, Upload::full_weights(small_params(2, 2, &[v; 4]))))
+            .collect();
+        let mut perm: Vec<usize> = (0..uploads.len()).collect();
+        let mut rng = stream(seed, StreamTag::Scenario, 4, 0);
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        for robust in [
+            RobustKind::TrimmedMean { trim_frac: 0.25 },
+            RobustKind::CoordinateMedian,
+        ] {
+            let settings = AggSettings::default().with_robust(robust);
+            let run = |order: &[usize]| {
+                let ups: Vec<(f32, &Upload)> =
+                    order.iter().map(|&i| (uploads[i].0, &uploads[i].1)).collect();
+                let mut g = small_params(2, 2, &[0.0; 4]);
+                aggregate_weights(&mut g, &ups, ZeroMode::HoldersOnly, settings).unwrap();
+                g.flatten()
+            };
+            let forward: Vec<usize> = (0..uploads.len()).collect();
+            for (a, b) in run(&forward).iter().zip(run(&perm)) {
+                prop_assert!((a - b).abs() < 1e-4, "{robust:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// `trim_frac = 0` routes to the weighted mean verbatim — **bitwise**,
+    /// for arbitrary values and weights.
+    #[test]
+    fn trim_zero_is_the_weighted_mean_bitwise(
+        vals in proptest::collection::vec(-5.0f32..5.0, 2..8),
+    ) {
+        let uploads: Vec<(f32, Upload)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i + 1) as f32 * 0.7, Upload::full_weights(small_params(2, 2, &[v; 4]))))
+            .collect();
+        let ups: Vec<(f32, &Upload)> = uploads.iter().map(|(w, u)| (*w, u)).collect();
+        for mode in [ZeroMode::ZerosPull, ZeroMode::HoldersOnly, ZeroMode::StaleFill] {
+            let mut mean = small_params(2, 2, &[0.0; 4]);
+            aggregate_weights(&mut mean, &ups, mode, AggSettings::default()).unwrap();
+            let mut trim0 = small_params(2, 2, &[0.0; 4]);
+            aggregate_weights(
+                &mut trim0,
+                &ups,
+                mode,
+                AggSettings::default().with_robust(RobustKind::TrimmedMean { trim_frac: 0.0 }),
+            )
+            .unwrap();
+            for (a, b) in mean.flatten().iter().zip(trim0.flatten()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?}", mode);
+            }
+        }
+    }
+
+    /// Breakdown-point sanity: with `m` outliers at a huge value among
+    /// `n` honest equal-weight clients, a trim depth `k ≥ m` (and the
+    /// median, while `m` is a minority) keeps the aggregate inside the
+    /// honest convex hull — while the mean is dragged far outside it.
+    #[test]
+    fn robust_estimators_absorb_outliers_the_mean_cannot(
+        honest in proptest::collection::vec(-2.0f32..2.0, 5..9),
+        m in 1usize..3,
+        big in 1e6f32..1e8,
+    ) {
+        let n = honest.len();
+        let uploads: Vec<(f32, Upload)> = honest
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(big, m))
+            .map(|v| (1.0f32, Upload::full_weights(small_params(2, 2, &[v; 4]))))
+            .collect();
+        let ups: Vec<(f32, &Upload)> = uploads.iter().map(|(w, u)| (*w, u)).collect();
+        // ⌊0.34·(n+m)⌋ ≥ 2 ≥ m for every generated size, and 2k < n+m.
+        let k = (0.34 * (n + m) as f32).floor() as usize;
+        prop_assert!(k >= m && 2 * k < n + m);
+        let lo = honest.iter().copied().fold(f32::INFINITY, f32::min) - 1e-4;
+        let hi = honest.iter().copied().fold(f32::NEG_INFINITY, f32::max) + 1e-4;
+        let run = |robust: RobustKind| {
+            let mut g = small_params(2, 2, &[0.0; 4]);
+            aggregate_weights(
+                &mut g,
+                &ups,
+                ZeroMode::HoldersOnly,
+                AggSettings::default().with_robust(robust),
+            )
+            .unwrap();
+            g.flatten()[0]
+        };
+        for robust in [
+            RobustKind::TrimmedMean { trim_frac: 0.34 },
+            RobustKind::CoordinateMedian,
+        ] {
+            let v = run(robust);
+            prop_assert!(v >= lo && v <= hi, "{robust:?} left the honest hull: {v}");
+        }
+        let mean = run(RobustKind::Mean);
+        prop_assert!(mean > hi + 1.0, "the mean should be poisoned: {mean}");
     }
 
     /// β → mask → kept-bit round trip: a row unit is kept in the mask iff

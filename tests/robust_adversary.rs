@@ -1,0 +1,307 @@
+//! Robust aggregation under attack: the accuracy-under-attack acceptance
+//! run (sign-flipping byzantine clients degrade the weighted mean while
+//! trimmed mean / coordinate median keep converging), the value-finiteness
+//! screen on hostile wire frames, churn-emptied no-op rounds in both the
+//! lock-step runner and the simulator, and the sync-barrier equivalence of
+//! the two drivers under an active adversary + churn model.
+
+use fedbiad::compress::codec;
+use fedbiad::fl::adversary::{AdversarySpec, AttackMode, ChurnSpec, GarbageKind};
+use fedbiad::fl::aggregate::{
+    aggregate_weights, screen_upload_values, upload_has_non_finite, AggError, AggSettings,
+    RobustKind, ZeroMode,
+};
+use fedbiad::fl::upload::{Upload, UploadKind};
+use fedbiad::nn::mlp::MlpModel;
+use fedbiad::nn::{Model, ModelMask, ParamSet};
+use fedbiad::prelude::*;
+use fedbiad::sim::TraceKind;
+use fedbiad::tensor::rng::{stream, StreamTag};
+use rand::Rng;
+
+fn base_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        rounds: 8,
+        client_fraction: 0.5,
+        seed,
+        train: bundle.train,
+        eval_topk: bundle.eval_topk,
+        eval_every: 1,
+        eval_max_samples: 0,
+        agg: Default::default(),
+        cohort: None,
+        sampler: Default::default(),
+        adversary: None,
+        churn: None,
+    }
+}
+
+// ---- acceptance: 20% sign-flip, robust converges, mean degrades --------
+
+#[test]
+fn sign_flip_attack_robust_converges_mean_degrades() {
+    let bundle = build(Workload::MnistLike, Scale::Smoke, 33);
+    let attack = AdversarySpec {
+        fraction: 0.2,
+        mode: AttackMode::SignFlip,
+    };
+    let run = |robust: RobustKind, adversary: Option<AdversarySpec>| {
+        let mut cfg = base_cfg(&bundle, 33);
+        cfg.agg = AggSettings::default().with_robust(robust);
+        cfg.adversary = adversary;
+        Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg)
+            .run()
+            .final_accuracy_pct()
+    };
+
+    let honest = run(RobustKind::Mean, None);
+    let mean_attacked = run(RobustKind::Mean, Some(attack));
+    let trimmed = run(RobustKind::TrimmedMean { trim_frac: 0.25 }, Some(attack));
+    let median = run(RobustKind::CoordinateMedian, Some(attack));
+
+    // The mean is poisoned: flipped uploads drag it far below the honest
+    // baseline. The order statistics trim/out-vote the attackers and stay
+    // within a few points of honest training.
+    assert!(
+        mean_attacked < honest - 10.0,
+        "sign flip should degrade the mean: attacked {mean_attacked:.1}% vs honest {honest:.1}%"
+    );
+    for (name, acc) in [("trimmed mean", trimmed), ("median", median)] {
+        assert!(
+            acc > mean_attacked + 10.0,
+            "{name} should beat the attacked mean: {acc:.1}% vs {mean_attacked:.1}%"
+        );
+        assert!(
+            acc > honest - 8.0,
+            "{name} should stay near the honest baseline: {acc:.1}% vs {honest:.1}%"
+        );
+    }
+}
+
+// ---- satellite: value-finiteness screen on hostile frames --------------
+
+fn screen_model() -> (MlpModel, ParamSet) {
+    let model = MlpModel::new(9, 7, 4);
+    let params = model.init_params(&mut stream(5, StreamTag::Init, 0, 0));
+    (model, params)
+}
+
+fn perturbed(global: &ParamSet, seed: u64) -> ParamSet {
+    let mut rng = stream(seed, StreamTag::Init, 1, seed);
+    let mut flat = global.flatten();
+    for v in &mut flat {
+        *v += rng.gen_range(-0.5f32..0.5);
+    }
+    let mut p = global.zeros_like();
+    p.unflatten_from(&flat);
+    p
+}
+
+/// A structurally-valid wire frame whose value stream carries `poison` at
+/// one position — exactly what a byzantine client that respects the codec
+/// but not the mathematics would send.
+fn hostile_wire_upload(global: &ParamSet, poison: f32) -> Upload {
+    let mut flat = perturbed(global, 77).flatten();
+    let mid = flat.len() / 2;
+    flat[mid] = poison;
+    let mut params = global.zeros_like();
+    params.unflatten_from(&flat);
+    let mask = ModelMask::full(&params);
+    let msg = codec::encode_weights(&params, &mask);
+    let bytes = msg.body_bytes();
+    Upload::wire(UploadKind::Weights, msg, mask, bytes)
+}
+
+#[test]
+fn hostile_non_finite_frame_is_rejected_with_a_structured_error() {
+    let (_, global) = screen_model();
+    let honest = Upload::full_weights(perturbed(&global, 1));
+    for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let hostile = hostile_wire_upload(&global, poison);
+        // The screen decodes the wire frame and names the upload.
+        let err = screen_upload_values(&global, &[(1.0, &honest), (2.0, &hostile)])
+            .expect_err("hostile frame must be screened");
+        assert_eq!(err, AggError::NonFiniteValue { index: 1 });
+        assert!(
+            err.to_string().contains("upload 1"),
+            "error must name the upload: {err}"
+        );
+        // Per-upload predicate agrees, and the dense decoded twin too.
+        assert!(upload_has_non_finite(&global, &hostile).unwrap());
+        let dense = fedbiad::fl::aggregate::decode_dense(&global, &hostile).unwrap();
+        assert!(upload_has_non_finite(&global, &Upload::full_weights(dense)).unwrap());
+        // Honest uploads pass.
+        assert!(!upload_has_non_finite(&global, &honest).unwrap());
+    }
+    // After dropping the hostile upload the round proceeds normally.
+    let mut g = global.clone();
+    aggregate_weights(
+        &mut g,
+        &[(1.0, &honest)],
+        ZeroMode::StaleFill,
+        AggSettings::default(),
+    )
+    .unwrap();
+    assert!(g.flatten().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn garbage_attack_is_screened_out_of_the_round() {
+    // End to end: 30% of clients upload NaN garbage. The screen drops
+    // them (contributors < cohort) and the surviving rounds stay finite —
+    // the attack costs participation, not the model.
+    let bundle = build(Workload::MnistLike, Scale::Smoke, 41);
+    let mut cfg = base_cfg(&bundle, 41);
+    cfg.rounds = 4;
+    cfg.adversary = Some(AdversarySpec {
+        fraction: 0.3,
+        mode: AttackMode::Garbage {
+            kind: GarbageKind::Nan,
+        },
+    });
+    let log = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
+    assert_eq!(log.records.len(), 4);
+    let cohort = fedbiad::fl::round::cohort_size(bundle.data.num_clients(), cfg.client_fraction);
+    let mut saw_screening = false;
+    for r in &log.records {
+        assert!(r.contributors > 0, "round {} lost everyone", r.round);
+        assert!(r.contributors <= cohort);
+        saw_screening |= r.contributors < cohort;
+        assert!(r.test_loss.is_finite(), "round {} poisoned", r.round);
+        assert!(r.test_acc.is_finite());
+    }
+    assert!(saw_screening, "a 30% NaN attack must hit some round");
+}
+
+// ---- satellite: churn-emptied rounds are defined no-ops ----------------
+
+#[test]
+fn all_dropped_round_is_a_noop_in_the_runner() {
+    let bundle = build(Workload::MnistLike, Scale::Smoke, 51);
+    for cohort in [1usize, 2] {
+        for churn in [
+            // Every upload lost on the wire…
+            ChurnSpec {
+                offline: 0.0,
+                dropout: 1.0,
+            },
+            // …or nobody even starts the round.
+            ChurnSpec {
+                offline: 1.0,
+                dropout: 0.0,
+            },
+        ] {
+            let mut cfg = base_cfg(&bundle, 51);
+            cfg.rounds = 3;
+            cfg.cohort = Some(cohort);
+            cfg.churn = Some(churn);
+            let log =
+                Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
+            assert_eq!(log.records.len(), 3, "cohort {cohort}: log must complete");
+            let acc0 = log.records[0].test_acc;
+            for r in &log.records {
+                assert_eq!(r.contributors, 0, "cohort {cohort} round {}", r.round);
+                // The global never moves, so evaluation is constant.
+                assert_eq!(r.test_acc.to_bits(), acc0.to_bits());
+                assert_eq!(r.agg_seconds, 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_dropped_round_is_a_noop_in_the_simulator() {
+    let bundle = build(Workload::MnistLike, Scale::Smoke, 52);
+    for cohort in [1usize, 2] {
+        let mut cfg = base_cfg(&bundle, 52);
+        cfg.rounds = 3;
+        cfg.cohort = Some(cohort);
+        cfg.churn = Some(ChurnSpec {
+            offline: 0.0,
+            dropout: 1.0,
+        });
+        let report = Simulator::new(
+            bundle.model.as_ref(),
+            &bundle.data,
+            FedAvg::new(),
+            SyncBarrier,
+            SimConfig::new(cfg, HeterogeneityProfile::homogeneous_5g()),
+        )
+        .run();
+        assert_eq!(
+            report.log.records.len(),
+            3,
+            "cohort {cohort}: sim log must complete"
+        );
+        let acc0 = report.log.records[0].test_acc;
+        for r in &report.log.records {
+            assert_eq!(r.contributors, 0, "cohort {cohort} round {}", r.round);
+            assert_eq!(r.test_acc.to_bits(), acc0.to_bits());
+        }
+        // The lost uploads are visible in the trace, not silently absent.
+        let lost = report
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::ChurnLost)
+            .count();
+        assert_eq!(
+            lost,
+            3 * cohort,
+            "every dispatched upload must trace as churn-lost"
+        );
+    }
+}
+
+// ---- sync equivalence of the two drivers under attack + churn ----------
+
+#[test]
+fn sync_sim_matches_runner_under_attack_and_churn() {
+    // The adversary membership and churn fate draws are keyed on
+    // (seed, round, client), never on driver internals, so the simulator
+    // under a sync barrier must reproduce the lock-step runner bit for
+    // bit even with both models active.
+    let bundle = build(Workload::MnistLike, Scale::Smoke, 61);
+    let mut cfg = base_cfg(&bundle, 61);
+    cfg.rounds = 5;
+    cfg.agg = AggSettings::default().with_robust(RobustKind::TrimmedMean { trim_frac: 0.2 });
+    cfg.adversary = Some(AdversarySpec {
+        fraction: 0.25,
+        mode: AttackMode::Scale { factor: 10.0 },
+    });
+    cfg.churn = Some(ChurnSpec {
+        offline: 0.15,
+        dropout: 0.15,
+    });
+
+    let legacy = Experiment::new(bundle.model.as_ref(), &bundle.data, FedAvg::new(), cfg).run();
+    let report = Simulator::new(
+        bundle.model.as_ref(),
+        &bundle.data,
+        FedAvg::new(),
+        SyncBarrier,
+        SimConfig::new(cfg, HeterogeneityProfile::homogeneous_5g()),
+    )
+    .run();
+
+    assert_eq!(legacy.records.len(), report.log.records.len());
+    for (ra, rb) in legacy.records.iter().zip(&report.log.records) {
+        assert_eq!(ra.contributors, rb.contributors, "round {}", ra.round);
+        assert_eq!(
+            ra.train_loss.to_bits(),
+            rb.train_loss.to_bits(),
+            "train loss round {}",
+            ra.round
+        );
+        assert_eq!(
+            ra.test_acc.to_bits(),
+            rb.test_acc.to_bits(),
+            "test acc round {}",
+            ra.round
+        );
+        assert_eq!(
+            ra.upload_bytes_mean, rb.upload_bytes_mean,
+            "upload bytes round {}",
+            ra.round
+        );
+    }
+}

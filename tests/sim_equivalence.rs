@@ -21,6 +21,8 @@ fn base_cfg(bundle: &fedbiad::fl::workload::WorkloadBundle, seed: u64) -> Experi
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     }
 }
 

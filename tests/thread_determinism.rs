@@ -30,6 +30,8 @@ fn run_once(seed: u64) -> ExperimentLog {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 2));
     Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()
@@ -111,6 +113,8 @@ fn run_once_streaming(seed: u64) -> ExperimentLog {
         agg: fedbiad::fl::AggSettings::sharded(1),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let algo = FedBiad::new(FedBiadConfig::paper(bundle.dropout_rate, 2));
     Experiment::new(bundle.model.as_ref(), &bundle.data, algo, cfg).run()
@@ -178,6 +182,8 @@ fn run_sim_once(seed: u64) -> fedbiad::sim::SimReport {
         agg: Default::default(),
         cohort: None,
         sampler: Default::default(),
+        adversary: None,
+        churn: None,
     };
     let stragglers = HeterogeneityProfile::Stragglers {
         fraction: 0.3,
